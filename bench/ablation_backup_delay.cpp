@@ -1,0 +1,69 @@
+// Ablation: how much does backup procrastination buy, and which delay wins?
+//
+// Two views:
+//
+//   1. On the *static* dual-priority scheme (which runs a backup for every
+//      R-pattern mandatory job), the ladder none -> Y -> theta directly
+//      moves energy; the theta-vs-Y margin is the isolated contribution of
+//      the paper's Definitions 2-5 on top of Haque/Begam's promotion.
+//   2. On MKSS_selective the ladder barely matters in fault-free runs --
+//      successful optional executions keep demoting jobs, so backups rarely
+//      exist. We show that too (it is the honest reading of where the
+//      selective scheme's savings actually come from).
+#include "fig6_common.hpp"
+
+int main() {
+  using namespace mkss;
+
+  const auto dp_with = [](sched::BackupDelayPolicy delay) {
+    return [delay]() -> std::unique_ptr<sim::Scheme> {
+      sched::DpOptions opts;
+      opts.delay = delay;
+      return std::make_unique<sched::MkssDp>(opts);
+    };
+  };
+  const auto selective_with = [](sched::BackupDelayPolicy delay) {
+    return [delay]() -> std::unique_ptr<sim::Scheme> {
+      sched::SelectiveOptions opts;
+      opts.delay = delay;
+      return std::make_unique<sched::MkssSelective>(opts);
+    };
+  };
+
+  {
+    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    const std::vector<harness::SchemeVariant> variants = {
+        {"MKSS_ST", [] { return sched::make_scheme(sched::SchemeKind::kSt); }},
+        {"DP(delay=none)", dp_with(sched::BackupDelayPolicy::kNone)},
+        {"DP(delay=Y)", dp_with(sched::BackupDelayPolicy::kPromotion)},
+        {"DP(delay=theta)", dp_with(sched::BackupDelayPolicy::kPostponed)},
+    };
+    const auto result = harness::run_variant_sweep(cfg, variants);
+    benchrun::print_sweep(
+        "=== Ablation 1: procrastination ladder on the static DP scheme ===",
+        result);
+    std::printf("expectation: energy(theta) <= energy(Y) <= energy(none); the\n"
+                "theta margin is Definitions 2-5 in isolation (Figure 5's\n"
+                "theta_2 = 4 vs Y_2 = 1, at sweep scale).\n\n");
+  }
+
+  {
+    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    const std::vector<harness::SchemeVariant> variants = {
+        {"MKSS_ST", [] { return sched::make_scheme(sched::SchemeKind::kSt); }},
+        {"sel(delay=none)", selective_with(sched::BackupDelayPolicy::kNone)},
+        {"sel(delay=theta)", selective_with(sched::BackupDelayPolicy::kPostponed)},
+    };
+    const auto result = harness::run_variant_sweep(cfg, variants);
+    benchrun::print_sweep(
+        "=== Ablation 2: the same ladder on MKSS_selective (fault-free) ===",
+        result);
+    std::printf("expectation: nearly flat -- with dynamic patterns and no\n"
+                "faults, optional successes demote almost every mandatory job,\n"
+                "so there are few backups to procrastinate; the selective\n"
+                "scheme's savings come from dropping duplication, not from\n"
+                "delaying it. The ladder matters when mandatory jobs exist:\n"
+                "see Ablation 1 and the fault scenarios.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation: sensitivity to the workload-generator parameters.
+//
+// The paper fixes n in [5,10], P in [5,50] ms, k in [2,20]. This bench
+// varies each axis and reports the headline comparison (one representative
+// utilization bin per configuration), to show the conclusion is not an
+// artifact of those constants.
+#include "fig6_common.hpp"
+
+namespace {
+
+struct Config {
+  const char* label;
+  mkss::workload::GenParams gen;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mkss;
+
+  std::vector<Config> configs;
+  {
+    Config base{"paper (n 5-10, P 5-50, k 2-20)", {}};
+    configs.push_back(base);
+
+    Config few{"few tasks (n 2-4)", {}};
+    few.gen.min_tasks = 2;
+    few.gen.max_tasks = 4;
+    configs.push_back(few);
+
+    Config many{"many tasks (n 11-16)", {}};
+    many.gen.min_tasks = 11;
+    many.gen.max_tasks = 16;
+    configs.push_back(many);
+
+    Config short_p{"short periods (P 1-10)", {}};
+    short_p.gen.min_period_ms = 1;
+    short_p.gen.max_period_ms = 10;
+    configs.push_back(short_p);
+
+    Config long_p{"long periods (P 50-500)", {}};
+    long_p.gen.min_period_ms = 50;
+    long_p.gen.max_period_ms = 500;
+    configs.push_back(long_p);
+
+    Config small_k{"small windows (k 2-4)", {}};
+    small_k.gen.max_k = 4;
+    configs.push_back(small_k);
+
+    Config big_k{"large windows (k 10-20)", {}};
+    big_k.gen.min_k = 10;
+    configs.push_back(big_k);
+
+    Config constrained{"constrained deadlines (D = 0.8 P)", {}};
+    constrained.gen.deadline_factor = 0.8;
+    configs.push_back(constrained);
+  }
+
+  report::Table table({"generator", "sets", "DP/ST", "selective/ST",
+                       "sel vs DP gain", "audit failures"});
+  for (const Config& config : configs) {
+    core::Rng rng(5551212);
+    const auto batch = workload::generate_bin(config.gen, 0.25, 0.35, 15, 6000, rng);
+
+    metrics::RunningStat dp_norm, sel_norm;
+    std::uint64_t failures = 0;
+    for (const auto& ts : batch.sets) {
+      sim::SimConfig cfg;
+      cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
+      sim::NoFaultPlan nofault;
+      double st = 0;
+      for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                              sched::SchemeKind::kSelective}) {
+        const auto run = harness::run_one(ts, kind, nofault, cfg);
+        if (!run.qos.theorem1_holds()) ++failures;
+        const double e = run.energy.total();
+        if (kind == sched::SchemeKind::kSt) st = e;
+        if (kind == sched::SchemeKind::kDp) dp_norm.add(e / st);
+        if (kind == sched::SchemeKind::kSelective) sel_norm.add(e / st);
+      }
+    }
+    table.add_row({config.label, std::to_string(batch.sets.size()),
+                   batch.sets.empty() ? "-" : report::fmt(dp_norm.mean(), 3),
+                   batch.sets.empty() ? "-" : report::fmt(sel_norm.mean(), 3),
+                   batch.sets.empty()
+                       ? "-"
+                       : report::fmt_percent(metrics::relative_gain(
+                             sel_norm.mean(), dp_norm.mean())),
+                   std::to_string(failures)});
+  }
+  std::printf("=== Ablation: workload-generator sensitivity (bin [0.25,0.35)) ===\n\n%s\n",
+              table.to_string().c_str());
+  std::printf(
+      "reading: the selective-over-DP gain survives most axes and widens\n"
+      "with long periods and large (m,k) windows. Two honest caveats the\n"
+      "paper's fixed parameters hide: (a) with very small windows (k <= 4,\n"
+      "where k - m = 1 dominates) the FD==1 rule executes nearly every job\n"
+      "and DP's procrastinated duplication is actually cheaper -- selective\n"
+      "is a *soft* scheme and needs slack in the contract to monetize; (b)\n"
+      "with 11+ tasks the m >= 1 floor pushes every set's (m,k)-utilization\n"
+      "above this bin, so the row is empty by construction.\n");
+  return 0;
+}

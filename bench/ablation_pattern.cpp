@@ -1,0 +1,70 @@
+// Ablation: the static partitioning pattern (deeply red vs. evenly
+// distributed).
+//
+// The paper builds everything on the deeply red R-pattern (Equation 1),
+// whose synchronous release is the provable worst case (the Theorem 1
+// critical-instant argument). The E-pattern spreads the m mandatory jobs
+// evenly over each window of k, which removes the R-pattern's job bursts:
+// more task sets become schedulable (acceptance), and mandatory work is
+// smoother -- but it only carries a synchronous-start guarantee. This bench
+// compares both axes.
+#include "fig6_common.hpp"
+
+int main() {
+  using namespace mkss;
+
+  // Axis 1: schedulability acceptance. Same generator stream, two accept
+  // tests; attempts-per-accepted-set measures the pattern's burst penalty.
+  std::printf("=== Pattern ablation, axis 1: schedulable-set yield ===\n\n");
+  report::Table yield({"mk-util bin", "R-pattern sets/attempts", "E-pattern sets/attempts"});
+  for (const double lo : {0.2, 0.4, 0.6, 0.8}) {
+    std::vector<std::string> row{"[" + report::fmt(lo, 1) + "," +
+                                 report::fmt(lo + 0.1, 1) + ")"};
+    for (const auto model : {analysis::DemandModel::kRPatternMandatory,
+                             analysis::DemandModel::kEPatternMandatory}) {
+      workload::GenParams gen;
+      gen.accept_model = model;
+      core::Rng rng(987654);  // identical candidate stream for both models
+      const auto batch = workload::generate_bin(gen, lo, lo + 0.1, 20, 4000, rng);
+      row.push_back(std::to_string(batch.sets.size()) + "/" +
+                    std::to_string(batch.attempts));
+    }
+    yield.add_row(std::move(row));
+  }
+  std::printf("%s\n", yield.to_string().c_str());
+
+  // Axis 2: energy of the static schemes under each pattern, on sets that
+  // are schedulable under BOTH patterns (fair comparison).
+  const auto st_with = [](core::PatternKind pattern) {
+    return [pattern]() -> std::unique_ptr<sim::Scheme> {
+      sched::StOptions opts;
+      opts.pattern = pattern;
+      return std::make_unique<sched::MkssSt>(opts);
+    };
+  };
+  const auto dp_with = [](core::PatternKind pattern) {
+    return [pattern]() -> std::unique_ptr<sim::Scheme> {
+      sched::DpOptions opts;
+      opts.pattern = pattern;
+      return std::make_unique<sched::MkssDp>(opts);
+    };
+  };
+
+  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+  const std::vector<harness::SchemeVariant> variants = {
+      {"ST(R)", st_with(core::PatternKind::kDeeplyRed)},
+      {"ST(E)", st_with(core::PatternKind::kEvenlyDistributed)},
+      {"DP(R)", dp_with(core::PatternKind::kDeeplyRed)},
+      {"DP(E)", dp_with(core::PatternKind::kEvenlyDistributed)},
+  };
+  const auto result = harness::run_variant_sweep(cfg, variants);
+  benchrun::print_sweep("=== Pattern ablation, axis 2: energy (R vs E) ===", result);
+  std::printf(
+      "findings: the E-pattern accepts noticeably more task sets per attempt\n"
+      "(no deeply-red bursts to fit), while the mandatory-job count -- and so\n"
+      "the duplicated energy -- is identical (m per k either way). Audit\n"
+      "failures above count E-pattern mandatory misses: unlike the R-pattern,\n"
+      "the E-pattern has no critical-instant guarantee beyond the synchronous\n"
+      "start, which is why the paper (and Theorem 1) build on deeply red.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ablation: workload shaping.
+//
+// The paper's generator draws WCETs uniformly and reaches a bin through the
+// (m,k) ratios (kUniformWcet). An alternative shaping -- deriving C from a
+// UUniFast utilization share (kShapedWcet) -- produces featherweight tasks
+// in low bins, where dual-priority procrastination alone already cancels
+// almost every backup. This bench shows how strongly the headline
+// selective-vs-DP comparison depends on that choice, i.e. where each scheme's
+// advantage actually comes from.
+#include "fig6_common.hpp"
+
+int main() {
+  using namespace mkss;
+  for (const auto model :
+       {workload::WcetModel::kUniformWcet, workload::WcetModel::kShapedWcet}) {
+    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    cfg.gen.wcet_model = model;
+    const auto result = harness::run_sweep(cfg);
+    benchrun::print_sweep(model == workload::WcetModel::kUniformWcet
+                              ? "=== Workload: uniform WCET (paper's model) ==="
+                              : "=== Workload: UUniFast-shaped WCET (ablation) ===",
+                          result);
+  }
+  std::printf("expectation: with uniform WCETs selective wins everywhere (the\n"
+              "paper's Figure 6); with shaped WCETs the low-utilization bins\n"
+              "contain tiny jobs whose backups never start under DP, so DP\n"
+              "narrows or flips the gap there -- the advantage of dynamic\n"
+              "patterns is tied to substantial per-job demand.\n");
+  return 0;
+}

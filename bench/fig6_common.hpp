@@ -1,0 +1,65 @@
+// Shared scaffolding for the Figure-6 reproduction benches and the ablation
+// benches: a common sweep configuration (the paper's Section V parameters)
+// and a printer that emits the paper-style table, the per-bin gains, and a
+// CSV block for plotting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mkss.hpp"
+
+namespace mkss::benchrun {
+
+/// Paper parameters; the environment variables MKSS_SETS_PER_BIN and
+/// MKSS_MAX_ATTEMPTS can scale the experiment up or down.
+inline harness::SweepConfig paper_sweep_config(fault::Scenario scenario) {
+  harness::SweepConfig cfg;
+  cfg.scenario = scenario;
+  cfg.lambda_per_ms = 1e-6;  // the paper's average transient rate
+  cfg.bin_starts = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  cfg.sets_per_bin = 20;    // "at least 20 task sets schedulable"
+  cfg.max_attempts_per_bin = 5000;  // "or at least 5000 task sets generated"
+  cfg.horizon_cap = core::from_ms(std::int64_t{2000});
+  if (const char* env = std::getenv("MKSS_SETS_PER_BIN")) {
+    cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (const char* env = std::getenv("MKSS_MAX_ATTEMPTS")) {
+    cfg.max_attempts_per_bin = static_cast<std::size_t>(std::atoll(env));
+  }
+  return cfg;
+}
+
+/// Prints the sweep as (1) the aligned normalized-energy table, (2) per-bin
+/// relative gains of the last scheme over each other one, (3) a CSV block.
+inline void print_sweep(const char* title, const harness::SweepResult& result) {
+  std::printf("%s\n", title);
+  std::printf("(energy normalized to %s on the same task sets; lower is better)\n\n",
+              result.scheme_names.empty() ? "?" : result.scheme_names[0].c_str());
+  std::printf("%s\n", result.to_table().to_string().c_str());
+
+  const std::size_t last = result.scheme_names.size() - 1;
+  for (std::size_t other = 0; other < last; ++other) {
+    std::printf("max gain of %s over %s across bins: %s\n",
+                result.scheme_names[last].c_str(),
+                result.scheme_names[other].c_str(),
+                report::fmt_percent(result.max_gain(last, other)).c_str());
+  }
+  std::printf("(m,k)/mandatory audit failures: %llu\n\n",
+              static_cast<unsigned long long>(result.qos_failures));
+
+  std::printf("csv:\nbin_lo,bin_hi,sets");
+  for (const auto& name : result.scheme_names) std::printf(",%s", name.c_str());
+  std::printf("\n");
+  for (const auto& bin : result.bins) {
+    std::printf("%.1f,%.1f,%zu", bin.bin_lo, bin.bin_hi, bin.sets);
+    for (std::size_t s = 0; s < result.scheme_names.size(); ++s) {
+      std::printf(",%s",
+                  bin.sets ? report::fmt(bin.normalized[s].mean(), 4).c_str() : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace mkss::benchrun

@@ -1,0 +1,35 @@
+// Figure 6(c): normalized energy under one permanent fault plus Poisson
+// transient faults with average rate 1e-6 (Section V, third test set; fault
+// model of Zhu/Melhem/Mosse [1]).
+//
+// Paper: "the energy saving ... is similar to that in the previous cases.
+// The maximal energy reduction by MKSS_selective over MKSS_DP can be up to
+// 16%."
+#include "fig6_common.hpp"
+
+int main() {
+  using namespace mkss;
+  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kPermanentAndTransient);
+  const auto result = harness::run_sweep(cfg);
+  benchrun::print_sweep(
+      "=== Figure 6(c): energy comparison, permanent + transient faults ===",
+      result);
+  std::printf("paper reference: same ordering, max gain of selective over DP "
+              "up to 16%%\n\n");
+  std::printf("note: at the paper's rate (1e-6 per ms) a transient fault hits\n"
+              "roughly one job in 10^5, so a single pattern-hyperperiod horizon\n"
+              "almost never sees one and the table above matches 6(b). To make\n"
+              "the transient mechanism visible (backups that must run to\n"
+              "completion after a faulted main; faulted optional jobs forcing\n"
+              "mandatory recoveries) we repeat the sweep at 1000x the rate:\n\n");
+
+  auto inflated = cfg;
+  inflated.lambda_per_ms = 1e-3;
+  const auto stressed = harness::run_sweep(inflated);
+  benchrun::print_sweep("=== Same sweep at lambda = 1e-3 per ms (1000x) ===",
+                        stressed);
+  std::printf("expectation: transients erode (but do not erase) selective's\n"
+              "edge over DP, mirroring the paper's 28%% -> 22%% -> 16%% trend\n"
+              "across 6(a)/(b)/(c).\n");
+  return 0;
+}

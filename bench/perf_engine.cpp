@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark): simulator throughput per scheme,
+// offline analyses, and the (m,k) primitives. These guard the harness's
+// ability to run the paper-scale sweeps in seconds.
+#include <benchmark/benchmark.h>
+
+#include "mkss.hpp"
+
+namespace {
+
+using namespace mkss;
+
+core::TaskSet bench_taskset() {
+  core::Rng rng(7777);
+  while (true) {
+    const auto ts = workload::generate_taskset({}, 0.4, rng);
+    if (ts && analysis::schedulable(*ts, analysis::DemandModel::kRPatternMandatory)) {
+      return *ts;
+    }
+  }
+}
+
+void BM_SimulateScheme(benchmark::State& state) {
+  const auto ts = bench_taskset();
+  const auto kind = static_cast<sched::SchemeKind>(state.range(0));
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{1000});
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const auto scheme = sched::make_scheme(kind);
+    const auto trace = sim::simulate(ts, *scheme, nofault, cfg);
+    jobs += trace.stats.jobs_released;
+    benchmark::DoNotOptimize(trace.busy_time[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+  state.SetLabel(sched::to_string(kind));
+}
+BENCHMARK(BM_SimulateScheme)
+    ->Arg(static_cast<int>(sched::SchemeKind::kSt))
+    ->Arg(static_cast<int>(sched::SchemeKind::kDp))
+    ->Arg(static_cast<int>(sched::SchemeKind::kGreedy))
+    ->Arg(static_cast<int>(sched::SchemeKind::kSelective));
+
+void BM_PostponementAnalysis(benchmark::State& state) {
+  const auto ts = bench_taskset();
+  for (auto _ : state) {
+    const auto result = analysis::compute_postponement(ts);
+    benchmark::DoNotOptimize(result.per_task.data());
+  }
+}
+BENCHMARK(BM_PostponementAnalysis);
+
+void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  const auto ts = bench_taskset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::schedulable(ts, analysis::DemandModel::kRPatternMandatory));
+  }
+}
+BENCHMARK(BM_ResponseTimeAnalysis);
+
+void BM_FlexibilityDegree(benchmark::State& state) {
+  core::MkHistory h(3, static_cast<std::uint32_t>(state.range(0)));
+  core::Rng rng(5);
+  for (auto _ : state) {
+    h.record(rng.chance(0.8) ? core::JobOutcome::kMet : core::JobOutcome::kMissed);
+    benchmark::DoNotOptimize(h.flexibility_degree());
+  }
+}
+BENCHMARK(BM_FlexibilityDegree)->Arg(4)->Arg(10)->Arg(20);
+
+void BM_TaskSetGeneration(benchmark::State& state) {
+  core::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_taskset({}, 0.4, rng));
+  }
+}
+BENCHMARK(BM_TaskSetGeneration);
+
+void BM_EnergyAccounting(benchmark::State& state) {
+  const auto ts = bench_taskset();
+  const auto scheme = sched::make_scheme(sched::SchemeKind::kSelective);
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{1000});
+  const auto trace = sim::simulate(ts, *scheme, nofault, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(energy::account_energy(trace).total());
+  }
+}
+BENCHMARK(BM_EnergyAccounting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

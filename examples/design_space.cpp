@@ -1,0 +1,67 @@
+// Design-space exploration: how does the (m,k) contract itself trade QoS
+// against energy under MKSS_selective?
+//
+// A system designer rarely gets (m,k) handed down -- they pick the weakest
+// contract the application tolerates. This example fixes a two-task workload
+// and sweeps the video task's (m,k) from hard real-time (k,k-ish) down to
+// very loose, reporting delivered QoS, energy, and how the scheme's
+// mandatory/optional mix shifts.
+//
+//   $ ./design_space
+#include <cstdio>
+
+#include "mkss.hpp"
+
+using namespace mkss;
+
+int main() {
+  report::Table table({"video (m,k)", "mk-util", "schedulable", "energy",
+                       "video delivered", "mandatory", "optional run",
+                       "skipped", "(m,k) ok"});
+
+  const std::pair<std::uint32_t, std::uint32_t> contracts[] = {
+      {1, 1}, {4, 5}, {3, 4}, {2, 3}, {1, 2}, {2, 5}, {1, 3}, {1, 5},
+  };
+  for (const auto& [m, k] : contracts) {
+    const core::TaskSet tasks({
+        core::Task::from_ms(5, 5, 2, 1, 1, "control"),   // hard real-time
+        core::Task::from_ms(10, 10, 6, m, k, "video"),
+    });
+    const bool feasible =
+        analysis::schedulable(tasks, analysis::DemandModel::kRPatternMandatory);
+
+    sched::MkssSelective scheme;
+    sim::NoFaultPlan nofault;
+    sim::SimConfig cfg;
+    // A common horizon (300 video frames) keeps the energy column comparable
+    // across contracts.
+    cfg.horizon = core::from_ms(std::int64_t{3000});
+    const auto run = harness::run_one(tasks, scheme, nofault, cfg);
+    const auto& video = run.qos.per_task[1];
+
+    char contract[16], delivered[32];
+    std::snprintf(contract, sizeof contract, "(%u,%u)", m, k);
+    std::snprintf(delivered, sizeof delivered, "%llu/%llu (%.0f%%)",
+                  static_cast<unsigned long long>(video.met),
+                  static_cast<unsigned long long>(video.jobs),
+                  100.0 * (1.0 - video.miss_rate()));
+    table.add_row({contract, report::fmt(tasks.total_mk_utilization(), 2),
+                   feasible ? "yes" : "no", report::fmt(run.energy.total(), 1),
+                   delivered, std::to_string(run.trace.stats.mandatory_jobs),
+                   std::to_string(run.trace.stats.optional_selected),
+                   std::to_string(run.trace.stats.optional_skipped),
+                   run.qos.mk_satisfied ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::puts("Reading the table top to bottom: weakening the contract sheds");
+  std::puts("energy in quantized steps. (1,1) duplicates every video job.");
+  std::puts("Any contract with k - m = 1 -- (4,5), (3,4), (2,3), (1,2) --");
+  std::puts("behaves identically under the FD==1 selection rule: every job");
+  std::puts("has FD 1, so the whole stream runs as single-copy optional jobs");
+  std::puts("(100% delivered, no duplication). Only genuinely loose contracts");
+  std::puts("((2,5), (1,3), (1,5)) start skipping frames, delivering roughly");
+  std::puts("m/(k-1) of the stream. Every row passes the sliding-window audit;");
+  std::puts("a designer reads this table right-to-left: pick the cheapest row");
+  std::puts("whose delivered QoS is acceptable.");
+  return 0;
+}

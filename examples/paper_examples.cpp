@@ -1,0 +1,81 @@
+// Reproduces the paper's worked examples (Figures 1-5) with schedules and
+// energy figures, printing ASCII Gantt charts next to the numbers the paper
+// reports.
+//
+//   $ ./paper_examples
+#include <cstdio>
+
+#include "mkss.hpp"
+
+using namespace mkss;
+
+namespace {
+
+void show(const char* title, const core::TaskSet& ts, sim::Scheme& scheme,
+          double horizon_ms, double paper_units) {
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(horizon_ms);
+  const auto trace = sim::simulate(ts, scheme, nofault, cfg);
+  const double units = core::to_ms(trace.active_time());
+  std::printf("%s\n  %s under %s\n", title, ts.describe().c_str(),
+              scheme.name().c_str());
+  std::printf("  active energy in [0,%g): %.1f units (paper: %.0f)\n", horizon_ms,
+              units, paper_units);
+  std::printf("%s\n", sim::render_gantt(trace, ts).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 1: preference-oriented dual-priority (MKSS_DP) ===");
+  {
+    sched::MkssDp dp;
+    show("Figure 1", workload::paper_fig1_taskset(), dp, 20, 15);
+  }
+
+  std::puts("=== Figure 2: dynamic patterns, urgency-limited greedy ===");
+  {
+    sched::GreedyOptions opts;
+    opts.max_selected_fd = 1;
+    sched::MkssGreedy greedy(opts);
+    show("Figure 2", workload::paper_fig1_taskset(), greedy, 20, 12);
+  }
+
+  std::puts("=== Figure 3: fully greedy optional execution ===");
+  std::puts("(our faithful greedy also runs tau1's feasible 5th job and the");
+  std::puts(" tail job released at t=24, so it lands at 23 vs the paper's 20;");
+  std::puts(" the point -- greedy is wasteful -- stands)");
+  {
+    sched::MkssGreedy greedy;
+    show("Figure 3", workload::paper_fig3_taskset(), greedy, 25, 20);
+  }
+
+  std::puts("=== Figure 4: MKSS_selective (Algorithm 1) ===");
+  {
+    sched::MkssSelective selective;
+    show("Figure 4", workload::paper_fig3_taskset(), selective, 25, 14);
+  }
+
+  std::puts("=== Figure 5: backup release postponement ===");
+  {
+    const auto ts = workload::paper_fig5_taskset();
+    const auto post = analysis::compute_postponement(ts);
+    const auto promos = analysis::promotion_times(ts);
+    std::printf("  %s\n", ts.describe().c_str());
+    for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+      std::printf("  theta%zu = %s (paper: %s)   vs promotion Y%zu = %s\n", i + 1,
+                  core::format_ticks(post.theta(i)).c_str(), i == 0 ? "7ms" : "4ms",
+                  i + 1, core::format_ticks(promos[i].value_or(0)).c_str());
+    }
+    // Show the postponed backup schedule (spare processor only).
+    sched::MkssSelective selective;
+    sim::NoFaultPlan nofault;
+    sim::SimConfig cfg;
+    cfg.horizon = core::from_ms(std::int64_t{30});
+    const auto trace = sim::simulate(ts, selective, nofault, cfg);
+    std::printf("\n  schedule within one pattern hyperperiod [0,30):\n%s\n",
+                sim::render_gantt(trace, ts).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Domain example: a multimedia / time-critical communication workload, the
+// application class the paper's introduction motivates ("occasional deadline
+// missings are acceptable so long as the user perceived quality of service
+// can be assured").
+//
+// Models a set-top-box-style system:
+//   * a 30 fps video decoder that may drop up to 1 frame in any 3 (2,3)-firm,
+//   * a 50 Hz audio mixer that tolerates 1 drop in 5 (4,5)-firm,
+//   * a 100 Hz sensor/telemetry stream with a loose (2,8) constraint,
+//   * a 10 Hz OSD/UI refresh with (1,4),
+// running on a standby-sparing dual-core with one permanent-fault budget and
+// transient faults at an inflated rate (so the run actually shows recovery).
+//
+//   $ ./video_stream
+#include <cstdio>
+
+#include "mkss.hpp"
+
+using namespace mkss;
+
+int main() {
+  const core::TaskSet tasks({
+      core::Task::from_ms(10, 10, 2.4, 4, 5, "audio"),      // 100 Hz-ish mixer
+      core::Task::from_ms(20, 20, 3, 2, 8, "telemetry"),    // 50 Hz sensors
+      core::Task::from_ms(33, 33, 11, 2, 3, "video33"),     // ~30 fps decoder
+      core::Task::from_ms(100, 100, 17, 1, 4, "ui"),        // OSD refresh
+  });
+  std::printf("Workload: %s\n", tasks.describe().c_str());
+  std::printf("utilization %.2f, (m,k)-utilization %.2f\n\n",
+              tasks.total_utilization(), tasks.total_mk_utilization());
+
+  const auto sched_report = analysis::analyze_schedulability(tasks);
+  if (!sched_report.r_pattern_feasible) {
+    std::puts("workload not R-pattern schedulable; aborting");
+    return 1;
+  }
+
+  const core::Ticks horizon = core::from_ms(std::int64_t{6600});  // ~200 video frames
+  core::Rng rng(2024);
+
+  report::Table table({"scenario", "scheme", "energy", "vs ST", "frames dropped",
+                       "audio drops", "(m,k) ok"});
+
+  for (const auto scenario :
+       {fault::Scenario::kNoFault, fault::Scenario::kPermanentOnly,
+        fault::Scenario::kPermanentAndTransient}) {
+    core::Rng scenario_rng = rng.split();
+    // Inflate the transient rate so recoveries actually appear in one run.
+    const auto plan =
+        fault::make_scenario_plan(scenario, tasks, horizon, 1e-3, scenario_rng);
+
+    double st_energy = 0;
+    for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                            sched::SchemeKind::kSelective}) {
+      sim::SimConfig cfg;
+      cfg.horizon = horizon;
+      const auto run = harness::run_one(tasks, kind, *plan, cfg);
+      if (kind == sched::SchemeKind::kSt) st_energy = run.energy.total();
+
+      const auto& video = run.qos.per_task[2];
+      const auto& audio = run.qos.per_task[0];
+      table.add_row({fault::to_string(scenario), sched::to_string(kind),
+                     report::fmt(run.energy.total(), 1),
+                     report::fmt(run.energy.total() / st_energy, 3),
+                     std::to_string(video.missed) + "/" + std::to_string(video.jobs),
+                     std::to_string(audio.missed) + "/" + std::to_string(audio.jobs),
+                     run.qos.mk_satisfied ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::puts("Reading the table: the static schemes (ST, DP) never execute an");
+  std::puts("optional frame -- they deliver the contractual minimum QoS (every");
+  std::puts("third video frame dropped). MKSS_selective spends part of the");
+  std::puts("saved duplication energy on single-copy optional frames and");
+  std::puts("delivers (near-)zero drops; every run, faulty or not, passes the");
+  std::puts("sliding-window (m,k) audit in the last column.");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "analysis/breakdown.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mkss::analysis {
+
+namespace {
+
+bool feasible_at(const core::TaskSet& ts, DemandModel model, double scale) {
+  std::vector<core::Task> tasks(ts.tasks());
+  for (core::Task& t : tasks) {
+    const double scaled = static_cast<double>(t.wcet) * scale;
+    t.wcet = std::max<core::Ticks>(1, static_cast<core::Ticks>(std::llround(scaled)));
+    if (t.wcet > t.deadline) return false;
+  }
+  return schedulable(core::TaskSet(std::move(tasks)), model);
+}
+
+}  // namespace
+
+double breakdown_scale(const core::TaskSet& ts, DemandModel model,
+                       const BreakdownOptions& opts) {
+  double lo = opts.lo, hi = opts.hi;
+  if (!feasible_at(ts, model, lo)) return lo;
+  if (feasible_at(ts, model, hi)) return hi;
+  while (hi - lo > opts.precision) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible_at(ts, model, mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace mkss::analysis

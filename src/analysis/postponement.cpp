@@ -1,0 +1,139 @@
+#include "analysis/postponement.hpp"
+
+#include <algorithm>
+
+#include "analysis/promotion.hpp"
+#include "core/pattern.hpp"
+
+namespace mkss::analysis {
+
+using core::Task;
+using core::TaskIndex;
+using core::TaskSet;
+using core::Ticks;
+
+namespace {
+
+/// Floor division that is correct for negative numerators (unlike C++ '/',
+/// which truncates toward zero).
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Enumerates the 1-based indices l of pattern-mandatory jobs of `hp`
+/// whose postponed release r~ = (l-1)P + theta lies in the open interval
+/// (lo, hi), invoking fn(l, r_tilde).
+template <typename Fn>
+void for_mandatory_postponed_in(core::PatternKind pattern, const Task& hp,
+                                Ticks theta, Ticks lo, Ticks hi, Fn&& fn) {
+  if (hi <= lo) return;
+  // (l-1)P + theta > lo  =>  l-1 >= floor((lo - theta)/P) + 1
+  std::int64_t first = floor_div(lo - theta, hp.period) + 1;
+  first = std::max<std::int64_t>(first, 0);
+  for (std::int64_t lm1 = first;; ++lm1) {
+    const Ticks r_tilde = lm1 * hp.period + theta;
+    if (r_tilde >= hi) break;
+    const auto l = static_cast<std::uint64_t>(lm1) + 1;
+    if (core::pattern_mandatory(pattern, hp.m, hp.k, l)) fn(l, r_tilde);
+  }
+}
+
+/// Sum of WCETs of mandatory jobs of `hp` with d_kl > r_ij and
+/// r~_kl < t_bar (the interference term of Equation 4).
+Ticks interference_before(core::PatternKind pattern, const Task& hp, Ticks theta,
+                          Ticks release_i, Ticks t_bar) {
+  Ticks sum = 0;
+  // d_kl > r_ij  =>  (l-1)P + D > r  =>  l-1 >= floor((r - D)/P) + 1.
+  std::int64_t first = floor_div(release_i - hp.deadline, hp.period) + 1;
+  first = std::max<std::int64_t>(first, 0);
+  for (std::int64_t lm1 = first;; ++lm1) {
+    const Ticks r_tilde = lm1 * hp.period + theta;
+    if (r_tilde >= t_bar) break;  // r~ grows with l, so we can stop here
+    const auto l = static_cast<std::uint64_t>(lm1) + 1;
+    if (core::pattern_mandatory(pattern, hp.m, hp.k, l)) sum += hp.wcet;
+  }
+  return sum;
+}
+
+}  // namespace
+
+PostponementResult compute_postponement(const TaskSet& ts,
+                                        const PostponementOptions& opts) {
+  PostponementResult result;
+  result.per_task.resize(ts.size());
+
+  const auto promos = promotion_times(ts);
+
+  for (TaskIndex i = 0; i < ts.size(); ++i) {
+    const Task& task = ts[i];
+    TaskPostponement& out = result.per_task[i];
+
+    // Safe floor: the dual-priority promotion time when full-set RTA holds.
+    Ticks floor_theta = 0;
+    ThetaSource floor_source = ThetaSource::kZero;
+    if (promos[i] && *promos[i] > 0) {
+      floor_theta = *promos[i];
+      floor_source = ThetaSource::kPromotion;
+    }
+
+    const auto horizon = ts.mk_hyperperiod_upto(i, opts.horizon_cap);
+    if (!horizon) {
+      out = {floor_theta, floor_source};
+      result.all_exact = false;
+      continue;
+    }
+
+    // Exact analysis: minimum theta_ij over the mandatory jobs of one
+    // per-level pattern hyperperiod.
+    bool any_job = false;
+    Ticks min_theta = core::kNever;
+    for (std::uint64_t j = 1; static_cast<Ticks>(j - 1) * task.period < *horizon; ++j) {
+      if (!core::pattern_mandatory(opts.pattern, task.m, task.k, j)) continue;
+      any_job = true;
+      const Ticks r = static_cast<Ticks>(j - 1) * task.period;
+      const Ticks d = r + task.deadline;
+
+      // Inspecting points (Definition 3): d_ij plus postponed releases of
+      // higher-priority backup jobs strictly inside (r_ij, d_ij).
+      std::vector<Ticks> ips{d};
+      for (TaskIndex q = 0; q < i; ++q) {
+        for_mandatory_postponed_in(opts.pattern, ts[q], result.per_task[q].theta,
+                                   r, d, [&](std::uint64_t, Ticks r_tilde) {
+                                     ips.push_back(r_tilde);
+                                   });
+      }
+
+      Ticks theta_ij = std::numeric_limits<Ticks>::min();
+      for (const Ticks t_bar : ips) {
+        Ticks interf = 0;
+        for (TaskIndex q = 0; q < i; ++q) {
+          interf += interference_before(opts.pattern, ts[q],
+                                        result.per_task[q].theta, r, t_bar);
+        }
+        theta_ij = std::max(theta_ij, t_bar - (task.wcet + interf) - r);
+      }
+      min_theta = std::min(min_theta, theta_ij);
+    }
+
+    if (!any_job) {
+      // m >= 1 guarantees at least one mandatory job per pattern period, so
+      // this only happens with a degenerate horizon; fall back safely.
+      out = {floor_theta, floor_source};
+      result.all_exact = false;
+      continue;
+    }
+
+    if (min_theta >= floor_theta) {
+      out = {min_theta, ThetaSource::kExact};
+    } else {
+      // Exact value is negative or below the promotion time: postponing by
+      // the promotion time (or not at all) is the safe choice.
+      out = {floor_theta, floor_source};
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mkss::analysis

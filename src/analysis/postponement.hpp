@@ -1,0 +1,76 @@
+// Backup-release postponement analysis (Definitions 2-5, Equations 3-5).
+//
+// Every backup job J'_ij on the spare processor may have its release
+// postponed from r_ij to r~_ij = r_ij + theta_i without endangering its
+// deadline. theta_i is derived offline from the static R-pattern:
+//
+//   * the inspecting points of J'_ij (Definition 3) are its absolute deadline
+//     plus the postponed releases of higher-priority backup jobs falling
+//     strictly inside (r_ij, d_ij);
+//   * theta_ij (Equation 4) maximizes, over the inspecting points t-bar, the
+//     slack t-bar - (c_ij + interference) - r_ij, where the interference sums
+//     the WCETs of higher-priority backup jobs with d_kl > r_ij and
+//     r~_kl < t-bar;
+//   * theta_i (Equation 5) is the minimum theta_ij over one pattern
+//     hyperperiod LCM_{q<=i}(k_q P_q).
+//
+// Because postponed releases of higher-priority tasks feed the inspecting
+// points of lower-priority ones, tasks are processed in descending priority
+// and each theta is finalized (including the promotion clamp below) before
+// the next level is computed.
+//
+// Safety ladder: when the per-level hyperperiod exceeds the caller's cap we
+// cannot take the exact minimum (a truncated minimum could only be too
+// large, i.e. unsafe), so we fall back to the dual-priority promotion time
+// Y_i (safe whenever the full task set passes RTA), and to 0 when even that
+// is unavailable. The paper's closing remark "if theta_i is less than R_i,
+// set theta_i to R_i" is read as the promotion clamp theta_i = max(theta_i,
+// Y_i): postponing by the promotion time is always safe, so it is a valid
+// floor for the exact analysis (Section IV notes theta_2 = 4 "is much larger
+// than the promotion time ... Y_2 = 1").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+/// How a task's postponement interval was obtained.
+enum class ThetaSource : std::uint8_t {
+  kExact,      ///< inspecting-point analysis over the full per-level hyperperiod
+  kPromotion,  ///< fell back to (or was clamped up to) Y_i = D_i - R_i
+  kZero,       ///< no safe postponement known; backups released unpostponed
+};
+
+struct TaskPostponement {
+  core::Ticks theta{0};
+  ThetaSource source{ThetaSource::kZero};
+};
+
+struct PostponementOptions {
+  /// Per-priority-level pattern-hyperperiod cap for the exact analysis, in
+  /// ticks. Levels whose LCM_{q<=i}(k_q P_q) exceeds this fall back to Y_i.
+  core::Ticks horizon_cap = 100'000'000;  // 100 s
+  /// Static pattern whose mandatory jobs have backups. The paper analyzes
+  /// the deeply red pattern, whose synchronous release is the provable
+  /// worst case (Theorem 1); other patterns reuse the same machinery but
+  /// inherit only a synchronous-start guarantee.
+  core::PatternKind pattern = core::PatternKind::kDeeplyRed;
+};
+
+struct PostponementResult {
+  std::vector<TaskPostponement> per_task;
+  /// True when every level used the exact inspecting-point analysis.
+  bool all_exact{true};
+
+  core::Ticks theta(core::TaskIndex i) const noexcept { return per_task[i].theta; }
+};
+
+/// Computes the release postponement interval of every task's backups.
+PostponementResult compute_postponement(const core::TaskSet& ts,
+                                        const PostponementOptions& opts = {});
+
+}  // namespace mkss::analysis

@@ -1,0 +1,18 @@
+#include "analysis/promotion.hpp"
+
+#include "analysis/rta.hpp"
+
+namespace mkss::analysis {
+
+std::vector<std::optional<core::Ticks>> promotion_times(const core::TaskSet& ts) {
+  std::vector<std::optional<core::Ticks>> out(ts.size());
+  const auto rts = response_times(ts, DemandModel::kAllJobs);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    if (rts[i]) {
+      out[i] = ts[i].deadline - *rts[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace mkss::analysis

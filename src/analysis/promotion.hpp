@@ -1,0 +1,22 @@
+// Dual-priority promotion times (Equation 2 of the paper).
+//
+// In the dual-priority standby-sparing scheme of Haque et al. a backup job
+// may be procrastinated by Y_i = D_i - R_i time units: once promoted at
+// r + Y_i it runs at its regular fixed priority and, by definition of the
+// worst-case response time R_i, still completes by r + Y_i + R_i = r + D_i.
+// The bound holds for arbitrary release offsets of the interfering tasks
+// because the synchronous busy window dominates every offset pattern.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+/// Y_i = D_i - R_i with R_i from the full-set RTA, or std::nullopt when the
+/// task set is not fully schedulable at priority i (no safe promotion known).
+std::vector<std::optional<core::Ticks>> promotion_times(const core::TaskSet& ts);
+
+}  // namespace mkss::analysis

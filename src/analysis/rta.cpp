@@ -1,0 +1,74 @@
+#include "analysis/rta.hpp"
+
+#include "core/pattern.hpp"
+
+namespace mkss::analysis {
+
+using core::Task;
+using core::TaskIndex;
+using core::TaskSet;
+using core::Ticks;
+
+namespace {
+
+/// Demand of higher-priority task `hp` inside a window of length t starting
+/// at the critical instant.
+Ticks interference(const Task& hp, Ticks t, DemandModel model) {
+  switch (model) {
+    case DemandModel::kAllJobs: {
+      // ceil(t / P) releases contribute in [0, t).
+      const Ticks jobs = (t + hp.period - 1) / hp.period;
+      return jobs * hp.wcet;
+    }
+    case DemandModel::kRPatternMandatory: {
+      const auto jobs = core::r_pattern_mandatory_released_before(hp, t);
+      return static_cast<Ticks>(jobs) * hp.wcet;
+    }
+    case DemandModel::kEPatternMandatory: {
+      const auto jobs = core::pattern_mandatory_released_before(
+          core::PatternKind::kEvenlyDistributed, hp, t);
+      return static_cast<Ticks>(jobs) * hp.wcet;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+DemandModel demand_model_for(core::PatternKind kind) noexcept {
+  return kind == core::PatternKind::kDeeplyRed ? DemandModel::kRPatternMandatory
+                                               : DemandModel::kEPatternMandatory;
+}
+
+std::optional<Ticks> response_time(const TaskSet& ts, TaskIndex i, DemandModel model) {
+  const Task& task = ts[i];
+  Ticks r = task.wcet;
+  // Standard fixed-point iteration; monotone and bounded by D_i, so it
+  // terminates in at most D_i / min(C_j) steps (far fewer in practice).
+  while (true) {
+    Ticks demand = task.wcet;
+    for (TaskIndex j = 0; j < i; ++j) {
+      demand += interference(ts[j], r, model);
+    }
+    if (demand == r) return r;
+    if (demand > task.deadline) return std::nullopt;
+    r = demand;
+  }
+}
+
+std::vector<std::optional<Ticks>> response_times(const TaskSet& ts, DemandModel model) {
+  std::vector<std::optional<Ticks>> out(ts.size());
+  for (TaskIndex i = 0; i < ts.size(); ++i) {
+    out[i] = response_time(ts, i, model);
+  }
+  return out;
+}
+
+bool schedulable(const TaskSet& ts, DemandModel model) {
+  for (TaskIndex i = 0; i < ts.size(); ++i) {
+    if (!response_time(ts, i, model)) return false;
+  }
+  return true;
+}
+
+}  // namespace mkss::analysis

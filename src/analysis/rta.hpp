@@ -1,0 +1,48 @@
+// Fixed-priority response-time analysis (RTA).
+//
+// Two demand models are provided:
+//  * full-set RTA: every job of every task executes (classic Joseph/Pandya
+//    iteration). Used to derive the dual-priority promotion times
+//    Y_i = D_i - R_i (Equation 2 of the paper).
+//  * R-pattern RTA: only the mandatory jobs under the deeply red pattern
+//    demand time. Theorem 1 makes "schedulable under R-pattern" the
+//    prerequisite for the (m,k) guarantee of Algorithm 1, and its proof shows
+//    the critical instant is the synchronous R-pattern release, which is
+//    exactly the demand this analysis uses.
+//
+// All analyses assume constrained deadlines (D_i <= P_i), which the task
+// model enforces.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+/// Which jobs contribute processor demand.
+enum class DemandModel {
+  kAllJobs,            ///< every released job executes for its WCET
+  kRPatternMandatory,  ///< only deeply-red mandatory jobs execute
+  kEPatternMandatory,  ///< only evenly-distributed mandatory jobs execute
+};
+
+/// Demand model matching a static pattern kind.
+DemandModel demand_model_for(core::PatternKind kind) noexcept;
+
+/// Worst-case response time of task `i` under fixed priorities, or
+/// std::nullopt when the fixed-point iteration exceeds the task deadline
+/// (the task is unschedulable at its priority under this demand model).
+std::optional<core::Ticks> response_time(const core::TaskSet& ts, core::TaskIndex i,
+                                         DemandModel model);
+
+/// Response times for every task; entry i is std::nullopt when tau_i misses.
+std::vector<std::optional<core::Ticks>> response_times(const core::TaskSet& ts,
+                                                       DemandModel model);
+
+/// True when every task's response time is within its deadline.
+bool schedulable(const core::TaskSet& ts, DemandModel model);
+
+}  // namespace mkss::analysis

@@ -1,0 +1,21 @@
+#include "analysis/schedulability.hpp"
+
+#include <algorithm>
+
+#include "analysis/rta.hpp"
+
+namespace mkss::analysis {
+
+SchedulabilityReport analyze_schedulability(const core::TaskSet& ts) {
+  SchedulabilityReport report;
+  report.response_mandatory = response_times(ts, DemandModel::kRPatternMandatory);
+  report.response_full = response_times(ts, DemandModel::kAllJobs);
+  auto ok = [](const auto& v) {
+    return std::all_of(v.begin(), v.end(), [](const auto& r) { return r.has_value(); });
+  };
+  report.r_pattern_feasible = ok(report.response_mandatory);
+  report.full_set_feasible = ok(report.response_full);
+  return report;
+}
+
+}  // namespace mkss::analysis

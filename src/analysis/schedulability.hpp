@@ -1,0 +1,28 @@
+// Combined schedulability report used by the workload generator and the
+// schemes' offline setup.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/postponement.hpp"
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+struct SchedulabilityReport {
+  /// Mandatory (deeply red) jobs meet all deadlines under FP on one
+  /// processor: the prerequisite of Theorem 1 and the acceptance criterion
+  /// of the paper's task-set generation.
+  bool r_pattern_feasible{false};
+  /// Every job (mandatory and optional) meets its deadline under FP on one
+  /// processor; enables the dual-priority promotion times.
+  bool full_set_feasible{false};
+
+  std::vector<std::optional<core::Ticks>> response_mandatory;
+  std::vector<std::optional<core::Ticks>> response_full;
+};
+
+SchedulabilityReport analyze_schedulability(const core::TaskSet& ts);
+
+}  // namespace mkss::analysis

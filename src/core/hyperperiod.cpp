@@ -1,0 +1,35 @@
+#include "core/hyperperiod.hpp"
+
+namespace mkss::core {
+
+Ticks gcd(Ticks a, Ticks b) noexcept {
+  while (b != 0) {
+    const Ticks r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+std::optional<Ticks> lcm_capped(Ticks a, Ticks b, Ticks cap) noexcept {
+  if (a <= 0 || b <= 0) return std::nullopt;
+  const Ticks g = gcd(a, b);
+  const Ticks a_red = a / g;
+  // a_red * b overflows iff a_red > max/b; also honor the explicit cap.
+  if (a_red > cap / b) return std::nullopt;
+  const Ticks result = a_red * b;
+  if (result > cap) return std::nullopt;
+  return result;
+}
+
+std::optional<Ticks> lcm_capped(std::span<const Ticks> values, Ticks cap) noexcept {
+  Ticks acc = 1;
+  for (const Ticks v : values) {
+    const auto next = lcm_capped(acc, v, cap);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+}  // namespace mkss::core

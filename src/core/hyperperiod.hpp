@@ -1,0 +1,27 @@
+// Overflow-checked gcd/lcm helpers and hyperperiod computation.
+//
+// The (m,k) pattern of task i repeats with period k_i * P_i, so analyses that
+// enumerate jobs (the theta postponement analysis of Definitions 3-5, the
+// energy horizon of the evaluation) need LCMs of k_i * P_i values. Random
+// parameters make these astronomically large, so every LCM here saturates at
+// a caller-supplied cap instead of silently overflowing.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// Greatest common divisor of two non-negative tick counts.
+Ticks gcd(Ticks a, Ticks b) noexcept;
+
+/// Least common multiple, or std::nullopt when it would exceed `cap`
+/// (or overflow Ticks). Both inputs must be positive.
+std::optional<Ticks> lcm_capped(Ticks a, Ticks b, Ticks cap) noexcept;
+
+/// LCM of a whole sequence with the same saturation semantics.
+std::optional<Ticks> lcm_capped(std::span<const Ticks> values, Ticks cap) noexcept;
+
+}  // namespace mkss::core

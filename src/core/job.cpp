@@ -1,0 +1,9 @@
+#include "core/job.hpp"
+
+namespace mkss::core {
+
+std::string to_string(const JobId& id) {
+  return "J" + std::to_string(id.task + 1) + "," + std::to_string(id.job);
+}
+
+}  // namespace mkss::core

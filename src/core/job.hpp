@@ -1,0 +1,53 @@
+// Job instances of periodic tasks.
+//
+// Job J_ij is the j-th instance (1-based, as in the paper) of task tau_i,
+// released at r_ij = (j-1) * P_i with absolute deadline d_ij = r_ij + D_i.
+// A standby-sparing runtime materializes up to two copies of a mandatory job
+// (main on the primary processor, backup on the spare); the copy kind lives in
+// the scheduler layer -- here a Job is just the logical instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// Identifies the j-th job of task i. `job` is 1-based like the paper's J_ij.
+struct JobId {
+  TaskIndex task{0};
+  std::uint64_t job{1};
+
+  friend constexpr bool operator==(const JobId&, const JobId&) = default;
+  friend constexpr auto operator<=>(const JobId&, const JobId&) = default;
+};
+
+/// A released job instance.
+struct Job {
+  JobId id;
+  Ticks release{0};    ///< r_ij
+  Ticks deadline{0};   ///< d_ij (absolute)
+  Ticks exec{0};       ///< c_ij; equals the task WCET in this model
+
+  /// Builds the j-th (1-based) job of `task` (which has index `index` in its
+  /// task set), released synchronously from time 0.
+  static Job instance(const Task& task, TaskIndex index, std::uint64_t j) noexcept {
+    const Ticks r = static_cast<Ticks>(j - 1) * task.period;
+    return Job{JobId{index, j}, r, r + task.deadline, task.wcet};
+  }
+
+  friend constexpr bool operator==(const Job&, const Job&) = default;
+};
+
+/// "J3,2" style label used by traces and error messages.
+std::string to_string(const JobId& id);
+
+/// Final outcome of a logical job, as recorded in the (m,k) history.
+enum class JobOutcome : std::uint8_t {
+  kMet,      ///< at least one copy completed successfully by the deadline
+  kMissed,   ///< optional job skipped/unfinished, or all copies failed
+};
+
+}  // namespace mkss::core

@@ -1,0 +1,65 @@
+#include "core/mk_constraint.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace mkss::core {
+
+MkHistory::MkHistory(std::uint32_t m, std::uint32_t k) : m_(m), k_(k) {
+  if (m == 0 || k == 0 || m > k) {
+    throw std::invalid_argument("MkHistory: requires 0 < m <= k");
+  }
+  ring_.assign(k_, std::uint8_t{1});  // all-success pre-history
+  met_in_window_ = k_;
+}
+
+void MkHistory::record(JobOutcome outcome) noexcept {
+  const std::uint8_t value = (outcome == JobOutcome::kMet) ? 1 : 0;
+  met_in_window_ -= ring_[head_];
+  ring_[head_] = value;
+  met_in_window_ += value;
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::uint32_t MkHistory::flexibility_degree() const noexcept {
+  // Tolerating the j-th upcoming consecutive miss requires the most recent
+  // (k - j) outcomes to hold >= m successes. Since that count only shrinks as
+  // j grows, FD = k - max(m, n_min) where n_min is the position (1 == newest)
+  // of the m-th most recent success; FD = 0 when the window holds < m
+  // successes. Note n_min >= m always, so FD = k - n_min.
+  if (met_in_window_ < m_) return 0;
+  const std::size_t k = ring_.size();
+  std::uint32_t met = 0;
+  for (std::size_t n = 1; n <= k; ++n) {
+    const std::size_t idx = (head_ + k - n) % k;  // n-th most recent outcome
+    met += ring_[idx];
+    if (met == m_) {
+      return static_cast<std::uint32_t>(k - n);
+    }
+  }
+  return 0;  // unreachable: met_in_window_ >= m_ guarantees the loop exits
+}
+
+std::vector<bool> MkHistory::window() const {
+  std::vector<bool> out;
+  out.reserve(ring_.size());
+  for (std::size_t n = 0; n < ring_.size(); ++n) {
+    out.push_back(ring_[(head_ + n) % ring_.size()] != 0);
+  }
+  return out;
+}
+
+std::optional<MkViolation> audit_mk_sequence(std::uint32_t m, std::uint32_t k,
+                                             const std::vector<JobOutcome>& outcomes) {
+  MkHistory h(m, k);
+  for (std::uint64_t j = 0; j < outcomes.size(); ++j) {
+    h.record(outcomes[j]);
+    if (h.violated()) {
+      return MkViolation{j + 1, h.met_in_window()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mkss::core

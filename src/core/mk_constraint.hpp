@@ -1,0 +1,83 @@
+// (m,k)-firm constraint bookkeeping: sliding outcome window, flexibility
+// degree (Definition 1 of the paper), and distance-based priority.
+//
+// The flexibility degree of the *next* job of a task is the number of
+// consecutive deadline misses the task can still tolerate starting from that
+// job. Jobs with FD == 0 are mandatory; the paper's selective scheme executes
+// exactly the optional jobs with FD == 1.
+//
+// Pre-history convention: jobs before time 0 are treated as successes (the
+// "deeply red" convention). This matches the paper's footnote 1, where at
+// time 0 task (2,4) has FD 2 and task (1,2) has FD 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace mkss::core {
+
+/// Sliding (m,k) outcome window for one task.
+class MkHistory {
+ public:
+  /// Requires 0 < m <= k. The window starts as all-success pre-history.
+  MkHistory(std::uint32_t m, std::uint32_t k);
+
+  std::uint32_t m() const noexcept { return m_; }
+  std::uint32_t k() const noexcept { return k_; }
+
+  /// Appends the outcome of the next job (oldest outcome falls out).
+  void record(JobOutcome outcome) noexcept;
+
+  /// Flexibility degree of the next (not yet recorded) job:
+  /// FD = max l >= 0 such that for every j in [1, l] the most recent (k - j)
+  /// outcomes contain at least m successes. Always in [0, k - m].
+  std::uint32_t flexibility_degree() const noexcept;
+
+  /// True when the next job must execute to keep the constraint satisfiable
+  /// (FD == 0); such jobs are mandatory in all schemes of the paper.
+  bool next_job_mandatory() const noexcept { return flexibility_degree() == 0; }
+
+  /// Hamdaoui & Ramanathan's distance-based priority: the number of
+  /// consecutive misses that leads to the first violation. Equals FD + 1.
+  std::uint32_t distance_to_failure() const noexcept { return flexibility_degree() + 1; }
+
+  /// True when the current window of the last k outcomes already has fewer
+  /// than m successes, i.e. the (m,k)-constraint is violated right now.
+  bool violated() const noexcept { return met_in_window_ < m_; }
+
+  /// Number of successes among the last k outcomes (pre-history counts).
+  std::uint32_t met_in_window() const noexcept { return met_in_window_; }
+
+  /// Total outcomes recorded since construction.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Oldest-to-newest copy of the window (true == met). Mainly for tests
+  /// and trace dumps.
+  std::vector<bool> window() const;
+
+ private:
+  std::uint32_t m_;
+  std::uint32_t k_;
+  std::uint32_t met_in_window_;
+  std::uint64_t recorded_{0};
+  std::vector<std::uint8_t> ring_;  ///< circular buffer of the last k outcomes
+  std::size_t head_{0};             ///< index of the oldest entry
+};
+
+/// Offline (m,k) auditor: feeds a full outcome sequence and reports the
+/// first violated window, if any. Used by tests and the QoS metrics module
+/// to certify simulator traces against Theorem 1.
+struct MkViolation {
+  std::uint64_t first_job{0};   ///< 1-based index of the last job of the bad window
+  std::uint32_t met{0};         ///< successes in that window
+};
+
+/// Scans `outcomes` (job 1..N in order) for a window of k consecutive jobs
+/// with fewer than m successes. Windows extending before job 1 use the
+/// all-success pre-history convention. Returns the first violation found.
+std::optional<MkViolation> audit_mk_sequence(std::uint32_t m, std::uint32_t k,
+                                             const std::vector<JobOutcome>& outcomes);
+
+}  // namespace mkss::core

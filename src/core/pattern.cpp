@@ -1,0 +1,70 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+
+namespace mkss::core {
+
+bool r_pattern_mandatory(std::uint32_t m, std::uint32_t k, std::uint64_t j) noexcept {
+  const std::uint64_t r = j % k;
+  return r >= 1 && r <= m;
+}
+
+bool e_pattern_mandatory(std::uint32_t m, std::uint32_t k, std::uint64_t j) noexcept {
+  const std::uint64_t a = j - 1;
+  // ceil(a*m/k) then floor(. * k / m); all quantities fit easily in 64 bits
+  // for the job indices reachable within any simulated horizon.
+  const std::uint64_t ceil_am_k = (a * m + k - 1) / k;
+  return a == (ceil_am_k * k) / m;
+}
+
+bool pattern_mandatory(PatternKind kind, std::uint32_t m, std::uint32_t k,
+                       std::uint64_t j) noexcept {
+  switch (kind) {
+    case PatternKind::kDeeplyRed:
+      return r_pattern_mandatory(m, k, j);
+    case PatternKind::kEvenlyDistributed:
+      return e_pattern_mandatory(m, k, j);
+  }
+  return true;
+}
+
+std::uint64_t r_pattern_mandatory_released_before(const Task& task, Ticks t) noexcept {
+  if (t <= 0) return 0;
+  // Releases strictly before t: jobs j with (j-1) * P < t.
+  const std::uint64_t released =
+      static_cast<std::uint64_t>((t - 1) / task.period) + 1;
+  // Under the R-pattern the first m of every k consecutive jobs are mandatory.
+  const std::uint64_t full_groups = released / task.k;
+  const std::uint64_t tail = released % task.k;
+  return full_groups * task.m + std::min<std::uint64_t>(tail, task.m);
+}
+
+std::uint64_t pattern_mandatory_released_before(PatternKind kind, const Task& task,
+                                                Ticks t) noexcept {
+  if (kind == PatternKind::kDeeplyRed) {
+    return r_pattern_mandatory_released_before(task, t);
+  }
+  if (t <= 0) return 0;
+  const std::uint64_t released =
+      static_cast<std::uint64_t>((t - 1) / task.period) + 1;
+  // Every pattern here is periodic with period k and holds exactly m
+  // mandatory jobs per aligned group; enumerate only the tail group.
+  const std::uint64_t full_groups = released / task.k;
+  std::uint64_t count = full_groups * task.m;
+  for (std::uint64_t j = full_groups * task.k + 1; j <= released; ++j) {
+    count += pattern_mandatory(kind, task.m, task.k, j);
+  }
+  return count;
+}
+
+std::vector<bool> materialize_pattern(PatternKind kind, std::uint32_t m,
+                                      std::uint32_t k, std::uint64_t n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::uint64_t j = 1; j <= n; ++j) {
+    out.push_back(pattern_mandatory(kind, m, k, j));
+  }
+  return out;
+}
+
+}  // namespace mkss::core

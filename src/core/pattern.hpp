@@ -1,0 +1,52 @@
+// Static (m,k) partitioning patterns.
+//
+// A pattern classifies each job J_ij of a task as mandatory ("1") or optional
+// ("0") offline. The paper's schemes derive mandatory jobs from the deeply
+// red pattern (R-pattern, Equation 1); the evenly distributed E-pattern of
+// Ramanathan is provided as well (used by our ablation benches and available
+// to downstream users).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// Kinds of static partitioning patterns.
+enum class PatternKind : std::uint8_t {
+  kDeeplyRed,          ///< R-pattern: first m of every k jobs are mandatory
+  kEvenlyDistributed,  ///< E-pattern: mandatory jobs spread evenly over the window
+};
+
+/// R-pattern (Equation 1): job j (1-based) is mandatory iff
+/// 1 <= j mod k <= m. With 0 < m < k this makes the first m jobs of every
+/// k-job group mandatory and the rest optional.
+bool r_pattern_mandatory(std::uint32_t m, std::uint32_t k, std::uint64_t j) noexcept;
+
+/// E-pattern: with a = j - 1 (0-based index), job j is mandatory iff
+/// a == floor(ceil(a * m / k) * k / m). Exactly m mandatory jobs per window
+/// of k, spaced as evenly as integer arithmetic allows.
+bool e_pattern_mandatory(std::uint32_t m, std::uint32_t k, std::uint64_t j) noexcept;
+
+/// Dispatch on PatternKind.
+bool pattern_mandatory(PatternKind kind, std::uint32_t m, std::uint32_t k,
+                       std::uint64_t j) noexcept;
+
+/// Number of *mandatory* jobs of `task` released in [0, t) under the
+/// R-pattern, in closed form. This is the request-bound building block of the
+/// R-pattern-aware response-time analysis.
+std::uint64_t r_pattern_mandatory_released_before(const Task& task, Ticks t) noexcept;
+
+/// Same count for an arbitrary pattern kind (closed form for full k-groups,
+/// enumeration for the tail group).
+std::uint64_t pattern_mandatory_released_before(PatternKind kind, const Task& task,
+                                                Ticks t) noexcept;
+
+/// Materializes the pattern of jobs 1..n as booleans (true == mandatory).
+std::vector<bool> materialize_pattern(PatternKind kind, std::uint32_t m,
+                                      std::uint32_t k, std::uint64_t n);
+
+}  // namespace mkss::core

@@ -1,0 +1,56 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::uniform_int_distribution is allowed to differ between standard-library
+// implementations, which would make the paper-reproduction benches
+// non-reproducible across toolchains. We therefore ship a small xoshiro256++
+// generator (public-domain algorithm by Blackman & Vigna) seeded via
+// SplitMix64, plus the handful of exact distributions the workloads need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// xoshiro256++ PRNG with SplitMix64 seeding. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponentially distributed double with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Derives an independent child generator (for per-task-set streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace mkss::core

@@ -1,0 +1,106 @@
+#include "core/task.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/hyperperiod.hpp"
+
+namespace mkss::core {
+
+Task Task::from_ms(double period_ms, double deadline_ms, double wcet_ms,
+                   std::uint32_t m, std::uint32_t k, std::string name) {
+  Task t;
+  t.period = core::from_ms(period_ms);
+  t.deadline = core::from_ms(deadline_ms);
+  t.wcet = core::from_ms(wcet_ms);
+  t.m = m;
+  t.k = k;
+  t.name = std::move(name);
+  return t;
+}
+
+double Task::utilization() const noexcept {
+  return static_cast<double>(wcet) / static_cast<double>(period);
+}
+
+double Task::mk_utilization() const noexcept {
+  return utilization() * static_cast<double>(m) / static_cast<double>(k);
+}
+
+bool Task::valid() const noexcept {
+  if (period <= 0 || wcet <= 0 || deadline <= 0) return false;
+  if (deadline > period) return false;
+  if (wcet > deadline) return false;
+  if (k == 0 || m == 0) return false;
+  if (m > k) return false;
+  // The paper requires 0 < m < k; we additionally allow the degenerate
+  // hard-real-time encoding m == k (every job mandatory).
+  return true;
+}
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].valid()) {
+      throw std::invalid_argument("TaskSet: task #" + std::to_string(i + 1) +
+                                  " violates the task-model invariants");
+    }
+    if (tasks_[i].name.empty()) {
+      tasks_[i].name = "tau" + std::to_string(i + 1);
+    }
+  }
+}
+
+double TaskSet::total_utilization() const noexcept {
+  double u = 0;
+  for (const Task& t : tasks_) u += t.utilization();
+  return u;
+}
+
+double TaskSet::total_mk_utilization() const noexcept {
+  double u = 0;
+  for (const Task& t : tasks_) u += t.mk_utilization();
+  return u;
+}
+
+std::optional<Ticks> TaskSet::hyperperiod(Ticks cap) const noexcept {
+  Ticks acc = 1;
+  for (const Task& t : tasks_) {
+    const auto next = lcm_capped(acc, t.period, cap);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+std::optional<Ticks> TaskSet::mk_hyperperiod(Ticks cap) const noexcept {
+  return mk_hyperperiod_upto(tasks_.empty() ? 0 : tasks_.size() - 1, cap);
+}
+
+std::optional<Ticks> TaskSet::mk_hyperperiod_upto(TaskIndex i, Ticks cap) const noexcept {
+  Ticks acc = 1;
+  for (TaskIndex q = 0; q < tasks_.size() && q <= i; ++q) {
+    const Task& t = tasks_[q];
+    const auto kp = lcm_capped(t.period, t.period * static_cast<Ticks>(t.k), cap);
+    if (!kp) return std::nullopt;
+    const auto next = lcm_capped(acc, *kp, cap);
+    if (!next) return std::nullopt;
+    acc = *next;
+  }
+  return acc;
+}
+
+std::string TaskSet::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s%s=(%s,%s,%s,%u,%u)", i ? " " : "",
+                  t.name.c_str(), format_ticks(t.period).c_str(),
+                  format_ticks(t.deadline).c_str(), format_ticks(t.wcet).c_str(),
+                  t.m, t.k);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mkss::core

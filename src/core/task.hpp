@@ -1,0 +1,84 @@
+// Periodic task model with (m,k)-firm constraints (Section II-A of the paper).
+//
+// A task is (P, D, C, m, k): period, relative deadline (D <= P), WCET, and the
+// (m,k) constraint requiring at least m successful jobs in any window of k
+// consecutive jobs. Tasks are fixed-priority: lower TaskIndex == higher
+// priority (tau_1 is the highest), exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// Index of a task inside its TaskSet; doubles as its fixed priority
+/// (0 is the highest priority, matching the paper's tau_1).
+using TaskIndex = std::size_t;
+
+/// A periodic (m,k)-firm task.
+struct Task {
+  Ticks period{0};        ///< P_i
+  Ticks deadline{0};      ///< D_i, relative (D_i <= P_i)
+  Ticks wcet{0};          ///< C_i
+  std::uint32_t m{1};     ///< at least m of any k consecutive jobs must succeed
+  std::uint32_t k{1};     ///< window length of the (m,k) constraint
+  std::string name;       ///< optional label used in traces/reports
+
+  /// Convenience constructor mirroring the paper's (P, D, C, m, k) tuples,
+  /// in milliseconds (fractional values allowed, e.g. D = 2.5).
+  static Task from_ms(double period_ms, double deadline_ms, double wcet_ms,
+                      std::uint32_t m, std::uint32_t k, std::string name = {});
+
+  /// Classic utilization C/P.
+  double utilization() const noexcept;
+  /// (m,k)-utilization m*C/(k*P) -- the x-axis of Figure 6.
+  double mk_utilization() const noexcept;
+
+  /// True when all structural invariants hold (positive P/C, D <= P,
+  /// C <= D, 0 < m < k as required by the paper, or m == k == 1 for a
+  /// plain hard-real-time task).
+  bool valid() const noexcept;
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// An immutable, validated collection of tasks ordered by priority.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  /// Throws std::invalid_argument when any task violates Task::valid().
+  explicit TaskSet(std::vector<Task> tasks);
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+  const Task& operator[](TaskIndex i) const noexcept { return tasks_[i]; }
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  auto begin() const noexcept { return tasks_.begin(); }
+  auto end() const noexcept { return tasks_.end(); }
+
+  /// Sum of C_i / P_i.
+  double total_utilization() const noexcept;
+  /// Sum of m_i C_i / (k_i P_i) -- the paper's "total (m,k)-utilization".
+  double total_mk_utilization() const noexcept;
+
+  /// LCM of all periods, saturating at `cap`.
+  std::optional<Ticks> hyperperiod(Ticks cap) const noexcept;
+  /// LCM of all k_i * P_i (the (m,k)-pattern hyperperiod), saturating at `cap`.
+  std::optional<Ticks> mk_hyperperiod(Ticks cap) const noexcept;
+  /// LCM of k_q * P_q over the tasks with priority q <= i (Definition 5's
+  /// per-priority-level horizon), saturating at `cap`.
+  std::optional<Ticks> mk_hyperperiod_upto(TaskIndex i, Ticks cap) const noexcept;
+
+  /// One-line description, e.g. "tau1=(5,4,3,2,4) tau2=(10,10,3,1,2)".
+  std::string describe() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace mkss::core

@@ -1,0 +1,24 @@
+#include "core/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mkss::core {
+
+Ticks from_ms(double ms) noexcept {
+  return static_cast<Ticks>(std::llround(ms * static_cast<double>(kTicksPerMs)));
+}
+
+std::string format_ticks(Ticks t) {
+  if (t == kNever) return "never";
+  const double ms = to_ms(t);
+  char buf[48];
+  if (t % kTicksPerMs == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(t / kTicksPerMs));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fms", ms);
+  }
+  return buf;
+}
+
+}  // namespace mkss::core

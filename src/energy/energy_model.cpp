@@ -1,0 +1,72 @@
+#include "energy/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mkss::energy {
+
+using core::Ticks;
+
+namespace {
+
+double units(Ticks t, double power) {
+  return core::to_ms(t) * power;
+}
+
+}  // namespace
+
+double PowerParams::power_at(double f) const noexcept {
+  if (f >= 1.0) return p_active;
+  return p_static + (p_active - p_static) * std::pow(f, alpha);
+}
+
+EnergyBreakdown account_energy(const sim::SimulationTrace& trace,
+                               const PowerParams& params) {
+  EnergyBreakdown out;
+
+  for (const sim::ProcessorId p : {sim::kPrimary, sim::kSpare}) {
+    ProcessorEnergy& pe = out.per_proc[p];
+    // A dead processor stops consuming at its death time.
+    const Ticks life_end = std::min(trace.horizon, trace.death_time[p]);
+
+    struct BusySpan {
+      core::Interval span;
+      double frequency;
+    };
+    std::vector<BusySpan> busy;
+    for (const sim::ExecSegment& s : trace.segments) {
+      if (s.proc != p || s.span.empty()) continue;
+      busy.push_back({{s.span.begin, std::min(s.span.end, life_end)}, s.frequency});
+    }
+    std::sort(busy.begin(), busy.end(), [](const auto& a, const auto& b) {
+      return a.span.begin < b.span.begin;
+    });
+
+    const auto charge_idle = [&](Ticks gap) {
+      if (gap <= 0) return;
+      if (gap > params.break_even) {
+        pe.transition += units(params.break_even, params.p_idle);
+        pe.sleep += units(gap - params.break_even, params.p_sleep);
+        pe.slept_time += gap - params.break_even;
+        pe.idle_time += params.break_even;
+      } else {
+        pe.idle += units(gap, params.p_idle);
+        pe.idle_time += gap;
+      }
+    };
+
+    Ticks cursor = 0;
+    for (const BusySpan& b : busy) {
+      if (b.span.empty()) continue;
+      charge_idle(b.span.begin - cursor);
+      pe.active += units(b.span.length(), params.power_at(b.frequency));
+      pe.busy_time += b.span.length();
+      cursor = b.span.end;
+    }
+    charge_idle(life_end - cursor);
+  }
+  return out;
+}
+
+}  // namespace mkss::energy

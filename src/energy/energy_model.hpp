@@ -1,0 +1,70 @@
+// Energy accounting for simulation traces (Section II-A of the paper).
+//
+// The processor consumes P_act (normalized to 1) while executing. When no
+// job is pending it can be put into a low-power state with dynamic power
+// down (DPD) only if the idle interval exceeds the break-even time T_be;
+// shorter intervals cannot amortize the transition and are charged at the
+// idle power. We charge a DPD interval of length L > T_be with
+// T_be * P_idle (the transition overhead that defines the break-even point)
+// plus (L - T_be) * P_sleep.
+//
+// Energy is reported in "units": 1 unit == running one processor at P_act
+// for one millisecond, matching the paper's motivating examples (Figure 1:
+// "the total active energy consumption within the hyper period [0,20] is
+// 15 units").
+#pragma once
+
+#include <array>
+
+#include "core/time.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::energy {
+
+struct PowerParams {
+  double p_active{1.0};  ///< P_act at full speed, normalized
+  double p_idle{0.1};    ///< idle (not powered down) power
+  double p_sleep{0.0};   ///< deep-sleep power after DPD
+  core::Ticks break_even{core::from_ms(std::int64_t{1})};  ///< T_be (paper: 1 ms)
+
+  // DVS model (extension; inert at frequency 1.0): running at normalized
+  // frequency f draws p_static + (p_active - p_static) * f^alpha. The paper
+  // motivates standby-sparing by noting that growing static power degrades
+  // DVS -- p_static is exactly that leakage floor.
+  double p_static{0.0};  ///< frequency-independent share of the busy power
+  double alpha{3.0};     ///< dynamic power exponent (CMOS: ~3)
+
+  /// Busy power at normalized frequency f.
+  double power_at(double f) const noexcept;
+};
+
+struct ProcessorEnergy {
+  double active{0};      ///< energy units while executing
+  double idle{0};        ///< energy units in short idle intervals
+  double transition{0};  ///< break-even charges of DPD intervals
+  double sleep{0};       ///< residual sleep power
+
+  core::Ticks busy_time{0};
+  core::Ticks idle_time{0};   ///< idle intervals too short to power down
+  core::Ticks slept_time{0};  ///< time spent powered down
+
+  double total() const noexcept { return active + idle + transition + sleep; }
+};
+
+struct EnergyBreakdown {
+  std::array<ProcessorEnergy, sim::kProcessorCount> per_proc{};
+
+  double total() const noexcept {
+    return per_proc[0].total() + per_proc[1].total();
+  }
+  double active_total() const noexcept {
+    return per_proc[0].active + per_proc[1].active;
+  }
+};
+
+/// Computes the energy of a trace inside [0, trace.horizon). A permanently
+/// failed processor consumes nothing after its death time.
+EnergyBreakdown account_energy(const sim::SimulationTrace& trace,
+                               const PowerParams& params = {});
+
+}  // namespace mkss::energy

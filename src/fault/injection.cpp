@@ -1,0 +1,66 @@
+#include "fault/injection.hpp"
+
+#include <cmath>
+
+namespace mkss::fault {
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kNoFault: return "no-fault";
+    case Scenario::kPermanentOnly: return "permanent";
+    case Scenario::kPermanentAndTransient: return "permanent+transient";
+  }
+  return "?";
+}
+
+ScenarioFaultPlan::ScenarioFaultPlan(std::optional<sim::PermanentFault> permanent,
+                                     std::vector<double> transient_prob_per_task,
+                                     std::uint64_t seed)
+    : permanent_(permanent), prob_(std::move(transient_prob_per_task)), seed_(seed) {}
+
+bool ScenarioFaultPlan::transient(const core::JobId& job, int slot) const {
+  if (job.task >= prob_.size()) return false;
+  const double p = prob_[job.task];
+  if (p <= 0.0) return false;
+  // Counter-based draw: one independent uniform per (task, job, slot).
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15;
+  constexpr std::uint64_t kMix1 = 0xbf58476d1ce4e5b9;
+  constexpr std::uint64_t kMix2 = 0x94d049bb133111eb;
+  std::uint64_t key = seed_;
+  key ^= kGamma + (static_cast<std::uint64_t>(job.task) << 1);
+  key = key * kMix1 + job.job;
+  key = key * kMix2 + static_cast<std::uint64_t>(slot >= 0 ? slot : 0) + 1;
+  core::Rng rng(key);
+  return rng.chance(p);
+}
+
+std::vector<double> transient_probabilities(const core::TaskSet& ts,
+                                            double lambda_per_ms) {
+  std::vector<double> prob;
+  prob.reserve(ts.size());
+  for (const core::Task& t : ts) {
+    prob.push_back(lambda_per_ms <= 0.0
+                       ? 0.0
+                       : 1.0 - std::exp(-lambda_per_ms * core::to_ms(t.wcet)));
+  }
+  return prob;
+}
+
+std::unique_ptr<sim::FaultPlan> make_scenario_plan(Scenario scenario,
+                                                   const core::TaskSet& ts,
+                                                   core::Ticks horizon,
+                                                   double lambda_per_ms,
+                                                   core::Rng& rng) {
+  if (scenario == Scenario::kNoFault) {
+    return std::make_unique<sim::NoFaultPlan>();
+  }
+  sim::PermanentFault pf;
+  pf.proc = rng.chance(0.5) ? sim::kPrimary : sim::kSpare;
+  pf.time = rng.range(0, horizon > 0 ? horizon - 1 : 0);
+  const double lambda =
+      scenario == Scenario::kPermanentAndTransient ? lambda_per_ms : 0.0;
+  return std::make_unique<ScenarioFaultPlan>(pf, transient_probabilities(ts, lambda),
+                                             rng());
+}
+
+}  // namespace mkss::fault

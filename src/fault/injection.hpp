@@ -1,0 +1,63 @@
+// Concrete fault plans (Section II-B and Section V of the paper).
+//
+// Transient faults follow a Poisson process with average rate lambda
+// (the paper evaluates lambda = 1e-6 per ms): a copy executing for C ms is
+// hit with probability p = 1 - exp(-lambda * C). Draws are derandomized by
+// hashing (seed, task, job, replica slot), so the same logical job sees the
+// same fault in every scheme under comparison and every run is reproducible.
+//
+// The permanent fault (at most one per run) strikes a chosen processor at a
+// chosen instant; the evaluation draws both uniformly at random per task set.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace mkss::fault {
+
+/// The paper's three evaluation scenarios (Figure 6 a/b/c).
+enum class Scenario {
+  kNoFault,
+  kPermanentOnly,
+  kPermanentAndTransient,
+};
+
+const char* to_string(Scenario s);
+
+/// Deterministic fault plan configured from a scenario.
+class ScenarioFaultPlan final : public sim::FaultPlan {
+ public:
+  /// `lambda_per_ms` is the transient arrival rate; 0 disables transients.
+  ScenarioFaultPlan(std::optional<sim::PermanentFault> permanent,
+                    std::vector<double> transient_prob_per_task,
+                    std::uint64_t seed);
+
+  std::optional<sim::PermanentFault> permanent() const override { return permanent_; }
+  bool transient(const core::JobId& job, int slot) const override;
+
+ private:
+  std::optional<sim::PermanentFault> permanent_;
+  std::vector<double> prob_;
+  std::uint64_t seed_;
+};
+
+/// Per-task transient fault probability p_i = 1 - exp(-lambda * C_i[ms]).
+std::vector<double> transient_probabilities(const core::TaskSet& ts,
+                                            double lambda_per_ms);
+
+/// Builds the plan for one evaluation run: the permanent fault (if the
+/// scenario has one) strikes a uniformly random processor at a uniformly
+/// random instant in [0, horizon), drawn from `rng`; transients use
+/// `lambda_per_ms` under kPermanentAndTransient.
+std::unique_ptr<sim::FaultPlan> make_scenario_plan(Scenario scenario,
+                                                   const core::TaskSet& ts,
+                                                   core::Ticks horizon,
+                                                   double lambda_per_ms,
+                                                   core::Rng& rng);
+
+}  // namespace mkss::fault

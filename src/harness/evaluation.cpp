@@ -1,0 +1,126 @@
+#include "harness/evaluation.hpp"
+
+#include <algorithm>
+
+namespace mkss::harness {
+
+using core::Ticks;
+
+RunResult run_one(const core::TaskSet& ts, sim::Scheme& scheme,
+                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
+                  const energy::PowerParams& power,
+                  const sim::ExecTimeModel* exec_model) {
+  RunResult r;
+  r.trace = sim::simulate(ts, scheme, faults, sim_config, exec_model);
+  r.energy = energy::account_energy(r.trace, power);
+  r.qos = metrics::audit_qos(r.trace, ts);
+  return r;
+}
+
+RunResult run_one(const core::TaskSet& ts, sched::SchemeKind kind,
+                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
+                  const energy::PowerParams& power,
+                  const sim::ExecTimeModel* exec_model) {
+  const auto scheme = sched::make_scheme(kind);
+  return run_one(ts, *scheme, faults, sim_config, power, exec_model);
+}
+
+Ticks choose_horizon(const core::TaskSet& ts, Ticks cap) {
+  return ts.mk_hyperperiod(cap).value_or(cap);
+}
+
+double SweepResult::max_gain(std::size_t a, std::size_t b) const {
+  double best = 0.0;
+  for (const BinSummary& bin : bins) {
+    if (bin.sets == 0) continue;
+    best = std::max(best, metrics::relative_gain(bin.normalized[a].mean(),
+                                                 bin.normalized[b].mean()));
+  }
+  return best;
+}
+
+report::Table SweepResult::to_table() const {
+  std::vector<std::string> header{"mk-util bin", "sets"};
+  for (const std::string& name : scheme_names) header.push_back(name);
+  report::Table table(std::move(header));
+  for (const BinSummary& bin : bins) {
+    std::vector<std::string> row;
+    row.push_back("[" + report::fmt(bin.bin_lo, 1) + "," +
+                  report::fmt(bin.bin_hi, 1) + ")");
+    row.push_back(std::to_string(bin.sets));
+    for (std::size_t s = 0; s < scheme_names.size(); ++s) {
+      row.push_back(bin.sets ? report::fmt(bin.normalized[s].mean(), 3) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  std::vector<SchemeVariant> variants;
+  for (const sched::SchemeKind kind : config.schemes) {
+    variants.push_back(
+        {sched::to_string(kind), [kind] { return sched::make_scheme(kind); }});
+  }
+  return run_variant_sweep(config, variants);
+}
+
+SweepResult run_variant_sweep(const SweepConfig& config,
+                              const std::vector<SchemeVariant>& variants) {
+  SweepResult result;
+  for (const SchemeVariant& v : variants) {
+    result.scheme_names.push_back(v.name);
+  }
+
+  core::Rng rng(config.seed);
+  for (const double lo : config.bin_starts) {
+    const double hi = lo + config.bin_width;
+    core::Rng bin_rng = rng.split();
+    const workload::BinnedBatch batch =
+        workload::generate_bin(config.gen, lo, hi, config.sets_per_bin,
+                               config.max_attempts_per_bin, bin_rng);
+
+    BinSummary bin;
+    bin.bin_lo = lo;
+    bin.bin_hi = hi;
+    bin.attempts = batch.attempts;
+    bin.normalized.resize(variants.size());
+    bin.absolute.resize(variants.size());
+
+    for (const core::TaskSet& ts : batch.sets) {
+      const Ticks horizon = choose_horizon(ts, config.horizon_cap);
+      sim::SimConfig sim_config;
+      sim_config.horizon = horizon;
+      sim_config.break_even = config.power.break_even;
+
+      // One fault plan per task set, shared by every scheme: schemes differ
+      // in scheduling, not in luck.
+      core::Rng fault_rng = bin_rng.split();
+      const auto plan = fault::make_scenario_plan(
+          config.scenario, ts, horizon, config.lambda_per_ms, fault_rng);
+
+      std::vector<double> totals(variants.size(), 0.0);
+      bool qos_ok = true;
+      for (std::size_t s = 0; s < variants.size(); ++s) {
+        const auto scheme = variants[s].make();
+        const RunResult run =
+            run_one(ts, *scheme, *plan, sim_config, config.power);
+        totals[s] = run.energy.total();
+        if (!run.qos.theorem1_holds()) qos_ok = false;
+      }
+      if (!qos_ok) ++result.qos_failures;
+
+      const double reference = totals[0];
+      if (reference <= 0.0) continue;
+      for (std::size_t s = 0; s < variants.size(); ++s) {
+        bin.normalized[s].add(totals[s] / reference);
+        bin.absolute[s].add(totals[s]);
+      }
+      ++bin.sets;
+    }
+    result.bins.push_back(std::move(bin));
+  }
+  return result;
+}
+
+}  // namespace mkss::harness

@@ -1,0 +1,115 @@
+// Evaluation harness: runs one task set under one scheme/fault plan, and
+// reproduces the Figure-6 style sweeps (energy vs. total (m,k)-utilization,
+// averaged over many random schedulable task sets, normalized to MKSS_ST).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "energy/energy_model.hpp"
+#include "fault/injection.hpp"
+#include "metrics/qos.hpp"
+#include "metrics/summary.hpp"
+#include "report/table.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss::harness {
+
+/// Result of a single simulation run.
+struct RunResult {
+  sim::SimulationTrace trace;
+  energy::EnergyBreakdown energy;
+  metrics::QosReport qos;
+};
+
+/// Simulates `ts` under a fresh instance of `kind` and accounts energy/QoS.
+/// `exec_model` optionally supplies actual execution times (default WCET).
+RunResult run_one(const core::TaskSet& ts, sched::SchemeKind kind,
+                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
+                  const energy::PowerParams& power = {},
+                  const sim::ExecTimeModel* exec_model = nullptr);
+
+/// Same, with a caller-provided scheme instance (for ablation variants).
+RunResult run_one(const core::TaskSet& ts, sim::Scheme& scheme,
+                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
+                  const energy::PowerParams& power = {},
+                  const sim::ExecTimeModel* exec_model = nullptr);
+
+/// Simulation horizon for a task set: the (m,k)-pattern hyperperiod when it
+/// fits under `cap`, otherwise `cap` itself (identical across compared
+/// schemes, so normalized results stay comparable).
+core::Ticks choose_horizon(const core::TaskSet& ts, core::Ticks cap);
+
+// --- Figure 6 sweeps -----------------------------------------------------
+
+struct SweepConfig {
+  workload::GenParams gen{};
+  /// Bin lower edges; each bin is [lo, lo + bin_width).
+  std::vector<double> bin_starts{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8};
+  double bin_width{0.1};
+  std::size_t sets_per_bin{20};
+  std::size_t max_attempts_per_bin{5000};
+
+  fault::Scenario scenario{fault::Scenario::kNoFault};
+  double lambda_per_ms{1e-6};
+
+  std::uint64_t seed{20200309};  ///< DATE 2020 started March 9, 2020
+  core::Ticks horizon_cap{core::from_ms(std::int64_t{10000})};
+  energy::PowerParams power{};
+  /// Schemes to compare; the first is the normalization reference.
+  std::vector<sched::SchemeKind> schemes{sched::evaluation_schemes()};
+};
+
+struct BinSummary {
+  double bin_lo{0};
+  double bin_hi{0};
+  std::size_t sets{0};
+  std::uint64_t attempts{0};
+  /// Per scheme: normalized-energy statistics (vs. the reference scheme on
+  /// the same task set) and absolute energy units.
+  std::vector<metrics::RunningStat> normalized;
+  std::vector<metrics::RunningStat> absolute;
+};
+
+/// Factory for a fresh scheme instance per run (schemes are stateful).
+using SchemeFactory = std::function<std::unique_ptr<sim::Scheme>()>;
+
+/// Named scheme variant for ablation sweeps.
+struct SchemeVariant {
+  std::string name;
+  SchemeFactory make;
+};
+
+struct SweepResult {
+  std::vector<std::string> scheme_names;
+  std::vector<BinSummary> bins;
+  /// Task-set runs whose trace violated (m,k) or missed a mandatory job --
+  /// must stay zero (Theorem 1).
+  std::uint64_t qos_failures{0};
+
+  /// Largest mean relative gain of scheme `a` over scheme `b` across bins
+  /// (indices into scheme_names), e.g. 0.28 for "up to 28% lower energy".
+  double max_gain(std::size_t a, std::size_t b) const;
+
+  /// Paper-style table: one row per bin, one column per scheme (normalized
+  /// mean), plus set counts.
+  report::Table to_table() const;
+};
+
+/// Runs the full sweep (generation, filtering, simulation, aggregation).
+SweepResult run_sweep(const SweepConfig& config);
+
+/// Ablation form: same generation/aggregation, but with arbitrary scheme
+/// variants (the first variant is the normalization reference) and an
+/// optional per-run SimConfig tweak hook.
+SweepResult run_variant_sweep(const SweepConfig& config,
+                              const std::vector<SchemeVariant>& variants);
+
+}  // namespace mkss::harness

@@ -1,0 +1,75 @@
+#include "io/taskset_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mkss::io {
+
+core::TaskSet parse_taskset(std::istream& in) {
+  std::vector<core::Task> tasks;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+
+    std::string name;
+    if (!(fields >> name)) continue;  // blank line
+
+    double period = 0, deadline = 0, wcet = 0;
+    std::uint32_t m = 0, k = 0;
+    if (!(fields >> period >> deadline >> wcet >> m >> k)) {
+      throw std::runtime_error("taskset line " + std::to_string(line_no) +
+                               ": expected 'name period deadline wcet m k'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("taskset line " + std::to_string(line_no) +
+                               ": unexpected trailing field '" + extra + "'");
+    }
+    core::Task task = core::Task::from_ms(period, deadline, wcet, m, k, name);
+    if (!task.valid()) {
+      throw std::runtime_error("taskset line " + std::to_string(line_no) +
+                               ": invalid task parameters (need P,C,D > 0, "
+                               "C <= D <= P, 0 < m <= k)");
+    }
+    tasks.push_back(std::move(task));
+  }
+  if (tasks.empty()) {
+    throw std::runtime_error("taskset: no tasks found");
+  }
+  return core::TaskSet(std::move(tasks));
+}
+
+core::TaskSet parse_taskset_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_taskset(in);
+}
+
+core::TaskSet parse_taskset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("taskset: cannot open '" + path + "'");
+  }
+  return parse_taskset(in);
+}
+
+std::string serialize_taskset(const core::TaskSet& ts) {
+  std::string out = "# name period deadline wcet m k (ms)\n";
+  for (const core::Task& t : ts) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s %.6g %.6g %.6g %u %u\n", t.name.c_str(),
+                  core::to_ms(t.period), core::to_ms(t.deadline),
+                  core::to_ms(t.wcet), t.m, t.k);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mkss::io

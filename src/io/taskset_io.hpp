@@ -1,0 +1,35 @@
+// Plain-text task-set files, so workloads can be versioned and fed to the
+// CLI without recompiling.
+//
+// Format: one task per line, '#' comments, blank lines ignored.
+//
+//     # name  period  deadline  wcet  m  k      (times in ms, fractions ok)
+//     control 5       4         3     2  4
+//     video   10      10        3     1  2
+//
+// Tasks are prioritized in file order (first line == highest priority),
+// matching the paper's convention.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/task.hpp"
+
+namespace mkss::io {
+
+/// Parses a task set; throws std::runtime_error with a line-numbered message
+/// on malformed input or invalid task parameters.
+core::TaskSet parse_taskset(std::istream& in);
+
+/// Convenience: parse from a string.
+core::TaskSet parse_taskset_string(const std::string& text);
+
+/// Convenience: parse from a file path.
+core::TaskSet parse_taskset_file(const std::string& path);
+
+/// Serializes a task set back to the text format (round-trips through
+/// parse_taskset_string).
+std::string serialize_taskset(const core::TaskSet& ts);
+
+}  // namespace mkss::io

@@ -1,0 +1,119 @@
+#include "io/trace_json.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mkss::io {
+
+namespace {
+
+std::string ms_or_null(core::Ticks t) {
+  if (t == core::kNever) return "null";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", core::to_ms(t));
+  return buf;
+}
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_to_json(const sim::SimulationTrace& trace,
+                          const core::TaskSet& ts) {
+  std::string out = "{\n";
+  append_fmt(out, "  \"horizon_ms\": %.3f,\n", core::to_ms(trace.horizon));
+
+  out += "  \"tasks\": [\n";
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const core::Task& t = ts[i];
+    append_fmt(out,
+               "    {\"name\": \"%s\", \"period_ms\": %.3f, \"deadline_ms\": %.3f,"
+               " \"wcet_ms\": %.3f, \"m\": %u, \"k\": %u}%s\n",
+               escape(t.name).c_str(), core::to_ms(t.period),
+               core::to_ms(t.deadline), core::to_ms(t.wcet), t.m, t.k,
+               i + 1 < ts.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += "  \"segments\": [\n";
+  for (std::size_t i = 0; i < trace.segments.size(); ++i) {
+    const sim::ExecSegment& s = trace.segments[i];
+    append_fmt(out,
+               "    {\"proc\": %u, \"task\": %zu, \"job\": %llu, \"kind\": \"%s\","
+               " \"begin_ms\": %.3f, \"end_ms\": %.3f, \"frequency\": %.3f}%s\n",
+               s.proc, s.job.task + 1,
+               static_cast<unsigned long long>(s.job.job),
+               sim::to_string(s.kind).c_str(), core::to_ms(s.span.begin),
+               core::to_ms(s.span.end), s.frequency,
+               i + 1 < trace.segments.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const sim::JobRecord& j = trace.jobs[i];
+    append_fmt(
+        out,
+        "    {\"task\": %zu, \"job\": %llu, \"release_ms\": %.3f,"
+        " \"deadline_ms\": %.3f, \"mandatory\": %s, \"executed_optional\": %s,"
+        " \"outcome\": \"%s\", \"resolved_at_ms\": %.3f,"
+        " \"main_fault\": %s, \"backup_fault\": %s}%s\n",
+        j.job.id.task + 1, static_cast<unsigned long long>(j.job.id.job),
+        core::to_ms(j.job.release), core::to_ms(j.job.deadline),
+        j.mandatory ? "true" : "false", j.executed_optional ? "true" : "false",
+        !j.resolved ? "pending"
+                    : (j.outcome == core::JobOutcome::kMet ? "met" : "missed"),
+        core::to_ms(j.resolved_at), j.main_transient_fault ? "true" : "false",
+        j.backup_transient_fault ? "true" : "false",
+        i + 1 < trace.jobs.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  append_fmt(out, "  \"death_time_ms\": [%s, %s],\n",
+             ms_or_null(trace.death_time[0]).c_str(),
+             ms_or_null(trace.death_time[1]).c_str());
+
+  const sim::SimStats& st = trace.stats;
+  append_fmt(out,
+             "  \"stats\": {\"jobs_released\": %llu, \"mandatory_jobs\": %llu,"
+             " \"optional_selected\": %llu, \"optional_skipped\": %llu,"
+             " \"backups_created\": %llu, \"backups_canceled\": %llu,"
+             " \"transient_faults\": %llu, \"jobs_met\": %llu,"
+             " \"jobs_missed\": %llu, \"mandatory_misses\": %llu}\n",
+             static_cast<unsigned long long>(st.jobs_released),
+             static_cast<unsigned long long>(st.mandatory_jobs),
+             static_cast<unsigned long long>(st.optional_selected),
+             static_cast<unsigned long long>(st.optional_skipped),
+             static_cast<unsigned long long>(st.backups_created),
+             static_cast<unsigned long long>(st.backups_canceled),
+             static_cast<unsigned long long>(st.transient_faults),
+             static_cast<unsigned long long>(st.jobs_met),
+             static_cast<unsigned long long>(st.jobs_missed),
+             static_cast<unsigned long long>(st.mandatory_misses));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mkss::io

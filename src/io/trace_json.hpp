@@ -1,0 +1,22 @@
+// JSON export of simulation traces, for external plotting / visualization
+// (e.g. feeding a web-based Gantt viewer). Self-contained writer -- no JSON
+// library dependency.
+#pragma once
+
+#include <string>
+
+#include "core/task.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::io {
+
+/// Serializes the trace as a single JSON object:
+/// {
+///   "horizon_ms": ..., "tasks": [...], "segments": [...], "jobs": [...],
+///   "stats": {...}, "death_time_ms": [...]
+/// }
+/// Times are milliseconds (doubles).
+std::string trace_to_json(const sim::SimulationTrace& trace,
+                          const core::TaskSet& ts);
+
+}  // namespace mkss::io

@@ -1,0 +1,26 @@
+#include "metrics/decomposition.hpp"
+
+#include <algorithm>
+
+namespace mkss::metrics {
+
+ActiveEnergySplit split_active_energy(const sim::SimulationTrace& trace,
+                                      const energy::PowerParams& params) {
+  ActiveEnergySplit split;
+  for (const sim::ExecSegment& s : trace.segments) {
+    const core::Ticks life_end =
+        std::min(trace.horizon, trace.death_time[s.proc]);
+    const core::Ticks len =
+        std::min(s.span.end, life_end) - std::min(s.span.begin, life_end);
+    if (len <= 0) continue;
+    const double units = core::to_ms(len) * params.power_at(s.frequency);
+    switch (s.kind) {
+      case sim::CopyKind::kMain: split.main += units; break;
+      case sim::CopyKind::kBackup: split.backup += units; break;
+      case sim::CopyKind::kOptional: split.optional_jobs += units; break;
+    }
+  }
+  return split;
+}
+
+}  // namespace mkss::metrics

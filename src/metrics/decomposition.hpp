@@ -1,0 +1,30 @@
+// Energy decomposition by copy kind: where does each scheme's active energy
+// actually go? (main executions, backup overlap that escaped cancellation,
+// optional singles). Used by examples and the figure benches' narratives.
+#pragma once
+
+#include "energy/energy_model.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::metrics {
+
+struct ActiveEnergySplit {
+  double main{0};
+  double backup{0};
+  double optional_jobs{0};
+
+  double total() const noexcept { return main + backup + optional_jobs; }
+  /// Fraction of the active energy spent on backup copies -- the paper's
+  /// "overlapped executions" waste that procrastination/cancellation fights.
+  double backup_share() const noexcept {
+    const double t = total();
+    return t > 0 ? backup / t : 0.0;
+  }
+};
+
+/// Splits the trace's active energy by copy kind, honoring per-segment DVS
+/// frequencies through the power model.
+ActiveEnergySplit split_active_energy(const sim::SimulationTrace& trace,
+                                      const energy::PowerParams& params = {});
+
+}  // namespace mkss::metrics

@@ -1,0 +1,27 @@
+#include "metrics/qos.hpp"
+
+namespace mkss::metrics {
+
+QosReport audit_qos(const sim::SimulationTrace& trace, const core::TaskSet& ts) {
+  QosReport report;
+  report.per_task.resize(ts.size());
+  report.mandatory_misses = trace.stats.mandatory_misses;
+
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    TaskQos& q = report.per_task[i];
+    const auto& outcomes = trace.outcomes_per_task[i];
+    q.jobs = outcomes.size();
+    for (const core::JobOutcome o : outcomes) {
+      if (o == core::JobOutcome::kMet) {
+        ++q.met;
+      } else {
+        ++q.missed;
+      }
+    }
+    q.violation = core::audit_mk_sequence(ts[i].m, ts[i].k, outcomes);
+    if (q.violation) report.mk_satisfied = false;
+  }
+  return report;
+}
+
+}  // namespace mkss::metrics

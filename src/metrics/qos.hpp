@@ -1,0 +1,43 @@
+// Quality-of-service auditing of simulation traces.
+//
+// Theorem 1 promises that Algorithm 1 keeps every task's (m,k)-deadlines
+// whenever the task set is R-pattern schedulable. This module certifies a
+// trace against that promise: it replays each task's outcome sequence
+// through the sliding-window auditor and reports the first violated window,
+// plus miss statistics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/mk_constraint.hpp"
+#include "core/task.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::metrics {
+
+struct TaskQos {
+  std::uint64_t jobs{0};
+  std::uint64_t met{0};
+  std::uint64_t missed{0};
+  std::optional<core::MkViolation> violation;
+
+  double miss_rate() const noexcept {
+    return jobs == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(jobs);
+  }
+};
+
+struct QosReport {
+  std::vector<TaskQos> per_task;
+  bool mk_satisfied{true};             ///< no task violated its (m,k) window
+  std::uint64_t mandatory_misses{0};   ///< mandatory jobs that missed (must be 0)
+
+  bool theorem1_holds() const noexcept {
+    return mk_satisfied && mandatory_misses == 0;
+  }
+};
+
+/// Audits `trace` of `ts` (counted jobs only).
+QosReport audit_qos(const sim::SimulationTrace& trace, const core::TaskSet& ts);
+
+}  // namespace mkss::metrics

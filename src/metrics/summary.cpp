@@ -1,0 +1,27 @@
+#include "metrics/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mkss::metrics {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double relative_gain(double a, double b) noexcept {
+  return b == 0.0 ? 0.0 : (b - a) / b;
+}
+
+}  // namespace mkss::metrics

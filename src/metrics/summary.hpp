@@ -1,0 +1,43 @@
+// Aggregation helpers for the evaluation benches: running statistics and
+// normalized energy comparisons across many task sets.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mkss::metrics {
+
+/// Streaming mean / min / max / stddev (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0};
+  double m2_{0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// One series (a scheme) of a Figure-6-style comparison: per utilization bin,
+/// the mean energy normalized to the reference scheme's energy on the *same*
+/// task sets.
+struct SchemeSeries {
+  std::string name;
+  std::vector<RunningStat> normalized_per_bin;  ///< one stat per bin
+};
+
+/// Relative gain of `a` over `b` (b - a) / b; e.g. 0.28 == "28% lower".
+double relative_gain(double a, double b) noexcept;
+
+}  // namespace mkss::metrics

@@ -1,0 +1,46 @@
+// Umbrella header: the full public API of the (m,k) standby-sparing library.
+//
+// Quick tour:
+//   core/      task model, jobs, (m,k) histories & flexibility degree,
+//              R-/E-patterns, deterministic RNG, tick time base
+//   analysis/  response-time analysis, promotion times Y_i, backup release
+//              postponement theta_i (Definitions 2-5), schedulability tests
+//   sim/       dual-processor discrete-event engine, scheme & fault-plan
+//              interfaces, traces, ASCII Gantt charts
+//   energy/    P_act / DPD energy accounting
+//   fault/     permanent + Poisson transient fault plans
+//   sched/     MKSS_ST, MKSS_DP, MKSS_greedy, MKSS_selective (Algorithm 1),
+//              backup-delay ladder, static DVS
+//   io/        task-set text files, JSON trace export
+//   workload/  Section-V random task-set generation, paper example task sets
+//   metrics/   (m,k) QoS auditing (Theorem 1), running statistics
+//   report/    fixed-width tables and CSV
+//   harness/   single-run helper and the Figure-6 evaluation sweeps
+#pragma once
+
+#include "analysis/breakdown.hpp"
+#include "analysis/postponement.hpp"
+#include "analysis/promotion.hpp"
+#include "analysis/rta.hpp"
+#include "analysis/schedulability.hpp"
+#include "core/hyperperiod.hpp"
+#include "core/job.hpp"
+#include "core/mk_constraint.hpp"
+#include "core/pattern.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "energy/energy_model.hpp"
+#include "fault/injection.hpp"
+#include "harness/evaluation.hpp"
+#include "io/taskset_io.hpp"
+#include "io/trace_json.hpp"
+#include "metrics/decomposition.hpp"
+#include "metrics/qos.hpp"
+#include "metrics/summary.hpp"
+#include "report/table.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"

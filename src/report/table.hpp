@@ -1,0 +1,37 @@
+// Minimal fixed-width table and CSV writers for the bench harnesses, so
+// every reproduced figure prints as aligned terminal rows *and* is easy to
+// dump to CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mkss::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Fixed-width rendering with a separator under the header.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper: formats a double with the given precision.
+std::string fmt(double value, int precision = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.283 -> "28.3%".
+std::string fmt_percent(double ratio, int precision = 1);
+
+}  // namespace mkss::report

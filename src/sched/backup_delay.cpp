@@ -1,0 +1,46 @@
+#include "sched/backup_delay.hpp"
+
+#include <algorithm>
+
+#include "analysis/postponement.hpp"
+#include "analysis/promotion.hpp"
+
+namespace mkss::sched {
+
+const char* to_string(BackupDelayPolicy policy) {
+  switch (policy) {
+    case BackupDelayPolicy::kNone: return "none";
+    case BackupDelayPolicy::kPromotion: return "Y";
+    case BackupDelayPolicy::kPostponed: return "theta";
+  }
+  return "?";
+}
+
+std::vector<core::Ticks> backup_delays(const core::TaskSet& ts,
+                                       BackupDelayPolicy policy,
+                                       core::PatternKind pattern) {
+  std::vector<core::Ticks> delays(ts.size(), 0);
+  switch (policy) {
+    case BackupDelayPolicy::kNone:
+      break;
+    case BackupDelayPolicy::kPromotion: {
+      const auto promos = analysis::promotion_times(ts);
+      for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+        delays[i] = promos[i] ? std::max<core::Ticks>(0, *promos[i]) : 0;
+      }
+      break;
+    }
+    case BackupDelayPolicy::kPostponed: {
+      analysis::PostponementOptions opts;
+      opts.pattern = pattern;
+      const auto result = analysis::compute_postponement(ts, opts);
+      for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+        delays[i] = result.theta(i);
+      }
+      break;
+    }
+  }
+  return delays;
+}
+
+}  // namespace mkss::sched

@@ -1,0 +1,42 @@
+#include "sched/dvs.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mkss::sched {
+
+core::TaskSet scale_wcets(const core::TaskSet& ts, double f) {
+  std::vector<core::Task> tasks(ts.tasks());
+  for (core::Task& t : tasks) {
+    const double scaled = std::ceil(static_cast<double>(t.wcet) / f);
+    // A slowdown that pushes C past D can never be schedulable; cap at D so
+    // the TaskSet invariant holds and the RTA rejects it naturally.
+    t.wcet = std::min<core::Ticks>(static_cast<core::Ticks>(scaled), t.deadline);
+  }
+  return core::TaskSet(std::move(tasks));
+}
+
+double lowest_feasible_frequency(const core::TaskSet& ts,
+                                 analysis::DemandModel model,
+                                 const DvsOptions& opts) {
+  double best = 1.0;
+  // Walk the ladder downwards; the RTA is monotone in the WCETs, so the
+  // first infeasible step ends the search.
+  for (double f = 1.0 - opts.f_step; f >= opts.f_min - 1e-9; f -= opts.f_step) {
+    const core::TaskSet scaled = scale_wcets(ts, f);
+    bool degenerate = false;
+    for (core::TaskIndex i = 0; i < scaled.size(); ++i) {
+      // scale_wcets capped C at D: that means f was infeasible for the task.
+      if (scaled[i].wcet == scaled[i].deadline &&
+          static_cast<double>(ts[i].wcet) / f >
+              static_cast<double>(scaled[i].deadline)) {
+        degenerate = true;
+      }
+    }
+    if (degenerate || !analysis::schedulable(scaled, model)) break;
+    best = f;
+  }
+  return best;
+}
+
+}  // namespace mkss::sched

@@ -1,0 +1,34 @@
+// Static dynamic-voltage-scaling support (extension).
+//
+// The prior work the paper compares against ([7] Haque et al., [8] Begam et
+// al.) combines standby-sparing with DVS on the main jobs; the paper
+// evaluates "without applying DVS" and motivates that choice by the growing
+// static-power share. This module provides the classic static per-task-set
+// slowdown: the lowest normalized frequency f (from a discrete ladder) at
+// which the scaled task set still passes the chosen response-time analysis.
+// Main copies then run at f (longer but cheaper per Section II-A's dynamic
+// power curve); backups stay at full speed so that a late recovery still
+// fits before the deadline.
+#pragma once
+
+#include "analysis/rta.hpp"
+#include "core/task.hpp"
+
+namespace mkss::sched {
+
+struct DvsOptions {
+  bool enabled{false};
+  double f_min{0.4};   ///< lowest frequency in the ladder
+  double f_step{0.05};  ///< ladder granularity
+};
+
+/// Copy of `ts` with every WCET stretched to C / f (rounded up).
+core::TaskSet scale_wcets(const core::TaskSet& ts, double f);
+
+/// Lowest frequency in the ladder [f_min, 1] at which the scaled task set is
+/// schedulable under `model`; 1.0 when no slowdown is feasible.
+double lowest_feasible_frequency(const core::TaskSet& ts,
+                                 analysis::DemandModel model,
+                                 const DvsOptions& opts);
+
+}  // namespace mkss::sched

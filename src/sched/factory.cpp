@@ -1,0 +1,29 @@
+#include "sched/factory.hpp"
+
+namespace mkss::sched {
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSt: return "MKSS_ST";
+    case SchemeKind::kDp: return "MKSS_DP";
+    case SchemeKind::kGreedy: return "MKSS_greedy";
+    case SchemeKind::kSelective: return "MKSS_selective";
+  }
+  return "?";
+}
+
+std::unique_ptr<SchemeBase> make_scheme(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSt: return std::make_unique<MkssSt>();
+    case SchemeKind::kDp: return std::make_unique<MkssDp>();
+    case SchemeKind::kGreedy: return std::make_unique<MkssGreedy>();
+    case SchemeKind::kSelective: return std::make_unique<MkssSelective>();
+  }
+  return nullptr;
+}
+
+std::vector<SchemeKind> evaluation_schemes() {
+  return {SchemeKind::kSt, SchemeKind::kDp, SchemeKind::kSelective};
+}
+
+}  // namespace mkss::sched

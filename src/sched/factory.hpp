@@ -1,0 +1,32 @@
+// Scheme factory used by benches, examples and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/mkss_dp.hpp"
+#include "sched/mkss_greedy.hpp"
+#include "sched/mkss_selective.hpp"
+#include "sched/mkss_st.hpp"
+
+namespace mkss::sched {
+
+enum class SchemeKind : std::uint8_t {
+  kSt,
+  kDp,
+  kGreedy,
+  kSelective,
+};
+
+const char* to_string(SchemeKind kind);
+
+/// Fresh default-configured scheme instance. Schemes are stateful (dynamic
+/// pattern history), so every simulation run needs its own instance.
+std::unique_ptr<SchemeBase> make_scheme(SchemeKind kind);
+
+/// The three schemes of the paper's evaluation, in presentation order
+/// (MKSS_ST, MKSS_DP, MKSS_selective).
+std::vector<SchemeKind> evaluation_schemes();
+
+}  // namespace mkss::sched

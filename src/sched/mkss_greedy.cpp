@@ -1,0 +1,41 @@
+#include "sched/mkss_greedy.hpp"
+
+namespace mkss::sched {
+
+void MkssGreedy::on_setup() {
+  history_.clear();
+  history_.reserve(taskset().size());
+  for (const core::Task& t : taskset()) {
+    history_.emplace_back(t.m, t.k);
+  }
+  rr_next_ = 0;
+}
+
+sim::ReleaseDecision MkssGreedy::on_release(core::TaskIndex i, std::uint64_t /*j*/,
+                                            core::Ticks release) {
+  const std::uint32_t fd = history_[i].flexibility_degree();
+  if (fd == 0) {
+    return mandatory_release(sim::kPrimary, release, release);
+  }
+  if (fd > opts_.max_selected_fd) {
+    return sim::ReleaseDecision::skip();
+  }
+  sim::ReleaseDecision d;
+  d.mandatory = false;
+  sim::ProcessorId proc = sim::kPrimary;
+  if (degraded()) {
+    proc = survivor();
+  } else if (!opts_.primary_only) {
+    proc = (rr_next_++ % 2 == 0) ? sim::kPrimary : sim::kSpare;
+  }
+  d.copies.push_back(
+      {proc, sim::CopyKind::kOptional, sim::Band::kOptional, release, fd});
+  return d;
+}
+
+void MkssGreedy::on_outcome(core::TaskIndex i, std::uint64_t /*j*/,
+                            core::JobOutcome outcome) {
+  history_[i].record(outcome);
+}
+
+}  // namespace mkss::sched

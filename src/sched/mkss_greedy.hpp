@@ -1,0 +1,52 @@
+// MKSS_greedy -- the dynamic-pattern strawman of Section III (Figures 2-3).
+//
+// Jobs are classified at release by their current flexibility degree:
+// FD == 0 is mandatory (duplicated on both processors, backups without
+// procrastination), anything else is optional and *always* executed, on the
+// primary processor only, in a lower dispatch band than the mandatory queue.
+// More urgent optional jobs (smaller FD) run first, which is why Figure 2
+// executes O21 (FD 1) before O11 (FD 2). Successful optional jobs demote
+// future mandatory jobs and drop their backups -- but the greedy scheme may
+// execute an excessive number of optional jobs, which Figure 3 shows can
+// cost more energy than it saves; the selective scheme fixes this.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/mk_constraint.hpp"
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+struct GreedyOptions {
+  /// Execute optional jobs on the primary processor only (Section III).
+  bool primary_only{true};
+  /// Execute optional jobs with 1 <= FD <= this bound. The default executes
+  /// every optional job ("greedy manner ... might execute an excessive
+  /// number of optional jobs", Figure 3); Figure 2's hand-drawn schedule
+  /// corresponds to the urgency-limited variant with bound 1.
+  std::uint32_t max_selected_fd{std::numeric_limits<std::uint32_t>::max()};
+};
+
+class MkssGreedy final : public SchemeBase {
+ public:
+  explicit MkssGreedy(GreedyOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "MKSS_greedy"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override;
+  void on_outcome(core::TaskIndex i, std::uint64_t j, core::JobOutcome outcome) override;
+
+ protected:
+  void on_setup() override;
+
+ private:
+  GreedyOptions opts_;
+  std::vector<core::MkHistory> history_;
+  std::size_t rr_next_{0};  ///< round-robin target when primary_only is off
+};
+
+}  // namespace mkss::sched

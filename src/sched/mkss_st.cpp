@@ -1,0 +1,16 @@
+#include "sched/mkss_st.hpp"
+
+#include "core/pattern.hpp"
+
+namespace mkss::sched {
+
+sim::ReleaseDecision MkssSt::on_release(core::TaskIndex i, std::uint64_t j,
+                                        core::Ticks release) {
+  const core::Task& task = taskset()[i];
+  if (!core::pattern_mandatory(opts_.pattern, task.m, task.k, j)) {
+    return sim::ReleaseDecision::skip();
+  }
+  return mandatory_release(sim::kPrimary, release, release);
+}
+
+}  // namespace mkss::sched

@@ -1,0 +1,41 @@
+// MKSS_ST -- the static reference scheme of Section V.
+//
+// Task sets are statically partitioned with the R-pattern; every mandatory
+// job runs concurrently on both processors ("without procrastination"), so
+// main and backup execute in lock-step and cancellation saves nothing.
+// Optional jobs are never executed. This is the normalization baseline of
+// Figure 6.
+#pragma once
+
+#include "core/pattern.hpp"
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+struct StOptions {
+  /// Static partitioning pattern (the paper uses the deeply red pattern;
+  /// the evenly distributed E-pattern is an ablation).
+  core::PatternKind pattern{core::PatternKind::kDeeplyRed};
+};
+
+class MkssSt final : public SchemeBase {
+ public:
+  explicit MkssSt(StOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override {
+    return opts_.pattern == core::PatternKind::kDeeplyRed ? "MKSS_ST"
+                                                          : "MKSS_ST(E)";
+  }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override;
+  void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+
+ protected:
+  void on_setup() override {}
+
+ private:
+  StOptions opts_;
+};
+
+}  // namespace mkss::sched

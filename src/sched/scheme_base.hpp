@@ -1,0 +1,75 @@
+// Shared plumbing of the standby-sparing schemes: task-set binding, survivor
+// tracking after the permanent fault, and the default re-routing policy.
+#pragma once
+
+#include "sim/scheme.hpp"
+
+namespace mkss::sched {
+
+class SchemeBase : public sim::Scheme {
+ public:
+  void setup(const core::TaskSet& ts) final {
+    ts_ = &ts;
+    degraded_ = false;
+    survivor_ = sim::kPrimary;
+    on_setup();
+  }
+
+  void on_permanent_fault(sim::ProcessorId dead, core::Ticks /*now*/) override {
+    degraded_ = true;
+    survivor_ = sim::other(dead);
+  }
+
+  /// Default policy: a mandatory job that lost its last copy restarts from
+  /// scratch on the survivor; an optional one restarts only if it can still
+  /// make its deadline.
+  std::optional<sim::CopySpec> reroute_on_death(const core::Job& job, bool mandatory,
+                                                sim::ProcessorId survivor,
+                                                core::Ticks now,
+                                                core::Ticks /*remaining*/) override {
+    if (mandatory) {
+      return sim::CopySpec{survivor, sim::CopyKind::kMain, sim::Band::kMandatory, now, 0};
+    }
+    if (now + job.exec <= job.deadline) {
+      return sim::CopySpec{survivor, sim::CopyKind::kOptional, sim::Band::kOptional, now, 0};
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  virtual void on_setup() = 0;
+
+  const core::TaskSet& taskset() const { return *ts_; }
+  bool degraded() const { return degraded_; }
+  sim::ProcessorId survivor() const { return survivor_; }
+
+  /// Duplicated mandatory release: main on `main_proc` now (optionally DVS
+  /// slowed), backup on the other processor at full speed once
+  /// `backup_eligible` passes. Degraded mode collapses to a single immediate
+  /// full-speed copy on the survivor (no sibling can cancel it, so slowing
+  /// it down would only gamble with the deadline).
+  sim::ReleaseDecision mandatory_release(sim::ProcessorId main_proc,
+                                         core::Ticks release,
+                                         core::Ticks backup_eligible,
+                                         double main_frequency = 1.0) const {
+    sim::ReleaseDecision d;
+    d.mandatory = true;
+    if (degraded_) {
+      d.copies.push_back({survivor_, sim::CopyKind::kMain, sim::Band::kMandatory,
+                          release, 0, 1.0});
+      return d;
+    }
+    d.copies.push_back({main_proc, sim::CopyKind::kMain, sim::Band::kMandatory,
+                        release, 0, main_frequency});
+    d.copies.push_back({sim::other(main_proc), sim::CopyKind::kBackup,
+                        sim::Band::kMandatory, backup_eligible, 0, 1.0});
+    return d;
+  }
+
+ private:
+  const core::TaskSet* ts_ = nullptr;
+  bool degraded_ = false;
+  sim::ProcessorId survivor_ = sim::kPrimary;
+};
+
+}  // namespace mkss::sched

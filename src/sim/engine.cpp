@@ -1,0 +1,518 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace mkss::sim {
+
+using core::JobOutcome;
+using core::TaskIndex;
+using core::Ticks;
+
+namespace {
+
+constexpr int kNone = -1;
+
+/// Replica slot of a copy kind: main/optional copies share slot 0, backups
+/// use slot 1 (keeps transient-fault draws scheme-independent).
+constexpr int slot_of(CopyKind kind) noexcept {
+  return kind == CopyKind::kBackup ? 1 : 0;
+}
+
+struct Copy {
+  std::size_t job_idx{0};
+  CopyKind kind{CopyKind::kMain};
+  ProcessorId proc{kPrimary};
+  Band band{Band::kMandatory};
+  Ticks eligible{0};
+  Ticks remaining{0};
+  std::uint32_t optional_rank{0};
+  double frequency{1.0};
+  bool alive{true};
+};
+
+struct LiveJob {
+  core::Job job;
+  bool mandatory{false};
+  bool executed_optional{false};
+  bool counted{true};
+  bool resolved{false};
+  JobOutcome outcome{JobOutcome::kMissed};
+  Ticks resolved_at{0};
+  int copy_in_slot[2]{kNone, kNone};
+  bool slot_failed[2]{false, false};
+};
+
+class Engine {
+ public:
+  Engine(const core::TaskSet& ts, Scheme& scheme, const FaultPlan& faults,
+         const SimConfig& config, const ExecTimeModel* exec_model)
+      : ts_(ts), scheme_(scheme), faults_(faults), config_(config),
+        exec_model_(exec_model) {
+    if (config_.horizon <= 0) {
+      throw std::invalid_argument("SimConfig::horizon must be positive");
+    }
+  }
+
+  SimulationTrace run();
+
+ private:
+  // --- event processing -----------------------------------------------
+  Ticks next_event_time() const;
+  void process_completions();
+  void apply_permanent_fault();
+  void process_deadlines();
+  void process_releases();
+  void dispatch(ProcessorId p);
+
+  // --- mechanics --------------------------------------------------------
+  void admit_copy(std::size_t job_idx, const CopySpec& spec);
+  void complete_copy(int idx);
+  void kill_copy(int idx);
+  void resolve(std::size_t job_idx, JobOutcome outcome);
+  void stop_running(ProcessorId p, Ticks end);
+  void start_running(ProcessorId p, int idx);
+  bool copy_precedes(const Copy& a, const Copy& b) const;
+  Ticks next_mandatory_activity(ProcessorId p) const;
+
+  const core::TaskSet& ts_;
+  Scheme& scheme_;
+  const FaultPlan& faults_;
+  SimConfig config_;
+  const ExecTimeModel* exec_model_;
+
+  Ticks now_{0};
+  std::vector<Copy> copies_;
+  std::vector<LiveJob> jobs_;
+  std::vector<std::vector<std::size_t>> live_;  // live copy indices per processor
+  std::vector<Ticks> next_release_;             // per task
+  std::vector<std::uint64_t> next_j_;           // per task, 1-based next instance
+  // (deadline, job index), earliest first, lazily pruned.
+  std::priority_queue<std::pair<Ticks, std::size_t>,
+                      std::vector<std::pair<Ticks, std::size_t>>,
+                      std::greater<>>
+      deadlines_;
+
+  bool proc_alive_[kProcessorCount]{true, true};
+  int running_[kProcessorCount]{kNone, kNone};
+  Ticks run_start_[kProcessorCount]{0, 0};
+  Ticks sleep_until_[kProcessorCount]{0, 0};
+
+  std::optional<PermanentFault> pf_;
+  bool pf_applied_{false};
+
+  SimulationTrace trace_;
+#ifndef NDEBUG
+  std::vector<std::uint64_t> last_resolved_j_;  // per task, outcome-order check
+#endif
+};
+
+SimulationTrace Engine::run() {
+  const std::size_t n = ts_.size();
+  live_.resize(kProcessorCount);
+  next_release_.assign(n, 0);
+  next_j_.assign(n, 1);
+  trace_.horizon = config_.horizon;
+  trace_.outcomes_per_task.resize(n);
+#ifndef NDEBUG
+  last_resolved_j_.assign(n, 0);
+#endif
+
+  scheme_.setup(ts_);
+  pf_ = faults_.permanent();
+  if (pf_ && pf_->time >= config_.horizon) pf_.reset();
+
+  // Time 0: an instantaneous permanent fault and the first releases happen
+  // before the first dispatch.
+  if (pf_ && !pf_applied_ && pf_->time == 0) apply_permanent_fault();
+  process_releases();
+  dispatch(kPrimary);
+  dispatch(kSpare);
+
+  while (true) {
+    const Ticks t = next_event_time();
+    const Ticks step_to = std::min(t, config_.horizon);
+    // Advance running copies to the new time.
+    for (std::size_t p = 0; p < kProcessorCount; ++p) {
+      if (running_[p] != kNone) {
+        copies_[static_cast<std::size_t>(running_[p])].remaining -= step_to - now_;
+      }
+    }
+    now_ = step_to;
+    if (t >= config_.horizon) break;
+
+    process_completions();
+    if (pf_ && !pf_applied_ && pf_->time == now_) apply_permanent_fault();
+    process_deadlines();
+    process_releases();
+    dispatch(kPrimary);
+    dispatch(kSpare);
+  }
+
+  // Horizon edge: copies finishing exactly at the horizon complete, then
+  // deadlines falling exactly on the horizon fire, then open segments clip.
+  process_completions();
+  process_deadlines();
+  stop_running(kPrimary, config_.horizon);
+  stop_running(kSpare, config_.horizon);
+
+  trace_.jobs.reserve(jobs_.size());
+  for (const LiveJob& lj : jobs_) {
+    JobRecord rec;
+    rec.job = lj.job;
+    rec.mandatory = lj.mandatory;
+    rec.executed_optional = lj.executed_optional;
+    rec.counted = lj.counted;
+    rec.resolved = lj.resolved;
+    rec.outcome = lj.outcome;
+    rec.resolved_at = lj.resolved_at;
+    rec.main_transient_fault = lj.slot_failed[0];
+    rec.backup_transient_fault = lj.slot_failed[1];
+    trace_.jobs.push_back(rec);
+  }
+  return std::move(trace_);
+}
+
+Ticks Engine::next_event_time() const {
+  Ticks t = core::kNever;
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    if (next_release_[i] < config_.horizon) t = std::min(t, next_release_[i]);
+  }
+  for (const ProcessorId p : {kPrimary, kSpare}) {
+    if (running_[p] != kNone) {
+      t = std::min(t, now_ + copies_[static_cast<std::size_t>(running_[p])].remaining);
+    }
+    if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
+    for (const std::size_t idx : live_[p]) {
+      const Copy& c = copies_[idx];
+      if (c.alive && c.eligible > now_) t = std::min(t, c.eligible);
+    }
+  }
+  if (!deadlines_.empty()) t = std::min(t, deadlines_.top().first);
+  if (pf_ && !pf_applied_) t = std::min(t, pf_->time);
+  assert(t > now_ || t == core::kNever);
+  return t;
+}
+
+void Engine::process_completions() {
+  for (const ProcessorId p : {kPrimary, kSpare}) {
+    const int idx = running_[p];
+    if (idx != kNone && copies_[static_cast<std::size_t>(idx)].remaining == 0) {
+      complete_copy(idx);
+    }
+  }
+}
+
+void Engine::apply_permanent_fault() {
+  pf_applied_ = true;
+  const ProcessorId dead = pf_->proc;
+  const ProcessorId survivor = other(dead);
+  proc_alive_[dead] = false;
+  trace_.death_time[dead] = now_;
+  stop_running(dead, now_);
+  scheme_.on_permanent_fault(dead, now_);
+
+  // Copies on the dead processor are lost; jobs left with no live copy get a
+  // chance to be re-admitted on the survivor.
+  std::vector<std::size_t> lost = std::move(live_[dead]);
+  live_[dead].clear();
+  for (const std::size_t idx : lost) {
+    Copy& c = copies_[idx];
+    if (!c.alive) continue;
+    const Ticks remaining = c.remaining;
+    c.alive = false;
+    LiveJob& job = jobs_[c.job_idx];
+    job.copy_in_slot[slot_of(c.kind)] = kNone;
+    if (job.resolved) continue;
+    const bool has_other =
+        job.copy_in_slot[0] != kNone || job.copy_in_slot[1] != kNone;
+    if (has_other) continue;
+    const auto replacement = scheme_.reroute_on_death(job.job, job.mandatory,
+                                                      survivor, now_, remaining);
+    if (replacement) {
+      CopySpec spec = *replacement;
+      spec.proc = survivor;  // the scheme cannot resurrect the dead processor
+      admit_copy(c.job_idx, spec);
+    } else if (now_ >= job.job.deadline || !job.counted) {
+      resolve(c.job_idx, JobOutcome::kMissed);
+    }
+    // Otherwise the job simply misses at its deadline event.
+  }
+}
+
+void Engine::process_deadlines() {
+  while (!deadlines_.empty() && deadlines_.top().first <= now_) {
+    const std::size_t job_idx = deadlines_.top().second;
+    deadlines_.pop();
+    if (!jobs_[job_idx].resolved) {
+      resolve(job_idx, JobOutcome::kMissed);
+    }
+  }
+}
+
+void Engine::process_releases() {
+  for (TaskIndex i = 0; i < ts_.size(); ++i) {
+    if (next_release_[i] != now_ || next_release_[i] >= config_.horizon) continue;
+    const std::uint64_t j = next_j_[i];
+    core::Job job = core::Job::instance(ts_[i], i, j);
+    assert(job.release == now_);
+    if (exec_model_ != nullptr) {
+      job.exec = std::clamp<Ticks>(exec_model_->actual_exec(job.id, job.exec), 1,
+                                   job.exec);
+    }
+
+    jobs_.push_back(LiveJob{});
+    const std::size_t job_idx = jobs_.size() - 1;
+    LiveJob& lj = jobs_[job_idx];
+    lj.job = job;
+    lj.counted = job.deadline <= config_.horizon;
+
+    ReleaseDecision decision = scheme_.on_release(i, j, now_);
+    lj.mandatory = decision.mandatory;
+    lj.executed_optional = !decision.mandatory && !decision.copies.empty();
+
+    ++trace_.stats.jobs_released;
+    if (decision.mandatory) {
+      ++trace_.stats.mandatory_jobs;
+    } else if (!decision.copies.empty()) {
+      ++trace_.stats.optional_selected;
+    } else {
+      ++trace_.stats.optional_skipped;
+    }
+
+    for (const CopySpec& spec : decision.copies) {
+      admit_copy(job_idx, spec);
+    }
+    if (lj.counted) deadlines_.emplace(job.deadline, job_idx);
+
+    next_j_[i] = j + 1;
+    next_release_[i] += ts_[i].period;
+  }
+}
+
+void Engine::admit_copy(std::size_t job_idx, const CopySpec& spec) {
+  LiveJob& job = jobs_[job_idx];
+  Copy c;
+  c.job_idx = job_idx;
+  c.kind = spec.kind;
+  c.proc = proc_alive_[spec.proc] ? spec.proc : other(spec.proc);
+  c.band = spec.band;
+  c.eligible = std::max(spec.eligible, now_);
+  // DVS: execution stretches to C / f at reduced frequency. Clamp to a sane
+  // range; a frequency of exactly 1 keeps the integer WCET untouched.
+  c.frequency = std::clamp(spec.frequency, 0.05, 1.0);
+  c.remaining = c.frequency == 1.0
+                    ? job.job.exec
+                    : static_cast<Ticks>(std::llround(
+                          static_cast<double>(job.job.exec) / c.frequency));
+  c.optional_rank = spec.optional_rank;
+  const int slot = slot_of(spec.kind);
+  if (job.copy_in_slot[slot] != kNone) {
+    throw std::logic_error("admit_copy: replica slot already occupied");
+  }
+  copies_.push_back(c);
+  const auto idx = copies_.size() - 1;
+  job.copy_in_slot[slot] = static_cast<int>(idx);
+  live_[c.proc].push_back(idx);
+  if (spec.kind == CopyKind::kBackup) ++trace_.stats.backups_created;
+}
+
+void Engine::complete_copy(int idx) {
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  assert(c.remaining == 0 && c.alive);
+  stop_running(c.proc, now_);
+  c.alive = false;
+  LiveJob& job = jobs_[c.job_idx];
+  const int slot = slot_of(c.kind);
+  job.copy_in_slot[slot] = kNone;
+
+  const bool faulted = faults_.transient(job.job.id, slot);
+  if (faulted) {
+    ++trace_.stats.transient_faults;
+    job.slot_failed[slot] = true;
+    const int sibling = job.copy_in_slot[1 - slot];
+    if (sibling == kNone && !job.resolved) {
+      // No copy left that could still succeed.
+      resolve(c.job_idx, JobOutcome::kMissed);
+    }
+    return;
+  }
+
+  // Success: the sibling copy (if any) is canceled immediately.
+  const int sibling = job.copy_in_slot[1 - slot];
+  if (sibling != kNone && copies_[static_cast<std::size_t>(sibling)].alive) {
+    const CopyKind sk = copies_[static_cast<std::size_t>(sibling)].kind;
+    if (sk == CopyKind::kBackup) {
+      ++trace_.stats.backups_canceled;
+    } else {
+      ++trace_.stats.mains_canceled;
+    }
+  }
+  resolve(c.job_idx, JobOutcome::kMet);
+}
+
+void Engine::kill_copy(int idx) {
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  if (!c.alive) return;
+  if (running_[c.proc] == idx) stop_running(c.proc, now_);
+  c.alive = false;
+  jobs_[c.job_idx].copy_in_slot[slot_of(c.kind)] = kNone;
+}
+
+void Engine::resolve(std::size_t job_idx, JobOutcome outcome) {
+  LiveJob& job = jobs_[job_idx];
+  assert(!job.resolved);
+  job.resolved = true;
+  job.outcome = outcome;
+  job.resolved_at = now_;
+  for (const int slot : {0, 1}) {
+    if (job.copy_in_slot[slot] != kNone) kill_copy(job.copy_in_slot[slot]);
+  }
+  if (!job.counted) return;
+
+  const TaskIndex i = job.job.id.task;
+#ifndef NDEBUG
+  assert(job.job.id.job == last_resolved_j_[i] + 1 &&
+         "outcomes must resolve in job order per task");
+  last_resolved_j_[i] = job.job.id.job;
+#endif
+  trace_.outcomes_per_task[i].push_back(outcome);
+  if (outcome == JobOutcome::kMet) {
+    ++trace_.stats.jobs_met;
+  } else {
+    ++trace_.stats.jobs_missed;
+    if (job.mandatory) ++trace_.stats.mandatory_misses;
+  }
+  scheme_.on_outcome(i, job.job.id.job, outcome);
+}
+
+void Engine::stop_running(ProcessorId p, Ticks end) {
+  const int idx = running_[p];
+  if (idx == kNone) return;
+  running_[p] = kNone;
+  if (end <= run_start_[p]) return;
+  const Copy& c = copies_[static_cast<std::size_t>(idx)];
+  trace_.segments.push_back(ExecSegment{
+      p, jobs_[c.job_idx].job.id, c.kind, {run_start_[p], end}, c.frequency});
+  trace_.busy_time[p] += end - run_start_[p];
+}
+
+void Engine::start_running(ProcessorId p, int idx) {
+  running_[p] = idx;
+  run_start_[p] = now_;
+}
+
+bool Engine::copy_precedes(const Copy& a, const Copy& b) const {
+  const auto key = [this](const Copy& c) {
+    const core::JobId& id = jobs_[c.job_idx].job.id;
+    const std::uint32_t rank = c.band == Band::kOptional ? c.optional_rank : 0;
+    return std::make_tuple(static_cast<int>(c.band), rank, id.task, id.job,
+                           static_cast<int>(c.kind));
+  };
+  return key(a) < key(b);
+}
+
+Ticks Engine::next_mandatory_activity(ProcessorId p) const {
+  // Algorithm 1 line 12: "the earliest release time of all jobs in MJQ" --
+  // i.e. only mandatory copies already admitted (postponed backups, promoted
+  // jobs). A mandatory copy admitted later wakes the processor anyway,
+  // because dispatch always considers mandatory-band work regardless of the
+  // sleep commitment.
+  Ticks t = config_.horizon;
+  for (const std::size_t idx : live_[p]) {
+    const Copy& c = copies_[idx];
+    if (c.alive && c.band == Band::kMandatory && c.eligible > now_) {
+      t = std::min(t, c.eligible);
+    }
+  }
+  return t;
+}
+
+void Engine::dispatch(ProcessorId p) {
+  if (!proc_alive_[p]) return;
+  const bool sleeping = !config_.wake_for_optional && sleep_until_[p] > now_;
+
+  int best = kNone;
+  auto& lv = live_[p];
+  for (std::size_t pos = 0; pos < lv.size();) {
+    const std::size_t idx = lv[pos];
+    Copy& c = copies_[idx];
+    if (!c.alive || c.proc != p) {  // lazily compact dead entries
+      lv[pos] = lv.back();
+      lv.pop_back();
+      continue;
+    }
+    if (c.eligible > now_) {
+      ++pos;
+      continue;
+    }
+    if (c.band == Band::kOptional) {
+      LiveJob& job = jobs_[c.job_idx];
+      if (now_ + c.remaining > job.job.deadline) {
+        // Can no longer finish in time: never invoke / abandon (energy
+        // already spent stays spent).
+        kill_copy(static_cast<int>(idx));
+        if (!job.resolved && job.copy_in_slot[0] == kNone &&
+            job.copy_in_slot[1] == kNone) {
+          resolve(c.job_idx, JobOutcome::kMissed);
+        }
+        lv[pos] = lv.back();
+        lv.pop_back();
+        continue;
+      }
+      if (sleeping) {
+        ++pos;
+        continue;
+      }
+    }
+    if (best == kNone ||
+        copy_precedes(c, copies_[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(idx);
+    }
+    ++pos;
+  }
+
+  if (best != kNone) {
+    sleep_until_[p] = 0;  // dispatching (mandatory) work ends the sleep
+  }
+  if (best != running_[p]) {
+    // A genuinely preempted copy (still alive, work left) pays the context
+    // overhead on its remaining demand.
+    const int old = running_[p];
+    if (old != kNone && config_.preemption_overhead > 0) {
+      Copy& victim = copies_[static_cast<std::size_t>(old)];
+      if (victim.alive && victim.remaining > 0) {
+        victim.remaining += config_.preemption_overhead;
+        ++trace_.stats.preemptions;
+      }
+    } else if (old != kNone &&
+               copies_[static_cast<std::size_t>(old)].alive &&
+               copies_[static_cast<std::size_t>(old)].remaining > 0) {
+      ++trace_.stats.preemptions;
+    }
+    stop_running(p, now_);
+    if (best != kNone) start_running(p, best);
+  }
+
+  if (best == kNone && !config_.wake_for_optional && sleep_until_[p] <= now_) {
+    const Ticks next_mandatory = next_mandatory_activity(p);
+    if (next_mandatory - now_ > config_.break_even) {
+      sleep_until_[p] = next_mandatory;  // commit to DPD sleep
+    }
+  }
+}
+
+}  // namespace
+
+SimulationTrace simulate(const core::TaskSet& ts, Scheme& scheme,
+                         const FaultPlan& faults, const SimConfig& config,
+                         const ExecTimeModel* exec_model) {
+  Engine engine(ts, scheme, faults, config, exec_model);
+  return engine.run();
+}
+
+}  // namespace mkss::sim

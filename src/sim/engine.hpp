@@ -1,0 +1,60 @@
+// Discrete-event simulator for dual-processor standby-sparing schedules.
+//
+// The engine owns the platform mechanics shared by all schemes:
+//   * periodic job releases and classification callbacks into the Scheme;
+//   * preemptive, band-then-fixed-priority dispatch on each processor
+//     (mandatory queue strictly above optional queue);
+//   * copy eligibility times (postponed backup releases, dual-priority
+//     promotions) -- a copy simply cannot run before its eligible time;
+//   * cross-processor cancellation: the first successful completion of a
+//     copy resolves the logical job and cancels the sibling copy instantly;
+//   * transient faults (drawn from the FaultPlan at the end of each copy's
+//     execution, per Section II-B) and the single permanent fault with
+//     survivor takeover;
+//   * infeasible-optional pruning: an optional copy that can no longer meet
+//     its deadline is dropped instead of burning energy (the paper's
+//     "O11 will not be invoked at all");
+//   * optional dynamic power-down behaviour: with `wake_for_optional` off, a
+//     processor whose queues are empty commits to sleep until the next
+//     mandatory activity if that is more than T_be away (Algorithm 1 lines
+//     10-15) and ignores optional work meanwhile.
+//
+// Time advances from event to event; every quantity is integer ticks, so
+// runs are exactly reproducible.
+#pragma once
+
+#include <memory>
+
+#include "core/task.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/scheme.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::sim {
+
+struct SimConfig {
+  /// Simulation horizon; jobs are released while r < horizon and audited
+  /// when their deadline is within the horizon.
+  core::Ticks horizon{0};
+  /// When false, a sleeping processor ignores optional-band work until the
+  /// next mandatory activity (the literal reading of Algorithm 1's wake-up
+  /// timer); when true (default), any eligible work wakes it.
+  bool wake_for_optional{true};
+  /// Break-even time T_be used by the behavioural sleep decision.
+  core::Ticks break_even{core::from_ms(std::int64_t{1})};
+  /// Cost of a preemption, charged to the preempted copy's remaining
+  /// execution (pipeline/cache refill on resume). 0 reproduces the paper's
+  /// overhead-free model; bench/ablation_overhead sweeps it.
+  core::Ticks preemption_overhead{0};
+};
+
+/// Runs `scheme` over `ts` under `faults` and returns the full trace.
+/// `exec_model` supplies actual per-job execution demands (default: WCET,
+/// the paper's model); feasibility pruning of optional copies then uses the
+/// actual remaining demand, while all offline analyses stay WCET-based.
+SimulationTrace simulate(const core::TaskSet& ts, Scheme& scheme,
+                         const FaultPlan& faults, const SimConfig& config,
+                         const ExecTimeModel* exec_model = nullptr);
+
+}  // namespace mkss::sim

@@ -1,0 +1,60 @@
+// Actual-execution-time models (extension).
+//
+// The paper — like most of this literature — simulates every job at its
+// WCET. Real jobs usually finish early, which matters here: an early main
+// completion cancels more of its backup, and an early optional completion
+// frees the processor for DPD. An ExecTimeModel supplies the *actual*
+// execution demand per job; all offline analyses keep using the WCET, so
+// every guarantee is preserved (actual <= WCET is enforced).
+//
+// Draws are derandomized on the job identity (same trick as the fault
+// plans), so compared schemes see identical job lengths.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/job.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+
+namespace mkss::sim {
+
+class ExecTimeModel {
+ public:
+  virtual ~ExecTimeModel() = default;
+  /// Actual demand of the given job; must be in [1, wcet].
+  virtual core::Ticks actual_exec(const core::JobId& job, core::Ticks wcet) const = 0;
+};
+
+/// The paper's model: every job runs for its full WCET.
+class WcetExecModel final : public ExecTimeModel {
+ public:
+  core::Ticks actual_exec(const core::JobId&, core::Ticks wcet) const override {
+    return wcet;
+  }
+};
+
+/// Actual time uniform in [bcet_fraction * WCET, WCET].
+class UniformExecModel final : public ExecTimeModel {
+ public:
+  UniformExecModel(double bcet_fraction, std::uint64_t seed)
+      : bcet_fraction_(std::clamp(bcet_fraction, 0.0, 1.0)), seed_(seed) {}
+
+  core::Ticks actual_exec(const core::JobId& job, core::Ticks wcet) const override {
+    std::uint64_t key = seed_;
+    key ^= 0x2545f4914f6cdd1dULL + (static_cast<std::uint64_t>(job.task) << 17);
+    key = key * 0x9e3779b97f4a7c15ULL + job.job;
+    core::Rng rng(key);
+    const double fraction = rng.uniform(bcet_fraction_, 1.0);
+    const auto actual = static_cast<core::Ticks>(
+        std::llround(fraction * static_cast<double>(wcet)));
+    return std::clamp<core::Ticks>(actual, 1, wcet);
+  }
+
+ private:
+  double bcet_fraction_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mkss::sim

@@ -1,0 +1,44 @@
+// Fault-injection interface consumed by the engine.
+//
+// A FaultPlan decides, deterministically for a given run, (a) whether a
+// processor suffers the (at most one) permanent fault and when, and (b)
+// whether a particular execution copy of a logical job is hit by a transient
+// fault (detected at the end of its execution, Section II-B). Determinism is
+// keyed on the job identity so that the *same* logical job sees the same
+// fault in every scheme under comparison -- schemes differ in scheduling, not
+// in luck. Implementations live in src/fault.
+#pragma once
+
+#include <optional>
+
+#include "core/job.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::sim {
+
+struct PermanentFault {
+  ProcessorId proc{kPrimary};
+  core::Ticks time{0};
+};
+
+class FaultPlan {
+ public:
+  virtual ~FaultPlan() = default;
+
+  /// The permanent fault of this run, if any.
+  virtual std::optional<PermanentFault> permanent() const = 0;
+
+  /// True when the copy of `job` in the given replica slot suffers a
+  /// transient fault. Slot 0 is the main/optional copy, slot 1 the backup,
+  /// so the draw is independent of which scheme placed the copy where.
+  virtual bool transient(const core::JobId& job, int slot) const = 0;
+};
+
+/// Trivial plan: no faults at all (the Figure 6(a) scenario).
+class NoFaultPlan final : public FaultPlan {
+ public:
+  std::optional<PermanentFault> permanent() const override { return std::nullopt; }
+  bool transient(const core::JobId&, int) const override { return false; }
+};
+
+}  // namespace mkss::sim

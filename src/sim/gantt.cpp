@@ -1,0 +1,95 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mkss::sim {
+
+using core::Ticks;
+
+namespace {
+
+char glyph(CopyKind kind, bool full) {
+  switch (kind) {
+    case CopyKind::kMain: return full ? 'M' : 'm';
+    case CopyKind::kBackup: return full ? 'B' : 'b';
+    case CopyKind::kOptional: return full ? 'O' : 'o';
+  }
+  return '?';
+}
+
+const char* proc_name(ProcessorId p) { return p == kPrimary ? "primary" : "spare  "; }
+
+}  // namespace
+
+std::string render_gantt(const SimulationTrace& trace, const core::TaskSet& ts,
+                         const GanttOptions& opts) {
+  const Ticks begin = opts.begin;
+  const Ticks end = opts.end > 0 ? opts.end : trace.horizon;
+  const Ticks per_cell = std::max<Ticks>(1, opts.ticks_per_cell);
+  const auto cells = static_cast<std::size_t>((end - begin + per_cell - 1) / per_cell);
+
+  // coverage[proc][task][cell] = ticks of execution inside the cell.
+  std::vector<std::vector<std::vector<Ticks>>> covered(
+      kProcessorCount,
+      std::vector<std::vector<Ticks>>(ts.size(), std::vector<Ticks>(cells, 0)));
+  std::vector<std::vector<std::vector<CopyKind>>> kind(
+      kProcessorCount, std::vector<std::vector<CopyKind>>(
+                           ts.size(), std::vector<CopyKind>(cells, CopyKind::kMain)));
+
+  for (const ExecSegment& s : trace.segments) {
+    const Ticks lo = std::max(s.span.begin, begin);
+    const Ticks hi = std::min(s.span.end, end);
+    if (hi <= lo) continue;
+    for (Ticks t = lo; t < hi;) {
+      const auto cell = static_cast<std::size_t>((t - begin) / per_cell);
+      const Ticks cell_end = begin + static_cast<Ticks>(cell + 1) * per_cell;
+      const Ticks upto = std::min(hi, cell_end);
+      covered[s.proc][s.job.task][cell] += upto - t;
+      kind[s.proc][s.job.task][cell] = s.kind;
+      t = upto;
+    }
+  }
+
+  std::string out;
+  std::size_t label_width = 0;
+  for (const auto& t : ts) label_width = std::max(label_width, t.name.size());
+
+  if (opts.ruler) {
+    // Ruler marks every 5 cells with the ms value.
+    std::string ruler(cells, ' ');
+    for (std::size_t c = 0; c < cells; c += 5) {
+      const std::string mark =
+          std::to_string(static_cast<long long>((begin + static_cast<Ticks>(c) * per_cell) /
+                                                core::kTicksPerMs));
+      for (std::size_t q = 0; q < mark.size() && c + q < cells; ++q) {
+        ruler[c + q] = mark[q];
+      }
+    }
+    out += std::string(8 + 1 + label_width + 2, ' ') + ruler + "\n";
+  }
+
+  for (const ProcessorId p : {kPrimary, kSpare}) {
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      std::string row;
+      row += proc_name(p);
+      row += ' ';
+      row += ts[i].name;
+      row += std::string(label_width - ts[i].name.size(), ' ');
+      row += " |";
+      for (std::size_t c = 0; c < cells; ++c) {
+        const Ticks cov = covered[p][i][c];
+        if (cov == 0) {
+          row += '.';
+        } else {
+          row += glyph(kind[p][i][c], cov >= per_cell);
+        }
+      }
+      row += "|\n";
+      out += row;
+    }
+  }
+  return out;
+}
+
+}  // namespace mkss::sim

@@ -1,0 +1,32 @@
+// ASCII Gantt rendering of simulation traces.
+//
+// Produces one row per (processor, task) so the schedules of the paper's
+// Figures 1-5 can be inspected directly in a terminal:
+//
+//   primary tau1 |MMM..MMM..............|
+//   primary tau2 |...OOO................|
+//   spare   tau1 |.bb...................|
+//
+// 'M' main copy, 'B' backup copy, 'O' optional copy; lowercase marks a
+// partially covered cell.
+#pragma once
+
+#include <string>
+
+#include "core/task.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::sim {
+
+struct GanttOptions {
+  core::Ticks begin{0};
+  core::Ticks end{0};                     ///< 0 means the trace horizon
+  core::Ticks ticks_per_cell{core::kTicksPerMs};  ///< time resolution per column
+  bool ruler{true};                       ///< print a ms ruler line
+};
+
+/// Renders `trace` over `ts` as a multi-line string.
+std::string render_gantt(const SimulationTrace& trace, const core::TaskSet& ts,
+                         const GanttOptions& opts = {});
+
+}  // namespace mkss::sim

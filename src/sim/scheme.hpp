@@ -1,0 +1,82 @@
+// Strategy interface implemented by the standby-sparing schemes
+// (MKSS_ST, MKSS_DP, MKSS_greedy, MKSS_selective).
+//
+// The engine owns time, queues, preemption, cancellation, faults and the
+// trace; a Scheme only answers the policy questions: how is a newly released
+// job classified and which copies does it get, what happens to its history
+// when it resolves, and how to re-route work when a processor dies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/task.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::sim {
+
+/// One execution copy requested by the scheme for a newly released job.
+struct CopySpec {
+  ProcessorId proc{kPrimary};
+  CopyKind kind{CopyKind::kMain};
+  Band band{Band::kMandatory};
+  /// Absolute time from which the copy may execute (release, postponed
+  /// release r + theta_i, or dual-priority promotion r + Y_i).
+  core::Ticks eligible{0};
+  /// Dispatch rank *within* the optional band; lower runs first. The greedy
+  /// scheme ranks by flexibility degree (more urgent first), the selective
+  /// scheme leaves it 0 (plain FP among FD==1 jobs).
+  std::uint32_t optional_rank{0};
+  /// Normalized DVS frequency (0 < f <= 1): the copy's execution time
+  /// stretches to C / f while its power drops per the energy model. The
+  /// admitting scheme is responsible for schedulability at the chosen f.
+  double frequency{1.0};
+};
+
+/// The scheme's verdict on a released job.
+struct ReleaseDecision {
+  /// True when the job was classified mandatory (FD == 0 / static pattern).
+  bool mandatory{false};
+  /// Zero copies == skipped optional job (counts as a miss when its deadline
+  /// passes); one or two copies otherwise.
+  std::vector<CopySpec> copies;
+
+  static ReleaseDecision skip() { return {}; }
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before time 0.
+  virtual void setup(const core::TaskSet& ts) = 0;
+
+  /// Classifies the j-th (1-based) job of task `i`, released at `release`.
+  virtual ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                     core::Ticks release) = 0;
+
+  /// Reports the final outcome of a counted job (in job order per task).
+  /// Dynamic-pattern schemes feed their MkHistory here.
+  virtual void on_outcome(core::TaskIndex i, std::uint64_t j,
+                          core::JobOutcome outcome) = 0;
+
+  /// A processor just died; subsequent on_release calls must place all
+  /// copies on the survivor.
+  virtual void on_permanent_fault(ProcessorId dead, core::Ticks now) = 0;
+
+  /// A still-unresolved job lost its last copy to the processor death.
+  /// Returns a replacement copy on the survivor, or nullopt to let the job
+  /// miss. `remaining` is the unexecuted part of the lost copy.
+  virtual std::optional<CopySpec> reroute_on_death(const core::Job& job,
+                                                   bool mandatory,
+                                                   ProcessorId survivor,
+                                                   core::Ticks now,
+                                                   core::Ticks remaining) = 0;
+};
+
+}  // namespace mkss::sim

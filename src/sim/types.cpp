@@ -1,0 +1,25 @@
+#include "sim/types.hpp"
+
+#include <algorithm>
+
+namespace mkss::sim {
+
+std::string to_string(CopyKind kind) {
+  switch (kind) {
+    case CopyKind::kMain: return "main";
+    case CopyKind::kBackup: return "backup";
+    case CopyKind::kOptional: return "optional";
+  }
+  return "?";
+}
+
+core::Ticks SimulationTrace::active_time(core::Ticks upto) const noexcept {
+  core::Ticks total = 0;
+  for (const ExecSegment& s : segments) {
+    total += std::max<core::Ticks>(
+        0, std::min(s.span.end, upto) - std::min(s.span.begin, upto));
+  }
+  return total;
+}
+
+}  // namespace mkss::sim

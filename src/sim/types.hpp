@@ -1,0 +1,101 @@
+// Shared vocabulary of the dual-processor standby-sparing simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace mkss::sim {
+
+/// The standby-sparing platform has exactly two processors (Section II-A).
+using ProcessorId = std::uint8_t;
+inline constexpr ProcessorId kPrimary = 0;
+inline constexpr ProcessorId kSpare = 1;
+inline constexpr std::size_t kProcessorCount = 2;
+
+constexpr ProcessorId other(ProcessorId p) noexcept {
+  return static_cast<ProcessorId>(1 - p);
+}
+
+/// Role of an execution copy of a logical job.
+enum class CopyKind : std::uint8_t {
+  kMain,      ///< primary copy of a mandatory job
+  kBackup,    ///< spare copy of a mandatory job (cancelable)
+  kOptional,  ///< the single copy of a selected optional job
+};
+
+std::string to_string(CopyKind kind);
+
+/// Dispatch bands: every mandatory-queue job outranks every optional-queue
+/// job ("The jobs in MJQ always have higher priorities than those in OJQ").
+enum class Band : std::uint8_t {
+  kMandatory = 0,  ///< MJQ
+  kOptional = 1,   ///< OJQ
+};
+
+/// A maximal span during which one copy ran uninterrupted on one processor.
+struct ExecSegment {
+  ProcessorId proc{kPrimary};
+  core::JobId job;
+  CopyKind kind{CopyKind::kMain};
+  core::Interval span;
+  /// Normalized DVS frequency the copy ran at (1.0 == full speed). Affects
+  /// the power drawn during the span, see energy::PowerParams::power_at.
+  double frequency{1.0};
+};
+
+/// Per-logical-job record kept in the trace.
+struct JobRecord {
+  core::Job job;
+  bool mandatory{false};          ///< classified mandatory at release
+  bool executed_optional{false};  ///< optional job selected for execution
+  bool counted{true};             ///< deadline within the horizon (audited)
+  bool resolved{false};
+  core::JobOutcome outcome{core::JobOutcome::kMissed};
+  core::Ticks resolved_at{0};
+  bool main_transient_fault{false};
+  bool backup_transient_fault{false};
+};
+
+/// Aggregate counters of one simulation run.
+struct SimStats {
+  std::uint64_t jobs_released{0};
+  std::uint64_t mandatory_jobs{0};
+  std::uint64_t optional_selected{0};
+  std::uint64_t optional_skipped{0};
+  std::uint64_t backups_created{0};
+  std::uint64_t backups_canceled{0};  ///< canceled before finishing (sibling succeeded)
+  std::uint64_t mains_canceled{0};    ///< main canceled because backup finished first
+  std::uint64_t transient_faults{0};
+  std::uint64_t jobs_met{0};
+  std::uint64_t jobs_missed{0};
+  std::uint64_t mandatory_misses{0};  ///< must stay 0 when Theorem 1 applies
+  std::uint64_t preemptions{0};       ///< copies stopped with work remaining
+};
+
+/// Full result of a run: execution segments, job records, per-task outcome
+/// sequences (in job order, for the (m,k) audit), and counters.
+struct SimulationTrace {
+  core::Ticks horizon{0};
+  std::vector<ExecSegment> segments;
+  std::vector<JobRecord> jobs;
+  /// outcomes_per_task[i][j] is the outcome of the (j+1)-th *counted* job
+  /// of tau_{i+1}.
+  std::vector<std::vector<core::JobOutcome>> outcomes_per_task;
+  /// Time at which a processor permanently failed, or kNever.
+  std::array<core::Ticks, kProcessorCount> death_time{core::kNever, core::kNever};
+  std::array<core::Ticks, kProcessorCount> busy_time{0, 0};
+  SimStats stats;
+
+  /// Total execution time on both processors inside [0, upto) -- the
+  /// "active energy" of the paper's motivating examples (P_act = 1).
+  core::Ticks active_time(core::Ticks upto) const noexcept;
+  core::Ticks active_time() const noexcept { return active_time(horizon); }
+};
+
+}  // namespace mkss::sim

@@ -1,0 +1,23 @@
+#include "workload/scenarios.hpp"
+
+namespace mkss::workload {
+
+using core::Task;
+using core::TaskSet;
+
+TaskSet paper_fig1_taskset() {
+  return TaskSet({Task::from_ms(5, 4, 3, 2, 4, "tau1"),
+                  Task::from_ms(10, 10, 3, 1, 2, "tau2")});
+}
+
+TaskSet paper_fig3_taskset() {
+  return TaskSet({Task::from_ms(5, 2.5, 2, 2, 4, "tau1"),
+                  Task::from_ms(4, 4, 2, 2, 4, "tau2")});
+}
+
+TaskSet paper_fig5_taskset() {
+  return TaskSet({Task::from_ms(10, 10, 3, 2, 3, "tau1"),
+                  Task::from_ms(15, 15, 8, 1, 2, "tau2")});
+}
+
+}  // namespace mkss::workload

@@ -1,0 +1,18 @@
+// The fixed task sets of the paper's worked examples (Figures 1-5), exposed
+// so tests, examples and docs all speak about the same objects.
+#pragma once
+
+#include "core/task.hpp"
+
+namespace mkss::workload {
+
+/// Section III, Figures 1-2: tau1 = (5, 4, 3, 2, 4), tau2 = (10, 10, 3, 1, 2).
+core::TaskSet paper_fig1_taskset();
+
+/// Section III, Figures 3-4: tau1 = (5, 2.5, 2, 2, 4), tau2 = (4, 4, 2, 2, 4).
+core::TaskSet paper_fig3_taskset();
+
+/// Section IV, Figure 5: tau1 = (10, 10, 3, 2, 3), tau2 = (15, 15, 8, 1, 2).
+core::TaskSet paper_fig5_taskset();
+
+}  // namespace mkss::workload

@@ -1,0 +1,156 @@
+#include "workload/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/rta.hpp"
+
+namespace mkss::workload {
+
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+
+namespace {
+
+/// UUniFast (Bini & Buttazzo): splits `total` into n unbiased shares.
+std::vector<double> uunifast(std::size_t n, double total, core::Rng& rng) {
+  std::vector<double> shares(n);
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(), 1.0 / static_cast<double>(n - 1 - i));
+    shares[i] = sum - next;
+    sum = next;
+  }
+  shares[n - 1] = sum;
+  return shares;
+}
+
+/// Greedily steps individual m_i values (each step changes the total by
+/// (C_i/P_i)/k_i) towards `target` total (m,k)-utilization.
+void repair_mk_total(std::vector<Task>& tasks, double target) {
+  const auto total = [&tasks] {
+    double u = 0;
+    for (const Task& t : tasks) u += t.mk_utilization();
+    return u;
+  };
+  for (int iter = 0; iter < 256; ++iter) {
+    const double gap = target - total();
+    // Find the m step that best reduces |gap| without leaving [1, k-1].
+    std::size_t best = tasks.size();
+    double best_improve = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const Task& t = tasks[i];
+      const double step = t.utilization() / static_cast<double>(t.k);
+      if (gap > 0 && t.m + 1 < t.k) {
+        const double improve = std::abs(gap) - std::abs(gap - step);
+        if (improve > best_improve) {
+          best_improve = improve;
+          best = i;
+        }
+      } else if (gap < 0 && t.m > 1) {
+        const double improve = std::abs(gap) - std::abs(gap + step);
+        if (improve > best_improve) {
+          best_improve = improve;
+          best = i;
+        }
+      }
+    }
+    if (best == tasks.size()) break;  // no step improves the total
+    if (target > total()) {
+      ++tasks[best].m;
+    } else {
+      --tasks[best].m;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<TaskSet> generate_taskset(const GenParams& params,
+                                        double target_mk_util, core::Rng& rng) {
+  const auto n = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(params.min_tasks),
+                static_cast<std::int64_t>(params.max_tasks)));
+  const std::vector<double> shares = uunifast(n, target_mk_util, rng);
+
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.period = core::from_ms(rng.range(params.min_period_ms, params.max_period_ms));
+    t.deadline = std::max<Ticks>(
+        1, core::from_ms(params.deadline_factor * core::to_ms(t.period)));
+    t.k = static_cast<std::uint32_t>(
+        rng.range(params.min_k, static_cast<std::int64_t>(params.max_k)));
+
+    switch (params.wcet_model) {
+      case WcetModel::kUniformWcet: {
+        // C/P uniform; the (m,k) ratio carries the utilization share:
+        // share = (m/k) * (C/P)  =>  m = k * share * P / C.
+        const double v = rng.uniform(0.05, 1.0);  // C_i / P_i
+        t.wcet = std::max<Ticks>(
+            1, static_cast<Ticks>(std::llround(v * static_cast<double>(t.period))));
+        const double m_real =
+            static_cast<double>(t.k) * shares[i] / v;
+        const auto m = static_cast<std::int64_t>(std::llround(m_real));
+        t.m = static_cast<std::uint32_t>(
+            std::clamp<std::int64_t>(m, 1, static_cast<std::int64_t>(t.k) - 1));
+        break;
+      }
+      case WcetModel::kShapedWcet: {
+        t.m = static_cast<std::uint32_t>(
+            rng.range(1, static_cast<std::int64_t>(t.k) - 1));
+        // share = m*C / (k*P)  =>  C = share * k * P / m.
+        const double c_ticks = shares[i] * static_cast<double>(t.k) *
+                               static_cast<double>(t.period) /
+                               static_cast<double>(t.m);
+        t.wcet = static_cast<Ticks>(std::llround(c_ticks));
+        if (t.wcet < 1) t.wcet = 1;
+        break;
+      }
+    }
+    if (!t.valid()) return std::nullopt;  // share too big for this (m,k,P) draw
+    tasks.push_back(t);
+  }
+
+  // Integer m_i rounding can drift the total away from the target; repair by
+  // nudging m values until the total is as close to the target as unit steps
+  // allow.
+  if (params.wcet_model == WcetModel::kUniformWcet) {
+    repair_mk_total(tasks, target_mk_util);
+  }
+
+  // Rate-monotonic priority order (shorter period == higher priority), the
+  // natural fixed-priority assignment for implicit deadlines.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task& a, const Task& b) { return a.period < b.period; });
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].name = "tau" + std::to_string(i + 1);
+  }
+  return TaskSet(std::move(tasks));
+}
+
+BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
+                         std::size_t want_schedulable, std::size_t max_attempts,
+                         core::Rng& rng) {
+  BinnedBatch batch;
+  batch.bin_lo = bin_lo;
+  batch.bin_hi = bin_hi;
+  while (batch.sets.size() < want_schedulable && batch.attempts < max_attempts) {
+    ++batch.attempts;
+    const double target = rng.uniform(bin_lo, bin_hi);
+    auto ts = generate_taskset(params, target, rng);
+    if (!ts) continue;
+    const double u = ts->total_mk_utilization();
+    if (u < bin_lo || u >= bin_hi) continue;  // rounding moved it out of bin
+    if (!analysis::schedulable(*ts, params.accept_model)) {
+      continue;
+    }
+    batch.sets.push_back(std::move(*ts));
+  }
+  return batch;
+}
+
+}  // namespace mkss::workload

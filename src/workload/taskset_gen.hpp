@@ -1,0 +1,72 @@
+// Synthetic task-set generation following Section V of the paper:
+// 5..10 tasks per set, periods uniform in [5, 50] ms, k_i uniform in [2, 20],
+// 0 < m_i < k_i, WCETs shaped to hit a target total (m,k)-utilization, and
+// the total (m,k)-utilization axis divided into bins of width 0.1, each bin
+// requiring at least `want_schedulable` R-pattern-schedulable sets (or a
+// generation-attempt cap, mirroring the paper's "at least 20 task sets
+// schedulable or at least 5000 task sets generated").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/rta.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+
+namespace mkss::workload {
+
+/// How per-task WCETs are drawn.
+enum class WcetModel {
+  /// C_i / P_i uniform in (0, 1) as in the paper ("the WCET of a task was
+  /// assumed to be uniformly distributed"); the target (m,k)-utilization is
+  /// reached through the m_i/k_i ratios. Low-utilization bins then still
+  /// contain tasks with substantial per-job demand, which is the regime
+  /// where backup procrastination matters.
+  kUniformWcet,
+  /// C_i derived from a UUniFast (m,k)-utilization share with random
+  /// (m_i, k_i): C_i = u_i k_i P_i / m_i. Produces featherweight tasks in
+  /// low bins; kept as an ablation of workload shaping.
+  kShapedWcet,
+};
+
+struct GenParams {
+  std::size_t min_tasks{5};
+  std::size_t max_tasks{10};
+  std::int64_t min_period_ms{5};
+  std::int64_t max_period_ms{50};
+  std::uint32_t min_k{2};
+  std::uint32_t max_k{20};
+  /// Deadline factor: D_i = deadline_factor * P_i (the paper's evaluation
+  /// uses implicit deadlines).
+  double deadline_factor{1.0};
+  WcetModel wcet_model{WcetModel::kUniformWcet};
+  /// Schedulability test a generated set must pass to be accepted
+  /// ("schedulable under R-pattern" in the paper; the E-pattern model is
+  /// used by the pattern ablation).
+  analysis::DemandModel accept_model{analysis::DemandModel::kRPatternMandatory};
+};
+
+/// Draws one random task set whose total (m,k)-utilization is close to
+/// `target_mk_util`. Returns std::nullopt when the draw produced an invalid
+/// task (e.g. C_i > D_i); callers simply retry.
+std::optional<core::TaskSet> generate_taskset(const GenParams& params,
+                                              double target_mk_util,
+                                              core::Rng& rng);
+
+/// A batch of schedulable task sets inside one (m,k)-utilization bin.
+struct BinnedBatch {
+  double bin_lo{0};
+  double bin_hi{0};
+  std::vector<core::TaskSet> sets;   ///< R-pattern schedulable, util in bin
+  std::uint64_t attempts{0};         ///< total generation attempts
+};
+
+/// Generates until `want_schedulable` R-pattern-schedulable sets landed in
+/// [bin_lo, bin_hi) or `max_attempts` draws were made.
+BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
+                         std::size_t want_schedulable, std::size_t max_attempts,
+                         core::Rng& rng);
+
+}  // namespace mkss::workload

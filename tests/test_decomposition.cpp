@@ -1,0 +1,134 @@
+// Unit tests: active-energy decomposition by copy kind and breakdown
+// utilization.
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.hpp"
+#include "harness/evaluation.hpp"
+#include "metrics/decomposition.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::from_ms;
+
+TEST(Decomposition, SplitsMatchTotalsPerScheme) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                          sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    const auto run = harness::run_one(ts, kind, nofault, cfg);
+    const auto split = metrics::split_active_energy(run.trace);
+    EXPECT_NEAR(split.total(), run.energy.active_total(), 1e-9)
+        << sched::to_string(kind);
+  }
+}
+
+TEST(Decomposition, StHasMaximalBackupShare) {
+  // Lock-step ST spends exactly half its active energy on backups.
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto st = harness::run_one(ts, sched::SchemeKind::kSt, nofault, cfg);
+  const auto st_split = metrics::split_active_energy(st.trace);
+  EXPECT_DOUBLE_EQ(st_split.backup_share(), 0.5);
+  EXPECT_DOUBLE_EQ(st_split.optional_jobs, 0.0);
+
+  // DP procrastinates, so its backup share must be strictly smaller.
+  const auto dp = harness::run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  const auto dp_split = metrics::split_active_energy(dp.trace);
+  EXPECT_LT(dp_split.backup_share(), st_split.backup_share());
+  // Figure 1: mains 9 units, backups 6 units.
+  EXPECT_DOUBLE_EQ(dp_split.main, 9.0);
+  EXPECT_DOUBLE_EQ(dp_split.backup, 6.0);
+}
+
+TEST(Decomposition, SelectiveSpendsOnOptionalSingles) {
+  const auto ts = workload::paper_fig3_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{25});
+  const auto run = harness::run_one(ts, sched::SchemeKind::kSelective, nofault, cfg);
+  const auto split = metrics::split_active_energy(run.trace);
+  EXPECT_DOUBLE_EQ(split.optional_jobs, 14.0);  // Figure 4 is all-optional
+  EXPECT_DOUBLE_EQ(split.main, 0.0);
+  EXPECT_DOUBLE_EQ(split.backup, 0.0);
+}
+
+TEST(Decomposition, EmptyTraceIsZero) {
+  sim::SimulationTrace trace;
+  trace.horizon = from_ms(std::int64_t{10});
+  const auto split = metrics::split_active_energy(trace);
+  EXPECT_DOUBLE_EQ(split.total(), 0.0);
+  EXPECT_DOUBLE_EQ(split.backup_share(), 0.0);
+}
+
+TEST(Breakdown, ScaleBracketsTheFeasibilityEdge) {
+  const auto ts = workload::paper_fig1_taskset();  // U = 0.9 full
+  const double full = analysis::breakdown_scale(ts, analysis::DemandModel::kAllJobs);
+  // Slightly above 1: the set is schedulable but close to the edge.
+  EXPECT_GE(full, 1.0);
+  EXPECT_LT(full, 1.4);
+  // Mandatory-only demand can never have less headroom (here tau2's busy
+  // window sees the same two tau1 jobs either way, so they coincide).
+  const double mand =
+      analysis::breakdown_scale(ts, analysis::DemandModel::kRPatternMandatory);
+  EXPECT_GE(mand, full);
+  // A set whose low-priority busy window contains an optional job of the
+  // high-priority task: dropping it relaxes the bound strictly.
+  const TaskSet skewed({Task::from_ms(4, 4, 2, 1, 2), Task::from_ms(10, 10, 4, 1, 1)});
+  EXPECT_GT(
+      analysis::breakdown_scale(skewed, analysis::DemandModel::kRPatternMandatory),
+      analysis::breakdown_scale(skewed, analysis::DemandModel::kAllJobs) + 0.1);
+}
+
+TEST(Breakdown, InfeasibleSetReportsFloor) {
+  const TaskSet ts({Task::from_ms(5, 5, 3, 1, 2), Task::from_ms(10, 10, 5, 1, 2)});
+  analysis::BreakdownOptions opts;
+  const double s = analysis::breakdown_scale(ts, analysis::DemandModel::kAllJobs, opts);
+  EXPECT_LT(s, 1.0);
+  EXPECT_GT(s, opts.lo);  // still feasible at some small scale
+}
+
+TEST(Breakdown, ScaledSetIsActuallySchedulableAtReportedScale) {
+  const auto ts = workload::paper_fig5_taskset();
+  for (const auto model : {analysis::DemandModel::kAllJobs,
+                           analysis::DemandModel::kRPatternMandatory,
+                           analysis::DemandModel::kEPatternMandatory}) {
+    const double s = analysis::breakdown_scale(ts, model);
+    // Re-verify just below the reported scale.
+    std::vector<Task> tasks(ts.tasks());
+    for (Task& t : tasks) {
+      t.wcet = std::max<core::Ticks>(
+          1, static_cast<core::Ticks>(static_cast<double>(t.wcet) * (s - 0.01)));
+    }
+    EXPECT_TRUE(analysis::schedulable(TaskSet(std::move(tasks)), model))
+        << static_cast<int>(model);
+  }
+}
+
+TEST(Breakdown, EPatternHasAtLeastRPatternHeadroom) {
+  // The E-pattern spreads the mandatory bursts, so its breakdown scale can
+  // only be >= the deeply red one (identical m/k mandatory mass).
+  core::Rng rng(777);
+  int checked = 0;
+  for (int trial = 0; trial < 3000 && checked < 8; ++trial) {
+    const auto ts = workload::generate_taskset({}, rng.uniform(0.2, 0.5), rng);
+    if (!ts) continue;
+    ++checked;
+    const double r =
+        analysis::breakdown_scale(*ts, analysis::DemandModel::kRPatternMandatory);
+    const double e =
+        analysis::breakdown_scale(*ts, analysis::DemandModel::kEPatternMandatory);
+    EXPECT_GE(e, r - 0.01) << ts->describe();
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace mkss

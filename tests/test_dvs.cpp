@@ -1,0 +1,164 @@
+// Unit tests: DVS extension -- frequency ladder search, engine-level
+// execution stretching, frequency-dependent power, and scheme integration.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "harness/evaluation.hpp"
+#include "metrics/qos.hpp"
+#include "sched/dvs.hpp"
+#include "sched/mkss_dp.hpp"
+#include "sched/mkss_selective.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::sched {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::from_ms;
+
+TEST(Dvs, ScaleWcetsStretchesAndCaps) {
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 2), Task::from_ms(20, 20, 12, 1, 2)});
+  const TaskSet half = scale_wcets(ts, 0.5);
+  EXPECT_EQ(half[0].wcet, from_ms(std::int64_t{4}));
+  // 12 / 0.5 = 24 > D = 20: capped at the deadline (and hence infeasible).
+  EXPECT_EQ(half[1].wcet, from_ms(std::int64_t{20}));
+}
+
+TEST(Dvs, LadderSearchFindsLowestFeasibleFrequency) {
+  // One light task alone: can slow down to the ladder floor.
+  const TaskSet light({Task::from_ms(10, 10, 2, 1, 2)});
+  DvsOptions opts;
+  opts.enabled = true;
+  const double f = lowest_feasible_frequency(light, analysis::DemandModel::kAllJobs, opts);
+  EXPECT_LE(f, 0.45);
+  EXPECT_GE(f, opts.f_min - 1e-9);
+}
+
+TEST(Dvs, FullyLoadedTaskSetCannotSlowDown) {
+  // Utilization ~1: any slowdown breaks the RTA.
+  const TaskSet tight({Task::from_ms(10, 10, 5, 1, 2), Task::from_ms(20, 20, 9.8, 1, 2)});
+  DvsOptions opts;
+  const double f = lowest_feasible_frequency(tight, analysis::DemandModel::kAllJobs, opts);
+  EXPECT_DOUBLE_EQ(f, 1.0);
+}
+
+TEST(Dvs, ScaledSetRemainsSchedulableAtChosenFrequency) {
+  const auto ts = workload::paper_fig1_taskset();
+  DvsOptions opts;
+  for (const auto model : {analysis::DemandModel::kAllJobs,
+                           analysis::DemandModel::kRPatternMandatory}) {
+    const double f = lowest_feasible_frequency(ts, model, opts);
+    EXPECT_TRUE(analysis::schedulable(scale_wcets(ts, f), model));
+  }
+}
+
+TEST(Dvs, PowerModelIsMonotoneAndAnchored) {
+  energy::PowerParams p;
+  p.p_static = 0.3;
+  p.alpha = 3.0;
+  EXPECT_DOUBLE_EQ(p.power_at(1.0), 1.0);
+  EXPECT_NEAR(p.power_at(0.5), 0.3 + 0.7 * 0.125, 1e-12);
+  EXPECT_GT(p.power_at(0.8), p.power_at(0.5));
+  EXPECT_GE(p.power_at(0.05), p.p_static);
+}
+
+TEST(Dvs, EngineStretchesExecutionAtReducedFrequency) {
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 1)});
+  class HalfSpeed final : public SchemeBase {
+   public:
+    std::string name() const override { return "half"; }
+    sim::ReleaseDecision on_release(core::TaskIndex, std::uint64_t,
+                                    core::Ticks release) override {
+      sim::ReleaseDecision d;
+      d.mandatory = true;
+      d.copies.push_back({sim::kPrimary, sim::CopyKind::kMain,
+                          sim::Band::kMandatory, release, 0, 0.5});
+      return d;
+    }
+    void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+
+   protected:
+    void on_setup() override {}
+  } scheme;
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = sim::simulate(ts, scheme, nofault, cfg);
+  ASSERT_EQ(trace.segments.size(), 1u);
+  EXPECT_EQ(trace.segments[0].span.length(), from_ms(std::int64_t{4}));  // 2 / 0.5
+  EXPECT_DOUBLE_EQ(trace.segments[0].frequency, 0.5);
+  EXPECT_EQ(trace.stats.jobs_met, 1u);
+
+  // Energy: 4ms at P(0.5) is cheaper than 2ms at full power when the
+  // dynamic exponent bites (alpha = 3, no static floor).
+  energy::PowerParams p;
+  p.p_idle = 0.0;
+  const auto e = account_energy(trace, p);
+  EXPECT_NEAR(e.per_proc[sim::kPrimary].active, 4.0 * 0.125, 1e-9);
+  EXPECT_LT(e.per_proc[sim::kPrimary].active, 2.0);
+}
+
+TEST(Dvs, DpWithDvsKeepsDeadlinesAndSavesDynamicEnergy) {
+  // A light task set where the full set can be slowed substantially.
+  const TaskSet ts({Task::from_ms(20, 20, 2, 1, 2), Task::from_ms(40, 40, 3, 1, 2)});
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{80});
+  energy::PowerParams power;
+  power.p_static = 0.05;
+
+  DpOptions plain_opts;
+  MkssDp plain(plain_opts);
+  DpOptions dvs_opts;
+  dvs_opts.dvs.enabled = true;
+  MkssDp dvs(dvs_opts);
+
+  const auto run_plain = harness::run_one(ts, plain, nofault, cfg, power);
+  const auto run_dvs = harness::run_one(ts, dvs, nofault, cfg, power);
+  EXPECT_LT(dvs.main_frequency(), 1.0);
+  EXPECT_TRUE(run_dvs.qos.theorem1_holds());
+  EXPECT_LT(run_dvs.energy.total(), run_plain.energy.total());
+}
+
+TEST(Dvs, SelectiveWithDvsKeepsTheorem1UnderFaults) {
+  const auto ts = workload::paper_fig1_taskset();
+  SelectiveOptions opts;
+  opts.dvs.enabled = true;
+  for (const bool fault : {false, true}) {
+    MkssSelective scheme(opts);
+    sim::SimConfig cfg;
+    cfg.horizon = from_ms(std::int64_t{40});
+    std::unique_ptr<sim::FaultPlan> plan;
+    if (fault) {
+      plan = std::make_unique<fault::ScenarioFaultPlan>(
+          sim::PermanentFault{sim::kPrimary, from_ms(std::int64_t{7})},
+          std::vector<double>{}, 1);
+    } else {
+      plan = std::make_unique<sim::NoFaultPlan>();
+    }
+    const auto run = harness::run_one(ts, scheme, *plan, cfg);
+    EXPECT_TRUE(run.qos.mk_satisfied) << "fault=" << fault;
+    EXPECT_EQ(run.qos.mandatory_misses, 0u) << "fault=" << fault;
+  }
+}
+
+TEST(Dvs, DegradedModeRunsFullSpeed) {
+  // After the permanent fault every copy must be full speed (no sibling to
+  // cancel it; gambling the deadline on a slowdown would be unsafe).
+  const auto ts = workload::paper_fig1_taskset();
+  SelectiveOptions opts;
+  opts.dvs.enabled = true;
+  MkssSelective scheme(opts);
+  fault::ScenarioFaultPlan plan(sim::PermanentFault{sim::kSpare, 0},
+                                std::vector<double>{}, 1);
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{40});
+  const auto trace = sim::simulate(ts, scheme, plan, cfg);
+  for (const auto& s : trace.segments) {
+    EXPECT_DOUBLE_EQ(s.frequency, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mkss::sched

@@ -1,0 +1,118 @@
+// Unit tests: DPD energy accounting (Section II-A model).
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace mkss::energy {
+namespace {
+
+using core::from_ms;
+using sim::ExecSegment;
+using sim::SimulationTrace;
+
+SimulationTrace make_trace(core::Ticks horizon) {
+  SimulationTrace t;
+  t.horizon = horizon;
+  return t;
+}
+
+void add_busy(SimulationTrace& t, sim::ProcessorId p, double begin_ms, double end_ms) {
+  t.segments.push_back(ExecSegment{
+      p, core::JobId{0, 1}, sim::CopyKind::kMain, {from_ms(begin_ms), from_ms(end_ms)}});
+}
+
+TEST(Energy, PureActiveTime) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 10);
+  PowerParams p;
+  p.p_idle = 0.5;
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].active, 10.0);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].idle, 0.0);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kSpare].active, 0.0);
+  // Fully idle spare: one 10ms gap > T_be -> transition charge only.
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kSpare].transition, 0.5 * 1.0);
+  EXPECT_DOUBLE_EQ(e.total(), 10.0 + 0.5);
+  EXPECT_DOUBLE_EQ(e.active_total(), 10.0);
+}
+
+TEST(Energy, ShortGapIsChargedAtIdlePower) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 4);
+  add_busy(t, sim::kPrimary, 4.5, 10);  // 0.5ms gap <= T_be = 1ms
+  PowerParams p;
+  p.p_idle = 0.2;
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].idle, 0.5 * 0.2);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].transition, 0.0);
+  EXPECT_EQ(e.per_proc[sim::kPrimary].idle_time, from_ms(0.5));
+  EXPECT_EQ(e.per_proc[sim::kPrimary].slept_time, 0);
+}
+
+TEST(Energy, LongGapPaysBreakEvenThenSleeps) {
+  auto t = make_trace(from_ms(std::int64_t{20}));
+  add_busy(t, sim::kPrimary, 0, 4);
+  add_busy(t, sim::kPrimary, 14, 20);  // 10ms gap > T_be
+  PowerParams p;
+  p.p_idle = 0.2;
+  p.p_sleep = 0.01;
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].transition, 1.0 * 0.2);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].sleep, 9.0 * 0.01);
+  EXPECT_EQ(e.per_proc[sim::kPrimary].slept_time, from_ms(std::int64_t{9}));
+}
+
+TEST(Energy, GapExactlyBreakEvenStaysIdle) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 4);
+  add_busy(t, sim::kPrimary, 5, 10);  // exactly T_be
+  const auto e = account_energy(t, {});
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].transition, 0.0);
+  EXPECT_EQ(e.per_proc[sim::kPrimary].idle_time, from_ms(std::int64_t{1}));
+}
+
+TEST(Energy, CustomBreakEven) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 4);
+  add_busy(t, sim::kPrimary, 6, 10);  // 2ms gap
+  PowerParams p;
+  p.break_even = from_ms(std::int64_t{3});
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].transition, 0.0);  // 2 <= 3: idle
+  p.break_even = from_ms(std::int64_t{1});
+  const auto e2 = account_energy(t, p);
+  EXPECT_GT(e2.per_proc[sim::kPrimary].transition, 0.0);
+}
+
+TEST(Energy, DeadProcessorStopsConsuming) {
+  auto t = make_trace(from_ms(std::int64_t{20}));
+  add_busy(t, sim::kSpare, 0, 5);
+  t.death_time[sim::kSpare] = from_ms(std::int64_t{5});
+  PowerParams p;
+  p.p_idle = 1.0;  // would be expensive if the dead time were charged
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kSpare].active, 5.0);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kSpare].idle, 0.0);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kSpare].transition, 0.0);
+}
+
+TEST(Energy, ScalesWithActivePower) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 10);
+  PowerParams p;
+  p.p_active = 2.5;
+  p.p_idle = 0.0;
+  const auto e = account_energy(t, p);
+  EXPECT_DOUBLE_EQ(e.per_proc[sim::kPrimary].active, 25.0);
+}
+
+TEST(Energy, BusyTimeBookkeeping) {
+  auto t = make_trace(from_ms(std::int64_t{10}));
+  add_busy(t, sim::kPrimary, 0, 3);
+  add_busy(t, sim::kPrimary, 5, 7);
+  const auto e = account_energy(t, {});
+  EXPECT_EQ(e.per_proc[sim::kPrimary].busy_time, from_ms(std::int64_t{5}));
+}
+
+}  // namespace
+}  // namespace mkss::energy

@@ -1,0 +1,449 @@
+// Unit tests: discrete-event engine mechanics, exercised through a scripted
+// test scheme (so each behaviour is isolated from the real policies).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/gantt.hpp"
+
+namespace mkss::sim {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+using core::from_ms;
+
+/// Scheme whose release decisions are scripted per (task, job).
+class ScriptedScheme final : public Scheme {
+ public:
+  std::map<std::pair<core::TaskIndex, std::uint64_t>, ReleaseDecision> script;
+  ReleaseDecision fallback = ReleaseDecision::skip();
+  std::vector<std::pair<std::uint64_t, core::JobOutcome>> outcomes;
+
+  std::string name() const override { return "scripted"; }
+  void setup(const TaskSet&) override {}
+  ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j, Ticks) override {
+    const auto it = script.find({i, j});
+    return it != script.end() ? it->second : fallback;
+  }
+  void on_outcome(core::TaskIndex, std::uint64_t j, core::JobOutcome o) override {
+    outcomes.emplace_back(j, o);
+  }
+  void on_permanent_fault(ProcessorId, Ticks) override {}
+  std::optional<CopySpec> reroute_on_death(const core::Job&, bool, ProcessorId,
+                                           Ticks, Ticks) override {
+    return std::nullopt;
+  }
+};
+
+ReleaseDecision duplicated(Ticks backup_eligible) {
+  ReleaseDecision d;
+  d.mandatory = true;
+  d.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  d.copies.push_back({kSpare, CopyKind::kBackup, Band::kMandatory, backup_eligible, 0});
+  return d;
+}
+
+/// One-task helper set: P = D = 10ms, C = 3ms.
+TaskSet one_task() { return TaskSet({Task::from_ms(10, 10, 3, 1, 2)}); }
+
+TEST(Engine, RejectsNonPositiveHorizon) {
+  ScriptedScheme scheme;
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  EXPECT_THROW(simulate(ts, scheme, faults, SimConfig{}), std::invalid_argument);
+}
+
+TEST(Engine, MainCompletionCancelsBackupBeforeItStarts) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(from_ms(std::int64_t{7}));  // backup waits 7ms
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  EXPECT_EQ(trace.busy_time[kPrimary], from_ms(std::int64_t{3}));
+  EXPECT_EQ(trace.busy_time[kSpare], 0);  // canceled at t=3, before eligibility
+  EXPECT_EQ(trace.stats.backups_canceled, 1u);
+  EXPECT_EQ(trace.stats.jobs_met, 1u);
+  ASSERT_EQ(scheme.outcomes.size(), 1u);
+  EXPECT_EQ(scheme.outcomes[0].second, core::JobOutcome::kMet);
+}
+
+TEST(Engine, UnprocrastinatedBackupRunsInLockstep) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  // Both copies run [0,3): the backup finishes at the same instant as the
+  // main, so nothing is saved.
+  EXPECT_EQ(trace.busy_time[kPrimary], from_ms(std::int64_t{3}));
+  EXPECT_EQ(trace.busy_time[kSpare], from_ms(std::int64_t{3}));
+}
+
+TEST(Engine, PartiallyExecutedBackupIsCanceledMidFlight) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(from_ms(std::int64_t{1}));  // backup from t=1
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  // Backup runs [1,3) and is canceled at 3 ("canceled part" of Figure 1).
+  EXPECT_EQ(trace.busy_time[kSpare], from_ms(std::int64_t{2}));
+  EXPECT_EQ(trace.stats.backups_canceled, 1u);
+}
+
+TEST(Engine, HigherPriorityPreemptsAndResumes) {
+  // tau1 = (10,10,3) released at t=0 on primary; tau2 = (20,20,8) also
+  // primary: tau2 starts? No -- tau1 wins at t=0, tau2 runs [3,?], second
+  // tau1 job at 10 preempts tau2 if still running.
+  const TaskSet ts({Task::from_ms(10, 10, 3, 1, 1), Task::from_ms(20, 20, 8, 1, 1)});
+  ScriptedScheme scheme;
+  ReleaseDecision main_only;
+  main_only.mandatory = true;
+  main_only.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  scheme.fallback = main_only;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  // Expected primary timeline: tau1 [0,3), tau2 [3,10), tau1 [10,13),
+  // tau2 [13,14).
+  std::vector<std::pair<Ticks, Ticks>> tau2_segments;
+  for (const auto& s : trace.segments) {
+    if (s.job.task == 1) tau2_segments.push_back({s.span.begin, s.span.end});
+  }
+  ASSERT_EQ(tau2_segments.size(), 2u);
+  EXPECT_EQ(tau2_segments[0].first, from_ms(std::int64_t{3}));
+  EXPECT_EQ(tau2_segments[0].second, from_ms(std::int64_t{10}));
+  EXPECT_EQ(tau2_segments[1].first, from_ms(std::int64_t{13}));
+  EXPECT_EQ(tau2_segments[1].second, from_ms(std::int64_t{14}));
+  EXPECT_EQ(trace.stats.jobs_met, 3u);
+}
+
+TEST(Engine, MandatoryBandOutranksOptionalBandRegardlessOfTaskPriority) {
+  // tau1's job is optional-band, tau2's is mandatory-band: tau2 runs first
+  // even though tau1 has higher task priority.
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 2), Task::from_ms(10, 10, 2, 1, 2)});
+  ScriptedScheme scheme;
+  ReleaseDecision opt;
+  opt.copies.push_back({kPrimary, CopyKind::kOptional, Band::kOptional, 0, 0});
+  ReleaseDecision mand;
+  mand.mandatory = true;
+  mand.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  scheme.script[{0, 1}] = opt;
+  scheme.script[{1, 1}] = mand;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  ASSERT_GE(trace.segments.size(), 2u);
+  EXPECT_EQ(trace.segments[0].job.task, 1u);  // mandatory first
+  EXPECT_EQ(trace.segments[0].span.begin, 0);
+  EXPECT_EQ(trace.segments[1].job.task, 0u);
+  EXPECT_EQ(trace.segments[1].span.begin, from_ms(std::int64_t{2}));
+}
+
+TEST(Engine, OptionalRankBreaksTiesInsideOptionalBand) {
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 2), Task::from_ms(10, 10, 2, 1, 2)});
+  ScriptedScheme scheme;
+  ReleaseDecision urgent;  // tau2: rank 1
+  urgent.copies.push_back({kPrimary, CopyKind::kOptional, Band::kOptional, 0, 1});
+  ReleaseDecision relaxed;  // tau1: rank 2
+  relaxed.copies.push_back({kPrimary, CopyKind::kOptional, Band::kOptional, 0, 2});
+  scheme.script[{0, 1}] = relaxed;
+  scheme.script[{1, 1}] = urgent;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  ASSERT_GE(trace.segments.size(), 2u);
+  EXPECT_EQ(trace.segments[0].job.task, 1u);  // lower rank runs first
+}
+
+TEST(Engine, InfeasibleOptionalIsNeverInvoked) {
+  // Optional job with 3ms exec and 4ms deadline behind a 2ms mandatory job:
+  // at t=2 there are only 2ms left -> never invoked ("O11 will not be
+  // invoked at all").
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 2), Task::from_ms(10, 4, 3, 1, 2)});
+  ScriptedScheme scheme;
+  ReleaseDecision mand;
+  mand.mandatory = true;
+  mand.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  ReleaseDecision opt;
+  opt.copies.push_back({kPrimary, CopyKind::kOptional, Band::kOptional, 0, 0});
+  scheme.script[{0, 1}] = mand;
+  scheme.script[{1, 1}] = opt;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  for (const auto& s : trace.segments) {
+    EXPECT_NE(s.job.task, 1u) << "infeasible optional copy must not execute";
+  }
+  EXPECT_EQ(trace.stats.jobs_missed, 1u);
+  EXPECT_EQ(trace.stats.jobs_met, 1u);
+}
+
+TEST(Engine, SkippedJobMissesAtItsDeadline) {
+  ScriptedScheme scheme;  // fallback skips everything
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  EXPECT_EQ(trace.stats.jobs_missed, 2u);
+  ASSERT_EQ(trace.outcomes_per_task[0].size(), 2u);
+  ASSERT_EQ(scheme.outcomes.size(), 2u);
+  EXPECT_EQ(trace.jobs[0].resolved_at, from_ms(std::int64_t{10}));
+}
+
+TEST(Engine, JobsWithDeadlinePastHorizonAreNotAudited) {
+  ScriptedScheme scheme;
+  NoFaultPlan faults;
+  const auto ts = one_task();  // P = D = 10
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{15});  // second job's deadline is 20 > 15
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  EXPECT_EQ(trace.outcomes_per_task[0].size(), 1u);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_FALSE(trace.jobs[1].counted);
+}
+
+TEST(Engine, PermanentFaultKillsProcessorAndStopsItsEnergy) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  scheme.script[{0, 2}] = duplicated(0);
+  class Plan final : public FaultPlan {
+   public:
+    std::optional<PermanentFault> permanent() const override {
+      return PermanentFault{kSpare, from_ms(std::int64_t{1})};
+    }
+    bool transient(const core::JobId&, int) const override { return false; }
+  } plan;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto trace = simulate(ts, scheme, plan, cfg);
+
+  EXPECT_EQ(trace.death_time[kSpare], from_ms(std::int64_t{1}));
+  // Spare executed only [0,1) of the first backup; main finished the job.
+  EXPECT_EQ(trace.busy_time[kSpare], from_ms(std::int64_t{1}));
+  EXPECT_EQ(trace.stats.jobs_met, 2u);
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);
+}
+
+TEST(Engine, TransientFaultOnMainLetsBackupFinish) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  class Plan final : public FaultPlan {
+   public:
+    std::optional<PermanentFault> permanent() const override { return std::nullopt; }
+    bool transient(const core::JobId&, int slot) const override {
+      return slot == 0;  // main copy always faults
+    }
+  } plan;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, plan, cfg);
+
+  EXPECT_EQ(trace.stats.transient_faults, 1u);
+  EXPECT_EQ(trace.stats.jobs_met, 1u);  // backup saved it
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_TRUE(trace.jobs[0].main_transient_fault);
+  EXPECT_FALSE(trace.jobs[0].backup_transient_fault);
+  EXPECT_EQ(trace.busy_time[kSpare], from_ms(std::int64_t{3}));
+}
+
+TEST(Engine, TransientFaultOnBothCopiesMissesJob) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  class Plan final : public FaultPlan {
+   public:
+    std::optional<PermanentFault> permanent() const override { return std::nullopt; }
+    bool transient(const core::JobId&, int) const override { return true; }
+  } plan;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, plan, cfg);
+  EXPECT_EQ(trace.stats.jobs_met, 0u);
+  EXPECT_EQ(trace.stats.jobs_missed, 1u);
+  EXPECT_EQ(trace.stats.transient_faults, 2u);
+}
+
+TEST(Engine, SleepCommitmentSkipsOptionalWorkWhenConfigured) {
+  // One mandatory task with long period plus an optional job arriving during
+  // the idle gap. With wake_for_optional == false the processor committed to
+  // sleep and must ignore it.
+  const TaskSet ts({Task::from_ms(40, 40, 2, 1, 1), Task::from_ms(40, 40, 2, 1, 2)});
+  for (const bool wake : {true, false}) {
+    ScriptedScheme scheme;
+    ReleaseDecision mand;
+    mand.mandatory = true;
+    mand.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+    scheme.script[{0, 1}] = mand;
+    ReleaseDecision opt;
+    opt.copies.push_back(
+        {kPrimary, CopyKind::kOptional, Band::kOptional, from_ms(std::int64_t{10}), 0});
+    scheme.script[{1, 1}] = opt;
+    NoFaultPlan faults;
+    SimConfig cfg;
+    cfg.horizon = from_ms(std::int64_t{40});
+    cfg.wake_for_optional = wake;
+    const auto trace = simulate(ts, scheme, faults, cfg);
+    if (wake) {
+      EXPECT_EQ(trace.busy_time[kPrimary], from_ms(std::int64_t{4}));
+    } else {
+      EXPECT_EQ(trace.busy_time[kPrimary], from_ms(std::int64_t{2}))
+          << "sleeping processor must ignore optional work";
+    }
+  }
+}
+
+TEST(Engine, ActiveTimeClipsAtWindow) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  EXPECT_EQ(trace.active_time(from_ms(std::int64_t{2})), from_ms(std::int64_t{4}));
+  EXPECT_EQ(trace.active_time(), from_ms(std::int64_t{6}));
+}
+
+TEST(Engine, CompletionExactlyAtDeadlineIsMet) {
+  // tau: P=10, D=3, C=3 -- the only copy finishes exactly at its deadline.
+  const TaskSet ts({Task::from_ms(10, 3, 3, 1, 1)});
+  ScriptedScheme scheme;
+  ReleaseDecision mand;
+  mand.mandatory = true;
+  mand.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  scheme.script[{0, 1}] = mand;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  EXPECT_EQ(trace.stats.jobs_met, 1u);
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);
+}
+
+TEST(Engine, OutcomeOfPreviousJobPrecedesNextRelease) {
+  // With D == P, job j's (missed) deadline coincides with job j+1's release;
+  // the scheme must observe the outcome before classifying the next job.
+  class OrderProbe final : public Scheme {
+   public:
+    std::vector<std::pair<char, std::uint64_t>> events;  // ('r'/'o', job)
+    std::string name() const override { return "probe"; }
+    void setup(const core::TaskSet&) override {}
+    ReleaseDecision on_release(core::TaskIndex, std::uint64_t j, core::Ticks) override {
+      events.push_back({'r', j});
+      return ReleaseDecision::skip();  // every job misses at its deadline
+    }
+    void on_outcome(core::TaskIndex, std::uint64_t j, core::JobOutcome) override {
+      events.push_back({'o', j});
+    }
+    void on_permanent_fault(ProcessorId, core::Ticks) override {}
+    std::optional<CopySpec> reroute_on_death(const core::Job&, bool, ProcessorId,
+                                             core::Ticks, core::Ticks) override {
+      return std::nullopt;
+    }
+  } probe;
+  const TaskSet ts({Task::from_ms(10, 10, 2, 1, 4)});
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{30});
+  simulate(ts, probe, faults, cfg);
+  // Expected strict interleaving: r1, o1, r2, o2, r3, (o3 at horizon).
+  ASSERT_GE(probe.events.size(), 5u);
+  EXPECT_EQ(probe.events[0], (std::pair<char, std::uint64_t>{'r', 1}));
+  EXPECT_EQ(probe.events[1], (std::pair<char, std::uint64_t>{'o', 1}));
+  EXPECT_EQ(probe.events[2], (std::pair<char, std::uint64_t>{'r', 2}));
+  EXPECT_EQ(probe.events[3], (std::pair<char, std::uint64_t>{'o', 2}));
+  EXPECT_EQ(probe.events[4], (std::pair<char, std::uint64_t>{'r', 3}));
+}
+
+TEST(Engine, BackupFinishingFirstCancelsTheMain) {
+  // Main copy delayed behind a higher-priority job on the primary while the
+  // unprocrastinated backup runs free on the spare: the backup completes
+  // first and the main must be canceled (symmetric cancellation).
+  const TaskSet ts({Task::from_ms(20, 20, 8, 1, 1), Task::from_ms(20, 20, 3, 1, 1)});
+  ScriptedScheme scheme;
+  ReleaseDecision hog;  // tau1 keeps the primary busy [0,8)
+  hog.mandatory = true;
+  hog.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  scheme.script[{0, 1}] = hog;
+  ReleaseDecision dup;  // tau2 duplicated, backup eligible immediately
+  dup.mandatory = true;
+  dup.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  dup.copies.push_back({kSpare, CopyKind::kBackup, Band::kMandatory, 0, 0});
+  scheme.script[{1, 1}] = dup;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  EXPECT_EQ(trace.stats.mains_canceled, 1u);
+  EXPECT_EQ(trace.stats.jobs_met, 2u);
+  // tau2's main never ran on the primary (canceled at t=3 while queued
+  // behind tau1).
+  for (const auto& s : trace.segments) {
+    EXPECT_FALSE(s.proc == kPrimary && s.job.task == 1) << "main should not run";
+  }
+}
+
+TEST(Engine, PreemptionOverheadExtendsExecution) {
+  // tau1 (P=6, C=1) preempts tau2 (C=8) exactly once; with 1ms overhead
+  // tau2's total occupancy becomes 9ms: [1,6) + [7,11).
+  const TaskSet ts({Task::from_ms(6, 6, 1, 1, 1), Task::from_ms(20, 20, 8, 1, 1)});
+  ScriptedScheme scheme;
+  ReleaseDecision main_only;
+  main_only.mandatory = true;
+  main_only.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, 0, 0});
+  scheme.fallback = main_only;
+  NoFaultPlan faults;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  cfg.preemption_overhead = from_ms(std::int64_t{1});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+
+  Ticks tau2_time = 0;
+  for (const auto& s : trace.segments) {
+    if (s.job.task == 1) tau2_time += s.span.length();
+  }
+  EXPECT_EQ(tau2_time, from_ms(std::int64_t{9}));  // 8 + 1 overhead
+  EXPECT_EQ(trace.stats.preemptions, 1u);
+  EXPECT_EQ(trace.stats.jobs_met, 4u);  // tau1 jobs 1-3 + tau2 job 1 counted
+}
+
+TEST(Gantt, RendersRowsPerProcessorAndTask) {
+  ScriptedScheme scheme;
+  scheme.script[{0, 1}] = duplicated(0);
+  NoFaultPlan faults;
+  const auto ts = one_task();
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, faults, cfg);
+  const std::string g = render_gantt(trace, ts);
+  EXPECT_NE(g.find("primary"), std::string::npos);
+  EXPECT_NE(g.find("spare"), std::string::npos);
+  EXPECT_NE(g.find("MMM"), std::string::npos);
+  EXPECT_NE(g.find("BBB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mkss::sim

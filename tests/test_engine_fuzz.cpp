@@ -1,0 +1,198 @@
+// Fuzz/property suite for the discrete-event engine: a scheme that makes
+// random-but-well-formed decisions drives the engine through task sets and
+// fault plans it was never hand-tuned for; structural invariants are then
+// checked on the resulting traces. This is the robustness net under the four
+// real schemes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "fault/injection.hpp"
+#include "sim/engine.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss::sim {
+namespace {
+
+using core::Ticks;
+
+/// Makes arbitrary valid release decisions, driven by a seeded RNG.
+class RandomScheme final : public Scheme {
+ public:
+  explicit RandomScheme(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "fuzz"; }
+  void setup(const core::TaskSet& ts) override { ts_ = &ts; }
+
+  ReleaseDecision on_release(core::TaskIndex i, std::uint64_t, Ticks release) override {
+    const core::Task& task = (*ts_)[i];
+    ReleaseDecision d;
+    const auto roll = rng_.below(10);
+    const auto proc = static_cast<ProcessorId>(rng_.below(2));
+    const double freq = std::array<double, 3>{1.0, 0.75, 0.5}[rng_.below(3)];
+    const Ticks slack = task.deadline - task.wcet;
+    const Ticks delay = slack > 0 ? rng_.range(0, slack) : 0;
+
+    if (roll < 2) {
+      return ReleaseDecision::skip();
+    }
+    if (roll < 5) {  // duplicated mandatory, random backup delay
+      d.mandatory = true;
+      d.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, release, 0, 1.0});
+      d.copies.push_back({kSpare, CopyKind::kBackup, Band::kMandatory,
+                          release + delay, 0, 1.0});
+      return d;
+    }
+    if (roll < 7) {  // single mandatory copy on a random processor
+      d.mandatory = true;
+      d.copies.push_back({proc, CopyKind::kMain, Band::kMandatory, release, 0, freq});
+      return d;
+    }
+    // optional copy, random placement / rank / eligibility / frequency
+    d.copies.push_back({proc, CopyKind::kOptional, Band::kOptional,
+                        release + delay,
+                        static_cast<std::uint32_t>(rng_.below(4)), freq});
+    return d;
+  }
+
+  void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+  void on_permanent_fault(ProcessorId, Ticks) override {}
+  std::optional<CopySpec> reroute_on_death(const core::Job& job, bool mandatory,
+                                           ProcessorId survivor, Ticks now,
+                                           Ticks) override {
+    if (!mandatory && now + job.exec > job.deadline) return std::nullopt;
+    return CopySpec{survivor,
+                    mandatory ? CopyKind::kMain : CopyKind::kOptional,
+                    mandatory ? Band::kMandatory : Band::kOptional, now, 0, 1.0};
+  }
+
+ private:
+  const core::TaskSet* ts_ = nullptr;
+  core::Rng rng_;
+};
+
+void check_invariants(const SimulationTrace& trace, const core::TaskSet& ts,
+                      std::uint64_t seed) {
+  // 1. No overlapping execution on a processor; segments within horizon.
+  std::array<std::vector<core::Interval>, 2> spans;
+  for (const ExecSegment& s : trace.segments) {
+    ASSERT_LT(s.proc, kProcessorCount);
+    EXPECT_GE(s.span.begin, 0) << "seed " << seed;
+    EXPECT_LE(s.span.end, trace.horizon) << "seed " << seed;
+    EXPECT_LT(s.span.begin, s.span.end) << "seed " << seed;
+    spans[s.proc].push_back(s.span);
+  }
+  for (auto& list : spans) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) { return a.begin < b.begin; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i].begin, list[i - 1].end) << "seed " << seed;
+    }
+  }
+
+  // 2. busy_time bookkeeping is exact.
+  std::array<Ticks, 2> busy{0, 0};
+  for (const ExecSegment& s : trace.segments) busy[s.proc] += s.span.length();
+  EXPECT_EQ(busy[0], trace.busy_time[0]) << "seed " << seed;
+  EXPECT_EQ(busy[1], trace.busy_time[1]) << "seed " << seed;
+
+  // 3. Nothing executes on a dead processor after its death.
+  for (const ExecSegment& s : trace.segments) {
+    EXPECT_LE(s.span.end, trace.death_time[s.proc]) << "seed " << seed;
+  }
+
+  // 4. Every counted job resolves exactly once, in job order, and the
+  //    outcome sequences match the counted-job counts.
+  std::vector<std::size_t> counted(ts.size(), 0);
+  for (const JobRecord& j : trace.jobs) {
+    if (j.counted) {
+      EXPECT_TRUE(j.resolved) << "seed " << seed;
+      EXPECT_LE(j.resolved_at, j.job.deadline) << "seed " << seed;
+      ++counted[j.job.id.task];
+    }
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(trace.outcomes_per_task[i].size(), counted[i]) << "seed " << seed;
+  }
+
+  // 5. Met jobs executed at least ... something; missed mandatory jobs are
+  //    tallied.
+  EXPECT_EQ(trace.stats.jobs_met + trace.stats.jobs_missed,
+            std::accumulate(counted.begin(), counted.end(), std::size_t{0}))
+      << "seed " << seed;
+
+  // 6. Per-copy execution never exceeds the scaled demand (freq >= 0.5 here,
+  //    so at most 2x WCET per copy, 4x per job, plus preemption overheads --
+  //    none configured).
+  std::map<std::pair<core::TaskIndex, std::uint64_t>, Ticks> per_job;
+  for (const ExecSegment& s : trace.segments) {
+    per_job[{s.job.task, s.job.job}] += s.span.length();
+  }
+  for (const auto& [key, total] : per_job) {
+    EXPECT_LE(total, 4 * ts[key.first].wcet + 4) << "seed " << seed;
+  }
+}
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, InvariantsHoldUnderRandomSchemesAndFaults) {
+  const std::uint64_t seed = GetParam();
+  core::Rng rng(seed);
+  int produced = 0;
+  for (int trial = 0; trial < 4000 && produced < 6; ++trial) {
+    const auto ts = workload::generate_taskset({}, rng.uniform(0.2, 0.6), rng);
+    if (!ts) continue;
+    ++produced;
+
+    const Ticks horizon = core::from_ms(rng.range(50, 400));
+    for (const auto scenario :
+         {fault::Scenario::kNoFault, fault::Scenario::kPermanentOnly,
+          fault::Scenario::kPermanentAndTransient}) {
+      core::Rng fault_rng = rng.split();
+      const auto plan =
+          fault::make_scenario_plan(scenario, *ts, horizon, 0.005, fault_rng);
+      RandomScheme scheme(seed ^ 0xabcdef);
+      SimConfig cfg;
+      cfg.horizon = horizon;
+      cfg.wake_for_optional = (seed % 2) == 0;
+      const auto trace = simulate(*ts, scheme, *plan, cfg);
+      check_invariants(trace, *ts, seed);
+    }
+  }
+  EXPECT_GT(produced, 0);
+}
+
+TEST_P(EngineFuzz, IdenticalSeedsGiveIdenticalTraces) {
+  const std::uint64_t seed = GetParam();
+  core::Rng rng(seed);
+  std::optional<core::TaskSet> ts;
+  for (int trial = 0; trial < 4000 && !ts; ++trial) {
+    ts = workload::generate_taskset({}, 0.4, rng);
+  }
+  ASSERT_TRUE(ts.has_value());
+
+  const auto run = [&](std::uint64_t scheme_seed) {
+    RandomScheme scheme(scheme_seed);
+    NoFaultPlan faults;
+    SimConfig cfg;
+    cfg.horizon = core::from_ms(std::int64_t{200});
+    return simulate(*ts, scheme, faults, cfg);
+  };
+  const auto a = run(seed);
+  const auto b = run(seed);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].span, b.segments[i].span);
+    EXPECT_EQ(a.segments[i].proc, b.segments[i].proc);
+  }
+  EXPECT_EQ(a.stats.jobs_met, b.stats.jobs_met);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace mkss::sim

@@ -1,0 +1,120 @@
+// Unit tests: actual-execution-time models and their engine integration.
+#include <gtest/gtest.h>
+
+#include "harness/evaluation.hpp"
+#include "metrics/qos.hpp"
+#include "sim/exec_model.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::sim {
+namespace {
+
+using core::Ticks;
+using core::from_ms;
+
+TEST(ExecModel, WcetModelIsIdentity) {
+  const WcetExecModel model;
+  EXPECT_EQ(model.actual_exec(core::JobId{0, 1}, 5000), 5000);
+}
+
+TEST(ExecModel, UniformModelStaysInRange) {
+  const UniformExecModel model(0.5, 7);
+  for (std::uint64_t j = 1; j <= 500; ++j) {
+    const Ticks actual = model.actual_exec(core::JobId{0, j}, 10000);
+    EXPECT_GE(actual, 5000);
+    EXPECT_LE(actual, 10000);
+  }
+}
+
+TEST(ExecModel, UniformModelIsDeterministicPerJob) {
+  const UniformExecModel a(0.5, 7), b(0.5, 7);
+  for (std::uint64_t j = 1; j <= 100; ++j) {
+    EXPECT_EQ(a.actual_exec(core::JobId{2, j}, 9999),
+              b.actual_exec(core::JobId{2, j}, 9999));
+  }
+  // Different seed -> different stream.
+  const UniformExecModel c(0.5, 8);
+  int differ = 0;
+  for (std::uint64_t j = 1; j <= 100; ++j) {
+    differ += a.actual_exec(core::JobId{2, j}, 9999) !=
+              c.actual_exec(core::JobId{2, j}, 9999);
+  }
+  EXPECT_GT(differ, 50);
+}
+
+TEST(ExecModel, UniformModelMeanIsCalibrated) {
+  const UniformExecModel model(0.5, 11);
+  double sum = 0;
+  const int n = 5000;
+  for (int j = 1; j <= n; ++j) {
+    sum += static_cast<double>(
+        model.actual_exec(core::JobId{0, static_cast<std::uint64_t>(j)}, 10000));
+  }
+  EXPECT_NEAR(sum / n, 7500.0, 100.0);  // mean of U(0.5, 1) * wcet
+}
+
+TEST(ExecModel, NeverBelowOneTick) {
+  const UniformExecModel model(0.0, 3);
+  for (std::uint64_t j = 1; j <= 100; ++j) {
+    EXPECT_GE(model.actual_exec(core::JobId{0, j}, 1), 1);
+  }
+}
+
+TEST(ExecModel, EngineRunsJobsForTheirActualTime) {
+  // bcet == wcet fraction 0.5 with a fixed seed: the first job's actual time
+  // is whatever the model says; the segment length must match exactly.
+  const auto ts = workload::paper_fig1_taskset();
+  const UniformExecModel model(0.5, 99);
+  const auto scheme = sched::make_scheme(sched::SchemeKind::kSt);
+  NoFaultPlan nofault;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{20});
+  const auto trace = simulate(ts, *scheme, nofault, cfg, &model);
+
+  for (const auto& s : trace.segments) {
+    if (s.kind != CopyKind::kMain) continue;
+    const Ticks expected =
+        model.actual_exec(s.job, ts[s.job.task].wcet);
+    // Mains run uninterrupted in ST's lock-step schedule for tau1 job 1.
+    if (s.job.task == 0 && s.job.job == 1) {
+      EXPECT_EQ(s.span.length(), expected);
+    }
+  }
+}
+
+TEST(ExecModel, EarlyCompletionNeverIncreasesEnergy) {
+  const auto ts = workload::paper_fig1_taskset();
+  NoFaultPlan nofault;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{40});
+  for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                          sched::SchemeKind::kSelective}) {
+    const auto wcet_run = harness::run_one(ts, kind, nofault, cfg);
+    const UniformExecModel model(0.5, 5);
+    const auto early_run = harness::run_one(ts, kind, nofault, cfg, {}, &model);
+    EXPECT_LE(early_run.energy.active_total(), wcet_run.energy.active_total())
+        << sched::to_string(kind);
+    EXPECT_TRUE(early_run.qos.mk_satisfied) << sched::to_string(kind);
+  }
+}
+
+TEST(ExecModel, Theorem1HoldsWithVariableExecutionTimes) {
+  // Shorter-than-WCET jobs can only add slack; the (m,k) guarantee must be
+  // untouched for every scheme.
+  const auto ts = workload::paper_fig3_taskset();
+  NoFaultPlan nofault;
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{160});
+  for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                          sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    for (const double bcet : {0.25, 0.5, 0.9}) {
+      const UniformExecModel model(bcet, 123);
+      const auto run = harness::run_one(ts, kind, nofault, cfg, {}, &model);
+      EXPECT_TRUE(run.qos.theorem1_holds())
+          << sched::to_string(kind) << " bcet=" << bcet;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mkss::sim

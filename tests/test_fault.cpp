@@ -1,0 +1,118 @@
+// Unit tests: fault plans -- determinism, probability calibration, scenario
+// construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/injection.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::fault {
+namespace {
+
+TEST(Faults, ScenarioNames) {
+  EXPECT_STREQ(to_string(Scenario::kNoFault), "no-fault");
+  EXPECT_STREQ(to_string(Scenario::kPermanentOnly), "permanent");
+  EXPECT_STREQ(to_string(Scenario::kPermanentAndTransient), "permanent+transient");
+}
+
+TEST(Faults, TransientProbabilitiesFollowPoissonModel) {
+  const auto ts = workload::paper_fig1_taskset();  // C = 3ms both
+  const auto p = transient_probabilities(ts, 0.1);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 1.0 - std::exp(-0.3), 1e-12);
+  EXPECT_NEAR(p[1], 1.0 - std::exp(-0.3), 1e-12);
+  const auto zero = transient_probabilities(ts, 0.0);
+  EXPECT_EQ(zero[0], 0.0);
+}
+
+TEST(Faults, DrawsAreDeterministicPerJobAndSlot) {
+  ScenarioFaultPlan plan(std::nullopt, {0.5, 0.5}, 99);
+  for (std::uint64_t j = 1; j < 50; ++j) {
+    const core::JobId id{0, j};
+    EXPECT_EQ(plan.transient(id, 0), plan.transient(id, 0));
+    EXPECT_EQ(plan.transient(id, 1), plan.transient(id, 1));
+  }
+}
+
+TEST(Faults, SlotsAreIndependent) {
+  ScenarioFaultPlan plan(std::nullopt, {0.5}, 7);
+  int differ = 0;
+  for (std::uint64_t j = 1; j <= 200; ++j) {
+    const core::JobId id{0, j};
+    if (plan.transient(id, 0) != plan.transient(id, 1)) ++differ;
+  }
+  EXPECT_GT(differ, 50);  // ~50% expected
+}
+
+TEST(Faults, EmpiricalRateMatchesProbability) {
+  ScenarioFaultPlan plan(std::nullopt, {0.2}, 31);
+  int hits = 0;
+  const int n = 20000;
+  for (int j = 1; j <= n; ++j) {
+    hits += plan.transient(core::JobId{0, static_cast<std::uint64_t>(j)}, 0);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.02);
+}
+
+TEST(Faults, UnknownTaskNeverFaults) {
+  ScenarioFaultPlan plan(std::nullopt, {1.0}, 3);
+  EXPECT_FALSE(plan.transient(core::JobId{5, 1}, 0));
+}
+
+TEST(Faults, NoFaultScenarioPlan) {
+  core::Rng rng(1);
+  const auto ts = workload::paper_fig1_taskset();
+  const auto plan = make_scenario_plan(Scenario::kNoFault, ts,
+                                       core::from_ms(std::int64_t{100}), 1e-6, rng);
+  EXPECT_FALSE(plan->permanent().has_value());
+  EXPECT_FALSE(plan->transient(core::JobId{0, 1}, 0));
+}
+
+TEST(Faults, PermanentScenarioDrawsWithinHorizon) {
+  core::Rng rng(2);
+  const auto ts = workload::paper_fig1_taskset();
+  const core::Ticks horizon = core::from_ms(std::int64_t{100});
+  for (int i = 0; i < 50; ++i) {
+    const auto plan =
+        make_scenario_plan(Scenario::kPermanentOnly, ts, horizon, 1e-6, rng);
+    const auto pf = plan->permanent();
+    ASSERT_TRUE(pf.has_value());
+    EXPECT_GE(pf->time, 0);
+    EXPECT_LT(pf->time, horizon);
+    // Permanent-only: transients disabled.
+    EXPECT_FALSE(plan->transient(core::JobId{0, 1}, 0));
+  }
+}
+
+TEST(Faults, PermanentScenarioHitsBothProcessors) {
+  core::Rng rng(3);
+  const auto ts = workload::paper_fig1_taskset();
+  bool saw_primary = false, saw_spare = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto plan = make_scenario_plan(Scenario::kPermanentOnly, ts,
+                                         core::from_ms(std::int64_t{100}), 0, rng);
+    const auto pf = plan->permanent();
+    saw_primary |= (pf->proc == sim::kPrimary);
+    saw_spare |= (pf->proc == sim::kSpare);
+  }
+  EXPECT_TRUE(saw_primary);
+  EXPECT_TRUE(saw_spare);
+}
+
+TEST(Faults, TransientScenarioEnablesTransients) {
+  core::Rng rng(4);
+  const auto ts = workload::paper_fig1_taskset();
+  // Inflated rate so some job in a modest window faults.
+  const auto plan = make_scenario_plan(Scenario::kPermanentAndTransient, ts,
+                                       core::from_ms(std::int64_t{100}), 0.5, rng);
+  int hits = 0;
+  for (std::uint64_t j = 1; j <= 100; ++j) {
+    hits += plan->transient(core::JobId{0, j}, 0);
+    hits += plan->transient(core::JobId{1, j}, 1);
+  }
+  EXPECT_GT(hits, 0);
+}
+
+}  // namespace
+}  // namespace mkss::fault

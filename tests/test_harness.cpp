@@ -1,0 +1,113 @@
+// Unit + integration tests: the evaluation harness (run_one, horizon choice,
+// small sweeps).
+#include <gtest/gtest.h>
+
+#include "harness/evaluation.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::harness {
+namespace {
+
+TEST(RunOne, ProducesConsistentEnergyAndQos) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{20});
+  const auto run = run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  EXPECT_DOUBLE_EQ(run.energy.active_total(), 15.0);
+  EXPECT_TRUE(run.qos.theorem1_holds());
+  EXPECT_EQ(run.trace.horizon, cfg.horizon);
+}
+
+TEST(RunOne, ActiveEnergyEqualsBusyTime) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{20});
+  for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                          sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    const auto run = run_one(ts, kind, nofault, cfg);
+    const double busy_ms = core::to_ms(run.trace.busy_time[sim::kPrimary] +
+                                       run.trace.busy_time[sim::kSpare]);
+    EXPECT_DOUBLE_EQ(run.energy.active_total(), busy_ms) << sched::to_string(kind);
+  }
+}
+
+TEST(ChooseHorizon, UsesPatternHyperperiodWhenSmall) {
+  const auto ts = workload::paper_fig1_taskset();  // mk hyperperiod 20ms
+  EXPECT_EQ(choose_horizon(ts, core::from_ms(std::int64_t{1000})),
+            core::from_ms(std::int64_t{20}));
+}
+
+TEST(ChooseHorizon, FallsBackToCap) {
+  const auto ts = workload::paper_fig1_taskset();
+  EXPECT_EQ(choose_horizon(ts, core::from_ms(std::int64_t{15})),
+            core::from_ms(std::int64_t{15}));
+}
+
+TEST(Sweep, SmallNoFaultSweepHasPaperShape) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.2, 0.4};
+  cfg.sets_per_bin = 6;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{2000});
+  const auto result = run_sweep(cfg);
+
+  ASSERT_EQ(result.scheme_names.size(), 3u);
+  EXPECT_EQ(result.scheme_names[0], "MKSS_ST");
+  EXPECT_EQ(result.qos_failures, 0u);
+  ASSERT_EQ(result.bins.size(), 2u);
+  for (const auto& bin : result.bins) {
+    if (bin.sets == 0) continue;
+    const double st = bin.normalized[0].mean();
+    const double dp = bin.normalized[1].mean();
+    const double sel = bin.normalized[2].mean();
+    EXPECT_DOUBLE_EQ(st, 1.0);
+    EXPECT_LT(dp, st);
+    EXPECT_LT(sel, dp);  // the headline ordering of Figure 6
+  }
+  EXPECT_GT(result.max_gain(2, 1), 0.0);
+}
+
+TEST(Sweep, TableHasOneRowPerBin) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.3};
+  cfg.sets_per_bin = 3;
+  cfg.max_attempts_per_bin = 2000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  const auto result = run_sweep(cfg);
+  const auto table = result.to_table();
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NE(table.to_string().find("MKSS_selective"), std::string::npos);
+}
+
+TEST(Sweep, DeterministicForFixedSeed) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.3};
+  cfg.sets_per_bin = 4;
+  cfg.max_attempts_per_bin = 2000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  const auto a = run_sweep(cfg);
+  const auto b = run_sweep(cfg);
+  ASSERT_EQ(a.bins.size(), b.bins.size());
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    EXPECT_EQ(a.bins[i].sets, b.bins[i].sets);
+    for (std::size_t s = 0; s < a.scheme_names.size(); ++s) {
+      EXPECT_DOUBLE_EQ(a.bins[i].normalized[s].mean(), b.bins[i].normalized[s].mean());
+    }
+  }
+}
+
+TEST(Sweep, PermanentFaultScenarioStillSatisfiesTheorem1) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.3};
+  cfg.sets_per_bin = 5;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  cfg.scenario = fault::Scenario::kPermanentOnly;
+  const auto result = run_sweep(cfg);
+  EXPECT_EQ(result.qos_failures, 0u);
+}
+
+}  // namespace
+}  // namespace mkss::harness

@@ -1,0 +1,163 @@
+// Cross-module integration tests: end-to-end invariants that no single
+// module can check on its own.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/rta.hpp"
+#include "harness/evaluation.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss {
+namespace {
+
+using core::Ticks;
+
+/// Runs every scheme on a batch of random schedulable sets and returns the
+/// traces keyed by scheme.
+std::map<sched::SchemeKind, std::vector<harness::RunResult>> run_batch(
+    std::uint64_t seed, std::size_t sets) {
+  core::Rng rng(seed);
+  std::map<sched::SchemeKind, std::vector<harness::RunResult>> out;
+  std::size_t produced = 0;
+  for (int trial = 0; trial < 20000 && produced < sets; ++trial) {
+    const auto ts = workload::generate_taskset({}, rng.uniform(0.2, 0.55), rng);
+    if (!ts || !analysis::schedulable(*ts, analysis::DemandModel::kRPatternMandatory)) {
+      continue;
+    }
+    ++produced;
+    sim::SimConfig cfg;
+    cfg.horizon = harness::choose_horizon(*ts, core::from_ms(std::int64_t{1500}));
+    sim::NoFaultPlan nofault;
+    for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                            sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+      out[kind].push_back(harness::run_one(*ts, kind, nofault, cfg));
+    }
+  }
+  return out;
+}
+
+TEST(Integration, NoProcessorEverRunsTwoCopiesAtOnce) {
+  const auto batch = run_batch(71, 6);
+  for (const auto& [kind, runs] : batch) {
+    for (const auto& run : runs) {
+      std::array<std::vector<core::Interval>, 2> spans;
+      for (const auto& s : run.trace.segments) {
+        spans[s.proc].push_back(s.span);
+      }
+      for (auto& list : spans) {
+        std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+          return a.begin < b.begin;
+        });
+        for (std::size_t i = 1; i < list.size(); ++i) {
+          EXPECT_GE(list[i].begin, list[i - 1].end)
+              << sched::to_string(kind) << ": overlapping execution segments";
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, SegmentsStayInsideJobWindows) {
+  const auto batch = run_batch(72, 6);
+  for (const auto& [kind, runs] : batch) {
+    for (const auto& run : runs) {
+      for (const auto& s : run.trace.segments) {
+        const auto& rec = run.trace.jobs;
+        // Locate the job record (task, job index).
+        const auto it = std::find_if(rec.begin(), rec.end(), [&](const auto& j) {
+          return j.job.id == s.job;
+        });
+        ASSERT_NE(it, rec.end());
+        EXPECT_GE(s.span.begin, it->job.release) << sched::to_string(kind);
+        EXPECT_LE(s.span.end, std::max(it->job.deadline, run.trace.horizon));
+      }
+    }
+  }
+}
+
+TEST(Integration, BusyTimeMatchesSegmentSum) {
+  const auto batch = run_batch(73, 6);
+  for (const auto& [kind, runs] : batch) {
+    for (const auto& run : runs) {
+      std::array<Ticks, 2> sums{0, 0};
+      for (const auto& s : run.trace.segments) sums[s.proc] += s.span.length();
+      EXPECT_EQ(sums[0], run.trace.busy_time[0]) << sched::to_string(kind);
+      EXPECT_EQ(sums[1], run.trace.busy_time[1]) << sched::to_string(kind);
+    }
+  }
+}
+
+TEST(Integration, ExecutedTimePerJobNeverExceedsTwoWcets) {
+  const auto batch = run_batch(74, 6);
+  for (const auto& [kind, runs] : batch) {
+    for (const auto& run : runs) {
+      std::map<std::pair<core::TaskIndex, std::uint64_t>, Ticks> per_job;
+      for (const auto& s : run.trace.segments) {
+        per_job[{s.job.task, s.job.job}] += s.span.length();
+      }
+      for (const auto& j : run.trace.jobs) {
+        const auto it = per_job.find({j.job.id.task, j.job.id.job});
+        if (it == per_job.end()) continue;
+        EXPECT_LE(it->second, 2 * j.job.exec) << sched::to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Integration, StaticSchemesAgreeOnMandatoryCount) {
+  const auto batch = run_batch(75, 6);
+  const auto& st = batch.at(sched::SchemeKind::kSt);
+  const auto& dp = batch.at(sched::SchemeKind::kDp);
+  ASSERT_EQ(st.size(), dp.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    EXPECT_EQ(st[i].trace.stats.mandatory_jobs, dp[i].trace.stats.mandatory_jobs);
+  }
+}
+
+TEST(Integration, SelectiveNeverCostsMoreThanStatic) {
+  // The headline energy ordering, checked per task set (not just on
+  // average): selective <= ST. (DP can beat or lose to greedy, but the
+  // static reference is the ceiling.)
+  const auto batch = run_batch(76, 8);
+  const auto& st = batch.at(sched::SchemeKind::kSt);
+  const auto& sel = batch.at(sched::SchemeKind::kSelective);
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    EXPECT_LE(sel[i].energy.total(), st[i].energy.total() * 1.05)
+        << "selective should not exceed the static reference";
+  }
+}
+
+TEST(Integration, EveryCountedJobGetsExactlyOneOutcome) {
+  const auto batch = run_batch(77, 6);
+  for (const auto& [kind, runs] : batch) {
+    for (const auto& run : runs) {
+      std::vector<std::size_t> counted_per_task(run.trace.outcomes_per_task.size(), 0);
+      for (const auto& j : run.trace.jobs) {
+        if (j.counted) ++counted_per_task[j.job.id.task];
+      }
+      for (std::size_t i = 0; i < counted_per_task.size(); ++i) {
+        EXPECT_EQ(run.trace.outcomes_per_task[i].size(), counted_per_task[i])
+            << sched::to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Integration, WakeForOptionalOffNeverIncreasesActiveEnergyButMayMiss) {
+  const auto ts = workload::paper_fig3_taskset();
+  for (const auto kind : {sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    sim::NoFaultPlan nofault;
+    sim::SimConfig on, off;
+    on.horizon = off.horizon = core::from_ms(std::int64_t{80});
+    off.wake_for_optional = false;
+    const auto run_on = harness::run_one(ts, kind, nofault, on);
+    const auto run_off = harness::run_one(ts, kind, nofault, off);
+    EXPECT_TRUE(run_on.qos.mk_satisfied);
+    EXPECT_TRUE(run_off.qos.mk_satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace mkss

@@ -1,0 +1,108 @@
+// Unit tests: task-set text format and JSON trace export.
+#include <gtest/gtest.h>
+
+#include "harness/evaluation.hpp"
+#include "io/taskset_io.hpp"
+#include "io/trace_json.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::io {
+namespace {
+
+TEST(TasksetIo, ParsesTheDocumentedFormat) {
+  const auto ts = parse_taskset_string(
+      "# comment line\n"
+      "control 5 4 3 2 4\n"
+      "\n"
+      "video 10 10 3 1 2   # trailing comment\n");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].name, "control");
+  EXPECT_EQ(ts[0].deadline, core::from_ms(std::int64_t{4}));
+  EXPECT_EQ(ts[1].m, 1u);
+}
+
+TEST(TasksetIo, ParsesFractionalTimes) {
+  const auto ts = parse_taskset_string("t 5 2.5 2 2 4\n");
+  EXPECT_EQ(ts[0].deadline, core::from_ms(2.5));
+}
+
+TEST(TasksetIo, RejectsMalformedLines) {
+  EXPECT_THROW(parse_taskset_string("t 5 4\n"), std::runtime_error);
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 2 4 extra\n"), std::runtime_error);
+  EXPECT_THROW(parse_taskset_string(""), std::runtime_error);
+}
+
+TEST(TasksetIo, RejectsInvalidTasks) {
+  EXPECT_THROW(parse_taskset_string("t 5 6 3 2 4\n"), std::runtime_error);  // D > P
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 0 4\n"), std::runtime_error);  // m = 0
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 5 4\n"), std::runtime_error);  // m > k
+}
+
+TEST(TasksetIo, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_taskset_string("good 5 4 3 2 4\nbad 1 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TasksetIo, SerializationRoundTrips) {
+  const auto original = workload::paper_fig3_taskset();  // has fractional D
+  const auto round = parse_taskset_string(serialize_taskset(original));
+  ASSERT_EQ(round.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(round[i], original[i]);
+  }
+}
+
+TEST(TasksetIo, MissingFileThrows) {
+  EXPECT_THROW(parse_taskset_file("/nonexistent/path/ts.txt"), std::runtime_error);
+}
+
+TEST(TraceJson, ContainsAllSections) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{20});
+  const auto run = harness::run_one(ts, sched::SchemeKind::kSelective, nofault, cfg);
+  const std::string json = trace_to_json(run.trace, ts);
+
+  for (const char* key :
+       {"\"horizon_ms\"", "\"tasks\"", "\"segments\"", "\"jobs\"", "\"stats\"",
+        "\"death_time_ms\"", "\"outcome\"", "\"frequency\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"tau1\""), std::string::npos);
+  EXPECT_NE(json.find("\"death_time_ms\": [null, null]"), std::string::npos);
+}
+
+TEST(TraceJson, BalancedBracesAndBrackets) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{40});
+  const auto run = harness::run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  const std::string json = trace_to_json(run.trace, ts);
+  int braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceJson, ReportsDeathTime) {
+  const auto ts = workload::paper_fig1_taskset();
+  fault::ScenarioFaultPlan plan(sim::PermanentFault{sim::kSpare, core::from_ms(std::int64_t{3})},
+                                {}, 1);
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{20});
+  const auto run = harness::run_one(ts, sched::SchemeKind::kSt, plan, cfg);
+  const std::string json = trace_to_json(run.trace, ts);
+  EXPECT_NE(json.find("\"death_time_ms\": [null, 3.000]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mkss::io

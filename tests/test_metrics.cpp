@@ -1,0 +1,93 @@
+// Unit tests: QoS auditing and running statistics.
+#include <gtest/gtest.h>
+
+#include "metrics/qos.hpp"
+#include "metrics/summary.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::metrics {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 6.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // sample variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RelativeGain, Basics) {
+  EXPECT_DOUBLE_EQ(relative_gain(72.0, 100.0), 0.28);
+  EXPECT_DOUBLE_EQ(relative_gain(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_gain(1.0, 0.0), 0.0);  // guarded division
+  EXPECT_LT(relative_gain(120.0, 100.0), 0.0);
+}
+
+TEST(Qos, CleanRunSatisfiesTheorem1) {
+  const auto ts = workload::paper_fig1_taskset();
+  const auto scheme = sched::make_scheme(sched::SchemeKind::kSelective);
+  sim::NoFaultPlan nofault;
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{40});
+  const auto trace = sim::simulate(ts, *scheme, nofault, cfg);
+  const auto report = audit_qos(trace, ts);
+  EXPECT_TRUE(report.theorem1_holds());
+  ASSERT_EQ(report.per_task.size(), 2u);
+  EXPECT_GT(report.per_task[0].jobs, 0u);
+  EXPECT_EQ(report.per_task[0].met + report.per_task[0].missed,
+            report.per_task[0].jobs);
+}
+
+TEST(Qos, DetectsViolationInForgedTrace) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::SimulationTrace trace;
+  trace.horizon = core::from_ms(std::int64_t{40});
+  trace.outcomes_per_task.resize(2);
+  // tau2 is (1,2): two consecutive misses violate.
+  trace.outcomes_per_task[1] = {core::JobOutcome::kMissed, core::JobOutcome::kMissed};
+  const auto report = audit_qos(trace, ts);
+  EXPECT_FALSE(report.mk_satisfied);
+  ASSERT_TRUE(report.per_task[1].violation.has_value());
+  EXPECT_EQ(report.per_task[1].violation->first_job, 2u);
+  EXPECT_FALSE(report.theorem1_holds());
+}
+
+TEST(Qos, MandatoryMissFailsTheoremEvenWithoutWindowViolation) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::SimulationTrace trace;
+  trace.horizon = core::from_ms(std::int64_t{40});
+  trace.outcomes_per_task.resize(2);
+  trace.stats.mandatory_misses = 1;
+  const auto report = audit_qos(trace, ts);
+  EXPECT_TRUE(report.mk_satisfied);
+  EXPECT_FALSE(report.theorem1_holds());
+}
+
+TEST(Qos, MissRate) {
+  TaskQos q;
+  q.jobs = 4;
+  q.missed = 1;
+  EXPECT_DOUBLE_EQ(q.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(TaskQos{}.miss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace mkss::metrics

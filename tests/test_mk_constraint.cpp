@@ -1,0 +1,164 @@
+// Unit + property tests: (m,k) history window, flexibility degree
+// (Definition 1), and the offline sequence auditor.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mk_constraint.hpp"
+#include "core/rng.hpp"
+
+namespace mkss::core {
+namespace {
+
+constexpr auto kMet = JobOutcome::kMet;
+constexpr auto kMiss = JobOutcome::kMissed;
+
+TEST(MkHistory, RejectsInvalidParameters) {
+  EXPECT_THROW(MkHistory(0, 4), std::invalid_argument);
+  EXPECT_THROW(MkHistory(3, 0), std::invalid_argument);
+  EXPECT_THROW(MkHistory(5, 4), std::invalid_argument);
+}
+
+TEST(MkHistory, PaperFootnoteFlexibilityDegreesAtTimeZero) {
+  // Footnote 1: for tau1 = (m,k) = (2,4) the first job can tolerate two more
+  // consecutive misses; for tau2 = (1,2), one.
+  EXPECT_EQ(MkHistory(2, 4).flexibility_degree(), 2u);
+  EXPECT_EQ(MkHistory(1, 2).flexibility_degree(), 1u);
+}
+
+TEST(MkHistory, FlexibilityDegreeBounds) {
+  // FD is always within [0, k - m].
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    for (std::uint32_t m = 1; m <= k; ++m) {
+      MkHistory h(m, k);
+      EXPECT_EQ(h.flexibility_degree(), k - m) << "all-success start";
+    }
+  }
+}
+
+TEST(MkHistory, HardRealTimeTaskIsAlwaysMandatory) {
+  MkHistory h(1, 1);
+  EXPECT_TRUE(h.next_job_mandatory());
+  h.record(kMet);
+  EXPECT_TRUE(h.next_job_mandatory());
+}
+
+TEST(MkHistory, MissesConsumeFlexibility) {
+  MkHistory h(2, 4);          // FD 2
+  h.record(kMiss);            // window 1,1,1,0
+  EXPECT_EQ(h.flexibility_degree(), 1u);
+  h.record(kMiss);            // window 1,1,0,0
+  EXPECT_EQ(h.flexibility_degree(), 0u);
+  EXPECT_TRUE(h.next_job_mandatory());
+  EXPECT_FALSE(h.violated());  // two successes still inside the window
+}
+
+TEST(MkHistory, SuccessRestoresFlexibility) {
+  MkHistory h(2, 4);
+  h.record(kMiss);
+  h.record(kMiss);
+  ASSERT_TRUE(h.next_job_mandatory());
+  h.record(kMet);  // window 1,0,0,1
+  EXPECT_EQ(h.flexibility_degree(), 0u);  // still needs one more success
+  h.record(kMet);  // window 0,0,1,1
+  EXPECT_EQ(h.flexibility_degree(), 2u);  // both recent jobs met: full slack
+}
+
+TEST(MkHistory, ViolationDetected) {
+  MkHistory h(1, 2);
+  h.record(kMiss);
+  EXPECT_FALSE(h.violated());
+  h.record(kMiss);
+  EXPECT_TRUE(h.violated());
+  EXPECT_EQ(h.met_in_window(), 0u);
+}
+
+TEST(MkHistory, OneTwoTaskAlternatesUnderSkipEverySecond) {
+  // (1,2): skip exactly every job with FD >= 2 never happens; FD==1 always.
+  MkHistory h(1, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(h.flexibility_degree(), 1u);
+    h.record(kMet);
+  }
+}
+
+TEST(MkHistory, DistanceToFailureIsFdPlusOne) {
+  MkHistory h(2, 4);
+  EXPECT_EQ(h.distance_to_failure(), h.flexibility_degree() + 1);
+  h.record(kMiss);
+  EXPECT_EQ(h.distance_to_failure(), h.flexibility_degree() + 1);
+}
+
+TEST(MkHistory, WindowExposesOldestToNewest) {
+  MkHistory h(1, 3);
+  h.record(kMiss);
+  h.record(kMet);
+  const auto w = h.window();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_TRUE(w[0]);   // pre-history success
+  EXPECT_FALSE(w[1]);  // miss
+  EXPECT_TRUE(w[2]);   // met
+  EXPECT_EQ(h.recorded(), 2u);
+}
+
+// Property: FD is exactly the number of misses that can be appended before
+// the window (simulated naively) violates, for random histories.
+class FlexibilityDegreeProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(FlexibilityDegreeProperty, MatchesNaiveSimulation) {
+  const auto [m, k] = GetParam();
+  if (m > k) GTEST_SKIP();
+  Rng rng(1234 + m * 100 + k);
+  for (int trial = 0; trial < 50; ++trial) {
+    MkHistory h(m, k);
+    for (int steps = 0; steps < 40; ++steps) {
+      h.record(rng.chance(0.7) ? kMet : kMiss);
+    }
+    if (h.violated()) continue;  // FD is only meaningful from a valid state
+
+    const std::uint32_t fd = h.flexibility_degree();
+    // Appending fd misses must keep every window valid...
+    MkHistory probe = h;
+    for (std::uint32_t i = 0; i < fd; ++i) {
+      probe.record(kMiss);
+      EXPECT_FALSE(probe.violated()) << "m=" << m << " k=" << k;
+    }
+    // ...and one more miss must violate (unless fd is structurally capped
+    // at k - m, where k-m misses always leave exactly m successes).
+    if (fd < k - m) {
+      probe.record(kMiss);
+      EXPECT_TRUE(probe.violated()) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlexibilityDegreeProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 7u),
+                       ::testing::Values(2u, 3u, 4u, 8u, 12u, 20u)));
+
+TEST(AuditMkSequence, CleanSequencePasses) {
+  EXPECT_FALSE(audit_mk_sequence(1, 2, {kMet, kMiss, kMet, kMiss, kMet}).has_value());
+}
+
+TEST(AuditMkSequence, ReportsFirstViolatedWindow) {
+  const auto v = audit_mk_sequence(1, 2, {kMet, kMiss, kMiss, kMet});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->first_job, 3u);  // window (job2, job3) has zero successes
+  EXPECT_EQ(v->met, 0u);
+}
+
+TEST(AuditMkSequence, PreHistoryCountsAsSuccess) {
+  // First job missing is fine for (1,2): window is (pre-success, miss).
+  EXPECT_FALSE(audit_mk_sequence(1, 2, {kMiss}).has_value());
+  // But (2,2) needs every job.
+  EXPECT_TRUE(audit_mk_sequence(2, 2, {kMiss}).has_value());
+}
+
+TEST(AuditMkSequence, EmptySequenceIsVacuouslyValid) {
+  EXPECT_FALSE(audit_mk_sequence(3, 5, {}).has_value());
+}
+
+}  // namespace
+}  // namespace mkss::core

@@ -1,0 +1,112 @@
+// Unit + property tests: R-pattern (Equation 1), E-pattern, and the
+// closed-form mandatory-release counter used by the R-pattern RTA.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mk_constraint.hpp"
+#include "core/pattern.hpp"
+
+namespace mkss::core {
+namespace {
+
+TEST(RPattern, Equation1Examples) {
+  // (m,k) = (2,4): jobs 1,2 mandatory; 3,4 optional; repeats.
+  EXPECT_TRUE(r_pattern_mandatory(2, 4, 1));
+  EXPECT_TRUE(r_pattern_mandatory(2, 4, 2));
+  EXPECT_FALSE(r_pattern_mandatory(2, 4, 3));
+  EXPECT_FALSE(r_pattern_mandatory(2, 4, 4));
+  EXPECT_TRUE(r_pattern_mandatory(2, 4, 5));
+  EXPECT_TRUE(r_pattern_mandatory(2, 4, 6));
+  // (1,2): odd jobs mandatory.
+  EXPECT_TRUE(r_pattern_mandatory(1, 2, 1));
+  EXPECT_FALSE(r_pattern_mandatory(1, 2, 2));
+  EXPECT_TRUE(r_pattern_mandatory(1, 2, 3));
+}
+
+TEST(EPattern, FirstJobAlwaysMandatory) {
+  for (std::uint32_t k = 2; k <= 20; ++k) {
+    for (std::uint32_t m = 1; m < k; ++m) {
+      EXPECT_TRUE(e_pattern_mandatory(m, k, 1)) << m << "," << k;
+    }
+  }
+}
+
+class PatternWindowProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PatternWindowProperty, ExactlyMMandatoryPerWindowOfK) {
+  const auto [m, k] = GetParam();
+  if (m >= k) GTEST_SKIP();
+  for (const PatternKind kind :
+       {PatternKind::kDeeplyRed, PatternKind::kEvenlyDistributed}) {
+    // Any k consecutive jobs hold at least m mandatory jobs; aligned windows
+    // hold exactly m.
+    const auto bits = materialize_pattern(kind, m, k, 6 * k);
+    for (std::size_t start = 0; start + k <= bits.size(); ++start) {
+      std::uint32_t count = 0;
+      for (std::size_t q = 0; q < k; ++q) count += bits[start + q];
+      EXPECT_GE(count, m) << "kind=" << static_cast<int>(kind) << " at " << start;
+      if (start % k == 0) {
+        EXPECT_EQ(count, m);
+      }
+    }
+  }
+}
+
+TEST_P(PatternWindowProperty, MandatoryOnlyExecutionSatisfiesMk) {
+  // Executing exactly the pattern's mandatory jobs (missing all optional
+  // ones) never violates the (m,k) constraint -- the defining property of a
+  // valid partitioning pattern.
+  const auto [m, k] = GetParam();
+  if (m >= k) GTEST_SKIP();
+  for (const PatternKind kind :
+       {PatternKind::kDeeplyRed, PatternKind::kEvenlyDistributed}) {
+    std::vector<JobOutcome> outcomes;
+    for (std::uint64_t j = 1; j <= 6 * k; ++j) {
+      outcomes.push_back(pattern_mandatory(kind, m, k, j) ? JobOutcome::kMet
+                                                          : JobOutcome::kMissed);
+    }
+    EXPECT_FALSE(audit_mk_sequence(m, k, outcomes).has_value())
+        << "kind=" << static_cast<int>(kind) << " m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PatternWindowProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 9u, 19u),
+                       ::testing::Values(2u, 3u, 4u, 5u, 10u, 20u)));
+
+TEST(RPatternCounter, CountsMandatoryReleasesBefore) {
+  const Task t = Task::from_ms(5, 5, 1, 2, 4);
+  // Releases at 0,5,10,15,... jobs 1,2 mandatory, 3,4 optional, cycle.
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, 0), 0u);
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, 1), 1u);       // job 1
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, from_ms(std::int64_t{5})), 1u);
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, from_ms(std::int64_t{5}) + 1), 2u);
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, from_ms(std::int64_t{20}) + 1), 3u);
+  EXPECT_EQ(r_pattern_mandatory_released_before(t, from_ms(std::int64_t{40})), 4u);
+}
+
+TEST(RPatternCounter, AgreesWithEnumerationOnRandomWindows) {
+  const Task t = Task::from_ms(7, 7, 2, 3, 5);
+  for (Ticks w = 1; w <= from_ms(std::int64_t{200}); w += 1713) {
+    std::uint64_t naive = 0;
+    for (std::uint64_t j = 1; static_cast<Ticks>(j - 1) * t.period < w; ++j) {
+      naive += r_pattern_mandatory(t.m, t.k, j);
+    }
+    EXPECT_EQ(r_pattern_mandatory_released_before(t, w), naive) << "w=" << w;
+  }
+}
+
+TEST(Pattern, MaterializeLengthAndDispatch) {
+  const auto bits = materialize_pattern(PatternKind::kDeeplyRed, 1, 3, 7);
+  ASSERT_EQ(bits.size(), 7u);
+  EXPECT_TRUE(bits[0]);
+  EXPECT_FALSE(bits[1]);
+  EXPECT_FALSE(bits[2]);
+  EXPECT_TRUE(bits[3]);
+}
+
+}  // namespace
+}  // namespace mkss::core

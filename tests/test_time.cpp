@@ -1,0 +1,86 @@
+// Unit tests: tick time base, intervals, and overflow-checked lcm/gcd.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/hyperperiod.hpp"
+#include "core/time.hpp"
+
+namespace mkss::core {
+namespace {
+
+TEST(Time, MsConversionRoundTripsWholeMilliseconds) {
+  EXPECT_EQ(from_ms(std::int64_t{5}), 5000);
+  EXPECT_EQ(to_ms(5000), 5.0);
+  EXPECT_EQ(from_ms(std::int64_t{0}), 0);
+}
+
+TEST(Time, FractionalMsRoundsToNearestTick) {
+  EXPECT_EQ(from_ms(2.5), 2500);
+  EXPECT_EQ(from_ms(0.0004), 0);
+  EXPECT_EQ(from_ms(0.0006), 1);
+  EXPECT_EQ(from_ms(1.0 / 3.0), 333);
+}
+
+TEST(Time, FormatTicksUsesCompactMsForms) {
+  EXPECT_EQ(format_ticks(from_ms(std::int64_t{7})), "7ms");
+  EXPECT_EQ(format_ticks(from_ms(2.5)), "2.500ms");
+  EXPECT_EQ(format_ticks(kNever), "never");
+}
+
+TEST(Interval, LengthEmptyContains) {
+  const Interval iv{10, 20};
+  EXPECT_EQ(iv.length(), 10);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(19));
+  EXPECT_FALSE(iv.contains(20));  // half-open
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{7, 3}).empty());
+}
+
+TEST(Interval, OverlapsIsSymmetricAndHalfOpen) {
+  const Interval a{0, 10};
+  const Interval b{10, 20};
+  const Interval c{9, 11};
+  EXPECT_FALSE(a.overlaps(b));  // touching endpoints do not overlap
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(Hyperperiod, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(18, 12), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+}
+
+TEST(Hyperperiod, LcmWithinCap) {
+  EXPECT_EQ(lcm_capped(4, 6, 1000).value(), 12);
+  EXPECT_EQ(lcm_capped(5, 7, 1000).value(), 35);
+  EXPECT_EQ(lcm_capped(10, 10, 1000).value(), 10);
+}
+
+TEST(Hyperperiod, LcmSaturatesAtCap) {
+  EXPECT_FALSE(lcm_capped(4, 6, 11).has_value());
+  EXPECT_TRUE(lcm_capped(4, 6, 12).has_value());
+  // Values that would overflow 64 bits must not wrap around.
+  const Ticks big = std::numeric_limits<Ticks>::max() / 2;
+  EXPECT_FALSE(lcm_capped(big, big - 1, std::numeric_limits<Ticks>::max()).has_value());
+}
+
+TEST(Hyperperiod, LcmRejectsNonPositive) {
+  EXPECT_FALSE(lcm_capped(0, 6, 100).has_value());
+  EXPECT_FALSE(lcm_capped(6, -1, 100).has_value());
+}
+
+TEST(Hyperperiod, SequenceLcm) {
+  const std::array<Ticks, 3> values{4, 6, 10};
+  EXPECT_EQ(lcm_capped(std::span<const Ticks>(values), 1000).value(), 60);
+  EXPECT_FALSE(lcm_capped(std::span<const Ticks>(values), 59).has_value());
+}
+
+}  // namespace
+}  // namespace mkss::core

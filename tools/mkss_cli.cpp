@@ -1,0 +1,216 @@
+// mkss_cli -- command-line front end for the library.
+//
+//   mkss_cli analyze  <taskset.txt>
+//       schedulability report, promotion times Y_i and postponement theta_i.
+//
+//   mkss_cli simulate <taskset.txt> [options]
+//       run one scheme over the task set and report schedule/energy/QoS.
+//         --scheme st|dp|greedy|selective   (default selective)
+//         --horizon <ms>                    (default pattern hyperperiod)
+//         --permanent <proc>@<ms>           inject a permanent fault (0|1)
+//         --lambda <rate-per-ms>            transient fault rate (default 0)
+//         --seed <n>                        fault derandomization seed
+//         --gantt                           print the ASCII schedule
+//         --json                            dump the full trace as JSON
+//
+//   mkss_cli sweep [--scenario none|permanent|transient] [--sets <n>]
+//       run the Figure-6 style sweep and print the table + CSV.
+//
+//   mkss_cli example
+//       print a template task-set file.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/taskset_io.hpp"
+#include "io/trace_json.hpp"
+#include "mkss.hpp"
+
+using namespace mkss;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: mkss_cli analyze <taskset.txt>\n"
+      "       mkss_cli simulate <taskset.txt> [--scheme st|dp|greedy|selective]\n"
+      "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
+      "                [--seed n] [--gantt] [--json]\n"
+      "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
+      "       mkss_cli example\n",
+      stderr);
+  return 2;
+}
+
+int cmd_analyze(const std::string& path) {
+  const core::TaskSet ts = io::parse_taskset_file(path);
+  std::printf("task set: %s\n", ts.describe().c_str());
+  std::printf("utilization %.3f, (m,k)-utilization %.3f\n", ts.total_utilization(),
+              ts.total_mk_utilization());
+
+  const auto sched_report = analysis::analyze_schedulability(ts);
+  std::printf("R-pattern schedulable: %s\nfull set schedulable:  %s\n",
+              sched_report.r_pattern_feasible ? "yes" : "no",
+              sched_report.full_set_feasible ? "yes" : "no");
+
+  const auto promos = analysis::promotion_times(ts);
+  const auto post = analysis::compute_postponement(ts);
+  report::Table table({"task", "R (mand.)", "R (full)", "Y", "theta", "theta source"});
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    const auto fmt_opt = [](const std::optional<core::Ticks>& t) {
+      return t ? core::format_ticks(*t) : std::string("-");
+    };
+    const char* source = "zero";
+    if (post.per_task[i].source == analysis::ThetaSource::kExact) source = "exact";
+    if (post.per_task[i].source == analysis::ThetaSource::kPromotion) {
+      source = "promotion";
+    }
+    table.add_row({ts[i].name, fmt_opt(sched_report.response_mandatory[i]),
+                   fmt_opt(sched_report.response_full[i]), fmt_opt(promos[i]),
+                   core::format_ticks(post.theta(i)), source});
+  }
+  std::printf("\n%s", table.to_string().c_str());
+  return sched_report.r_pattern_feasible ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& path, int argc, char** argv) {
+  const core::TaskSet ts = io::parse_taskset_file(path);
+
+  sched::SchemeKind kind = sched::SchemeKind::kSelective;
+  core::Ticks horizon = 0;
+  std::optional<sim::PermanentFault> permanent;
+  double lambda = 0.0;
+  std::uint64_t seed = 1;
+  bool gantt = false, json = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scheme") {
+      const std::string v = next();
+      if (v == "st") kind = sched::SchemeKind::kSt;
+      else if (v == "dp") kind = sched::SchemeKind::kDp;
+      else if (v == "greedy") kind = sched::SchemeKind::kGreedy;
+      else if (v == "selective") kind = sched::SchemeKind::kSelective;
+      else { std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str()); return 2; }
+    } else if (arg == "--horizon") {
+      horizon = core::from_ms(std::atof(next()));
+    } else if (arg == "--permanent") {
+      const std::string v = next();
+      const auto at = v.find('@');
+      if (at == std::string::npos) { std::fputs("--permanent wants proc@ms\n", stderr); return 2; }
+      permanent = sim::PermanentFault{
+          static_cast<sim::ProcessorId>(std::atoi(v.substr(0, at).c_str())),
+          core::from_ms(std::atof(v.substr(at + 1).c_str()))};
+    } else if (arg == "--lambda") {
+      lambda = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (horizon <= 0) {
+    horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{10000}));
+  }
+  const fault::ScenarioFaultPlan plan(permanent,
+                                      fault::transient_probabilities(ts, lambda),
+                                      seed);
+  sim::SimConfig cfg;
+  cfg.horizon = horizon;
+  const auto run = harness::run_one(ts, kind, plan, cfg);
+
+  if (json) {
+    std::fputs(io::trace_to_json(run.trace, ts).c_str(), stdout);
+    return run.qos.mk_satisfied ? 0 : 1;
+  }
+
+  std::printf("scheme %s over %s\n", sched::to_string(kind),
+              core::format_ticks(horizon).c_str());
+  std::printf("energy: %.2f units (active %.2f)\n", run.energy.total(),
+              run.energy.active_total());
+  std::printf("jobs: %llu released, %llu met, %llu missed; backups canceled %llu\n",
+              static_cast<unsigned long long>(run.trace.stats.jobs_released),
+              static_cast<unsigned long long>(run.trace.stats.jobs_met),
+              static_cast<unsigned long long>(run.trace.stats.jobs_missed),
+              static_cast<unsigned long long>(run.trace.stats.backups_canceled));
+  std::printf("(m,k) satisfied: %s; mandatory misses: %llu\n",
+              run.qos.mk_satisfied ? "yes" : "NO",
+              static_cast<unsigned long long>(run.qos.mandatory_misses));
+  report::Table qtable({"task", "jobs", "met", "missed", "miss rate"});
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    const auto& q = run.qos.per_task[i];
+    qtable.add_row({ts[i].name, std::to_string(q.jobs), std::to_string(q.met),
+                    std::to_string(q.missed), report::fmt_percent(q.miss_rate())});
+  }
+  std::printf("\n%s", qtable.to_string().c_str());
+  if (gantt) {
+    std::printf("\n%s", sim::render_gantt(run.trace, ts).c_str());
+  }
+  return run.qos.mk_satisfied ? 0 : 1;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  harness::SweepConfig cfg;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "none") cfg.scenario = fault::Scenario::kNoFault;
+      else if (v == "permanent") cfg.scenario = fault::Scenario::kPermanentOnly;
+      else if (v == "transient") cfg.scenario = fault::Scenario::kPermanentAndTransient;
+      else { std::fprintf(stderr, "unknown scenario '%s'\n", v.c_str()); return 2; }
+    } else if (arg == "--sets" && i + 1 < argc) {
+      cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  const auto result = harness::run_sweep(cfg);
+  std::printf("%s", result.to_table().to_string().c_str());
+  std::printf("\nmax gain selective over DP: %s; audit failures: %llu\n",
+              report::fmt_percent(result.max_gain(2, 1)).c_str(),
+              static_cast<unsigned long long>(result.qos_failures));
+  return 0;
+}
+
+int cmd_example() {
+  std::fputs(
+      "# (m,k)-firm task set -- times in ms, first line = highest priority\n"
+      "# name  period deadline wcet m k\n"
+      "control 5      4        3    2 4\n"
+      "video   10     10       3    1 2\n",
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
+    if (cmd == "simulate" && argc >= 3) return cmd_simulate(argv[2], argc - 3, argv + 3);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (cmd == "example") return cmd_example();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
