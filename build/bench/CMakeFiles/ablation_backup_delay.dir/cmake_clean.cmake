@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backup_delay.dir/ablation_backup_delay.cpp.o"
+  "CMakeFiles/ablation_backup_delay.dir/ablation_backup_delay.cpp.o.d"
+  "ablation_backup_delay"
+  "ablation_backup_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backup_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

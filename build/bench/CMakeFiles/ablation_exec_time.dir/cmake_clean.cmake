@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exec_time.dir/ablation_exec_time.cpp.o"
+  "CMakeFiles/ablation_exec_time.dir/ablation_exec_time.cpp.o.d"
+  "ablation_exec_time"
+  "ablation_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

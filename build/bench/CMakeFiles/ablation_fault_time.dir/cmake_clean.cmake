@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_time.dir/ablation_fault_time.cpp.o"
+  "CMakeFiles/ablation_fault_time.dir/ablation_fault_time.cpp.o.d"
+  "ablation_fault_time"
+  "ablation_fault_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_no_fault.dir/fig6a_no_fault.cpp.o"
+  "CMakeFiles/fig6a_no_fault.dir/fig6a_no_fault.cpp.o.d"
+  "fig6a_no_fault"
+  "fig6a_no_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_no_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_permanent.dir/fig6b_permanent.cpp.o"
+  "CMakeFiles/fig6b_permanent.dir/fig6b_permanent.cpp.o.d"
+  "fig6b_permanent"
+  "fig6b_permanent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_permanent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_transient.dir/fig6c_transient.cpp.o"
+  "CMakeFiles/fig6c_transient.dir/fig6c_transient.cpp.o.d"
+  "fig6c_transient"
+  "fig6c_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

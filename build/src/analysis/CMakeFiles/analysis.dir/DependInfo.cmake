@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/breakdown.cpp" "src/analysis/CMakeFiles/analysis.dir/breakdown.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/breakdown.cpp.o.d"
+  "/root/repo/src/analysis/postponement.cpp" "src/analysis/CMakeFiles/analysis.dir/postponement.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/postponement.cpp.o.d"
+  "/root/repo/src/analysis/promotion.cpp" "src/analysis/CMakeFiles/analysis.dir/promotion.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/promotion.cpp.o.d"
+  "/root/repo/src/analysis/rta.cpp" "src/analysis/CMakeFiles/analysis.dir/rta.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/rta.cpp.o.d"
+  "/root/repo/src/analysis/schedulability.cpp" "src/analysis/CMakeFiles/analysis.dir/schedulability.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/schedulability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/breakdown.cpp.o"
+  "CMakeFiles/analysis.dir/breakdown.cpp.o.d"
+  "CMakeFiles/analysis.dir/postponement.cpp.o"
+  "CMakeFiles/analysis.dir/postponement.cpp.o.d"
+  "CMakeFiles/analysis.dir/promotion.cpp.o"
+  "CMakeFiles/analysis.dir/promotion.cpp.o.d"
+  "CMakeFiles/analysis.dir/rta.cpp.o"
+  "CMakeFiles/analysis.dir/rta.cpp.o.d"
+  "CMakeFiles/analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/analysis.dir/schedulability.cpp.o.d"
+  "libmkss_analysis.a"
+  "libmkss_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

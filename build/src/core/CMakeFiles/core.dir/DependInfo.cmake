@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hyperperiod.cpp" "src/core/CMakeFiles/core.dir/hyperperiod.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/hyperperiod.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/job.cpp.o.d"
+  "/root/repo/src/core/mk_constraint.cpp" "src/core/CMakeFiles/core.dir/mk_constraint.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/mk_constraint.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/task.cpp.o.d"
+  "/root/repo/src/core/time.cpp" "src/core/CMakeFiles/core.dir/time.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

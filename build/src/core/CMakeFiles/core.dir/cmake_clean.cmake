@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/hyperperiod.cpp.o"
+  "CMakeFiles/core.dir/hyperperiod.cpp.o.d"
+  "CMakeFiles/core.dir/job.cpp.o"
+  "CMakeFiles/core.dir/job.cpp.o.d"
+  "CMakeFiles/core.dir/mk_constraint.cpp.o"
+  "CMakeFiles/core.dir/mk_constraint.cpp.o.d"
+  "CMakeFiles/core.dir/pattern.cpp.o"
+  "CMakeFiles/core.dir/pattern.cpp.o.d"
+  "CMakeFiles/core.dir/rng.cpp.o"
+  "CMakeFiles/core.dir/rng.cpp.o.d"
+  "CMakeFiles/core.dir/task.cpp.o"
+  "CMakeFiles/core.dir/task.cpp.o.d"
+  "CMakeFiles/core.dir/time.cpp.o"
+  "CMakeFiles/core.dir/time.cpp.o.d"
+  "libmkss_core.a"
+  "libmkss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy.dir/energy_model.cpp.o"
+  "CMakeFiles/energy.dir/energy_model.cpp.o.d"
+  "libmkss_energy.a"
+  "libmkss_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault.dir/injection.cpp.o"
+  "CMakeFiles/fault.dir/injection.cpp.o.d"
+  "libmkss_fault.a"
+  "libmkss_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

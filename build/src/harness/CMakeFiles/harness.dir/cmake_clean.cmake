@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness.dir/evaluation.cpp.o"
+  "CMakeFiles/harness.dir/evaluation.cpp.o.d"
+  "libmkss_harness.a"
+  "libmkss_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io.dir/taskset_io.cpp.o"
+  "CMakeFiles/io.dir/taskset_io.cpp.o.d"
+  "CMakeFiles/io.dir/trace_json.cpp.o"
+  "CMakeFiles/io.dir/trace_json.cpp.o.d"
+  "libmkss_io.a"
+  "libmkss_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics.dir/decomposition.cpp.o"
+  "CMakeFiles/metrics.dir/decomposition.cpp.o.d"
+  "CMakeFiles/metrics.dir/qos.cpp.o"
+  "CMakeFiles/metrics.dir/qos.cpp.o.d"
+  "CMakeFiles/metrics.dir/summary.cpp.o"
+  "CMakeFiles/metrics.dir/summary.cpp.o.d"
+  "libmkss_metrics.a"
+  "libmkss_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

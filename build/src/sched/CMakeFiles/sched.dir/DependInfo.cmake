@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/backup_delay.cpp" "src/sched/CMakeFiles/sched.dir/backup_delay.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/backup_delay.cpp.o.d"
+  "/root/repo/src/sched/dvs.cpp" "src/sched/CMakeFiles/sched.dir/dvs.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/dvs.cpp.o.d"
+  "/root/repo/src/sched/factory.cpp" "src/sched/CMakeFiles/sched.dir/factory.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/factory.cpp.o.d"
+  "/root/repo/src/sched/mkss_dp.cpp" "src/sched/CMakeFiles/sched.dir/mkss_dp.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/mkss_dp.cpp.o.d"
+  "/root/repo/src/sched/mkss_greedy.cpp" "src/sched/CMakeFiles/sched.dir/mkss_greedy.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/mkss_greedy.cpp.o.d"
+  "/root/repo/src/sched/mkss_selective.cpp" "src/sched/CMakeFiles/sched.dir/mkss_selective.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/mkss_selective.cpp.o.d"
+  "/root/repo/src/sched/mkss_st.cpp" "src/sched/CMakeFiles/sched.dir/mkss_st.cpp.o" "gcc" "src/sched/CMakeFiles/sched.dir/mkss_st.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched.dir/backup_delay.cpp.o"
+  "CMakeFiles/sched.dir/backup_delay.cpp.o.d"
+  "CMakeFiles/sched.dir/dvs.cpp.o"
+  "CMakeFiles/sched.dir/dvs.cpp.o.d"
+  "CMakeFiles/sched.dir/factory.cpp.o"
+  "CMakeFiles/sched.dir/factory.cpp.o.d"
+  "CMakeFiles/sched.dir/mkss_dp.cpp.o"
+  "CMakeFiles/sched.dir/mkss_dp.cpp.o.d"
+  "CMakeFiles/sched.dir/mkss_greedy.cpp.o"
+  "CMakeFiles/sched.dir/mkss_greedy.cpp.o.d"
+  "CMakeFiles/sched.dir/mkss_selective.cpp.o"
+  "CMakeFiles/sched.dir/mkss_selective.cpp.o.d"
+  "CMakeFiles/sched.dir/mkss_st.cpp.o"
+  "CMakeFiles/sched.dir/mkss_st.cpp.o.d"
+  "libmkss_sched.a"
+  "libmkss_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/engine.cpp.o"
+  "CMakeFiles/sim.dir/engine.cpp.o.d"
+  "CMakeFiles/sim.dir/gantt.cpp.o"
+  "CMakeFiles/sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/sim.dir/types.cpp.o"
+  "CMakeFiles/sim.dir/types.cpp.o.d"
+  "libmkss_sim.a"
+  "libmkss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

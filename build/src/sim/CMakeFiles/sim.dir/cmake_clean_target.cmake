@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmkss_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/scenarios.cpp.o"
+  "CMakeFiles/workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/workload.dir/taskset_gen.cpp.o"
+  "CMakeFiles/workload.dir/taskset_gen.cpp.o.d"
+  "libmkss_workload.a"
+  "libmkss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

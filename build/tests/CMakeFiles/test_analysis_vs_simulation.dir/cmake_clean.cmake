@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_vs_simulation.dir/test_analysis_vs_simulation.cpp.o"
+  "CMakeFiles/test_analysis_vs_simulation.dir/test_analysis_vs_simulation.cpp.o.d"
+  "test_analysis_vs_simulation"
+  "test_analysis_vs_simulation.pdb"
+  "test_analysis_vs_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/test_energy.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_energy.dir/test_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/io.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mk_constraint.dir/test_mk_constraint.cpp.o"
+  "CMakeFiles/test_mk_constraint.dir/test_mk_constraint.cpp.o.d"
+  "test_mk_constraint"
+  "test_mk_constraint.pdb"
+  "test_mk_constraint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mk_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postponement.dir/test_postponement.cpp.o"
+  "CMakeFiles/test_postponement.dir/test_postponement.cpp.o.d"
+  "test_postponement"
+  "test_postponement.pdb"
+  "test_postponement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postponement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

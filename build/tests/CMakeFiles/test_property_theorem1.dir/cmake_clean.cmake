@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_theorem1.dir/test_property_theorem1.cpp.o"
+  "CMakeFiles/test_property_theorem1.dir/test_property_theorem1.cpp.o.d"
+  "test_property_theorem1"
+  "test_property_theorem1.pdb"
+  "test_property_theorem1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes_behavior.dir/test_schemes_behavior.cpp.o"
+  "CMakeFiles/test_schemes_behavior.dir/test_schemes_behavior.cpp.o.d"
+  "test_schemes_behavior"
+  "test_schemes_behavior.pdb"
+  "test_schemes_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

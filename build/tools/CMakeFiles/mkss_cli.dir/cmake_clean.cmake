@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mkss_cli.dir/mkss_cli.cpp.o"
+  "CMakeFiles/mkss_cli.dir/mkss_cli.cpp.o.d"
+  "mkss_cli"
+  "mkss_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mkss_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
