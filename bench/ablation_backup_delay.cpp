@@ -12,7 +12,7 @@
 //      selective scheme's savings actually come from).
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
 
   const auto dp_with = [](sched::BackupDelayPolicy delay) {
@@ -31,7 +31,7 @@ int main() {
   };
 
   {
-    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
     const std::vector<harness::SchemeVariant> variants = {
         {"MKSS_ST", [] { return sched::make_scheme(sched::SchemeKind::kSt); }},
         {"DP(delay=none)", dp_with(sched::BackupDelayPolicy::kNone)},
@@ -48,7 +48,7 @@ int main() {
   }
 
   {
-    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
     const std::vector<harness::SchemeVariant> variants = {
         {"MKSS_ST", [] { return sched::make_scheme(sched::SchemeKind::kSt); }},
         {"sel(delay=none)", selective_with(sched::BackupDelayPolicy::kNone)},

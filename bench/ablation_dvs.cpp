@@ -10,7 +10,7 @@
 // cubic dynamic-power law P(f) = P_s + (1 - P_s) f^3.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
 
   const auto dp_dvs = []() -> std::unique_ptr<sim::Scheme> {
@@ -25,7 +25,7 @@ int main() {
   };
 
   for (const double p_static : {0.05, 0.4}) {
-    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
     cfg.power.p_static = p_static;
     cfg.power.alpha = 3.0;
 

@@ -21,8 +21,9 @@ class FixedPermanent final : public mkss::sim::FaultPlan {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
+  const std::size_t threads = benchrun::bench_threads(argc, argv);
 
   // A fixed batch of schedulable sets reused for every fault instant.
   core::Rng rng(20200310);
@@ -38,9 +39,14 @@ int main() {
                        "sel(degraded=mand-only)/ST", "audit failures"});
   for (const double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     for (const sim::ProcessorId proc : {sim::kPrimary, sim::kSpare}) {
-      metrics::RunningStat st_abs, dp_norm, sel_norm, selm_norm;
-      std::uint64_t failures = 0;
-      for (const auto& ts : sets) {
+      struct SetResult {
+        double st{0}, dp{0}, sel{0}, selm{0};
+        std::uint64_t failures{0};
+      };
+      std::vector<SetResult> slots(sets.size());
+      core::parallel_for(threads, sets.size(), [&](std::size_t i) {
+        const auto& ts = sets[i];
+        SetResult& out = slots[i];
         sim::SimConfig cfg;
         cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
         FixedPermanent plan(proc,
@@ -48,7 +54,7 @@ int main() {
 
         const auto run_with = [&](sim::Scheme& scheme) {
           const auto run = harness::run_one(ts, scheme, plan, cfg);
-          if (!run.qos.mk_satisfied) ++failures;
+          if (!run.qos.mk_satisfied) ++out.failures;
           return run.energy.total();
         };
         sched::MkssSt st_scheme;
@@ -58,11 +64,19 @@ int main() {
         degraded_opts.degraded_mandatory_only = true;
         sched::MkssSelective selm_scheme(degraded_opts);
 
-        const double st = run_with(st_scheme);
-        st_abs.add(st);
-        dp_norm.add(run_with(dp_scheme) / st);
-        sel_norm.add(run_with(sel_scheme) / st);
-        selm_norm.add(run_with(selm_scheme) / st);
+        out.st = run_with(st_scheme);
+        out.dp = run_with(dp_scheme) / out.st;
+        out.sel = run_with(sel_scheme) / out.st;
+        out.selm = run_with(selm_scheme) / out.st;
+      });
+      metrics::RunningStat st_abs, dp_norm, sel_norm, selm_norm;
+      std::uint64_t failures = 0;
+      for (const SetResult& r : slots) {
+        st_abs.add(r.st);
+        dp_norm.add(r.dp);
+        sel_norm.add(r.sel);
+        selm_norm.add(r.selm);
+        failures += r.failures;
       }
       table.add_row({report::fmt(frac * 100, 0) + "% of horizon",
                      proc == sim::kPrimary ? "primary" : "spare",

@@ -15,8 +15,9 @@ struct Config {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
+  const std::size_t threads = benchrun::bench_threads(argc, argv);
 
   std::vector<Config> configs;
   {
@@ -62,9 +63,14 @@ int main() {
     core::Rng rng(5551212);
     const auto batch = workload::generate_bin(config.gen, 0.25, 0.35, 15, 6000, rng);
 
-    metrics::RunningStat dp_norm, sel_norm;
-    std::uint64_t failures = 0;
-    for (const auto& ts : batch.sets) {
+    struct SetResult {
+      double dp{0}, sel{0};
+      std::uint64_t failures{0};
+    };
+    std::vector<SetResult> slots(batch.sets.size());
+    core::parallel_for(threads, batch.sets.size(), [&](std::size_t i) {
+      const auto& ts = batch.sets[i];
+      SetResult& out = slots[i];
       sim::SimConfig cfg;
       cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
       sim::NoFaultPlan nofault;
@@ -72,12 +78,19 @@ int main() {
       for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                               sched::SchemeKind::kSelective}) {
         const auto run = harness::run_one(ts, kind, nofault, cfg);
-        if (!run.qos.theorem1_holds()) ++failures;
+        if (!run.qos.theorem1_holds()) ++out.failures;
         const double e = run.energy.total();
         if (kind == sched::SchemeKind::kSt) st = e;
-        if (kind == sched::SchemeKind::kDp) dp_norm.add(e / st);
-        if (kind == sched::SchemeKind::kSelective) sel_norm.add(e / st);
+        if (kind == sched::SchemeKind::kDp) out.dp = e / st;
+        if (kind == sched::SchemeKind::kSelective) out.sel = e / st;
       }
+    });
+    metrics::RunningStat dp_norm, sel_norm;
+    std::uint64_t failures = 0;
+    for (const SetResult& r : slots) {
+      dp_norm.add(r.dp);
+      sel_norm.add(r.sel);
+      failures += r.failures;
     }
     table.add_row({config.label, std::to_string(batch.sets.size()),
                    batch.sets.empty() ? "-" : report::fmt(dp_norm.mean(), 3),

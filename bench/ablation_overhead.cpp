@@ -5,8 +5,9 @@
 // realistic context-switch cost charged to every preempted copy.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
+  const std::size_t threads = benchrun::bench_threads(argc, argv);
 
   report::Table table({"overhead", "bin", "sets", "DP/ST", "selective/ST",
                        "preemptions/run (sel)", "audit failures"});
@@ -17,9 +18,14 @@ int main() {
       workload::GenParams gen;
       const auto batch = workload::generate_bin(gen, lo, lo + 0.1, 15, 4000, rng);
 
-      metrics::RunningStat dp_norm, sel_norm, preempts;
-      std::uint64_t failures = 0;
-      for (const auto& ts : batch.sets) {
+      struct SetResult {
+        double dp{0}, sel{0}, preempts{0};
+        std::uint64_t failures{0};
+      };
+      std::vector<SetResult> slots(batch.sets.size());
+      core::parallel_for(threads, batch.sets.size(), [&](std::size_t i) {
+        const auto& ts = batch.sets[i];
+        SetResult& out = slots[i];
         sim::SimConfig cfg;
         cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
         cfg.preemption_overhead = overhead;
@@ -28,18 +34,26 @@ int main() {
         for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                                 sched::SchemeKind::kSelective}) {
           const auto run = harness::run_one(ts, kind, nofault, cfg);
-          if (!run.qos.mk_satisfied || run.qos.mandatory_misses > 0) ++failures;
+          if (!run.qos.mk_satisfied || run.qos.mandatory_misses > 0) ++out.failures;
           const double e = run.energy.total();
           if (kind == sched::SchemeKind::kSt) st = e;
-          if (kind == sched::SchemeKind::kDp) dp_norm.add(e / st);
+          if (kind == sched::SchemeKind::kDp) out.dp = e / st;
           if (kind == sched::SchemeKind::kSelective) {
-            sel_norm.add(e / st);
-            preempts.add(static_cast<double>(run.trace.stats.preemptions));
+            out.sel = e / st;
+            out.preempts = static_cast<double>(run.trace.stats.preemptions);
           }
         }
+      });
+      metrics::RunningStat dp_norm, sel_norm, preempts;
+      std::uint64_t failures = 0;
+      for (const SetResult& r : slots) {
+        dp_norm.add(r.dp);
+        sel_norm.add(r.sel);
+        preempts.add(r.preempts);
+        failures += r.failures;
       }
       table.add_row({report::fmt(overhead_us, 0) + "us",
-                     "[" + report::fmt(lo, 1) + "," + report::fmt(lo + 0.1, 1) + ")",
+                     report::interval(lo, lo + 0.1),
                      std::to_string(batch.sets.size()),
                      report::fmt(dp_norm.mean(), 3), report::fmt(sel_norm.mean(), 3),
                      report::fmt(preempts.mean(), 1), std::to_string(failures)});

@@ -10,7 +10,7 @@
 // compares both axes.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
 
   // Axis 1: schedulability acceptance. Same generator stream, two accept
@@ -18,8 +18,7 @@ int main() {
   std::printf("=== Pattern ablation, axis 1: schedulable-set yield ===\n\n");
   report::Table yield({"mk-util bin", "R-pattern sets/attempts", "E-pattern sets/attempts"});
   for (const double lo : {0.2, 0.4, 0.6, 0.8}) {
-    std::vector<std::string> row{"[" + report::fmt(lo, 1) + "," +
-                                 report::fmt(lo + 0.1, 1) + ")"};
+    std::vector<std::string> row{report::interval(lo, lo + 0.1)};
     for (const auto model : {analysis::DemandModel::kRPatternMandatory,
                              analysis::DemandModel::kEPatternMandatory}) {
       workload::GenParams gen;
@@ -50,7 +49,7 @@ int main() {
     };
   };
 
-  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+  auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
   const std::vector<harness::SchemeVariant> variants = {
       {"ST(R)", st_with(core::PatternKind::kDeeplyRed)},
       {"ST(E)", st_with(core::PatternKind::kEvenlyDistributed)},

@@ -8,9 +8,9 @@
 //   * the greedy scheme itself, primary-only and round-robin.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
-  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+  auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
 
   const auto selective_with = [](bool alternate, std::uint32_t max_fd) {
     return [alternate, max_fd]() -> std::unique_ptr<sim::Scheme> {

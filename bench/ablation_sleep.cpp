@@ -6,13 +6,13 @@
 //     the next mandatory activity.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
 
   std::printf("=== Ablation: break-even time T_be (MKSS_selective vs MKSS_ST) ===\n\n");
   report::Table tbe_table({"T_be", "ST energy", "DP/ST", "selective/ST"});
   for (const double tbe_ms : {0.25, 0.5, 1.0, 2.0, 5.0, 10.0}) {
-    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
     cfg.bin_starts = {0.3};  // one representative bin
     cfg.power.break_even = core::from_ms(tbe_ms);
     const auto result = harness::run_sweep(cfg);

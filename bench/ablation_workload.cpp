@@ -9,11 +9,11 @@
 // advantage actually comes from.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
   for (const auto model :
        {workload::WcetModel::kUniformWcet, workload::WcetModel::kShapedWcet}) {
-    auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+    auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
     cfg.gen.wcet_model = model;
     const auto result = harness::run_sweep(cfg);
     benchrun::print_sweep(model == workload::WcetModel::kUniformWcet

@@ -6,13 +6,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "mkss.hpp"
 
 namespace mkss::benchrun {
 
-/// Paper parameters; the environment variables MKSS_SETS_PER_BIN and
-/// MKSS_MAX_ATTEMPTS can scale the experiment up or down.
+/// Paper parameters; the environment variables MKSS_SETS_PER_BIN,
+/// MKSS_MAX_ATTEMPTS and MKSS_THREADS can scale the experiment up or down.
+/// Benches default to one worker per hardware thread (num_threads = 0);
+/// results are bit-identical for every thread count.
 inline harness::SweepConfig paper_sweep_config(fault::Scenario scenario) {
   harness::SweepConfig cfg;
   cfg.scenario = scenario;
@@ -21,13 +24,69 @@ inline harness::SweepConfig paper_sweep_config(fault::Scenario scenario) {
   cfg.sets_per_bin = 20;    // "at least 20 task sets schedulable"
   cfg.max_attempts_per_bin = 5000;  // "or at least 5000 task sets generated"
   cfg.horizon_cap = core::from_ms(std::int64_t{2000});
+  cfg.num_threads = 0;  // all hardware threads
   if (const char* env = std::getenv("MKSS_SETS_PER_BIN")) {
     cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(env));
   }
   if (const char* env = std::getenv("MKSS_MAX_ATTEMPTS")) {
     cfg.max_attempts_per_bin = static_cast<std::size_t>(std::atoll(env));
   }
+  if (const char* env = std::getenv("MKSS_THREADS")) {
+    cfg.num_threads = static_cast<std::size_t>(std::atoll(env));
+  }
   return cfg;
+}
+
+/// Shared CLI for every figure/ablation bench:
+///   --threads n       worker threads (0 = all hardware threads)
+///   --sets n          schedulable sets per bin
+///   --max-attempts n  generation cap per bin
+/// Returns false (after printing usage) on an unknown argument.
+inline bool apply_bench_cli(harness::SweepConfig& cfg, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--threads" && has_value) {
+      cfg.num_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--sets" && has_value) {
+      cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-attempts" && has_value) {
+      cfg.max_attempts_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads n] [--sets n] [--max-attempts n]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// paper_sweep_config with the shared CLI applied; exits on bad usage.
+inline harness::SweepConfig bench_config(fault::Scenario scenario, int argc,
+                                         char** argv) {
+  auto cfg = paper_sweep_config(scenario);
+  if (!apply_bench_cli(cfg, argc, argv)) std::exit(2);
+  return cfg;
+}
+
+/// Thread count for benches that drive run_one loops directly instead of
+/// going through a SweepConfig: MKSS_THREADS env, overridden by --threads
+/// (0 = all hardware threads).
+inline std::size_t bench_threads(int argc, char** argv) {
+  std::size_t threads = 0;
+  if (const char* env = std::getenv("MKSS_THREADS")) {
+    threads = static_cast<std::size_t>(std::atoll(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads n]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return threads;
 }
 
 /// Prints the sweep as (1) the aligned normalized-energy table, (2) per-bin
@@ -48,11 +107,12 @@ inline void print_sweep(const char* title, const harness::SweepResult& result) {
   std::printf("(m,k)/mandatory audit failures: %llu\n\n",
               static_cast<unsigned long long>(result.qos_failures));
 
-  std::printf("csv:\nbin_lo,bin_hi,sets");
+  std::printf("csv:\nbin_lo,bin_hi,sets,attempts");
   for (const auto& name : result.scheme_names) std::printf(",%s", name.c_str());
   std::printf("\n");
   for (const auto& bin : result.bins) {
-    std::printf("%.1f,%.1f,%zu", bin.bin_lo, bin.bin_hi, bin.sets);
+    std::printf("%.1f,%.1f,%zu,%llu", bin.bin_lo, bin.bin_hi, bin.sets,
+                static_cast<unsigned long long>(bin.attempts));
     for (std::size_t s = 0; s < result.scheme_names.size(); ++s) {
       std::printf(",%s",
                   bin.sets ? report::fmt(bin.normalized[s].mean(), 4).c_str() : "");

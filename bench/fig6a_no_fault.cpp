@@ -8,9 +8,9 @@
 // series, which makes the motivation visible in the same axes.
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
-  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kNoFault);
+  auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
   cfg.schemes = {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                  sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
   const auto result = harness::run_sweep(cfg);

@@ -6,9 +6,9 @@
 // the energy saving by MKSS_selective can be up to 22%."
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
-  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kPermanentOnly);
+  auto cfg = benchrun::bench_config(fault::Scenario::kPermanentOnly, argc, argv);
   const auto result = harness::run_sweep(cfg);
   benchrun::print_sweep("=== Figure 6(b): energy comparison, permanent fault ===",
                         result);

@@ -7,9 +7,9 @@
 // 16%."
 #include "fig6_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mkss;
-  auto cfg = benchrun::paper_sweep_config(fault::Scenario::kPermanentAndTransient);
+  auto cfg = benchrun::bench_config(fault::Scenario::kPermanentAndTransient, argc, argv);
   const auto result = harness::run_sweep(cfg);
   benchrun::print_sweep(
       "=== Figure 6(c): energy comparison, permanent + transient faults ===",

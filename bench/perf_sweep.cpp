@@ -1,0 +1,129 @@
+// perf_sweep: throughput of the Figure-6 sweep harness, serial vs parallel.
+//
+// Runs the default Figure 6(a) configuration once per thread count (1, 2,
+// ..., up to the hardware limit, env MKSS_PERF_MAX_THREADS to cap) and
+// emits BENCH_sweep.json with sets/sec per thread count plus the speedup
+// over the serial run, so CI can track the perf trajectory as data. Also
+// asserts the determinism contract en route: every thread count must
+// reproduce the serial SweepResult bit-for-bit.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fig6_common.hpp"
+
+namespace {
+
+/// True when both sweeps agree on every count and every per-bin statistic to
+/// the last bit (mean/min/max go through identical accumulation order).
+bool identical(const mkss::harness::SweepResult& a,
+               const mkss::harness::SweepResult& b) {
+  if (a.qos_failures != b.qos_failures || a.bins.size() != b.bins.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    const auto& x = a.bins[i];
+    const auto& y = b.bins[i];
+    if (x.sets != y.sets || x.attempts != y.attempts) return false;
+    for (std::size_t s = 0; s < x.normalized.size(); ++s) {
+      if (x.normalized[s].mean() != y.normalized[s].mean() ||
+          x.normalized[s].stddev() != y.normalized[s].stddev() ||
+          x.absolute[s].mean() != y.absolute[s].mean()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mkss;
+  using clock = std::chrono::steady_clock;
+
+  // Default Figure 6(a) configuration; MKSS_SETS_PER_BIN etc. still apply.
+  auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
+  cfg.schemes = {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+                 sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
+
+  std::size_t max_threads = core::ThreadPool::resolve_num_threads(0);
+  if (const char* env = std::getenv("MKSS_PERF_MAX_THREADS")) {
+    max_threads = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (max_threads < 1) max_threads = 1;
+
+  struct Sample {
+    std::size_t threads;
+    double seconds;
+    double sets_per_sec;
+    bool bit_identical;
+  };
+  std::vector<Sample> samples;
+  harness::SweepResult serial;
+  std::size_t total_sets = 0;
+
+  std::printf("=== perf_sweep: Figure-6a harness throughput ===\n");
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+    cfg.num_threads = t;
+    const auto start = clock::now();
+    const auto result = harness::run_sweep(cfg);
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+
+    std::size_t sets = 0;
+    for (const auto& bin : result.bins) sets += bin.sets;
+    const bool same = t == 1 ? true : identical(serial, result);
+    if (t == 1) {
+      serial = result;
+      total_sets = sets;
+    }
+    samples.push_back({t, secs, secs > 0 ? static_cast<double>(sets) / secs : 0,
+                       same});
+    std::printf("threads=%zu  %.2fs  %.1f sets/sec  %s\n", t, secs,
+                samples.back().sets_per_sec,
+                same ? "bit-identical" : "MISMATCH vs serial");
+  }
+
+  const double serial_rate = samples.front().sets_per_sec;
+  bool all_identical = true;
+  std::string json = "{\n  \"bench\": \"fig6a_sweep\",\n";
+  json += "  \"schemes\": 4,\n";
+  json += "  \"sets_total\": " + std::to_string(total_sets) + ",\n";
+  json += "  \"sets_per_bin\": " + std::to_string(cfg.sets_per_bin) + ",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(core::ThreadPool::resolve_num_threads(0)) + ",\n";
+  json += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    all_identical = all_identical && s.bit_identical;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"threads\": %zu, \"seconds\": %.4f, "
+                  "\"sets_per_sec\": %.2f, \"speedup\": %.3f, "
+                  "\"bit_identical\": %s}%s\n",
+                  s.threads, s.seconds, s.sets_per_sec,
+                  serial_rate > 0 ? s.sets_per_sec / serial_rate : 0.0,
+                  s.bit_identical ? "true" : "false",
+                  i + 1 < samples.size() ? "," : "");
+    json += line;
+  }
+  json += "  ]\n}\n";
+
+  const char* out_path = "BENCH_sweep.json";
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: parallel sweep diverged from serial result\n");
+    return 1;
+  }
+  return 0;
+}

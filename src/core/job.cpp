@@ -3,7 +3,14 @@
 namespace mkss::core {
 
 std::string to_string(const JobId& id) {
-  return "J" + std::to_string(id.task + 1) + "," + std::to_string(id.job);
+  // Built via append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on ("literal" + std::string&&) under -O3, which would
+  // break the -Werror CI job.
+  std::string s = "J";
+  s += std::to_string(id.task + 1);
+  s += ',';
+  s += std::to_string(id.job);
+  return s;
 }
 
 }  // namespace mkss::core

@@ -82,4 +82,17 @@ Rng Rng::split() noexcept {
   return Rng((*this)());
 }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) noexcept {
+  // Three chained SplitMix64 steps; each input lands in a different golden-
+  // ratio offset so (seed, a, b) permutations map to distinct streams.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x ^= a * 0xbf58476d1ce4e5b9ULL;
+  h ^= splitmix64(x);
+  x ^= b * 0x94d049bb133111ebULL;
+  h ^= splitmix64(x);
+  return h;
+}
+
 }  // namespace mkss::core

@@ -53,4 +53,13 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Derives a seed for an independent stream from (seed, a, b) by chained
+/// SplitMix64 finalization. Unlike Rng::split(), the result depends only on
+/// the *indices*, never on how much of a parent stream was consumed — this
+/// is what makes the parallel sweep harness bit-identical to the serial
+/// path: stream_seed(seed, bin_index, set_index) names the same stream no
+/// matter which thread reaches it first.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) noexcept;
+
 }  // namespace mkss::core

@@ -1,0 +1,84 @@
+// Minimal fixed-size thread pool for the evaluation harness.
+//
+// Deliberately work-stealing-free: a single FIFO queue guarded by a mutex
+// plus a condition variable. The harness derives every random stream from
+// the job's *index*, never from which worker runs it, so scheduling order
+// cannot leak into results — the pool only has to execute jobs, not order
+// them. Exceptions propagate through the returned std::future.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mkss::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself falling back to 1 if the platform reports 0).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue: every job submitted before destruction runs to
+  /// completion, then workers join. Jobs submitted *during* destruction are
+  /// dropped (their futures report broken_promise).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. An exception thrown
+  /// by `fn` is captured and rethrown from future::get().
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Resolves a thread-count request: 0 -> hardware_concurrency (min 1).
+  static std::size_t resolve_num_threads(std::size_t requested) noexcept;
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Waits on every future in `futures` (rethrowing the first captured
+/// exception) — the per-phase barrier used by the sweep harness.
+template <typename T>
+void wait_all(std::vector<std::future<T>>& futures) {
+  for (auto& f : futures) f.get();
+}
+
+/// Runs fn(0) .. fn(count-1) and returns after all completed (a barrier).
+/// With a null pool the calls happen inline in index order; with a pool they
+/// are fanned out. Deterministic as long as fn(i) depends only on i and
+/// writes only slot i — the contract every sweep job in this repo follows.
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience form owning a temporary pool: 1 = inline, 0 = all hardware
+/// threads.
+void parallel_for(std::size_t num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mkss::core

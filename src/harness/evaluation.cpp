@@ -1,6 +1,11 @@
 #include "harness/evaluation.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "core/thread_pool.hpp"
 
 namespace mkss::harness {
 
@@ -40,14 +45,14 @@ double SweepResult::max_gain(std::size_t a, std::size_t b) const {
 }
 
 report::Table SweepResult::to_table() const {
-  std::vector<std::string> header{"mk-util bin", "sets"};
+  std::vector<std::string> header{"mk-util bin", "sets", "attempts"};
   for (const std::string& name : scheme_names) header.push_back(name);
   report::Table table(std::move(header));
   for (const BinSummary& bin : bins) {
     std::vector<std::string> row;
-    row.push_back("[" + report::fmt(bin.bin_lo, 1) + "," +
-                  report::fmt(bin.bin_hi, 1) + ")");
+    row.push_back(report::interval(bin.bin_lo, bin.bin_hi));
     row.push_back(std::to_string(bin.sets));
+    row.push_back(std::to_string(bin.attempts));
     for (std::size_t s = 0; s < scheme_names.size(); ++s) {
       row.push_back(bin.sets ? report::fmt(bin.normalized[s].mean(), 3) : "-");
     }
@@ -65,6 +70,26 @@ SweepResult run_sweep(const SweepConfig& config) {
   return run_variant_sweep(config, variants);
 }
 
+namespace {
+
+/// Stream index reserved for task-set generation inside a bin; set indices
+/// (the other consumers of the (seed, bin, x) stream space) are dense from 0
+/// and can never reach it.
+constexpr std::uint64_t kGenerationStream = ~std::uint64_t{0};
+
+/// Everything one (task-set × variant) job reads and the slot it writes.
+/// Jobs touch disjoint slots, so the fan-out needs no synchronization beyond
+/// the barrier; aggregation then walks slots in set-index order, which makes
+/// the result independent of completion order and thread count.
+struct SetRuns {
+  Ticks horizon{0};
+  std::unique_ptr<const sim::FaultPlan> plan;
+  std::vector<double> totals;   ///< one per variant
+  std::vector<char> qos_ok;     ///< one per variant
+};
+
+}  // namespace
+
 SweepResult run_variant_sweep(const SweepConfig& config,
                               const std::vector<SchemeVariant>& variants) {
   SweepResult result;
@@ -72,49 +97,94 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     result.scheme_names.push_back(v.name);
   }
 
-  core::Rng rng(config.seed);
-  for (const double lo : config.bin_starts) {
-    const double hi = lo + config.bin_width;
-    core::Rng bin_rng = rng.split();
-    const workload::BinnedBatch batch =
-        workload::generate_bin(config.gen, lo, hi, config.sets_per_bin,
-                               config.max_attempts_per_bin, bin_rng);
+  const std::size_t n_threads =
+      core::ThreadPool::resolve_num_threads(config.num_threads);
+  std::unique_ptr<core::ThreadPool> pool;
+  if (n_threads > 1) pool = std::make_unique<core::ThreadPool>(n_threads);
 
+  // Phase 1: task-set generation, one independent job per bin. Each bin owns
+  // the stream (seed, bin_index, kGenerationStream); rejection sampling
+  // inside a bin stays sequential (each draw depends on the previous ones),
+  // but bins proceed concurrently.
+  std::vector<workload::BinnedBatch> batches(config.bin_starts.size());
+  core::parallel_for(pool.get(), batches.size(), [&](std::size_t b) {
+    const double lo = config.bin_starts[b];
+    core::Rng gen_rng(core::stream_seed(config.seed, b, kGenerationStream));
+    batches[b] =
+        workload::generate_bin(config.gen, lo, lo + config.bin_width,
+                               config.sets_per_bin,
+                               config.max_attempts_per_bin, gen_rng);
+  });
+
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (batches[b].sets.size() < config.sets_per_bin) {
+      std::fprintf(
+          stderr,
+          "warning: bin [%.2f,%.2f) exhausted max_attempts_per_bin=%zu with "
+          "only %zu/%zu schedulable sets; its statistics are undersampled\n",
+          batches[b].bin_lo, batches[b].bin_hi, config.max_attempts_per_bin,
+          batches[b].sets.size(), config.sets_per_bin);
+    }
+  }
+
+  // Phase 2: one job per (task-set × variant). The fault plan is derived
+  // from (seed, bin_index, set_index) — a name, not a position in a shared
+  // stream — and built per task set up front (FaultPlan queries are const
+  // and thread-safe, so every variant of a set shares one plan: schemes
+  // differ in scheduling, not in luck).
+  std::vector<std::vector<SetRuns>> runs(batches.size());
+  struct JobRef {
+    std::size_t bin, set, variant;
+  };
+  std::vector<JobRef> jobs;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    runs[b].resize(batches[b].sets.size());
+    for (std::size_t s = 0; s < batches[b].sets.size(); ++s) {
+      SetRuns& sr = runs[b][s];
+      const core::TaskSet& ts = batches[b].sets[s];
+      sr.horizon = choose_horizon(ts, config.horizon_cap);
+      core::Rng fault_rng(core::stream_seed(config.seed, b, s));
+      sr.plan = fault::make_scenario_plan(config.scenario, ts, sr.horizon,
+                                          config.lambda_per_ms, fault_rng);
+      sr.totals.assign(variants.size(), 0.0);
+      sr.qos_ok.assign(variants.size(), 1);
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        jobs.push_back({b, s, v});
+      }
+    }
+  }
+  core::parallel_for(pool.get(), jobs.size(), [&](std::size_t i) {
+    const JobRef& j = jobs[i];
+    SetRuns& sr = runs[j.bin][j.set];
+    sim::SimConfig sim_config;
+    sim_config.horizon = sr.horizon;
+    sim_config.break_even = config.power.break_even;
+    const auto scheme = variants[j.variant].make();
+    const RunResult run = run_one(batches[j.bin].sets[j.set], *scheme,
+                                  *sr.plan, sim_config, config.power);
+    sr.totals[j.variant] = run.energy.total();
+    sr.qos_ok[j.variant] = run.qos.theorem1_holds() ? 1 : 0;
+  });
+
+  // Phase 3: aggregation, strictly in (bin, set) index order — same
+  // floating-point accumulation order as a fully serial run.
+  for (std::size_t b = 0; b < batches.size(); ++b) {
     BinSummary bin;
-    bin.bin_lo = lo;
-    bin.bin_hi = hi;
-    bin.attempts = batch.attempts;
+    bin.bin_lo = batches[b].bin_lo;
+    bin.bin_hi = batches[b].bin_hi;
+    bin.attempts = batches[b].attempts;
     bin.normalized.resize(variants.size());
     bin.absolute.resize(variants.size());
 
-    for (const core::TaskSet& ts : batch.sets) {
-      const Ticks horizon = choose_horizon(ts, config.horizon_cap);
-      sim::SimConfig sim_config;
-      sim_config.horizon = horizon;
-      sim_config.break_even = config.power.break_even;
-
-      // One fault plan per task set, shared by every scheme: schemes differ
-      // in scheduling, not in luck.
-      core::Rng fault_rng = bin_rng.split();
-      const auto plan = fault::make_scenario_plan(
-          config.scenario, ts, horizon, config.lambda_per_ms, fault_rng);
-
-      std::vector<double> totals(variants.size(), 0.0);
-      bool qos_ok = true;
-      for (std::size_t s = 0; s < variants.size(); ++s) {
-        const auto scheme = variants[s].make();
-        const RunResult run =
-            run_one(ts, *scheme, *plan, sim_config, config.power);
-        totals[s] = run.energy.total();
-        if (!run.qos.theorem1_holds()) qos_ok = false;
+    for (const SetRuns& sr : runs[b]) {
+      if (std::find(sr.qos_ok.begin(), sr.qos_ok.end(), 0) != sr.qos_ok.end()) {
+        ++result.qos_failures;
       }
-      if (!qos_ok) ++result.qos_failures;
-
-      const double reference = totals[0];
+      const double reference = sr.totals[0];
       if (reference <= 0.0) continue;
-      for (std::size_t s = 0; s < variants.size(); ++s) {
-        bin.normalized[s].add(totals[s] / reference);
-        bin.absolute[s].add(totals[s]);
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        bin.normalized[v].add(sr.totals[v] / reference);
+        bin.absolute[v].add(sr.totals[v]);
       }
       ++bin.sets;
     }

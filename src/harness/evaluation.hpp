@@ -65,6 +65,14 @@ struct SweepConfig {
   energy::PowerParams power{};
   /// Schemes to compare; the first is the normalization reference.
   std::vector<sched::SchemeKind> schemes{sched::evaluation_schemes()};
+
+  /// Worker threads for the sweep: 1 = run everything inline on the calling
+  /// thread, 0 = std::thread::hardware_concurrency. Results are bit-identical
+  /// for every value (see docs/architecture.md, "Harness threading model"):
+  /// all random streams are derived from (seed, bin_index, set_index) via
+  /// core::stream_seed, and statistics are aggregated in set-index order
+  /// after a barrier, never in completion order.
+  std::size_t num_threads{1};
 };
 
 struct BinSummary {

@@ -14,6 +14,12 @@ class RunningStat {
  public:
   void add(double x) noexcept;
 
+  /// Folds another accumulator into this one (Chan et al.'s parallel
+  /// variance combination), as if every sample of `other` had been add()ed.
+  /// Lets worker threads keep private accumulators that are merged after a
+  /// barrier.
+  void merge(const RunningStat& other) noexcept;
+
   std::uint64_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   double min() const noexcept { return n_ ? min_ : 0.0; }

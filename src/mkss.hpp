@@ -2,7 +2,7 @@
 //
 // Quick tour:
 //   core/      task model, jobs, (m,k) histories & flexibility degree,
-//              R-/E-patterns, deterministic RNG, tick time base
+//              R-/E-patterns, deterministic RNG, tick time base, thread pool
 //   analysis/  response-time analysis, promotion times Y_i, backup release
 //              postponement theta_i (Definitions 2-5), schedulability tests
 //   sim/       dual-processor discrete-event engine, scheme & fault-plan
@@ -29,6 +29,7 @@
 #include "core/pattern.hpp"
 #include "core/rng.hpp"
 #include "core/task.hpp"
+#include "core/thread_pool.hpp"
 #include "core/time.hpp"
 #include "energy/energy_model.hpp"
 #include "fault/injection.hpp"

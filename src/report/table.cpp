@@ -79,4 +79,10 @@ std::string fmt_percent(double ratio, int precision) {
   return buf;
 }
 
+std::string interval(double lo, double hi, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%.*f,%.*f)", precision, lo, precision, hi);
+  return buf;
+}
+
 }  // namespace mkss::report

@@ -34,4 +34,8 @@ std::string fmt(double value, int precision = 3);
 /// Formats a ratio as a percentage string, e.g. 0.283 -> "28.3%".
 std::string fmt_percent(double ratio, int precision = 1);
 
+/// Formats a half-open interval, e.g. (0.2, 0.3) -> "[0.2,0.3)". The shared
+/// bin-label helper for the sweep tables.
+std::string interval(double lo, double hi, int precision = 1);
+
 }  // namespace mkss::report

@@ -98,6 +98,63 @@ TEST(Sweep, DeterministicForFixedSeed) {
   }
 }
 
+TEST(Sweep, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract of the parallel harness: every random stream
+  // is named by (seed, bin_index, set_index), and aggregation happens in
+  // set-index order after a barrier -- so any thread count must reproduce
+  // the serial result bit-for-bit, attempts and all.
+  SweepConfig cfg;
+  cfg.bin_starts = {0.2, 0.4};
+  cfg.sets_per_bin = 5;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  cfg.scenario = fault::Scenario::kPermanentAndTransient;
+  cfg.lambda_per_ms = 1e-4;  // 100x the paper's rate: the transient stream
+                             // matters, but backups stay effectively safe
+
+  cfg.num_threads = 1;
+  const auto serial = run_sweep(cfg);
+  EXPECT_EQ(serial.qos_failures, 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    cfg.num_threads = threads;
+    const auto parallel = run_sweep(cfg);
+    EXPECT_EQ(parallel.qos_failures, 0u);
+    ASSERT_EQ(parallel.bins.size(), serial.bins.size()) << threads;
+    for (std::size_t b = 0; b < serial.bins.size(); ++b) {
+      const auto& sb = serial.bins[b];
+      const auto& pb = parallel.bins[b];
+      EXPECT_EQ(pb.sets, sb.sets) << threads;
+      EXPECT_EQ(pb.attempts, sb.attempts) << threads;
+      ASSERT_EQ(pb.normalized.size(), sb.normalized.size());
+      for (std::size_t s = 0; s < sb.normalized.size(); ++s) {
+        // Bit-identical, not just close: same streams, same fp order.
+        EXPECT_EQ(pb.normalized[s].mean(), sb.normalized[s].mean());
+        EXPECT_EQ(pb.normalized[s].stddev(), sb.normalized[s].stddev());
+        EXPECT_EQ(pb.normalized[s].min(), sb.normalized[s].min());
+        EXPECT_EQ(pb.normalized[s].max(), sb.normalized[s].max());
+        EXPECT_EQ(pb.absolute[s].mean(), sb.absolute[s].mean());
+      }
+    }
+    EXPECT_EQ(parallel.to_table().to_csv(), serial.to_table().to_csv());
+  }
+}
+
+TEST(Sweep, TableRecordsGenerationAttempts) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.3};
+  cfg.sets_per_bin = 3;
+  cfg.max_attempts_per_bin = 2000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  const auto result = run_sweep(cfg);
+  ASSERT_EQ(result.bins.size(), 1u);
+  EXPECT_GE(result.bins[0].attempts, result.bins[0].sets);
+  const auto csv = result.to_table().to_csv();
+  EXPECT_NE(csv.find("attempts"), std::string::npos);
+  EXPECT_NE(csv.find(std::to_string(result.bins[0].attempts)),
+            std::string::npos);
+}
+
 TEST(Sweep, PermanentFaultScenarioStillSatisfiesTheorem1) {
   SweepConfig cfg;
   cfg.bin_starts = {0.3};

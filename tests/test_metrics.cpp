@@ -34,6 +34,37 @@ TEST(RunningStat, SingleValueHasZeroVariance) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, MergeMatchesSequentialAccumulation) {
+  RunningStat all, left, right;
+  const double xs[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  for (int i = 0; i < 8; ++i) {
+    all.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.mean(), all.mean());
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, empty;
+  a.add(2.0);
+  a.add(4.0);
+  const double mean = a.mean();
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStat b;
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+}
+
 TEST(RelativeGain, Basics) {
   EXPECT_DOUBLE_EQ(relative_gain(72.0, 100.0), 0.28);
   EXPECT_DOUBLE_EQ(relative_gain(100.0, 100.0), 0.0);

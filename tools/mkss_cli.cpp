@@ -14,7 +14,10 @@
 //         --json                            dump the full trace as JSON
 //
 //   mkss_cli sweep [--scenario none|permanent|transient] [--sets <n>]
+//                  [--threads <n>]
 //       run the Figure-6 style sweep and print the table + CSV.
+//       --threads 0 uses every hardware thread; results are bit-identical
+//       for any thread count (default 1).
 //
 //   mkss_cli example
 //       print a template task-set file.
@@ -38,6 +41,7 @@ int usage() {
       "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
       "                [--seed n] [--gantt] [--json]\n"
       "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
+      "                [--threads n]\n"
       "       mkss_cli example\n",
       stderr);
   return 2;
@@ -175,6 +179,8 @@ int cmd_sweep(int argc, char** argv) {
       else { std::fprintf(stderr, "unknown scenario '%s'\n", v.c_str()); return 2; }
     } else if (arg == "--sets" && i + 1 < argc) {
       cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cfg.num_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return 2;
