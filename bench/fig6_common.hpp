@@ -107,6 +107,18 @@ inline void print_sweep(const char* title, const harness::SweepResult& result) {
   std::printf("(m,k)/mandatory audit failures: %llu\n\n",
               static_cast<unsigned long long>(result.qos_failures));
 
+  if (!result.errors.empty()) {
+    std::fprintf(stderr,
+                 "warning: %zu run(s) quarantined by the trace auditor "
+                 "(excluded from the statistics):\n",
+                 result.errors.size());
+    for (const harness::SweepError& e : result.errors) {
+      std::fprintf(stderr, "  bin %zu set %zu %s (stream seed %llu): %s\n",
+                   e.bin, e.set, e.variant.c_str(),
+                   static_cast<unsigned long long>(e.seed), e.message.c_str());
+    }
+  }
+
   std::printf("csv:\nbin_lo,bin_hi,sets,attempts");
   for (const auto& name : result.scheme_names) std::printf(",%s", name.c_str());
   std::printf("\n");

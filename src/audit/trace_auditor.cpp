@@ -1,0 +1,447 @@
+#include "audit/trace_auditor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/job.hpp"
+#include "core/mk_constraint.hpp"
+#include "core/time.hpp"
+
+namespace mkss::audit {
+
+using core::JobId;
+using core::Ticks;
+using sim::Band;
+using sim::CopyEnd;
+using sim::CopyKind;
+using sim::CopyRecord;
+using sim::ExecSegment;
+using sim::SimulationTrace;
+
+namespace {
+
+std::string at(Ticks t) { return core::format_ticks(t); }
+
+std::string describe(const CopyRecord& c) {
+  return sim::to_string(c.kind) + " copy of " + core::to_string(c.job) +
+         " on proc " + std::to_string(c.proc);
+}
+
+/// Collects violations and enforces the truncation cap.
+class Collector {
+ public:
+  explicit Collector(std::size_t cap) : cap_(cap) {}
+
+  void add(std::string invariant, std::string detail) {
+    if (cap_ != 0 && report_.violations.size() >= cap_) {
+      report_.truncated = true;
+      return;
+    }
+    report_.violations.push_back({std::move(invariant), std::move(detail)});
+  }
+
+  bool full() const noexcept {
+    return cap_ != 0 && report_.violations.size() >= cap_;
+  }
+
+  AuditReport take() { return std::move(report_); }
+
+ private:
+  std::size_t cap_;
+  AuditReport report_;
+};
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.invariant + ": " + v.detail + "\n";
+  }
+  if (truncated) out += "(further violations truncated)\n";
+  return out;
+}
+
+AuditViolationError::AuditViolationError(AuditReport report)
+    : std::runtime_error(
+          "trace audit failed with " +
+          std::to_string(report.violations.size()) + " violation(s):\n" +
+          report.to_string()),
+      report_(std::move(report)) {}
+
+AuditReport TraceAuditor::audit(const SimulationTrace& trace,
+                                const core::TaskSet& ts) const {
+  Collector out(options_.max_violations);
+  const Ticks horizon = trace.horizon;
+
+  // --- 1. Segment geometry: bounds, per-processor exclusivity, death. -----
+  std::array<std::vector<const ExecSegment*>, sim::kProcessorCount> per_proc;
+  for (const ExecSegment& s : trace.segments) {
+    if (s.proc >= sim::kProcessorCount) {
+      out.add("segment-bounds", "segment on unknown processor " +
+                                    std::to_string(s.proc));
+      continue;
+    }
+    if (s.span.begin < 0 || s.span.end > horizon || s.span.empty()) {
+      out.add("segment-bounds", core::to_string(s.job) + " segment [" +
+                                    at(s.span.begin) + ", " + at(s.span.end) +
+                                    ") outside [0, " + at(horizon) + ")");
+    }
+    if (s.span.end > trace.death_time[s.proc]) {
+      out.add("dead-processor",
+              core::to_string(s.job) + " executes until " + at(s.span.end) +
+                  " on proc " + std::to_string(s.proc) + ", which died at " +
+                  at(trace.death_time[s.proc]));
+    }
+    per_proc[s.proc].push_back(&s);
+  }
+  for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+    auto& list = per_proc[p];
+    std::sort(list.begin(), list.end(),
+              [](const ExecSegment* a, const ExecSegment* b) {
+                return a->span.begin < b->span.begin;
+              });
+    Ticks busy = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      busy += list[i]->span.length();
+      if (i > 0 && list[i]->span.begin < list[i - 1]->span.end) {
+        out.add("segment-overlap",
+                "proc " + std::to_string(p) + ": " +
+                    core::to_string(list[i - 1]->job) + " and " +
+                    core::to_string(list[i]->job) + " overlap at " +
+                    at(list[i]->span.begin));
+      }
+    }
+    if (busy != trace.busy_time[p]) {
+      out.add("busy-time", "proc " + std::to_string(p) + ": segments sum to " +
+                               at(busy) + " but busy_time records " +
+                               at(trace.busy_time[p]));
+    }
+  }
+
+  // --- 2. Copy lifecycles and the segment -> copy mapping. ----------------
+  std::map<JobId, std::vector<std::size_t>> copies_of;
+  for (std::size_t i = 0; i < trace.copies.size(); ++i) {
+    const CopyRecord& c = trace.copies[i];
+    copies_of[c.job].push_back(i);
+    if (c.eligible < c.admitted || c.ended < c.admitted || c.ended > horizon) {
+      out.add("copy-lifetime",
+              describe(c) + ": admitted " + at(c.admitted) + ", eligible " +
+                  at(c.eligible) + ", ended " + at(c.ended) +
+                  " is not a well-formed lifetime within the horizon");
+    }
+  }
+
+  std::vector<Ticks> executed(trace.copies.size(), 0);
+  for (const ExecSegment& s : trace.segments) {
+    const auto it = copies_of.find(s.job);
+    std::size_t match = trace.copies.size();
+    if (it != copies_of.end()) {
+      for (const std::size_t i : it->second) {
+        const CopyRecord& c = trace.copies[i];
+        if (c.kind == s.kind && c.proc == s.proc &&
+            c.admitted <= s.span.begin && s.span.end <= c.ended) {
+          match = i;
+          break;
+        }
+      }
+    }
+    if (match == trace.copies.size()) {
+      out.add("orphan-segment",
+              core::to_string(s.job) + " " + sim::to_string(s.kind) +
+                  " segment [" + at(s.span.begin) + ", " + at(s.span.end) +
+                  ") on proc " + std::to_string(s.proc) +
+                  " matches no recorded copy lifetime");
+      continue;
+    }
+    executed[match] += s.span.length();
+    const CopyRecord& c = trace.copies[match];
+    if (s.span.begin < c.eligible) {
+      out.add("eligible-time",
+              describe(c) + " runs at " + at(s.span.begin) +
+                  ", before its eligible time " + at(c.eligible));
+    }
+  }
+  for (std::size_t i = 0; i < trace.copies.size(); ++i) {
+    const CopyRecord& c = trace.copies[i];
+    if (executed[i] > c.work) {
+      out.add("copy-overrun", describe(c) + " executed " + at(executed[i]) +
+                                  " of a demand of " + at(c.work));
+    }
+    if (c.end == CopyEnd::kCompleted && executed[i] != c.work) {
+      out.add("copy-overrun",
+              describe(c) + " completed after executing " + at(executed[i]) +
+                  " of a demand of " + at(c.work));
+    }
+  }
+
+  // One copy per (job, processor) and per (job, replica slot) at a time.
+  const auto slot_of = [](CopyKind kind) {
+    return kind == CopyKind::kBackup ? 1 : 0;
+  };
+  for (const auto& [job, list] : copies_of) {
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        const CopyRecord& ca = trace.copies[list[a]];
+        const CopyRecord& cb = trace.copies[list[b]];
+        const bool overlap =
+            ca.admitted < cb.ended && cb.admitted < ca.ended;
+        if (!overlap) continue;
+        if (ca.proc == cb.proc) {
+          out.add("duplicate-copy",
+                  core::to_string(job) + " has two overlapping copies (" +
+                      sim::to_string(ca.kind) + ", " + sim::to_string(cb.kind) +
+                      ") on proc " + std::to_string(ca.proc));
+        } else if (slot_of(ca.kind) == slot_of(cb.kind)) {
+          out.add("duplicate-copy",
+                  core::to_string(job) + " has two overlapping copies in the " +
+                      (slot_of(ca.kind) == 0 ? "main" : "backup") +
+                      " replica slot");
+        }
+      }
+    }
+  }
+
+  // --- 3. Band discipline: MJQ strictly above OJQ on each processor. ------
+  for (const ExecSegment& s : trace.segments) {
+    if (s.proc >= sim::kProcessorCount) continue;
+    // Find the segment's band through its copy record.
+    const auto it = copies_of.find(s.job);
+    if (it == copies_of.end()) continue;
+    Band band = Band::kMandatory;
+    bool found = false;
+    for (const std::size_t i : it->second) {
+      const CopyRecord& c = trace.copies[i];
+      if (c.kind == s.kind && c.proc == s.proc && c.admitted <= s.span.begin &&
+          s.span.end <= c.ended) {
+        band = c.band;
+        found = true;
+        break;
+      }
+    }
+    if (!found || band != Band::kOptional) continue;
+    // No mandatory copy on the same processor may be ready (admitted,
+    // eligible, not yet ended) while this optional segment runs.
+    for (const CopyRecord& c : trace.copies) {
+      if (c.proc != s.proc || c.band != Band::kMandatory) continue;
+      const Ticks ready_from = std::max(c.admitted, c.eligible);
+      if (ready_from < s.span.end && s.span.begin < c.ended &&
+          c.ended > ready_from) {
+        const Ticks from = std::max(ready_from, s.span.begin);
+        const Ticks to = std::min(c.ended, s.span.end);
+        if (from < to) {
+          out.add("band-inversion",
+                  "optional " + core::to_string(s.job) + " executes in [" +
+                      at(from) + ", " + at(to) + ") on proc " +
+                      std::to_string(s.proc) + " while mandatory " +
+                      describe(c) + " is ready");
+        }
+      }
+    }
+    if (out.full()) break;
+  }
+
+  // --- 4. Job resolution and cancellation protocol. -----------------------
+  const bool had_permanent =
+      trace.death_time[0] != core::kNever || trace.death_time[1] != core::kNever;
+  const Ticks death = std::min(trace.death_time[0], trace.death_time[1]);
+  std::vector<std::size_t> counted_jobs(ts.size(), 0);
+  std::uint64_t met = 0, missed = 0, mandatory_misses = 0, mandatory_jobs = 0;
+  std::uint64_t optional_selected = 0, optional_skipped = 0;
+
+  for (const sim::JobRecord& j : trace.jobs) {
+    if (j.job.id.task >= ts.size()) {
+      out.add("job-record", core::to_string(j.job.id) +
+                                " references a task outside the task set");
+      continue;
+    }
+    const bool should_count = j.job.deadline <= horizon;
+    if (j.counted != should_count) {
+      out.add("job-record", core::to_string(j.job.id) +
+                                " counted flag disagrees with its deadline " +
+                                at(j.job.deadline));
+    }
+    if (j.counted) {
+      ++counted_jobs[j.job.id.task];
+      if (!j.resolved) {
+        out.add("job-resolution",
+                core::to_string(j.job.id) + " is counted but never resolved");
+        continue;
+      }
+      if (j.resolved_at > j.job.deadline) {
+        out.add("job-resolution",
+                core::to_string(j.job.id) + " resolved at " +
+                    at(j.resolved_at) + ", after its deadline " +
+                    at(j.job.deadline));
+      }
+    }
+    if (j.mandatory) {
+      ++mandatory_jobs;
+    } else if (j.executed_optional) {
+      ++optional_selected;
+    } else {
+      ++optional_skipped;
+    }
+
+    // Successful completions of this job.
+    const auto it = copies_of.find(j.job.id);
+    std::size_t successes = 0;
+    Ticks success_at = 0;
+    if (it != copies_of.end()) {
+      for (const std::size_t i : it->second) {
+        const CopyRecord& c = trace.copies[i];
+        if (c.end == CopyEnd::kCompleted && !c.transient_fault) {
+          ++successes;
+          success_at = c.ended;
+        }
+      }
+      // Cancellation protocol: canceled iff the sibling succeeded then.
+      for (const std::size_t i : it->second) {
+        const CopyRecord& c = trace.copies[i];
+        if (c.end == CopyEnd::kCanceled &&
+            (successes == 0 || c.ended != success_at)) {
+          out.add("cancel-protocol",
+                  describe(c) + " was canceled at " + at(c.ended) +
+                      " without a sibling success at that instant");
+        }
+        if (successes > 0 && c.ended > success_at) {
+          out.add("cancel-protocol",
+                  describe(c) + " outlived the job's successful completion at " +
+                      at(success_at));
+        }
+      }
+    }
+    if (successes > 1) {
+      out.add("job-resolution", core::to_string(j.job.id) +
+                                    " has more than one successful completion");
+    }
+    if (!j.resolved || !j.counted) continue;
+
+    if (j.outcome == core::JobOutcome::kMet) {
+      ++met;
+      if (successes == 0) {
+        out.add("job-resolution",
+                core::to_string(j.job.id) +
+                    " is met without a successful copy completion");
+      } else if (success_at != j.resolved_at) {
+        out.add("job-resolution",
+                core::to_string(j.job.id) + " met at " + at(j.resolved_at) +
+                    " but its success completed at " + at(success_at));
+      }
+    } else {
+      ++missed;
+      if (successes != 0) {
+        out.add("job-resolution",
+                core::to_string(j.job.id) +
+                    " is missed despite a successful copy completion");
+      }
+      if (j.mandatory) {
+        ++mandatory_misses;
+        if (options_.check_mandatory) {
+          // Theorem 1: a mandatory (FD == 0) job survives one permanent
+          // fault and a transient on one copy. A miss needs >= 2 fault
+          // events -- and the permanent fault only counts if it struck
+          // before this job's deadline.
+          int fault_events = (j.main_transient_fault ? 1 : 0) +
+                             (j.backup_transient_fault ? 1 : 0) +
+                             (had_permanent && death < j.job.deadline ? 1 : 0);
+          if (fault_events < 2) {
+            out.add("mandatory-miss",
+                    "mandatory " + core::to_string(j.job.id) +
+                        " missed its deadline " + at(j.job.deadline) +
+                        " with only " + std::to_string(fault_events) +
+                        " fault event(s) against it");
+          }
+        }
+      }
+    }
+  }
+
+  // --- 5. Outcome sequences and the (m,k) windows. ------------------------
+  if (trace.outcomes_per_task.size() != ts.size()) {
+    out.add("outcome-counts", "trace has outcome sequences for " +
+                                  std::to_string(trace.outcomes_per_task.size()) +
+                                  " tasks, task set has " +
+                                  std::to_string(ts.size()));
+  } else {
+    for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+      if (trace.outcomes_per_task[i].size() != counted_jobs[i]) {
+        out.add("outcome-counts",
+                ts[i].name + ": " +
+                    std::to_string(trace.outcomes_per_task[i].size()) +
+                    " outcomes recorded for " +
+                    std::to_string(counted_jobs[i]) + " counted jobs");
+      }
+      if (options_.check_mk) {
+        const auto violation = core::audit_mk_sequence(
+            ts[i].m, ts[i].k, trace.outcomes_per_task[i]);
+        if (violation) {
+          out.add("mk-violation",
+                  ts[i].name + ": window ending at job " +
+                      std::to_string(violation->first_job) + " has only " +
+                      std::to_string(violation->met) + "/" +
+                      std::to_string(ts[i].k) + " successes (needs " +
+                      std::to_string(ts[i].m) + ")");
+        }
+      }
+    }
+  }
+
+  // --- 6. Aggregate counters reconcile with the records. ------------------
+  const sim::SimStats& st = trace.stats;
+  std::uint64_t backups = 0, transients = 0;
+  for (const CopyRecord& c : trace.copies) {
+    backups += c.kind == CopyKind::kBackup;
+    transients += c.transient_fault;
+  }
+  const auto stat = [&out](const char* name, std::uint64_t recorded,
+                           std::uint64_t derived) {
+    if (recorded != derived) {
+      out.add("stats-reconcile", std::string(name) + " records " +
+                                     std::to_string(recorded) +
+                                     " but the trace implies " +
+                                     std::to_string(derived));
+    }
+  };
+  stat("jobs_released", st.jobs_released, trace.jobs.size());
+  stat("mandatory_jobs", st.mandatory_jobs, mandatory_jobs);
+  stat("optional_selected", st.optional_selected, optional_selected);
+  stat("optional_skipped", st.optional_skipped, optional_skipped);
+  stat("backups_created", st.backups_created, backups);
+  stat("transient_faults", st.transient_faults, transients);
+  stat("jobs_met", st.jobs_met, met);
+  stat("jobs_missed", st.jobs_missed, missed);
+  stat("mandatory_misses", st.mandatory_misses, mandatory_misses);
+
+  // --- 7. Energy accounting reconciles with busy/sleep intervals. ---------
+  if (options_.check_energy) {
+    const auto energy = energy::account_energy(trace, options_.power);
+    for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+      const auto& pe = energy.per_proc[p];
+      const Ticks life = std::min(horizon, trace.death_time[p]);
+      if (pe.busy_time != trace.busy_time[p]) {
+        out.add("energy-reconcile",
+                "proc " + std::to_string(p) + ": accounted busy time " +
+                    at(pe.busy_time) + " != trace busy time " +
+                    at(trace.busy_time[p]));
+      }
+      if (pe.busy_time + pe.idle_time + pe.slept_time != life) {
+        out.add("energy-reconcile",
+                "proc " + std::to_string(p) + ": busy + idle + sleep = " +
+                    at(pe.busy_time + pe.idle_time + pe.slept_time) +
+                    " does not cover the processor's life span " + at(life));
+      }
+    }
+  }
+
+  return out.take();
+}
+
+void audit_or_throw(const SimulationTrace& trace, const core::TaskSet& ts,
+                    const AuditOptions& options) {
+  AuditReport report = TraceAuditor(options).audit(trace, ts);
+  if (!report.ok()) throw AuditViolationError(std::move(report));
+}
+
+}  // namespace mkss::audit

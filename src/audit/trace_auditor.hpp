@@ -1,0 +1,98 @@
+// Post-hoc trace auditing: replays a sim::SimulationTrace and certifies the
+// structural invariants of the standby-sparing model *independently* of the
+// engine that produced the trace (the engine asserts its own state with
+// MKSS_CHECK; the auditor re-derives everything from the recorded artifact,
+// so a bug that corrupts both state and checks in the same way is still
+// caught here).
+//
+// Invariants checked (Sections II-IV of the paper):
+//   * segments lie inside the horizon, never overlap on a processor, and
+//     never touch a processor after its permanent fault;
+//   * every segment maps to a recorded copy and never runs before the copy's
+//     eligible time (release, r + Y_i promotion, r + theta_i postponement);
+//   * per-copy execution never exceeds the copy's demand, and a completed
+//     copy executed exactly its demand;
+//   * at most one copy of a logical job lives on a processor at a time, and
+//     at most one copy per replica slot;
+//   * the mandatory band strictly outranks the optional band: no optional
+//     copy executes while a mandatory copy on the same processor is ready;
+//   * a copy is canceled if and only if its sibling completed successfully
+//     at that same instant (Figure 1's cross-processor cancellation);
+//   * job resolutions are consistent: met jobs have exactly one successful
+//     completion by their deadline, missed jobs have none;
+//   * a counted mandatory job may miss only when at least two fault events
+//     conspired against it (e.g. transients on both copies, or a permanent
+//     fault plus a transient on the survivor) -- the reliability guarantee
+//     of Theorem 1 under at most one permanent fault;
+//   * per-task (m,k) windows are never violated;
+//   * the trace's aggregate counters and the energy accounting reconcile
+//     exactly with the busy/idle/sleep intervals implied by the segments.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::audit {
+
+struct AuditOptions {
+  /// Check per-task (m,k) windows (Theorem 1). Disable when auditing a
+  /// scheme/task-set pair that is knowingly not R-pattern schedulable.
+  bool check_mk{true};
+  /// Check that mandatory misses are explained by >= 2 fault events.
+  bool check_mandatory{true};
+  /// Reconcile energy accounting with the trace's busy/sleep intervals.
+  bool check_energy{true};
+  /// Power parameters used for the energy reconciliation.
+  energy::PowerParams power{};
+  /// Reports are truncated after this many violations (0 = unlimited).
+  std::size_t max_violations{64};
+};
+
+/// One violated invariant, with enough context to locate the offense.
+struct Violation {
+  std::string invariant;  ///< short key, e.g. "eligible-time"
+  std::string detail;     ///< human-readable message with job/copy/times
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+  bool truncated{false};  ///< hit AuditOptions::max_violations
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// One line per violation ("invariant: detail").
+  std::string to_string() const;
+};
+
+/// Thrown by audit_or_throw on a failed audit; carries the full report.
+class AuditViolationError : public std::runtime_error {
+ public:
+  explicit AuditViolationError(AuditReport report);
+  const AuditReport& report() const noexcept { return report_; }
+
+ private:
+  AuditReport report_;
+};
+
+class TraceAuditor {
+ public:
+  explicit TraceAuditor(AuditOptions options = {}) : options_(options) {}
+
+  /// Replays `trace` of `ts` and reports every violated invariant.
+  AuditReport audit(const sim::SimulationTrace& trace,
+                    const core::TaskSet& ts) const;
+
+ private:
+  AuditOptions options_;
+};
+
+/// Convenience: audits and throws AuditViolationError unless the trace is
+/// clean. This is what the sweep harness and the campaign engine attach.
+void audit_or_throw(const sim::SimulationTrace& trace, const core::TaskSet& ts,
+                    const AuditOptions& options = {});
+
+}  // namespace mkss::audit

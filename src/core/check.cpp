@@ -1,0 +1,15 @@
+#include "core/check.hpp"
+
+namespace mkss::core::detail {
+
+void check_failed(const char* file, int line, const char* cond,
+                  const std::string& message) {
+  // Strip the build-tree prefix so messages are stable across checkouts.
+  std::string path(file);
+  const auto src = path.rfind("src/");
+  if (src != std::string::npos) path.erase(0, src);
+  throw CheckError(path + ":" + std::to_string(line) + ": check failed: " +
+                   cond + (message.empty() ? "" : ": " + message));
+}
+
+}  // namespace mkss::core::detail

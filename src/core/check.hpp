@@ -1,0 +1,41 @@
+// Always-on internal invariant checks.
+//
+// The engine's structural invariants used to be Debug-only `assert`s, which
+// vanish exactly in the Release builds CI sweeps with -- a violated invariant
+// would then silently corrupt results instead of failing the run. MKSS_CHECK
+// throws core::CheckError with file/line/condition context in *every* build
+// type; the harness quarantines the offending run and keeps the sweep alive.
+//
+// Use MKSS_CHECK for invariants of our own code ("this cannot happen unless
+// the engine is buggy"); keep std::invalid_argument & friends for caller
+// errors. The cost of an untaken branch is negligible next to a simulation
+// step, so there is no Release opt-out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mkss::core {
+
+/// Thrown when an MKSS_CHECK invariant fails. Derives from std::logic_error:
+/// a failed check is a bug in this library, never user input.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* cond,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace mkss::core
+
+/// Throws core::CheckError with "<file>:<line>: check failed: <cond>: <msg>"
+/// when `cond` is false. Active in all build types.
+#define MKSS_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mkss::core::detail::check_failed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,275 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "io/taskset_io.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss::fault {
+
+using core::JobId;
+using core::Ticks;
+
+void ExplicitFaultPlan::add_transient(JobId job, int slot) {
+  const auto entry = std::make_pair(job, slot);
+  const auto it =
+      std::lower_bound(transients_.begin(), transients_.end(), entry);
+  if (it == transients_.end() || *it != entry) transients_.insert(it, entry);
+}
+
+bool ExplicitFaultPlan::transient(const JobId& job, int slot) const {
+  return std::binary_search(transients_.begin(), transients_.end(),
+                            std::make_pair(job, slot));
+}
+
+std::string ExplicitFaultPlan::describe() const {
+  std::string out;
+  // Built with separate appends: GCC 12 reports -Wrestrict false positives
+  // on chained std::string operator+ (see PR 1's report::interval fix).
+  if (permanent_) {
+    out += "permanent proc ";
+    out += std::to_string(permanent_->proc);
+    out += " @ ";
+    out += core::format_ticks(permanent_->time);
+  }
+  if (!transients_.empty()) {
+    if (!out.empty()) out += "; ";
+    out += "transients:";
+    for (const auto& [job, slot] : transients_) {
+      out += ' ';
+      out += core::to_string(job);
+      out += slot == 0 ? "/main" : "/backup";
+    }
+  }
+  if (out.empty()) out = "no faults";
+  return out;
+}
+
+std::string CampaignViolation::to_string() const {
+  std::string out = "case ";
+  out += case_name;
+  out += ", scheme ";
+  out += scheme;
+  out += ", plan [";
+  out += fault_plan;
+  out += "]:\n";
+  out += report.to_string();
+  out += "task set repro:\n";
+  out += taskset;
+  return out;
+}
+
+std::string CampaignResult::summary() const {
+  std::string out = std::to_string(runs);
+  out += " run(s) over ";
+  out += std::to_string(placements);
+  out += " fault placement(s), ";
+  out += std::to_string(violations.size());
+  out += " violation(s)";
+  for (const CampaignViolation& v : violations) {
+    out += '\n';
+    out += v.to_string();
+  }
+  return out;
+}
+
+namespace {
+
+/// Deterministically keeps at most `cap` elements, evenly strided.
+template <typename T>
+void stride_cap(std::vector<T>& v, std::size_t cap) {
+  if (cap == 0 || v.size() <= cap) return;
+  std::vector<T> kept;
+  kept.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    kept.push_back(v[i * v.size() / cap]);
+  }
+  v = std::move(kept);
+}
+
+struct SchemeRunner {
+  const CampaignCase& cs;
+  const CampaignScheme& entry;
+  const CampaignConfig& config;
+  std::string taskset_text;
+  sim::SimConfig sim_config;
+  CampaignResult* result;
+
+  /// Runs one plan with the auditor attached; records a violation (audit
+  /// report, or a thrown engine/scheme error) and returns the trace when the
+  /// run was clean.
+  std::optional<sim::SimulationTrace> run(const ExplicitFaultPlan& plan) {
+    ++result->runs;
+    audit::AuditReport report;
+    try {
+      auto scheme = entry.make();
+      sim::SimulationTrace trace =
+          sim::simulate(cs.ts, *scheme, plan, sim_config);
+      report = audit::TraceAuditor(config.audit).audit(trace, cs.ts);
+      if (report.ok()) return trace;
+    } catch (const std::exception& e) {
+      report.violations.push_back({"exception", e.what()});
+    }
+    result->violations.push_back(
+        {cs.name, entry.name, plan.describe(), taskset_text, std::move(report)});
+    return std::nullopt;
+  }
+};
+
+/// Inspecting points of a schedule: the instants where a permanent fault can
+/// change a dispatch decision -- t = 0, every job release, every copy's
+/// eligible time (backup postponements theta_i, promotions Y_i) and end, and
+/// every execution-segment boundary.
+std::vector<Ticks> harvest_instants(const sim::SimulationTrace& trace,
+                                    std::size_t cap) {
+  std::vector<Ticks> instants{0};
+  for (const sim::JobRecord& j : trace.jobs) instants.push_back(j.job.release);
+  for (const sim::CopyRecord& c : trace.copies) {
+    instants.push_back(c.eligible);
+    instants.push_back(c.ended);
+  }
+  for (const sim::ExecSegment& s : trace.segments) {
+    instants.push_back(s.span.begin);
+    instants.push_back(s.span.end);
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end()), instants.end());
+  instants.erase(std::remove_if(instants.begin(), instants.end(),
+                                [&trace](Ticks t) {
+                                  return t < 0 || t >= trace.horizon;
+                                }),
+                 instants.end());
+  stride_cap(instants, cap);
+  return instants;
+}
+
+/// Single-transient targets: every main, every backup, every executed
+/// optional copy -- one fault per run, so every placement stays within the
+/// tolerance hypothesis.
+std::vector<std::pair<JobId, int>> harvest_transient_targets(
+    const sim::SimulationTrace& trace, std::size_t cap) {
+  std::vector<std::pair<JobId, int>> targets;
+  for (const sim::CopyRecord& c : trace.copies) {
+    targets.emplace_back(c.job, c.kind == sim::CopyKind::kBackup ? 1 : 0);
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  stride_cap(targets, cap);
+  return targets;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
+                            const std::vector<CampaignScheme>& schemes,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  for (const CampaignCase& cs : cases) {
+    const Ticks horizon =
+        std::min(cs.ts.mk_hyperperiod(config.horizon_cap)
+                     .value_or(config.horizon_cap),
+                 config.horizon_cap);
+    const std::string taskset_text = io::serialize_taskset(cs.ts);
+    for (const CampaignScheme& entry : schemes) {
+      SchemeRunner runner{cs, entry, config, taskset_text,
+                          sim::SimConfig{.horizon = horizon}, &result};
+
+      // Fault-free probe: must itself audit clean, and its trace names the
+      // inspecting points / copy targets the adversarial placements use.
+      const auto probe = runner.run(ExplicitFaultPlan{});
+      if (!probe) continue;
+
+      std::vector<ExplicitFaultPlan> plans;
+      for (const Ticks t :
+           harvest_instants(*probe, config.max_permanent_instants)) {
+        for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+          ExplicitFaultPlan plan;
+          plan.set_permanent({static_cast<sim::ProcessorId>(p), t});
+          plans.push_back(std::move(plan));
+        }
+      }
+      for (const auto& [job, slot] :
+           harvest_transient_targets(*probe, config.max_transient_targets)) {
+        ExplicitFaultPlan plan;
+        plan.add_transient(job, slot);
+        plans.push_back(std::move(plan));
+      }
+      if (config.include_bursts) {
+        // Per task: transients on the mains (then on the backups) of k_i
+        // consecutive jobs. Never both copies of one job, so the backups
+        // (resp. mains) must absorb the whole burst.
+        std::vector<std::uint64_t> released(cs.ts.size(), 0);
+        for (const sim::JobRecord& j : probe->jobs) {
+          released[j.job.id.task] =
+              std::max(released[j.job.id.task], j.job.id.job);
+        }
+        for (core::TaskIndex i = 0; i < cs.ts.size(); ++i) {
+          const std::uint64_t burst =
+              std::min<std::uint64_t>(cs.ts[i].k, released[i]);
+          if (burst == 0) continue;
+          for (const int slot : {0, 1}) {
+            ExplicitFaultPlan plan;
+            for (std::uint64_t j = 1; j <= burst; ++j) {
+              plan.add_transient(JobId{i, j}, slot);
+            }
+            plans.push_back(std::move(plan));
+          }
+        }
+      }
+
+      result.placements += plans.size();
+      for (const ExplicitFaultPlan& plan : plans) runner.run(plan);
+    }
+  }
+  return result;
+}
+
+std::vector<CampaignScheme> paper_schemes() {
+  std::vector<CampaignScheme> schemes;
+  for (const sched::SchemeKind kind :
+       {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+        sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    schemes.push_back({sched::to_string(kind),
+                       [kind]() -> std::unique_ptr<sim::Scheme> {
+                         return sched::make_scheme(kind);
+                       }});
+  }
+  return schemes;
+}
+
+std::vector<CampaignCase> default_campaign_cases(std::uint64_t seed) {
+  std::vector<CampaignCase> cases{
+      {"fig1", workload::paper_fig1_taskset()},
+      {"fig3", workload::paper_fig3_taskset()},
+      {"fig5", workload::paper_fig5_taskset()},
+  };
+  // A few generated R-pattern-schedulable sets, kept small so the campaign's
+  // full placement enumeration stays cheap.
+  workload::GenParams params;
+  params.min_tasks = 3;
+  params.max_tasks = 5;
+  params.max_period_ms = 20;
+  params.max_k = 6;
+  int index = 0;
+  for (const double bin_lo : {0.3, 0.6}) {
+    core::Rng rng(core::stream_seed(seed, 0xCA17, static_cast<std::uint64_t>(index)));
+    const workload::BinnedBatch batch =
+        workload::generate_bin(params, bin_lo, bin_lo + 0.1, 1, 500, rng);
+    if (!batch.sets.empty()) {
+      cases.push_back({"gen-u" + std::to_string(index), batch.sets.front()});
+    }
+    ++index;
+  }
+  return cases;
+}
+
+CampaignResult run_default_campaign(const CampaignConfig& config) {
+  return run_campaign(default_campaign_cases(), paper_schemes(), config);
+}
+
+}  // namespace mkss::fault

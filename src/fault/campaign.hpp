@@ -1,0 +1,122 @@
+// Adversarial fault-injection campaigns.
+//
+// The stochastic plans in fault/injection.hpp sample the fault space; a
+// campaign *enumerates* its worst corners instead. For every (task set,
+// scheme) pair it runs a fault-free probe, harvests the schedule's inspecting
+// points (job releases, backup eligible times theta_i / Y_i promotions,
+// segment boundaries), and then replays the scheme under
+//   * a permanent fault at each harvested instant, on each processor, and
+//   * targeted transient faults: each main, each backup, each executed
+//     optional copy in isolation, plus (optionally) bursts hitting the mains
+//     or the backups of k_i consecutive jobs of one task.
+// All placements stay inside the tolerance hypothesis of Theorem 1 (at most
+// one permanent fault per run; never both copies of the same job), so every
+// run must still satisfy the full audit: a violation is a scheduler bug, and
+// is reported with a minimal repro (scheme, task set, fault plan).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/trace_auditor.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/scheme.hpp"
+
+namespace mkss::fault {
+
+/// A fully spelled-out fault plan: one optional permanent fault plus an
+/// explicit list of (job, replica slot) transient hits. This is the unit a
+/// campaign enumerates, and the repro artifact it reports.
+class ExplicitFaultPlan final : public sim::FaultPlan {
+ public:
+  ExplicitFaultPlan() = default;
+
+  void set_permanent(sim::PermanentFault f) { permanent_ = f; }
+  /// Slot 0 = main/optional copy, slot 1 = backup (see FaultPlan).
+  void add_transient(core::JobId job, int slot);
+
+  std::optional<sim::PermanentFault> permanent() const override {
+    return permanent_;
+  }
+  bool transient(const core::JobId& job, int slot) const override;
+
+  /// One-line description, e.g.
+  /// "permanent proc 1 @ 3.5ms" or "transients: J1,2/main J1,3/main".
+  std::string describe() const;
+
+ private:
+  std::optional<sim::PermanentFault> permanent_;
+  std::vector<std::pair<core::JobId, int>> transients_;  ///< kept sorted
+};
+
+/// A scheme entry of a campaign: a display name plus a factory (schemes are
+/// stateful, so every run needs a fresh instance).
+struct CampaignScheme {
+  std::string name;
+  std::function<std::unique_ptr<sim::Scheme>()> make;
+};
+
+/// A named task set to campaign over.
+struct CampaignCase {
+  std::string name;
+  core::TaskSet ts;
+};
+
+struct CampaignConfig {
+  /// Horizon cap: each case simulates min(its (m,k)-hyperperiod, this).
+  core::Ticks horizon_cap{core::from_ms(std::int64_t{2000})};
+  /// At most this many permanent-fault instants per (case, scheme), chosen
+  /// by a deterministic stride over the harvested inspecting points.
+  std::size_t max_permanent_instants{64};
+  /// At most this many single-transient targets per (case, scheme).
+  std::size_t max_transient_targets{64};
+  /// Also inject per-task bursts (k_i consecutive mains, then backups).
+  bool include_bursts{true};
+  /// Options forwarded to the trace auditor attached to every run.
+  audit::AuditOptions audit{};
+};
+
+/// One audited failure, with everything needed to replay it.
+struct CampaignViolation {
+  std::string case_name;
+  std::string scheme;
+  std::string fault_plan;  ///< ExplicitFaultPlan::describe()
+  std::string taskset;     ///< io::serialize_taskset, ready for a repro file
+  audit::AuditReport report;
+
+  std::string to_string() const;
+};
+
+struct CampaignResult {
+  std::uint64_t runs{0};        ///< simulations executed (incl. probes)
+  std::uint64_t placements{0};  ///< distinct fault placements enumerated
+  std::vector<CampaignViolation> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+/// Runs every scheme through every enumerated fault placement of every case.
+CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
+                            const std::vector<CampaignScheme>& schemes,
+                            const CampaignConfig& config = {});
+
+/// The four schemes of the repo (MKSS_ST, MKSS_DP, MKSS_greedy,
+/// MKSS_selective), freshly configured per run.
+std::vector<CampaignScheme> paper_schemes();
+
+/// The default campaign matrix: the paper's Figure 1/3/5 task sets plus a
+/// few generated R-pattern-schedulable sets derived from `seed`.
+std::vector<CampaignCase> default_campaign_cases(std::uint64_t seed = 20200309);
+
+/// run_campaign(default_campaign_cases(), paper_schemes(), config).
+CampaignResult run_default_campaign(const CampaignConfig& config = {});
+
+}  // namespace mkss::fault

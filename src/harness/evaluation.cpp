@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <utility>
 
 #include "core/thread_pool.hpp"
+#include "io/taskset_io.hpp"
 
 namespace mkss::harness {
 
@@ -86,7 +89,44 @@ struct SetRuns {
   std::unique_ptr<const sim::FaultPlan> plan;
   std::vector<double> totals;   ///< one per variant
   std::vector<char> qos_ok;     ///< one per variant
+  std::vector<std::string> error;  ///< one per variant, empty == clean
 };
+
+/// Writes one repro bundle for a quarantined run. Called from the serial
+/// aggregation phase only, so file creation is deterministic and race-free.
+void dump_error_bundle(const std::string& dir, const SweepError& err,
+                       const SweepConfig& config, Ticks horizon) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create error dir %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return;
+  }
+  const std::string path = dir + "/bin" + std::to_string(err.bin) + "_set" +
+                           std::to_string(err.set) + "_" + err.variant +
+                           ".repro.txt";
+  // Keep multi-line audit reports inside the comment block, so the bundle
+  // still parses as a task-set file.
+  std::string message = err.message;
+  for (std::size_t pos = 0; (pos = message.find('\n', pos)) != std::string::npos;
+       pos += 3) {
+    message.replace(pos, 1, "\n# ");
+  }
+  std::ofstream out(path);
+  out << "# mkss sweep error repro\n"
+      << "# variant: " << err.variant << "\n"
+      << "# bin: " << err.bin << "  set: " << err.set << "\n"
+      << "# sweep seed: " << config.seed
+      << "  stream seed: " << err.seed << "\n"
+      << "# horizon: " << core::format_ticks(horizon) << "\n"
+      << "# error: " << message << "\n"
+      << err.taskset;
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write repro bundle %s\n",
+                 path.c_str());
+  }
+}
 
 }  // namespace
 
@@ -148,22 +188,41 @@ SweepResult run_variant_sweep(const SweepConfig& config,
                                           config.lambda_per_ms, fault_rng);
       sr.totals.assign(variants.size(), 0.0);
       sr.qos_ok.assign(variants.size(), 1);
+      sr.error.assign(variants.size(), std::string{});
       for (std::size_t v = 0; v < variants.size(); ++v) {
         jobs.push_back({b, s, v});
       }
     }
   }
+  audit::AuditOptions audit_options;
+  audit_options.power = config.power;
+  // Under the transient scenario a job can draw faults on both of its copies,
+  // which legitimately breaks an (m,k) window; qos_failures counts those.
+  audit_options.check_mk =
+      config.scenario != fault::Scenario::kPermanentAndTransient;
   core::parallel_for(pool.get(), jobs.size(), [&](std::size_t i) {
     const JobRef& j = jobs[i];
     SetRuns& sr = runs[j.bin][j.set];
     sim::SimConfig sim_config;
     sim_config.horizon = sr.horizon;
     sim_config.break_even = config.power.break_even;
-    const auto scheme = variants[j.variant].make();
-    const RunResult run = run_one(batches[j.bin].sets[j.set], *scheme,
-                                  *sr.plan, sim_config, config.power);
-    sr.totals[j.variant] = run.energy.total();
-    sr.qos_ok[j.variant] = run.qos.theorem1_holds() ? 1 : 0;
+    // Quarantine: a thrown engine/scheme error or an audit violation is
+    // recorded in this job's disjoint slot instead of tearing down the
+    // sweep; aggregation later surfaces it deterministically.
+    try {
+      const auto scheme = variants[j.variant].make();
+      const RunResult run = run_one(batches[j.bin].sets[j.set], *scheme,
+                                    *sr.plan, sim_config, config.power);
+      if (config.audit) {
+        audit::audit_or_throw(run.trace, batches[j.bin].sets[j.set],
+                              audit_options);
+      }
+      sr.totals[j.variant] = run.energy.total();
+      sr.qos_ok[j.variant] = run.qos.theorem1_holds() ? 1 : 0;
+    } catch (const std::exception& e) {
+      sr.error[j.variant] = e.what();
+      if (sr.error[j.variant].empty()) sr.error[j.variant] = "unknown error";
+    }
   });
 
   // Phase 3: aggregation, strictly in (bin, set) index order — same
@@ -176,7 +235,21 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     bin.normalized.resize(variants.size());
     bin.absolute.resize(variants.size());
 
-    for (const SetRuns& sr : runs[b]) {
+    for (std::size_t s = 0; s < runs[b].size(); ++s) {
+      const SetRuns& sr = runs[b][s];
+      bool errored = false;
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        if (sr.error[v].empty()) continue;
+        errored = true;
+        SweepError err{b, s, variants[v].name,
+                       core::stream_seed(config.seed, b, s), sr.error[v],
+                       io::serialize_taskset(batches[b].sets[s])};
+        if (!config.error_dir.empty()) {
+          dump_error_bundle(config.error_dir, err, config, sr.horizon);
+        }
+        result.errors.push_back(std::move(err));
+      }
+      if (errored) continue;  // quarantined: excluded from the statistics
       if (std::find(sr.qos_ok.begin(), sr.qos_ok.end(), 0) != sr.qos_ok.end()) {
         ++result.qos_failures;
       }

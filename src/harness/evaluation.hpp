@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/trace_auditor.hpp"
 #include "core/rng.hpp"
 #include "core/task.hpp"
 #include "energy/energy_model.hpp"
@@ -73,6 +74,17 @@ struct SweepConfig {
   /// core::stream_seed, and statistics are aggregated in set-index order
   /// after a barrier, never in completion order.
   std::size_t num_threads{1};
+
+  /// Attach the trace auditor (src/audit) to every run. An audit violation
+  /// quarantines the run like any thrown error: it is recorded in
+  /// SweepResult::errors and its task set is excluded from the statistics,
+  /// instead of aborting the whole sweep. The (m,k) window check is skipped
+  /// for the transient scenario, where double faults on one job may
+  /// legitimately break a window (counted by qos_failures as before).
+  bool audit{true};
+  /// When non-empty, every quarantined error also dumps a repro bundle
+  /// (serialized task set + run metadata) into this directory.
+  std::string error_dir{};
 };
 
 struct BinSummary {
@@ -95,12 +107,28 @@ struct SchemeVariant {
   SchemeFactory make;
 };
 
+/// One quarantined per-run failure: the run threw (engine MKSS_CHECK, scheme
+/// error) or its trace failed the audit. The indices plus `seed` name the
+/// exact random streams, so `mkss_cli sweep` and tests can replay the run.
+struct SweepError {
+  std::size_t bin{0};
+  std::size_t set{0};
+  std::string variant;
+  std::uint64_t seed{0};  ///< core::stream_seed(config.seed, bin, set)
+  std::string message;
+  std::string taskset;    ///< io::serialize_taskset of the offending set
+};
+
 struct SweepResult {
   std::vector<std::string> scheme_names;
   std::vector<BinSummary> bins;
   /// Task-set runs whose trace violated (m,k) or missed a mandatory job --
   /// must stay zero (Theorem 1).
   std::uint64_t qos_failures{0};
+  /// Quarantined runs, in (bin, set, variant) index order -- deterministic
+  /// for every thread count. Task sets with any errored variant are excluded
+  /// from the bin statistics.
+  std::vector<SweepError> errors;
 
   /// Largest mean relative gain of scheme `a` over scheme `b` across bins
   /// (indices into scheme_names), e.g. 0.28 for "up to 28% lower energy".

@@ -1,12 +1,61 @@
 #include "io/taskset_io.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
 namespace mkss::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw ParseError("taskset line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Largest accepted time value in ms; far below the Ticks overflow point
+/// (~9.2e15 ms) so downstream arithmetic (hyperperiods, horizons) has slack.
+constexpr double kMaxTimeMs = 1e12;
+
+double parse_time(const std::string& tok, const char* field,
+                  std::size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') {
+    fail(line_no, std::string(field) + " '" + tok + "' is not a number");
+  }
+  if (!std::isfinite(v)) {
+    fail(line_no, std::string(field) + " '" + tok + "' must be finite");
+  }
+  if (v <= 0.0) {
+    fail(line_no, std::string(field) + " '" + tok + "' must be positive");
+  }
+  if (errno == ERANGE || v > kMaxTimeMs) {
+    fail(line_no, std::string(field) + " '" + tok + "' is out of range");
+  }
+  return v;
+}
+
+std::uint32_t parse_count(const std::string& tok, const char* field,
+                          std::size_t line_no) {
+  if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+    fail(line_no,
+         std::string(field) + " '" + tok + "' is not a non-negative integer");
+  }
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+  if (errno == ERANGE || v > std::numeric_limits<std::uint32_t>::max()) {
+    fail(line_no, std::string(field) + " '" + tok + "' is out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 core::TaskSet parse_taskset(std::istream& in) {
   std::vector<core::Task> tasks;
@@ -22,27 +71,28 @@ core::TaskSet parse_taskset(std::istream& in) {
     std::string name;
     if (!(fields >> name)) continue;  // blank line
 
-    double period = 0, deadline = 0, wcet = 0;
-    std::uint32_t m = 0, k = 0;
-    if (!(fields >> period >> deadline >> wcet >> m >> k)) {
-      throw std::runtime_error("taskset line " + std::to_string(line_no) +
-                               ": expected 'name period deadline wcet m k'");
+    std::string tok[5];
+    if (!(fields >> tok[0] >> tok[1] >> tok[2] >> tok[3] >> tok[4])) {
+      fail(line_no, "expected 'name period deadline wcet m k'");
     }
     std::string extra;
     if (fields >> extra) {
-      throw std::runtime_error("taskset line " + std::to_string(line_no) +
-                               ": unexpected trailing field '" + extra + "'");
+      fail(line_no, "unexpected trailing field '" + extra + "'");
     }
+    const double period = parse_time(tok[0], "period", line_no);
+    const double deadline = parse_time(tok[1], "deadline", line_no);
+    const double wcet = parse_time(tok[2], "wcet", line_no);
+    const std::uint32_t m = parse_count(tok[3], "m", line_no);
+    const std::uint32_t k = parse_count(tok[4], "k", line_no);
     core::Task task = core::Task::from_ms(period, deadline, wcet, m, k, name);
     if (!task.valid()) {
-      throw std::runtime_error("taskset line " + std::to_string(line_no) +
-                               ": invalid task parameters (need P,C,D > 0, "
-                               "C <= D <= P, 0 < m <= k)");
+      fail(line_no,
+           "invalid task parameters (need P,C,D > 0, C <= D <= P, 0 < m <= k)");
     }
     tasks.push_back(std::move(task));
   }
   if (tasks.empty()) {
-    throw std::runtime_error("taskset: no tasks found");
+    throw ParseError("taskset: no tasks found");
   }
   return core::TaskSet(std::move(tasks));
 }
@@ -55,7 +105,7 @@ core::TaskSet parse_taskset_string(const std::string& text) {
 core::TaskSet parse_taskset_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("taskset: cannot open '" + path + "'");
+    throw ParseError("taskset: cannot open '" + path + "'");
   }
   return parse_taskset(in);
 }

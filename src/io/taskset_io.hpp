@@ -12,14 +12,24 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "core/task.hpp"
 
 namespace mkss::io {
 
-/// Parses a task set; throws std::runtime_error with a line-numbered message
-/// on malformed input or invalid task parameters.
+/// Thrown by the parsers on malformed input (still a std::runtime_error, so
+/// existing catch sites keep working); carries a line-numbered message. The
+/// CLI maps it to its dedicated input-error exit code.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a task set; throws ParseError with a line-numbered message on
+/// malformed input (non-numeric, NaN/Inf, non-positive or overflowing
+/// values, trailing garbage) or invalid task parameters.
 core::TaskSet parse_taskset(std::istream& in);
 
 /// Convenience: parse from a string.

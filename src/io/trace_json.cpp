@@ -91,6 +91,25 @@ std::string trace_to_json(const sim::SimulationTrace& trace,
   }
   out += "  ],\n";
 
+  out += "  \"copies\": [\n";
+  for (std::size_t i = 0; i < trace.copies.size(); ++i) {
+    const sim::CopyRecord& c = trace.copies[i];
+    append_fmt(out,
+               "    {\"task\": %zu, \"job\": %llu, \"kind\": \"%s\","
+               " \"proc\": %u, \"band\": \"%s\", \"admitted_ms\": %.3f,"
+               " \"eligible_ms\": %.3f, \"work_ms\": %.3f, \"ended_ms\": %.3f,"
+               " \"end\": \"%s\", \"transient_fault\": %s}%s\n",
+               c.job.task + 1, static_cast<unsigned long long>(c.job.job),
+               sim::to_string(c.kind).c_str(), c.proc,
+               c.band == sim::Band::kMandatory ? "mandatory" : "optional",
+               core::to_ms(c.admitted), core::to_ms(c.eligible),
+               core::to_ms(c.work), core::to_ms(c.ended),
+               sim::to_string(c.end).c_str(),
+               c.transient_fault ? "true" : "false",
+               i + 1 < trace.copies.size() ? "," : "");
+  }
+  out += "  ],\n";
+
   append_fmt(out, "  \"death_time_ms\": [%s, %s],\n",
              ms_or_null(trace.death_time[0]).c_str(),
              ms_or_null(trace.death_time[1]).c_str());

@@ -8,7 +8,9 @@
 //   sim/       dual-processor discrete-event engine, scheme & fault-plan
 //              interfaces, traces, ASCII Gantt charts
 //   energy/    P_act / DPD energy accounting
-//   fault/     permanent + Poisson transient fault plans
+//   audit/     post-hoc trace auditor certifying structural invariants
+//   fault/     permanent + Poisson transient fault plans, adversarial
+//              fault-placement campaigns
 //   sched/     MKSS_ST, MKSS_DP, MKSS_greedy, MKSS_selective (Algorithm 1),
 //              backup-delay ladder, static DVS
 //   io/        task-set text files, JSON trace export
@@ -23,6 +25,8 @@
 #include "analysis/promotion.hpp"
 #include "analysis/rta.hpp"
 #include "analysis/schedulability.hpp"
+#include "audit/trace_auditor.hpp"
+#include "core/check.hpp"
 #include "core/hyperperiod.hpp"
 #include "core/job.hpp"
 #include "core/mk_constraint.hpp"
@@ -32,6 +36,7 @@
 #include "core/thread_pool.hpp"
 #include "core/time.hpp"
 #include "energy/energy_model.hpp"
+#include "fault/campaign.hpp"
 #include "fault/injection.hpp"
 #include "harness/evaluation.hpp"
 #include "io/taskset_io.hpp"

@@ -1,11 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <queue>
 #include <stdexcept>
 #include <tuple>
+
+#include "core/check.hpp"
 
 namespace mkss::sim {
 
@@ -33,6 +34,7 @@ struct Copy {
   std::uint32_t optional_rank{0};
   double frequency{1.0};
   bool alive{true};
+  std::size_t rec{0};  ///< index of this copy's CopyRecord in the trace
 };
 
 struct LiveJob {
@@ -72,7 +74,7 @@ class Engine {
   // --- mechanics --------------------------------------------------------
   void admit_copy(std::size_t job_idx, const CopySpec& spec);
   void complete_copy(int idx);
-  void kill_copy(int idx);
+  void kill_copy(int idx, CopyEnd reason);
   void resolve(std::size_t job_idx, JobOutcome outcome);
   void stop_running(ProcessorId p, Ticks end);
   void start_running(ProcessorId p, int idx);
@@ -106,9 +108,7 @@ class Engine {
   bool pf_applied_{false};
 
   SimulationTrace trace_;
-#ifndef NDEBUG
   std::vector<std::uint64_t> last_resolved_j_;  // per task, outcome-order check
-#endif
 };
 
 SimulationTrace Engine::run() {
@@ -118,9 +118,7 @@ SimulationTrace Engine::run() {
   next_j_.assign(n, 1);
   trace_.horizon = config_.horizon;
   trace_.outcomes_per_task.resize(n);
-#ifndef NDEBUG
   last_resolved_j_.assign(n, 0);
-#endif
 
   scheme_.setup(ts_);
   pf_ = faults_.permanent();
@@ -160,6 +158,11 @@ SimulationTrace Engine::run() {
   stop_running(kPrimary, config_.horizon);
   stop_running(kSpare, config_.horizon);
 
+  // Copies still alive at the horizon close their lifecycle records here.
+  for (const Copy& c : copies_) {
+    if (c.alive) trace_.copies[c.rec].ended = config_.horizon;
+  }
+
   trace_.jobs.reserve(jobs_.size());
   for (const LiveJob& lj : jobs_) {
     JobRecord rec;
@@ -194,7 +197,9 @@ Ticks Engine::next_event_time() const {
   }
   if (!deadlines_.empty()) t = std::min(t, deadlines_.top().first);
   if (pf_ && !pf_applied_) t = std::min(t, pf_->time);
-  assert(t > now_ || t == core::kNever);
+  MKSS_CHECK(t > now_ || t == core::kNever,
+             "next event time must advance beyond " +
+                 core::format_ticks(now_));
   return t;
 }
 
@@ -225,6 +230,8 @@ void Engine::apply_permanent_fault() {
     if (!c.alive) continue;
     const Ticks remaining = c.remaining;
     c.alive = false;
+    trace_.copies[c.rec].ended = now_;
+    trace_.copies[c.rec].end = CopyEnd::kLostToDeath;
     LiveJob& job = jobs_[c.job_idx];
     job.copy_in_slot[slot_of(c.kind)] = kNone;
     if (job.resolved) continue;
@@ -259,7 +266,9 @@ void Engine::process_releases() {
     if (next_release_[i] != now_ || next_release_[i] >= config_.horizon) continue;
     const std::uint64_t j = next_j_[i];
     core::Job job = core::Job::instance(ts_[i], i, j);
-    assert(job.release == now_);
+    MKSS_CHECK(job.release == now_,
+               "release of " + core::to_string(job.id) +
+                   " does not match the current event time");
     if (exec_model_ != nullptr) {
       job.exec = std::clamp<Ticks>(exec_model_->actual_exec(job.id, job.exec), 1,
                                    job.exec);
@@ -314,6 +323,19 @@ void Engine::admit_copy(std::size_t job_idx, const CopySpec& spec) {
   if (job.copy_in_slot[slot] != kNone) {
     throw std::logic_error("admit_copy: replica slot already occupied");
   }
+
+  CopyRecord rec;
+  rec.job = job.job.id;
+  rec.kind = c.kind;
+  rec.proc = c.proc;
+  rec.band = c.band;
+  rec.admitted = now_;
+  rec.eligible = c.eligible;
+  rec.work = c.remaining;
+  rec.frequency = c.frequency;
+  c.rec = trace_.copies.size();
+  trace_.copies.push_back(rec);
+
   copies_.push_back(c);
   const auto idx = copies_.size() - 1;
   job.copy_in_slot[slot] = static_cast<int>(idx);
@@ -323,7 +345,8 @@ void Engine::admit_copy(std::size_t job_idx, const CopySpec& spec) {
 
 void Engine::complete_copy(int idx) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
-  assert(c.remaining == 0 && c.alive);
+  MKSS_CHECK(c.remaining == 0 && c.alive,
+             "completing a copy that is not an exhausted live copy");
   stop_running(c.proc, now_);
   c.alive = false;
   LiveJob& job = jobs_[c.job_idx];
@@ -331,6 +354,9 @@ void Engine::complete_copy(int idx) {
   job.copy_in_slot[slot] = kNone;
 
   const bool faulted = faults_.transient(job.job.id, slot);
+  trace_.copies[c.rec].ended = now_;
+  trace_.copies[c.rec].end = CopyEnd::kCompleted;
+  trace_.copies[c.rec].transient_fault = faulted;
   if (faulted) {
     ++trace_.stats.transient_faults;
     job.slot_failed[slot] = true;
@@ -355,31 +381,36 @@ void Engine::complete_copy(int idx) {
   resolve(c.job_idx, JobOutcome::kMet);
 }
 
-void Engine::kill_copy(int idx) {
+void Engine::kill_copy(int idx, CopyEnd reason) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   if (!c.alive) return;
   if (running_[c.proc] == idx) stop_running(c.proc, now_);
   c.alive = false;
+  trace_.copies[c.rec].ended = now_;
+  trace_.copies[c.rec].end = reason;
   jobs_[c.job_idx].copy_in_slot[slot_of(c.kind)] = kNone;
 }
 
 void Engine::resolve(std::size_t job_idx, JobOutcome outcome) {
   LiveJob& job = jobs_[job_idx];
-  assert(!job.resolved);
+  MKSS_CHECK(!job.resolved,
+             core::to_string(job.job.id) + " resolved more than once");
   job.resolved = true;
   job.outcome = outcome;
   job.resolved_at = now_;
+  // A met job cancels its leftover sibling; a missed one kills its remnants.
+  const CopyEnd reason = outcome == JobOutcome::kMet ? CopyEnd::kCanceled
+                                                     : CopyEnd::kKilledResolved;
   for (const int slot : {0, 1}) {
-    if (job.copy_in_slot[slot] != kNone) kill_copy(job.copy_in_slot[slot]);
+    if (job.copy_in_slot[slot] != kNone) kill_copy(job.copy_in_slot[slot], reason);
   }
   if (!job.counted) return;
 
   const TaskIndex i = job.job.id.task;
-#ifndef NDEBUG
-  assert(job.job.id.job == last_resolved_j_[i] + 1 &&
-         "outcomes must resolve in job order per task");
+  MKSS_CHECK(job.job.id.job == last_resolved_j_[i] + 1,
+             "outcomes must resolve in job order per task (" +
+                 core::to_string(job.job.id) + ")");
   last_resolved_j_[i] = job.job.id.job;
-#endif
   trace_.outcomes_per_task[i].push_back(outcome);
   if (outcome == JobOutcome::kMet) {
     ++trace_.stats.jobs_met;
@@ -455,7 +486,7 @@ void Engine::dispatch(ProcessorId p) {
       if (now_ + c.remaining > job.job.deadline) {
         // Can no longer finish in time: never invoke / abandon (energy
         // already spent stays spent).
-        kill_copy(static_cast<int>(idx));
+        kill_copy(static_cast<int>(idx), CopyEnd::kAbandoned);
         if (!job.resolved && job.copy_in_slot[0] == kNone &&
             job.copy_in_slot[1] == kNone) {
           resolve(c.job_idx, JobOutcome::kMissed);
@@ -487,6 +518,7 @@ void Engine::dispatch(ProcessorId p) {
       Copy& victim = copies_[static_cast<std::size_t>(old)];
       if (victim.alive && victim.remaining > 0) {
         victim.remaining += config_.preemption_overhead;
+        trace_.copies[victim.rec].work += config_.preemption_overhead;
         ++trace_.stats.preemptions;
       }
     } else if (old != kNone &&

@@ -13,6 +13,18 @@ std::string to_string(CopyKind kind) {
   return "?";
 }
 
+std::string to_string(CopyEnd end) {
+  switch (end) {
+    case CopyEnd::kCompleted: return "completed";
+    case CopyEnd::kCanceled: return "canceled";
+    case CopyEnd::kKilledResolved: return "killed-resolved";
+    case CopyEnd::kLostToDeath: return "lost-to-death";
+    case CopyEnd::kAbandoned: return "abandoned";
+    case CopyEnd::kUnfinished: return "unfinished";
+  }
+  return "?";
+}
+
 core::Ticks SimulationTrace::active_time(core::Ticks upto) const noexcept {
   core::Ticks total = 0;
   for (const ExecSegment& s : segments) {

@@ -38,6 +38,40 @@ enum class Band : std::uint8_t {
   kOptional = 1,   ///< OJQ
 };
 
+/// Why an execution copy stopped existing. Recorded in the trace so the
+/// post-hoc auditor (src/audit) can certify copy lifecycles independently of
+/// the engine that produced them.
+enum class CopyEnd : std::uint8_t {
+  kCompleted,      ///< ran its full demand (the transient draw is separate)
+  kCanceled,       ///< sibling copy completed successfully first
+  kKilledResolved, ///< killed because its job resolved as missed
+  kLostToDeath,    ///< lost with its processor's permanent fault
+  kAbandoned,      ///< optional pruned: could no longer meet its deadline
+  kUnfinished,     ///< still live when the horizon closed
+};
+
+std::string to_string(CopyEnd end);
+
+/// Lifecycle record of one execution copy: who it belonged to, where it was
+/// placed, when it could run (the postponed/promoted eligible time theta_i /
+/// Y_i), how much work it carried, and how its life ended. One record per
+/// admit_copy call, in admission order.
+struct CopyRecord {
+  core::JobId job;
+  CopyKind kind{CopyKind::kMain};
+  ProcessorId proc{kPrimary};
+  Band band{Band::kMandatory};
+  core::Ticks admitted{0};  ///< instant the scheme admitted the copy
+  core::Ticks eligible{0};  ///< earliest dispatch time (r, r + Y_i, r + theta_i)
+  /// Total demand at the copy's DVS frequency, including any preemption
+  /// overhead accrued; a kCompleted copy executed exactly this long.
+  core::Ticks work{0};
+  core::Ticks ended{0};     ///< instant the copy stopped existing
+  CopyEnd end{CopyEnd::kUnfinished};
+  double frequency{1.0};
+  bool transient_fault{false};  ///< completed and the fault draw hit it
+};
+
 /// A maximal span during which one copy ran uninterrupted on one processor.
 struct ExecSegment {
   ProcessorId proc{kPrimary};
@@ -84,6 +118,8 @@ struct SimulationTrace {
   core::Ticks horizon{0};
   std::vector<ExecSegment> segments;
   std::vector<JobRecord> jobs;
+  /// Lifecycle of every admitted execution copy, in admission order.
+  std::vector<CopyRecord> copies;
   /// outcomes_per_task[i][j] is the outcome of the (j+1)-th *counted* job
   /// of tau_{i+1}.
   std::vector<std::vector<core::JobOutcome>> outcomes_per_task;

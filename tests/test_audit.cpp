@@ -1,0 +1,213 @@
+// Unit tests: the post-hoc trace auditor -- clean traces from the real
+// schemes audit clean, and every class of tampering is pinned to the
+// invariant key that catches it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/trace_auditor.hpp"
+#include "fault/campaign.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault_plan.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mkss::audit {
+namespace {
+
+using core::Ticks;
+using core::from_ms;
+
+sim::SimulationTrace run_clean(const core::TaskSet& ts,
+                               sched::SchemeKind kind,
+                               const sim::FaultPlan& faults,
+                               Ticks horizon_ms = 40) {
+  const auto scheme = sched::make_scheme(kind);
+  sim::SimConfig cfg;
+  cfg.horizon = from_ms(horizon_ms);
+  return sim::simulate(ts, *scheme, faults, cfg);
+}
+
+bool has_violation(const AuditReport& report, const std::string& invariant) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.invariant == invariant; });
+}
+
+TEST(Auditor, AllSchemesAuditCleanWithoutFaults) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  for (const auto kind :
+       {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+        sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+    const auto trace = run_clean(ts, kind, faults);
+    const AuditReport report = TraceAuditor().audit(trace, ts);
+    EXPECT_TRUE(report.ok()) << sched::to_string(kind) << ":\n"
+                             << report.to_string();
+  }
+}
+
+TEST(Auditor, CleanUnderPermanentFault) {
+  const auto ts = workload::paper_fig3_taskset();
+  fault::ExplicitFaultPlan plan;
+  plan.set_permanent({sim::kPrimary, from_ms(std::int64_t{7})});
+  for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kSelective}) {
+    const auto trace = run_clean(ts, kind, plan);
+    const AuditReport report = TraceAuditor().audit(trace, ts);
+    EXPECT_TRUE(report.ok()) << sched::to_string(kind) << ":\n"
+                             << report.to_string();
+  }
+}
+
+TEST(Auditor, CleanUnderTargetedTransient) {
+  const auto ts = workload::paper_fig1_taskset();
+  fault::ExplicitFaultPlan plan;
+  plan.add_transient(core::JobId{0, 1}, 0);  // main of J_{1,1} fails
+  const auto trace = run_clean(ts, sched::SchemeKind::kSt, plan);
+  EXPECT_EQ(trace.stats.transient_faults, 1u);
+  const AuditReport report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Auditor, FlagsSegmentBeforeEligibleTime) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  // Backdate a backup's eligible time witness: claim it was only eligible
+  // *after* its recorded execution.
+  bool tampered = false;
+  for (auto& c : trace.copies) {
+    if (c.kind != sim::CopyKind::kBackup) continue;
+    const bool executed = std::any_of(
+        trace.segments.begin(), trace.segments.end(), [&](const auto& s) {
+          return s.job == c.job && s.kind == c.kind;
+        });
+    if (!executed) continue;
+    c.eligible = c.ended + 1;
+    tampered = true;
+    break;
+  }
+  ASSERT_TRUE(tampered) << "expected an executed backup to tamper with";
+  EXPECT_TRUE(has_violation(TraceAuditor().audit(trace, ts), "eligible-time"));
+}
+
+TEST(Auditor, FlagsOverlappingSegments) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  ASSERT_FALSE(trace.segments.empty());
+  auto dup = trace.segments.front();
+  trace.segments.push_back(dup);  // same span, same processor
+  const auto report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(has_violation(report, "segment-overlap"));
+  EXPECT_TRUE(has_violation(report, "busy-time"));
+}
+
+TEST(Auditor, FlagsExecutionAfterProcessorDeath) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  // Claim the primary died mid-horizon; its recorded segments now postdate
+  // the death.
+  trace.death_time[sim::kPrimary] = from_ms(std::int64_t{1});
+  const auto report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(has_violation(report, "dead-processor"));
+}
+
+TEST(Auditor, FlagsCopyOverrun) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  bool tampered = false;
+  for (auto& c : trace.copies) {
+    if (c.end == sim::CopyEnd::kCompleted) {
+      c.work -= 1;  // claims less demand than it executed
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_TRUE(has_violation(TraceAuditor().audit(trace, ts), "copy-overrun"));
+}
+
+TEST(Auditor, FlagsCancellationWithoutSiblingSuccess) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  bool tampered = false;
+  for (auto& c : trace.copies) {
+    if (c.end == sim::CopyEnd::kCanceled) {
+      c.ended += 1;  // cancellation no longer coincides with the success
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered) << "expected a canceled backup in the ST trace";
+  EXPECT_TRUE(has_violation(TraceAuditor().audit(trace, ts), "cancel-protocol"));
+}
+
+TEST(Auditor, FlagsUnexplainedMandatoryMiss) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  bool tampered = false;
+  for (auto& j : trace.jobs) {
+    if (!j.mandatory || !j.counted || !j.resolved) continue;
+    j.outcome = core::JobOutcome::kMissed;
+    tampered = true;
+    break;
+  }
+  ASSERT_TRUE(tampered);
+  const auto report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(has_violation(report, "mandatory-miss"));
+  EXPECT_TRUE(has_violation(report, "stats-reconcile"));
+}
+
+TEST(Auditor, FlagsMkWindowViolation) {
+  const auto ts = workload::paper_fig1_taskset();  // tau1 has (m,k) = (2,4)
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  ASSERT_GE(trace.outcomes_per_task[0].size(), 4u);
+  std::fill(trace.outcomes_per_task[0].begin(),
+            trace.outcomes_per_task[0].end(), core::JobOutcome::kMissed);
+  const auto report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(has_violation(report, "mk-violation"));
+}
+
+TEST(Auditor, FlagsEnergyMismatch) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  trace.busy_time[sim::kPrimary] += 5;  // books time no segment backs
+  const auto report = TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(has_violation(report, "busy-time"));
+}
+
+TEST(Auditor, MaxViolationsTruncatesReport) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  for (auto& s : trace.segments) s.span.begin = s.span.end + 1;  // all invalid
+  AuditOptions options;
+  options.max_violations = 2;
+  const auto report = TraceAuditor(options).audit(trace, ts);
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_TRUE(report.truncated);
+}
+
+TEST(Auditor, AuditOrThrowCarriesReport) {
+  const auto ts = workload::paper_fig1_taskset();
+  sim::NoFaultPlan faults;
+  auto trace = run_clean(ts, sched::SchemeKind::kSt, faults);
+  EXPECT_NO_THROW(audit_or_throw(trace, ts));
+  trace.busy_time[sim::kSpare] += 1;
+  try {
+    audit_or_throw(trace, ts);
+    FAIL() << "expected AuditViolationError";
+  } catch (const AuditViolationError& e) {
+    EXPECT_FALSE(e.report().ok());
+    EXPECT_NE(std::string(e.what()).find("busy-time"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mkss::audit

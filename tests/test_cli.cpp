@@ -1,0 +1,107 @@
+// Integration tests: the mkss_cli binary itself -- exit-code contract
+// (0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation) and the
+// audit/campaign subcommands, exercised through real process invocations.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code{-1};
+  std::string output;  ///< stdout and stderr combined
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(MKSS_CLI_PATH) + " " + args + " 2>&1";
+  CliResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+/// Writes `content` to a unique file under the test temp dir.
+std::string write_temp(const std::string& stem, const std::string& content) {
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("mkss_cli_test_" + stem + "_" + std::to_string(::getpid()) + ".txt");
+  std::ofstream(path) << content;
+  return path.string();
+}
+
+constexpr const char* kFig1 =
+    "control 5 4 3 2 4\n"
+    "video   10 10 3 1 2\n";
+
+TEST(Cli, NoArgumentsPrintsUsage) {
+  const CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionIsUsageError) {
+  const std::string ts = write_temp("usage", kFig1);
+  const CliResult r = run_cli("simulate " + ts + " --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--bogus"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, MalformedTasksetIsInputError) {
+  const std::string ts = write_temp("nan", "bad nan 1 1 1 2\n");
+  const CliResult r = run_cli("analyze " + ts);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("line 1"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, MissingFileIsInputError) {
+  const CliResult r = run_cli("analyze /nonexistent/taskset.txt");
+  EXPECT_EQ(r.exit_code, 3);
+}
+
+TEST(Cli, SimulateReportsSchedule) {
+  const std::string ts = write_temp("sim", kFig1);
+  const CliResult r = run_cli("simulate " + ts + " --scheme st");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("(m,k) satisfied: yes"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, AuditCleanSchemeExitsZero) {
+  const std::string ts = write_temp("audit", kFig1);
+  const CliResult r =
+      run_cli("audit " + ts + " --scheme selective --permanent 1@7");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("audit clean"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, CampaignOnTasksetExitsZero) {
+  const std::string ts = write_temp("campaign", kFig1);
+  const CliResult r = run_cli("campaign --taskset " + ts + " --scheme st");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, ExampleOutputRoundTripsThroughAnalyze) {
+  const CliResult example = run_cli("example");
+  ASSERT_EQ(example.exit_code, 0);
+  const std::string ts = write_temp("example", example.output);
+  const CliResult r = run_cli("analyze " + ts);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::filesystem::remove(ts);
+}
+
+}  // namespace

@@ -430,6 +430,64 @@ TEST(Engine, PreemptionOverheadExtendsExecution) {
   EXPECT_EQ(trace.stats.jobs_met, 4u);  // tau1 jobs 1-3 + tau2 job 1 counted
 }
 
+TEST(Engine, SurvivorTakeoverAfterMainFailedAndSpareDied) {
+  // Boundary case: the main fails its transient check at 3ms, the postponed
+  // backup starts at 4ms on the spare, and the spare dies at 5ms mid-backup.
+  // The scheme re-routes the job to the surviving primary, which restarts
+  // the work and completes it at 8ms, inside D = 10ms.
+  class Plan final : public FaultPlan {
+   public:
+    std::optional<PermanentFault> permanent() const override {
+      return PermanentFault{kSpare, from_ms(std::int64_t{5})};
+    }
+    bool transient(const core::JobId& job, int slot) const override {
+      return job == core::JobId{0, 1} && slot == 0;
+    }
+  };
+  class TakeoverScheme final : public Scheme {
+   public:
+    std::string name() const override { return "takeover"; }
+    void setup(const TaskSet&) override {}
+    ReleaseDecision on_release(core::TaskIndex, std::uint64_t j, Ticks) override {
+      if (j != 1) return ReleaseDecision::skip();
+      return duplicated(from_ms(std::int64_t{4}));
+    }
+    void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+    void on_permanent_fault(ProcessorId, Ticks) override {}
+    std::optional<CopySpec> reroute_on_death(const core::Job&, bool,
+                                             ProcessorId survivor, Ticks now,
+                                             Ticks) override {
+      return CopySpec{survivor, CopyKind::kBackup, Band::kMandatory, now, 0};
+    }
+  };
+
+  TakeoverScheme scheme;
+  Plan plan;
+  const auto ts = one_task();  // P = D = 10ms, C = 3ms
+  SimConfig cfg;
+  cfg.horizon = from_ms(std::int64_t{10});
+  const auto trace = simulate(ts, scheme, plan, cfg);
+
+  EXPECT_EQ(trace.death_time[kSpare], from_ms(std::int64_t{5}));
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_EQ(trace.jobs[0].outcome, core::JobOutcome::kMet);
+  EXPECT_EQ(trace.jobs[0].resolved_at, from_ms(std::int64_t{8}));
+  EXPECT_TRUE(trace.jobs[0].main_transient_fault);
+
+  // Three copy lifecycles: failed main, backup lost to the death, takeover.
+  ASSERT_EQ(trace.copies.size(), 3u);
+  EXPECT_EQ(trace.copies[0].end, CopyEnd::kCompleted);
+  EXPECT_TRUE(trace.copies[0].transient_fault);
+  EXPECT_EQ(trace.copies[1].end, CopyEnd::kLostToDeath);
+  EXPECT_EQ(trace.copies[1].ended, from_ms(std::int64_t{5}));
+  EXPECT_EQ(trace.copies[2].end, CopyEnd::kCompleted);
+  EXPECT_EQ(trace.copies[2].proc, kPrimary);
+  EXPECT_EQ(trace.copies[2].admitted, from_ms(std::int64_t{5}));
+  EXPECT_EQ(trace.busy_time[kPrimary], from_ms(std::int64_t{6}));
+  EXPECT_EQ(trace.busy_time[kSpare], from_ms(std::int64_t{1}));
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);
+}
+
 TEST(Gantt, RendersRowsPerProcessorAndTask) {
   ScriptedScheme scheme;
   scheme.script[{0, 1}] = duplicated(0);

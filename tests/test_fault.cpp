@@ -1,10 +1,15 @@
 // Unit tests: fault plans -- determinism, probability calibration, scenario
-// construction.
+// construction -- and permanent-fault boundary instants (fault at t = 0,
+// fault exactly at a completion tick) under the real schemes.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "audit/trace_auditor.hpp"
+#include "fault/campaign.hpp"
 #include "fault/injection.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
 #include "workload/scenarios.hpp"
 
 namespace mkss::fault {
@@ -98,6 +103,56 @@ TEST(Faults, PermanentScenarioHitsBothProcessors) {
   }
   EXPECT_TRUE(saw_primary);
   EXPECT_TRUE(saw_spare);
+}
+
+sim::SimulationTrace run_st(const core::TaskSet& ts, const sim::FaultPlan& plan,
+                            std::int64_t horizon_ms) {
+  const auto scheme = sched::make_scheme(sched::SchemeKind::kSt);
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(horizon_ms);
+  return sim::simulate(ts, *scheme, plan, cfg);
+}
+
+TEST(FaultBoundary, PermanentFaultAtTimeZero) {
+  // The fault strikes before the first release: every copy must land on the
+  // survivor, and the mandatory guarantee must still hold end to end.
+  const auto ts = workload::paper_fig1_taskset();
+  ExplicitFaultPlan plan;
+  plan.set_permanent({sim::kPrimary, 0});
+  const auto trace = run_st(ts, plan, 20);
+
+  EXPECT_EQ(trace.death_time[sim::kPrimary], 0);
+  EXPECT_EQ(trace.busy_time[sim::kPrimary], 0);
+  for (const auto& s : trace.segments) EXPECT_EQ(s.proc, sim::kSpare);
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);
+  const auto report = audit::TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(FaultBoundary, PermanentFaultExactlyAtCompletionTick) {
+  // Under ST on fig1 the main of J_{1,1} completes exactly at t = 3ms.
+  // Completions are processed before the permanent fault at the same
+  // instant, so the job is met and nothing is lost retroactively.
+  const auto ts = workload::paper_fig1_taskset();
+  const core::Ticks completion = core::from_ms(std::int64_t{3});
+  ExplicitFaultPlan plan;
+  plan.set_permanent({sim::kPrimary, completion});
+  const auto trace = run_st(ts, plan, 20);
+
+  EXPECT_EQ(trace.death_time[sim::kPrimary], completion);
+  const auto& j11 = trace.jobs.front();
+  EXPECT_EQ(j11.job.id.task, 0u);
+  EXPECT_TRUE(j11.resolved);
+  EXPECT_EQ(j11.outcome, core::JobOutcome::kMet);
+  EXPECT_LE(j11.resolved_at, completion);
+  for (const auto& s : trace.segments) {
+    if (s.proc == sim::kPrimary) {
+      EXPECT_LE(s.span.end, completion);
+    }
+  }
+  EXPECT_EQ(trace.stats.mandatory_misses, 0u);
+  const auto report = audit::TraceAuditor().audit(trace, ts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
 TEST(Faults, TransientScenarioEnablesTransients) {

@@ -47,6 +47,39 @@ TEST(TasksetIo, ErrorMessagesCarryLineNumbers) {
   }
 }
 
+TEST(TasksetIo, RejectsNonFiniteAndNegativeValues) {
+  EXPECT_THROW(parse_taskset_string("t nan 4 3 2 4\n"), ParseError);
+  EXPECT_THROW(parse_taskset_string("t 5 inf 3 2 4\n"), ParseError);
+  EXPECT_THROW(parse_taskset_string("t 5 4 -3 2 4\n"), ParseError);
+  EXPECT_THROW(parse_taskset_string("t -5 4 3 2 4\n"), ParseError);
+  EXPECT_THROW(parse_taskset_string("t 0 4 3 2 4\n"), ParseError);
+}
+
+TEST(TasksetIo, RejectsNonNumericAndPartiallyNumericFields) {
+  EXPECT_THROW(parse_taskset_string("t five 4 3 2 4\n"), ParseError);
+  EXPECT_THROW(parse_taskset_string("t 5x 4 3 2 4\n"), ParseError);  // garbage suffix
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 2.5 4\n"), ParseError);  // fractional m
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 -2 4\n"), ParseError);   // negative m
+}
+
+TEST(TasksetIo, RejectsOverflowingValues) {
+  // Beyond the supported time range (would overflow the tick arithmetic).
+  EXPECT_THROW(parse_taskset_string("t 1e300 1e300 3 2 4\n"), ParseError);
+  // m/k beyond uint32.
+  EXPECT_THROW(parse_taskset_string("t 5 4 3 2 99999999999\n"), ParseError);
+}
+
+TEST(TasksetIo, MalformedFieldErrorsNameTheField) {
+  try {
+    parse_taskset_string("t 5 nan 3 2 4\n");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos);
+    EXPECT_NE(msg.find("deadline"), std::string::npos);
+  }
+}
+
 TEST(TasksetIo, SerializationRoundTrips) {
   const auto original = workload::paper_fig3_taskset();  // has fractional D
   const auto round = parse_taskset_string(serialize_taskset(original));
@@ -70,7 +103,8 @@ TEST(TraceJson, ContainsAllSections) {
 
   for (const char* key :
        {"\"horizon_ms\"", "\"tasks\"", "\"segments\"", "\"jobs\"", "\"stats\"",
-        "\"death_time_ms\"", "\"outcome\"", "\"frequency\""}) {
+        "\"copies\"", "\"eligible_ms\"", "\"death_time_ms\"", "\"outcome\"",
+        "\"frequency\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_NE(json.find("\"tau1\""), std::string::npos);

@@ -14,13 +14,26 @@
 //         --json                            dump the full trace as JSON
 //
 //   mkss_cli sweep [--scenario none|permanent|transient] [--sets <n>]
-//                  [--threads <n>]
+//                  [--threads <n>] [--no-audit] [--error-dir <dir>]
 //       run the Figure-6 style sweep and print the table + CSV.
 //       --threads 0 uses every hardware thread; results are bit-identical
-//       for any thread count (default 1).
+//       for any thread count (default 1). Every run is audited unless
+//       --no-audit; quarantined errors dump repro bundles to --error-dir.
+//
+//   mkss_cli audit <taskset.txt> [simulate options]
+//       run one scheme and certify the trace with the structural auditor.
+//
+//   mkss_cli campaign [--scheme st|dp|greedy|selective|all]
+//                     [--taskset <file>] [--horizon-cap <ms>] [--seed <n>]
+//                     [--no-bursts]
+//       enumerate adversarial fault placements (permanent faults at every
+//       inspecting point, targeted/bursty transients) and audit every run.
 //
 //   mkss_cli example
 //       print a template task-set file.
+//
+// Exit codes: 0 success, 1 run-time failure (e.g. QoS not satisfied),
+// 2 usage error, 3 malformed input, 4 audit/campaign violation.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +47,16 @@ using namespace mkss;
 
 namespace {
 
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+constexpr int kExitAuditViolation = 4;
+
+/// Thrown by subcommands on bad flags; mapped to kExitUsage in main.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 int usage() {
   std::fputs(
       "usage: mkss_cli analyze <taskset.txt>\n"
@@ -41,10 +64,15 @@ int usage() {
       "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
       "                [--seed n] [--gantt] [--json]\n"
       "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
-      "                [--threads n]\n"
-      "       mkss_cli example\n",
+      "                [--threads n] [--no-audit] [--error-dir dir]\n"
+      "       mkss_cli audit <taskset.txt> [simulate options]\n"
+      "       mkss_cli campaign [--scheme st|dp|greedy|selective|all]\n"
+      "                [--taskset file] [--horizon-cap ms] [--seed n]\n"
+      "                [--no-bursts]\n"
+      "       mkss_cli example\n"
+      "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n",
       stderr);
-  return 2;
+  return kExitUsage;
 }
 
 int cmd_analyze(const std::string& path) {
@@ -78,64 +106,78 @@ int cmd_analyze(const std::string& path) {
   return sched_report.r_pattern_feasible ? 0 : 1;
 }
 
-int cmd_simulate(const std::string& path, int argc, char** argv) {
-  const core::TaskSet ts = io::parse_taskset_file(path);
+sched::SchemeKind parse_scheme(const std::string& v) {
+  if (v == "st") return sched::SchemeKind::kSt;
+  if (v == "dp") return sched::SchemeKind::kDp;
+  if (v == "greedy") return sched::SchemeKind::kGreedy;
+  if (v == "selective") return sched::SchemeKind::kSelective;
+  throw UsageError("unknown scheme '" + v + "'");
+}
 
-  sched::SchemeKind kind = sched::SchemeKind::kSelective;
-  core::Ticks horizon = 0;
+struct SimulateOptions {
+  sched::SchemeKind kind{sched::SchemeKind::kSelective};
+  core::Ticks horizon{0};
   std::optional<sim::PermanentFault> permanent;
-  double lambda = 0.0;
-  std::uint64_t seed = 1;
-  bool gantt = false, json = false;
+  double lambda{0.0};
+  std::uint64_t seed{1};
+  bool gantt{false};
+  bool json{false};
+};
 
+SimulateOptions parse_simulate_options(int argc, char** argv) {
+  SimulateOptions opt;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--scheme") {
-      const std::string v = next();
-      if (v == "st") kind = sched::SchemeKind::kSt;
-      else if (v == "dp") kind = sched::SchemeKind::kDp;
-      else if (v == "greedy") kind = sched::SchemeKind::kGreedy;
-      else if (v == "selective") kind = sched::SchemeKind::kSelective;
-      else { std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str()); return 2; }
+      opt.kind = parse_scheme(next());
     } else if (arg == "--horizon") {
-      horizon = core::from_ms(std::atof(next()));
+      opt.horizon = core::from_ms(std::atof(next()));
     } else if (arg == "--permanent") {
       const std::string v = next();
       const auto at = v.find('@');
-      if (at == std::string::npos) { std::fputs("--permanent wants proc@ms\n", stderr); return 2; }
-      permanent = sim::PermanentFault{
+      if (at == std::string::npos) throw UsageError("--permanent wants proc@ms");
+      opt.permanent = sim::PermanentFault{
           static_cast<sim::ProcessorId>(std::atoi(v.substr(0, at).c_str())),
           core::from_ms(std::atof(v.substr(at + 1).c_str()))};
     } else if (arg == "--lambda") {
-      lambda = std::atof(next());
+      opt.lambda = std::atof(next());
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--gantt") {
-      gantt = true;
+      opt.gantt = true;
     } else if (arg == "--json") {
-      json = true;
+      opt.json = true;
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return 2;
+      throw UsageError("unknown option '" + arg + "'");
     }
   }
+  return opt;
+}
 
+harness::RunResult run_simulate(const core::TaskSet& ts,
+                                const SimulateOptions& opt) {
+  core::Ticks horizon = opt.horizon;
   if (horizon <= 0) {
     horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{10000}));
   }
-  const fault::ScenarioFaultPlan plan(permanent,
-                                      fault::transient_probabilities(ts, lambda),
-                                      seed);
+  const fault::ScenarioFaultPlan plan(
+      opt.permanent, fault::transient_probabilities(ts, opt.lambda), opt.seed);
   sim::SimConfig cfg;
   cfg.horizon = horizon;
-  const auto run = harness::run_one(ts, kind, plan, cfg);
+  return harness::run_one(ts, opt.kind, plan, cfg);
+}
+
+int cmd_simulate(const std::string& path, int argc, char** argv) {
+  const core::TaskSet ts = io::parse_taskset_file(path);
+  const SimulateOptions opt = parse_simulate_options(argc, argv);
+  const sched::SchemeKind kind = opt.kind;
+  const bool gantt = opt.gantt, json = opt.json;
+  const auto run = run_simulate(ts, opt);
+  const core::Ticks horizon = run.trace.horizon;
 
   if (json) {
     std::fputs(io::trace_to_json(run.trace, ts).c_str(), stdout);
@@ -176,14 +218,17 @@ int cmd_sweep(int argc, char** argv) {
       if (v == "none") cfg.scenario = fault::Scenario::kNoFault;
       else if (v == "permanent") cfg.scenario = fault::Scenario::kPermanentOnly;
       else if (v == "transient") cfg.scenario = fault::Scenario::kPermanentAndTransient;
-      else { std::fprintf(stderr, "unknown scenario '%s'\n", v.c_str()); return 2; }
+      else throw UsageError("unknown scenario '" + v + "'");
     } else if (arg == "--sets" && i + 1 < argc) {
       cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
       cfg.num_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--no-audit") {
+      cfg.audit = false;
+    } else if (arg == "--error-dir" && i + 1 < argc) {
+      cfg.error_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return 2;
+      throw UsageError("unknown option '" + arg + "'");
     }
   }
   const auto result = harness::run_sweep(cfg);
@@ -191,7 +236,86 @@ int cmd_sweep(int argc, char** argv) {
   std::printf("\nmax gain selective over DP: %s; audit failures: %llu\n",
               report::fmt_percent(result.max_gain(2, 1)).c_str(),
               static_cast<unsigned long long>(result.qos_failures));
+  for (const harness::SweepError& err : result.errors) {
+    std::fprintf(stderr,
+                 "quarantined: bin %zu set %zu variant %s (stream seed %llu): %s\n",
+                 err.bin, err.set, err.variant.c_str(),
+                 static_cast<unsigned long long>(err.seed), err.message.c_str());
+  }
+  if (!result.errors.empty()) {
+    std::fprintf(stderr, "%zu run(s) quarantined%s\n", result.errors.size(),
+                 cfg.error_dir.empty()
+                     ? ""
+                     : (", repro bundles in " + cfg.error_dir).c_str());
+    return kExitAuditViolation;
+  }
   return 0;
+}
+
+int cmd_audit(const std::string& path, int argc, char** argv) {
+  const core::TaskSet ts = io::parse_taskset_file(path);
+  const SimulateOptions opt = parse_simulate_options(argc, argv);
+  const auto run = run_simulate(ts, opt);
+  audit::AuditOptions options;
+  const audit::AuditReport report = audit::TraceAuditor(options).audit(run.trace, ts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "audit FAILED with %zu violation(s):\n%s",
+                 report.violations.size(), report.to_string().c_str());
+    return kExitAuditViolation;
+  }
+  std::printf("audit clean: %llu jobs, %zu copies, %zu segments over %s\n",
+              static_cast<unsigned long long>(run.trace.stats.jobs_released),
+              run.trace.copies.size(), run.trace.segments.size(),
+              core::format_ticks(run.trace.horizon).c_str());
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  fault::CampaignConfig cfg;
+  std::string scheme = "all";
+  std::string taskset_path;
+  std::uint64_t seed = 20200309;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--scheme") {
+      scheme = next();
+    } else if (arg == "--taskset") {
+      taskset_path = next();
+    } else if (arg == "--horizon-cap") {
+      cfg.horizon_cap = core::from_ms(std::atof(next()));
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--no-bursts") {
+      cfg.include_bursts = false;
+    } else {
+      throw UsageError("unknown option '" + arg + "'");
+    }
+  }
+
+  std::vector<fault::CampaignScheme> schemes;
+  if (scheme == "all") {
+    schemes = fault::paper_schemes();
+  } else {
+    const sched::SchemeKind kind = parse_scheme(scheme);
+    schemes.push_back({sched::to_string(kind), [kind] {
+                         return sched::make_scheme(kind);
+                       }});
+  }
+  std::vector<fault::CampaignCase> cases;
+  if (taskset_path.empty()) {
+    cases = fault::default_campaign_cases(seed);
+  } else {
+    cases.push_back({taskset_path, io::parse_taskset_file(taskset_path)});
+  }
+
+  const fault::CampaignResult result =
+      fault::run_campaign(cases, schemes, cfg);
+  std::printf("%s\n", result.summary().c_str());
+  return result.ok() ? 0 : kExitAuditViolation;
 }
 
 int cmd_example() {
@@ -213,7 +337,18 @@ int main(int argc, char** argv) {
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
     if (cmd == "simulate" && argc >= 3) return cmd_simulate(argv[2], argc - 3, argv + 3);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+    if (cmd == "audit" && argc >= 3) return cmd_audit(argv[2], argc - 3, argv + 3);
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "example") return cmd_example();
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
+  } catch (const io::ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInput;
+  } catch (const audit::AuditViolationError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitAuditViolation;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
