@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
         const auto& ts = batch.sets[i];
         sim::SimConfig cfg;
         cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
-        sim::NoFaultPlan nofault;
         const sim::UniformExecModel exec(bcet, 42);
         double st = 0;
         for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                                 sched::SchemeKind::kSelective}) {
-          const auto run = harness::run_one(ts, kind, nofault, cfg, {}, &exec);
+          const auto run = harness::run_one(
+              {.ts = ts, .kind = kind, .sim = cfg, .exec_model = &exec});
           const double e = run.energy.total();
           if (kind == sched::SchemeKind::kSt) st = e;
           if (kind == sched::SchemeKind::kDp) ratios[i].first = e / st;

@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
                             static_cast<core::Ticks>(frac * static_cast<double>(cfg.horizon)));
 
         const auto run_with = [&](sim::Scheme& scheme) {
-          const auto run = harness::run_one(ts, scheme, plan, cfg);
+          const auto run = harness::run_one(
+              {.ts = ts, .scheme = &scheme, .faults = &plan, .sim = cfg});
           if (!run.qos.mk_satisfied) ++out.failures;
           return run.energy.total();
         };

@@ -73,11 +73,10 @@ int main(int argc, char** argv) {
       SetResult& out = slots[i];
       sim::SimConfig cfg;
       cfg.horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{2000}));
-      sim::NoFaultPlan nofault;
       double st = 0;
       for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                               sched::SchemeKind::kSelective}) {
-        const auto run = harness::run_one(ts, kind, nofault, cfg);
+        const auto run = harness::run_one({.ts = ts, .kind = kind, .sim = cfg});
         if (!run.qos.theorem1_holds()) ++out.failures;
         const double e = run.energy.total();
         if (kind == sched::SchemeKind::kSt) st = e;

@@ -40,15 +40,14 @@ int main(int argc, char** argv) {
       continue;
     }
     ++sets;
-    sim::NoFaultPlan nofault;
     sim::SimConfig cfg_on, cfg_off;
     cfg_on.horizon = cfg_off.horizon =
         harness::choose_horizon(*ts, core::from_ms(std::int64_t{2000}));
     cfg_off.wake_for_optional = false;
-    const auto on = harness::run_one(*ts, sched::SchemeKind::kSelective, nofault,
-                                     cfg_on);
-    const auto off = harness::run_one(*ts, sched::SchemeKind::kSelective, nofault,
-                                      cfg_off);
+    const auto on = harness::run_one(
+        {.ts = *ts, .kind = sched::SchemeKind::kSelective, .sim = cfg_on});
+    const auto off = harness::run_one(
+        {.ts = *ts, .kind = sched::SchemeKind::kSelective, .sim = cfg_off});
     energy_on.add(on.energy.total());
     energy_off.add(off.energy.total());
     miss_on += on.trace.stats.jobs_missed;

@@ -1,14 +1,17 @@
 // perf_sweep: throughput of the Figure-6 sweep harness, serial vs parallel.
 //
-// Runs the default Figure 6(a) configuration once per thread count (1, 2,
-// ..., up to the hardware limit, env MKSS_PERF_MAX_THREADS to cap) and
-// emits BENCH_sweep.json with sets/sec per thread count plus the speedup
-// over the serial run, so CI can track the perf trajectory as data. Also
-// asserts the determinism contract en route: every thread count must
-// reproduce the serial SweepResult bit-for-bit.
+// Benchmarks the lean production path (StatsSink, audit off) of the default
+// Figure 6(a) configuration once per thread count (1, 2, ..., up to the
+// hardware limit, env MKSS_PERF_MAX_THREADS to cap) and emits
+// BENCH_sweep.json with sets/sec and per-phase timings per thread count plus
+// the speedup over the serial run, so CI can track the perf trajectory as
+// data. Also asserts the determinism contract en route: every thread count
+// AND the trace-free StatsSink must reproduce the serial full-trace
+// SweepResult bit-for-bit (including the quarantined-error list).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,12 +19,22 @@
 
 namespace {
 
-/// True when both sweeps agree on every count and every per-bin statistic to
-/// the last bit (mean/min/max go through identical accumulation order).
+/// True when both sweeps agree on every count, every per-bin statistic and
+/// every quarantined error to the last bit (mean/min/max go through
+/// identical accumulation order).
 bool identical(const mkss::harness::SweepResult& a,
                const mkss::harness::SweepResult& b) {
-  if (a.qos_failures != b.qos_failures || a.bins.size() != b.bins.size()) {
+  if (a.qos_failures != b.qos_failures || a.bins.size() != b.bins.size() ||
+      a.errors.size() != b.errors.size()) {
     return false;
+  }
+  for (std::size_t i = 0; i < a.errors.size(); ++i) {
+    const auto& x = a.errors[i];
+    const auto& y = b.errors[i];
+    if (x.bin != y.bin || x.set != y.set || x.variant != y.variant ||
+        x.message != y.message) {
+      return false;
+    }
   }
   for (std::size_t i = 0; i < a.bins.size(); ++i) {
     const auto& x = a.bins[i];
@@ -48,6 +61,22 @@ int main(int argc, char** argv) {
   auto cfg = benchrun::bench_config(fault::Scenario::kNoFault, argc, argv);
   cfg.schemes = {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                  sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
+  // Scale the workload so the serial baseline runs for >= 1 s: the stock 20
+  // sets/bin finish in milliseconds, where timer resolution and scheduler
+  // noise swamp the signal. The attempt cap must scale with it -- the
+  // high-utilization bins are rejection-dominated and would otherwise stop
+  // the whole sweep at the stock cap. Explicit MKSS_SETS_PER_BIN /
+  // MKSS_MAX_ATTEMPTS still win.
+  if (std::getenv("MKSS_SETS_PER_BIN") == nullptr) {
+    cfg.sets_per_bin = 400;
+  }
+  if (std::getenv("MKSS_MAX_ATTEMPTS") == nullptr) {
+    cfg.max_attempts_per_bin = 80000;
+  }
+  // The benchmark measures the lean path (no audit, online statistics, no
+  // trace materialization); the reference run below pins its correctness.
+  cfg.audit = false;
+  cfg.sink = harness::SweepConfig::Sink::kStats;
 
   std::size_t max_threads = core::ThreadPool::resolve_num_threads(0);
   if (const char* env = std::getenv("MKSS_PERF_MAX_THREADS")) {
@@ -55,18 +84,27 @@ int main(int argc, char** argv) {
   }
   if (max_threads < 1) max_threads = 1;
 
+  // Reference: serial, full traces. Every benchmark run (any thread count,
+  // StatsSink) must reproduce it bit-for-bit.
+  auto ref_cfg = cfg;
+  ref_cfg.num_threads = 1;
+  ref_cfg.sink = harness::SweepConfig::Sink::kFullTrace;
+  const harness::SweepResult reference = harness::run_sweep(ref_cfg);
+
   struct Sample {
     std::size_t threads;
     double seconds;
     double sets_per_sec;
     bool bit_identical;
+    harness::SweepResult::PhaseTimings timings;
   };
   std::vector<Sample> samples;
-  harness::SweepResult serial;
   std::size_t total_sets = 0;
 
-  std::printf("=== perf_sweep: Figure-6a harness throughput ===\n");
-  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+  std::printf("=== perf_sweep: Figure-6a harness throughput (lean path) ===\n");
+  // Always include 2 threads so the determinism contract is exercised even
+  // on single-core machines.
+  for (std::size_t t = 1; t <= std::max<std::size_t>(max_threads, 2); t *= 2) {
     cfg.num_threads = t;
     const auto start = clock::now();
     const auto result = harness::run_sweep(cfg);
@@ -75,37 +113,41 @@ int main(int argc, char** argv) {
 
     std::size_t sets = 0;
     for (const auto& bin : result.bins) sets += bin.sets;
-    const bool same = t == 1 ? true : identical(serial, result);
-    if (t == 1) {
-      serial = result;
-      total_sets = sets;
-    }
+    const bool same = identical(reference, result);
+    if (t == 1) total_sets = sets;
     samples.push_back({t, secs, secs > 0 ? static_cast<double>(sets) / secs : 0,
-                       same});
-    std::printf("threads=%zu  %.2fs  %.1f sets/sec  %s\n", t, secs,
-                samples.back().sets_per_sec,
-                same ? "bit-identical" : "MISMATCH vs serial");
+                       same, result.timings});
+    std::printf(
+        "threads=%zu  %.2fs  %.1f sets/sec  "
+        "(gen %.2fs, sim %.2fs, agg %.2fs)  %s\n",
+        t, secs, samples.back().sets_per_sec, result.timings.generate_seconds,
+        result.timings.simulate_seconds, result.timings.aggregate_seconds,
+        same ? "bit-identical" : "MISMATCH vs serial full-trace reference");
   }
 
+  const std::size_t hardware_threads = core::ThreadPool::resolve_num_threads(0);
   const double serial_rate = samples.front().sets_per_sec;
   bool all_identical = true;
   std::string json = "{\n  \"bench\": \"fig6a_sweep\",\n";
   json += "  \"schemes\": 4,\n";
   json += "  \"sets_total\": " + std::to_string(total_sets) + ",\n";
   json += "  \"sets_per_bin\": " + std::to_string(cfg.sets_per_bin) + ",\n";
-  json += "  \"hardware_threads\": " +
-          std::to_string(core::ThreadPool::resolve_num_threads(0)) + ",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hardware_threads) + ",\n";
   json += "  \"runs\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     all_identical = all_identical && s.bit_identical;
-    char line[256];
+    char line[512];
     std::snprintf(line, sizeof line,
                   "    {\"threads\": %zu, \"seconds\": %.4f, "
                   "\"sets_per_sec\": %.2f, \"speedup\": %.3f, "
+                  "\"generate_seconds\": %.4f, \"simulate_seconds\": %.4f, "
+                  "\"aggregate_seconds\": %.4f, \"hardware_threads\": %zu, "
                   "\"bit_identical\": %s}%s\n",
                   s.threads, s.seconds, s.sets_per_sec,
                   serial_rate > 0 ? s.sets_per_sec / serial_rate : 0.0,
+                  s.timings.generate_seconds, s.timings.simulate_seconds,
+                  s.timings.aggregate_seconds, hardware_threads,
                   s.bit_identical ? "true" : "false",
                   i + 1 < samples.size() ? "," : "");
     json += line;
@@ -122,7 +164,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!all_identical) {
-    std::fprintf(stderr, "FAIL: parallel sweep diverged from serial result\n");
+    std::fprintf(stderr,
+                 "FAIL: sweep diverged from serial full-trace reference\n");
     return 1;
   }
   return 0;

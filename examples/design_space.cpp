@@ -31,12 +31,11 @@ int main() {
         analysis::schedulable(tasks, analysis::DemandModel::kRPatternMandatory);
 
     sched::MkssSelective scheme;
-    sim::NoFaultPlan nofault;
     sim::SimConfig cfg;
     // A common horizon (300 video frames) keeps the energy column comparable
     // across contracts.
     cfg.horizon = core::from_ms(std::int64_t{3000});
-    const auto run = harness::run_one(tasks, scheme, nofault, cfg);
+    const auto run = harness::run_one({.ts = tasks, .scheme = &scheme, .sim = cfg});
     const auto& video = run.qos.per_task[1];
 
     char contract[16], delivered[32];

@@ -48,13 +48,12 @@ int main() {
 
   report::Table table({"scheme", "energy units", "main", "backup", "optional",
                        "backup share", "(m,k) ok"});
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = horizon;
   for (const auto kind :
        {sched::SchemeKind::kSt, sched::SchemeKind::kDp, sched::SchemeKind::kGreedy,
         sched::SchemeKind::kSelective}) {
-    const auto run = harness::run_one(tasks, kind, nofault, cfg);
+    const auto run = harness::run_one({.ts = tasks, .kind = kind, .sim = cfg});
     const auto split = metrics::split_active_energy(run.trace);
     table.add_row({sched::to_string(kind), report::fmt(run.energy.total(), 2),
                    report::fmt(split.main, 1), report::fmt(split.backup, 1),
@@ -66,6 +65,7 @@ int main() {
 
   // 5. Show the selective schedule itself.
   sched::MkssSelective selective;
+  sim::NoFaultPlan nofault;
   const auto trace = sim::simulate(tasks, selective, nofault, cfg);
   std::printf("MKSS_selective schedule (M main, B backup, O optional):\n%s\n",
               sim::render_gantt(trace, tasks).c_str());

@@ -54,7 +54,8 @@ int main() {
                             sched::SchemeKind::kSelective}) {
       sim::SimConfig cfg;
       cfg.horizon = horizon;
-      const auto run = harness::run_one(tasks, kind, *plan, cfg);
+      const auto run = harness::run_one(
+          {.ts = tasks, .kind = kind, .faults = plan.get(), .sim = cfg});
       if (kind == sched::SchemeKind::kSt) st_energy = run.energy.total();
 
       const auto& video = run.qos.per_task[2];

@@ -1,0 +1,45 @@
+#include "analysis/cache.hpp"
+
+namespace mkss::analysis {
+
+const PostponementResult& AnalysisCache::postponement(
+    const PostponementOptions& opts) {
+  for (const ThetaEntry& e : thetas_) {
+    if (e.pattern == opts.pattern && e.horizon_cap == opts.horizon_cap) {
+      return e.result;
+    }
+  }
+  thetas_.push_back(
+      {opts.pattern, opts.horizon_cap, compute_postponement(*ts_, opts)});
+  return thetas_.back().result;
+}
+
+const std::vector<std::optional<core::Ticks>>& AnalysisCache::promotions() {
+  if (!promotions_) promotions_ = promotion_times(*ts_);
+  return *promotions_;
+}
+
+const std::vector<std::optional<core::Ticks>>& AnalysisCache::response_times(
+    DemandModel model) {
+  auto& slot = rta_[static_cast<std::size_t>(model)];
+  if (!slot) slot = analysis::response_times(*ts_, model);
+  return *slot;
+}
+
+bool AnalysisCache::schedulable(DemandModel model) {
+  for (const auto& r : response_times(model)) {
+    if (!r) return false;
+  }
+  return true;
+}
+
+core::Ticks AnalysisCache::horizon(core::Ticks cap) {
+  for (const auto& [key, value] : horizons_) {
+    if (key == cap) return value;
+  }
+  const core::Ticks h = ts_->mk_hyperperiod(cap).value_or(cap);
+  horizons_.emplace_back(cap, h);
+  return h;
+}
+
+}  // namespace mkss::analysis

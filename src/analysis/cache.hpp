@@ -1,0 +1,71 @@
+// Per-task-set memoization of the offline analyses.
+//
+// Every scheme that runs against a task set re-derives the same offline
+// facts: the exact backup postponements theta_i (Definitions 2-5), the
+// dual-priority promotion times Y_i = D_i - R_i (Equation 2), response
+// times under the different demand models, and the (m,k)-pattern
+// hyperperiod used as the simulation horizon. A sweep or fault campaign
+// runs the same set through several scheme variants and dozens of fault
+// plans; an AnalysisCache computes each analysis once per set and hands the
+// memoized result to every consumer (schemes pick it up via
+// sched::SchemeBase::bind_cache, the harness via harness::BatchRunner).
+//
+// The cache is keyed to one TaskSet by address and must not outlive it.
+// Results are lazily computed on first request and bit-identical to calling
+// the underlying analysis directly (they ARE that call, stored). Not
+// thread-safe: use one instance per thread, like the task set runs it
+// memoizes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "analysis/postponement.hpp"
+#include "analysis/promotion.hpp"
+#include "analysis/rta.hpp"
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(const core::TaskSet& ts) : ts_(&ts) {}
+
+  /// The task set this cache is keyed to (by address).
+  const core::TaskSet& taskset() const noexcept { return *ts_; }
+
+  /// compute_postponement(taskset(), opts), memoized per
+  /// (opts.pattern, opts.horizon_cap).
+  const PostponementResult& postponement(const PostponementOptions& opts = {});
+
+  /// promotion_times(taskset()), memoized.
+  const std::vector<std::optional<core::Ticks>>& promotions();
+
+  /// response_times(taskset(), model), memoized per demand model.
+  const std::vector<std::optional<core::Ticks>>& response_times(DemandModel model);
+
+  /// True when every task's response time under `model` is within its
+  /// deadline (same contract as analysis::schedulable).
+  bool schedulable(DemandModel model);
+
+  /// taskset().mk_hyperperiod(cap).value_or(cap) -- the harness's horizon
+  /// choice -- memoized per cap.
+  core::Ticks horizon(core::Ticks cap);
+
+ private:
+  struct ThetaEntry {
+    core::PatternKind pattern;
+    core::Ticks horizon_cap;
+    PostponementResult result;
+  };
+
+  const core::TaskSet* ts_;
+  std::vector<ThetaEntry> thetas_;
+  std::optional<std::vector<std::optional<core::Ticks>>> promotions_;
+  std::array<std::optional<std::vector<std::optional<core::Ticks>>>, 3> rta_;
+  std::vector<std::pair<core::Ticks, core::Ticks>> horizons_;
+};
+
+}  // namespace mkss::analysis

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/rng.hpp"
+#include "harness/batch_runner.hpp"
 #include "io/taskset_io.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
@@ -96,28 +97,30 @@ struct SchemeRunner {
   const CampaignCase& cs;
   const CampaignScheme& entry;
   const CampaignConfig& config;
-  std::string taskset_text;
+  const std::string& taskset_text;
   sim::SimConfig sim_config;
+  harness::BatchRunner* runner;  ///< per-case analysis cache + pooled engine
+  sim::Scheme* scheme;  ///< one instance per (case, scheme); setup() resets it
   CampaignResult* result;
 
   /// Runs one plan with the auditor attached; records a violation (audit
   /// report, or a thrown engine/scheme error) and returns the trace when the
-  /// run was clean.
-  std::optional<sim::SimulationTrace> run(const ExplicitFaultPlan& plan) {
+  /// run was clean. The trace lives in the runner's pooled buffer: it is
+  /// overwritten by the next run, so callers must harvest it immediately.
+  const sim::SimulationTrace* run(const ExplicitFaultPlan& plan) {
     ++result->runs;
     audit::AuditReport report;
     try {
-      auto scheme = entry.make();
-      sim::SimulationTrace trace =
-          sim::simulate(cs.ts, *scheme, plan, sim_config);
+      const sim::SimulationTrace& trace =
+          runner->run_full(*scheme, plan, sim_config);
       report = audit::TraceAuditor(config.audit).audit(trace, cs.ts);
-      if (report.ok()) return trace;
+      if (report.ok()) return &trace;
     } catch (const std::exception& e) {
       report.violations.push_back({"exception", e.what()});
     }
     result->violations.push_back(
         {cs.name, entry.name, plan.describe(), taskset_text, std::move(report)});
-    return std::nullopt;
+    return nullptr;
   }
 };
 
@@ -170,19 +173,28 @@ CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
                             const CampaignConfig& config) {
   CampaignResult result;
   for (const CampaignCase& cs : cases) {
+    // One BatchRunner per case: the analysis cache (theta, Y, hyperperiod)
+    // is shared by every scheme and every fault plan on this task set.
+    harness::BatchRunner batch(cs.ts);
     const Ticks horizon =
-        std::min(cs.ts.mk_hyperperiod(config.horizon_cap)
-                     .value_or(config.horizon_cap),
-                 config.horizon_cap);
+        std::min(batch.horizon(config.horizon_cap), config.horizon_cap);
     const std::string taskset_text = io::serialize_taskset(cs.ts);
     for (const CampaignScheme& entry : schemes) {
-      SchemeRunner runner{cs, entry, config, taskset_text,
-                          sim::SimConfig{.horizon = horizon}, &result};
+      // One scheme instance per (case, scheme) pair; every scheme fully
+      // resets its state in setup(), so plan-to-plan reuse is behavior-
+      // identical to a fresh instance.
+      const std::unique_ptr<sim::Scheme> scheme = entry.make();
+      batch.bind(*scheme);
+      SchemeRunner runner{cs,     entry,        config,      taskset_text,
+                          sim::SimConfig{.horizon = horizon}, &batch,
+                          scheme.get(),                       &result};
 
       // Fault-free probe: must itself audit clean, and its trace names the
       // inspecting points / copy targets the adversarial placements use.
-      const auto probe = runner.run(ExplicitFaultPlan{});
-      if (!probe) continue;
+      // The pooled trace is overwritten by the first plan run, so all
+      // placements are derived from it before any plan executes.
+      const sim::SimulationTrace* probe = runner.run(ExplicitFaultPlan{});
+      if (probe == nullptr) continue;
 
       std::vector<ExplicitFaultPlan> plans;
       for (const Ticks t :

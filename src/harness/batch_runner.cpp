@@ -1,0 +1,41 @@
+#include "harness/batch_runner.hpp"
+
+#include "sched/scheme_base.hpp"
+
+namespace mkss::harness {
+
+const sim::SimulationTrace& RunContext::run_full(
+    const core::TaskSet& ts, sim::Scheme& scheme, const sim::FaultPlan& faults,
+    const sim::SimConfig& config, const sim::ExecTimeModel* exec_model) {
+  simulator_.run(ts, scheme, faults, config, full_, exec_model);
+  return full_.trace();
+}
+
+const sim::StatsSink& RunContext::run_stats(const core::TaskSet& ts,
+                                            sim::Scheme& scheme,
+                                            const sim::FaultPlan& faults,
+                                            const sim::SimConfig& config,
+                                            const energy::PowerParams& power,
+                                            const sim::ExecTimeModel* exec_model) {
+  stats_.set_power(power);
+  simulator_.run(ts, scheme, faults, config, stats_, exec_model);
+  return stats_;
+}
+
+BatchRunner::BatchRunner(const core::TaskSet& ts, RunContext* ctx)
+    : ts_(&ts), cache_(ts) {
+  if (ctx == nullptr) {
+    owned_ctx_ = std::make_unique<RunContext>();
+    ctx_ = owned_ctx_.get();
+  } else {
+    ctx_ = ctx;
+  }
+}
+
+void BatchRunner::bind(sim::Scheme& scheme) {
+  if (auto* base = dynamic_cast<sched::SchemeBase*>(&scheme)) {
+    base->bind_cache(&cache_);
+  }
+}
+
+}  // namespace mkss::harness

@@ -1,0 +1,97 @@
+// Batched run machinery: one task set, one shared AnalysisCache, pooled
+// engine + sinks.
+//
+// A Figure-6 sweep or a fault campaign runs the same task set through
+// several scheme variants and many fault plans. Two costs dominate when each
+// run starts from scratch: the offline analyses (theta postponement, Y
+// promotions, RTA, hyperperiod) recomputed per run, and the per-run heap
+// churn of a fresh engine + trace. A BatchRunner owns both fixes:
+//
+//   * an analysis::AnalysisCache keyed to the task set, bound into every
+//     scheme (bind()) so repeated setups reuse the memoized analyses;
+//   * a RunContext -- a reusable sim::Simulator plus one pooled
+//     FullTraceSink and one StatsSink -- whose buffers survive across runs.
+//
+// Ownership: the BatchRunner borrows the task set (it must outlive the
+// runner) and either owns its RunContext or borrows a caller-provided one
+// (the sweep keeps one context per worker thread and points every set's
+// runner at it). Results returned by run_full()/run_stats() live in the
+// context's pooled buffers and are valid only until the next run on the
+// same context.
+#pragma once
+
+#include <memory>
+
+#include "analysis/cache.hpp"
+#include "core/task.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace_sink.hpp"
+
+namespace mkss::harness {
+
+/// Pooled per-thread simulation machinery. Not thread-safe; use one per
+/// thread (cheap: the arenas grow to the working-set high-water mark once).
+class RunContext {
+ public:
+  /// Full-trace run; the returned pooled trace is valid until the next
+  /// run_full/run_stats call on this context.
+  const sim::SimulationTrace& run_full(const core::TaskSet& ts,
+                                       sim::Scheme& scheme,
+                                       const sim::FaultPlan& faults,
+                                       const sim::SimConfig& config,
+                                       const sim::ExecTimeModel* exec_model = nullptr);
+
+  /// Lean run: energy/QoS accumulate online, no trace is materialized. The
+  /// returned sink is valid until the next run on this context.
+  const sim::StatsSink& run_stats(const core::TaskSet& ts, sim::Scheme& scheme,
+                                  const sim::FaultPlan& faults,
+                                  const sim::SimConfig& config,
+                                  const energy::PowerParams& power,
+                                  const sim::ExecTimeModel* exec_model = nullptr);
+
+ private:
+  sim::Simulator simulator_;
+  sim::FullTraceSink full_;
+  sim::StatsSink stats_;
+};
+
+class BatchRunner {
+ public:
+  /// `ctx == nullptr` gives the runner its own private context; otherwise
+  /// the caller-provided context is borrowed (and must outlive the runner).
+  explicit BatchRunner(const core::TaskSet& ts, RunContext* ctx = nullptr);
+
+  const core::TaskSet& taskset() const noexcept { return *ts_; }
+  analysis::AnalysisCache& cache() noexcept { return cache_; }
+
+  /// Simulation horizon for the set (harness::choose_horizon, memoized).
+  core::Ticks horizon(core::Ticks cap) { return cache_.horizon(cap); }
+
+  /// Binds the shared analysis cache into `scheme` when it derives from
+  /// sched::SchemeBase (all repo schemes do); other schemes are left alone.
+  void bind(sim::Scheme& scheme);
+
+  const sim::SimulationTrace& run_full(sim::Scheme& scheme,
+                                       const sim::FaultPlan& faults,
+                                       const sim::SimConfig& config,
+                                       const sim::ExecTimeModel* exec_model = nullptr) {
+    return ctx_->run_full(*ts_, scheme, faults, config, exec_model);
+  }
+
+  const sim::StatsSink& run_stats(sim::Scheme& scheme,
+                                  const sim::FaultPlan& faults,
+                                  const sim::SimConfig& config,
+                                  const energy::PowerParams& power,
+                                  const sim::ExecTimeModel* exec_model = nullptr) {
+    return ctx_->run_stats(*ts_, scheme, faults, config, power, exec_model);
+  }
+
+ private:
+  const core::TaskSet* ts_;
+  analysis::AnalysisCache cache_;
+  std::unique_ptr<RunContext> owned_ctx_;
+  RunContext* ctx_;
+};
+
+}  // namespace mkss::harness

@@ -1,6 +1,7 @@
 #include "harness/evaluation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,23 +15,30 @@ namespace mkss::harness {
 
 using core::Ticks;
 
-RunResult run_one(const core::TaskSet& ts, sim::Scheme& scheme,
-                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
-                  const energy::PowerParams& power,
-                  const sim::ExecTimeModel* exec_model) {
-  RunResult r;
-  r.trace = sim::simulate(ts, scheme, faults, sim_config, exec_model);
-  r.energy = energy::account_energy(r.trace, power);
-  r.qos = metrics::audit_qos(r.trace, ts);
-  return r;
-}
+RunResult run_one(const RunSpec& spec) {
+  static const sim::NoFaultPlan no_faults;
+  const sim::FaultPlan& faults =
+      spec.faults != nullptr ? *spec.faults : no_faults;
+  std::unique_ptr<sim::Scheme> owned;
+  sim::Scheme* scheme = spec.scheme;
+  if (scheme == nullptr) {
+    owned = sched::make_scheme(spec.kind);
+    scheme = owned.get();
+  }
 
-RunResult run_one(const core::TaskSet& ts, sched::SchemeKind kind,
-                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
-                  const energy::PowerParams& power,
-                  const sim::ExecTimeModel* exec_model) {
-  const auto scheme = sched::make_scheme(kind);
-  return run_one(ts, *scheme, faults, sim_config, power, exec_model);
+  RunResult r;
+  sim::Simulator simulator;
+  if (spec.sink != nullptr) {
+    simulator.run(spec.ts, *scheme, faults, spec.sim, *spec.sink,
+                  spec.exec_model);
+    return r;  // results live in the caller's sink
+  }
+  sim::FullTraceSink sink;
+  simulator.run(spec.ts, *scheme, faults, spec.sim, sink, spec.exec_model);
+  r.trace = sink.take();
+  r.energy = energy::account_energy(r.trace, spec.power);
+  r.qos = metrics::audit_qos(r.trace, spec.ts);
+  return r;
 }
 
 Ticks choose_horizon(const core::TaskSet& ts, Ticks cap) {
@@ -80,10 +88,11 @@ namespace {
 /// and can never reach it.
 constexpr std::uint64_t kGenerationStream = ~std::uint64_t{0};
 
-/// Everything one (task-set × variant) job reads and the slot it writes.
-/// Jobs touch disjoint slots, so the fan-out needs no synchronization beyond
-/// the barrier; aggregation then walks slots in set-index order, which makes
-/// the result independent of completion order and thread count.
+/// Everything one task-set job reads and the slots it writes (one slot per
+/// variant). Jobs touch disjoint slots, so the fan-out needs no
+/// synchronization beyond the barrier; aggregation then walks slots in
+/// set-index order, which makes the result independent of completion order
+/// and thread count.
 struct SetRuns {
   Ticks horizon{0};
   std::unique_ptr<const sim::FaultPlan> plan;
@@ -132,6 +141,11 @@ void dump_error_bundle(const std::string& dir, const SweepError& err,
 
 SweepResult run_variant_sweep(const SweepConfig& config,
                               const std::vector<SchemeVariant>& variants) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
   SweepResult result;
   for (const SchemeVariant& v : variants) {
     result.scheme_names.push_back(v.name);
@@ -146,6 +160,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
   // the stream (seed, bin_index, kGenerationStream); rejection sampling
   // inside a bin stays sequential (each draw depends on the previous ones),
   // but bins proceed concurrently.
+  const auto generate_start = Clock::now();
   std::vector<workload::BinnedBatch> batches(config.bin_starts.size());
   core::parallel_for(pool.get(), batches.size(), [&](std::size_t b) {
     const double lo = config.bin_starts[b];
@@ -155,6 +170,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
                                config.sets_per_bin,
                                config.max_attempts_per_bin, gen_rng);
   });
+  result.timings.generate_seconds = seconds_since(generate_start);
 
   for (std::size_t b = 0; b < batches.size(); ++b) {
     if (batches[b].sets.size() < config.sets_per_bin) {
@@ -167,16 +183,18 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     }
   }
 
-  // Phase 2: one job per (task-set × variant). The fault plan is derived
-  // from (seed, bin_index, set_index) — a name, not a position in a shared
-  // stream — and built per task set up front (FaultPlan queries are const
-  // and thread-safe, so every variant of a set shares one plan: schemes
-  // differ in scheduling, not in luck).
+  // Phase 2: one job per task set, running every variant back to back. The
+  // fault plan is derived from (seed, bin_index, set_index) — a name, not a
+  // position in a shared stream — so every variant of a set shares one plan:
+  // schemes differ in scheduling, not in luck. Grouping the variants in one
+  // job lets them share a BatchRunner (one analysis cache per set) and a
+  // per-worker-thread RunContext (pooled engine arenas + sinks).
+  const auto simulate_start = Clock::now();
   std::vector<std::vector<SetRuns>> runs(batches.size());
-  struct JobRef {
-    std::size_t bin, set, variant;
+  struct SetRef {
+    std::size_t bin, set;
   };
-  std::vector<JobRef> jobs;
+  std::vector<SetRef> jobs;
   for (std::size_t b = 0; b < batches.size(); ++b) {
     runs[b].resize(batches[b].sets.size());
     for (std::size_t s = 0; s < batches[b].sets.size(); ++s) {
@@ -189,9 +207,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
       sr.totals.assign(variants.size(), 0.0);
       sr.qos_ok.assign(variants.size(), 1);
       sr.error.assign(variants.size(), std::string{});
-      for (std::size_t v = 0; v < variants.size(); ++v) {
-        jobs.push_back({b, s, v});
-      }
+      jobs.push_back({b, s});
     }
   }
   audit::AuditOptions audit_options;
@@ -200,33 +216,53 @@ SweepResult run_variant_sweep(const SweepConfig& config,
   // which legitimately breaks an (m,k) window; qos_failures counts those.
   audit_options.check_mk =
       config.scenario != fault::Scenario::kPermanentAndTransient;
+  // Audits need materialized traces; otherwise honor the configured sink.
+  const bool use_full =
+      config.audit || config.sink != SweepConfig::Sink::kStats;
   core::parallel_for(pool.get(), jobs.size(), [&](std::size_t i) {
-    const JobRef& j = jobs[i];
+    // One pooled context per worker OS thread; its arenas persist across
+    // jobs (and sweeps), so steady-state runs allocate nothing.
+    thread_local RunContext ctx;
+    const SetRef& j = jobs[i];
     SetRuns& sr = runs[j.bin][j.set];
+    const core::TaskSet& ts = batches[j.bin].sets[j.set];
+    BatchRunner runner(ts, &ctx);
     sim::SimConfig sim_config;
     sim_config.horizon = sr.horizon;
     sim_config.break_even = config.power.break_even;
-    // Quarantine: a thrown engine/scheme error or an audit violation is
-    // recorded in this job's disjoint slot instead of tearing down the
-    // sweep; aggregation later surfaces it deterministically.
-    try {
-      const auto scheme = variants[j.variant].make();
-      const RunResult run = run_one(batches[j.bin].sets[j.set], *scheme,
-                                    *sr.plan, sim_config, config.power);
-      if (config.audit) {
-        audit::audit_or_throw(run.trace, batches[j.bin].sets[j.set],
-                              audit_options);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      // Quarantine: a thrown engine/scheme error or an audit violation is
+      // recorded in this variant's disjoint slot instead of tearing down
+      // the sweep; aggregation later surfaces it deterministically.
+      try {
+        const auto scheme = variants[v].make();
+        runner.bind(*scheme);
+        if (use_full) {
+          const sim::SimulationTrace& trace =
+              runner.run_full(*scheme, *sr.plan, sim_config);
+          if (config.audit) {
+            audit::audit_or_throw(trace, ts, audit_options);
+          }
+          sr.totals[v] = energy::account_energy(trace, config.power).total();
+          sr.qos_ok[v] =
+              metrics::audit_qos(trace, ts).theorem1_holds() ? 1 : 0;
+        } else {
+          const sim::StatsSink& stats =
+              runner.run_stats(*scheme, *sr.plan, sim_config, config.power);
+          sr.totals[v] = stats.energy().total();
+          sr.qos_ok[v] = stats.qos().theorem1_holds() ? 1 : 0;
+        }
+      } catch (const std::exception& e) {
+        sr.error[v] = e.what();
+        if (sr.error[v].empty()) sr.error[v] = "unknown error";
       }
-      sr.totals[j.variant] = run.energy.total();
-      sr.qos_ok[j.variant] = run.qos.theorem1_holds() ? 1 : 0;
-    } catch (const std::exception& e) {
-      sr.error[j.variant] = e.what();
-      if (sr.error[j.variant].empty()) sr.error[j.variant] = "unknown error";
     }
   });
+  result.timings.simulate_seconds = seconds_since(simulate_start);
 
   // Phase 3: aggregation, strictly in (bin, set) index order — same
   // floating-point accumulation order as a fully serial run.
+  const auto aggregate_start = Clock::now();
   for (std::size_t b = 0; b < batches.size(); ++b) {
     BinSummary bin;
     bin.bin_lo = batches[b].bin_lo;
@@ -263,6 +299,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     }
     result.bins.push_back(std::move(bin));
   }
+  result.timings.aggregate_seconds = seconds_since(aggregate_start);
   return result;
 }
 

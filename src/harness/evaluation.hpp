@@ -14,11 +14,13 @@
 #include "core/task.hpp"
 #include "energy/energy_model.hpp"
 #include "fault/injection.hpp"
+#include "harness/batch_runner.hpp"
 #include "metrics/qos.hpp"
 #include "metrics/summary.hpp"
 #include "report/table.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
+#include "sim/trace_sink.hpp"
 #include "workload/taskset_gen.hpp"
 
 namespace mkss::harness {
@@ -30,18 +32,36 @@ struct RunResult {
   metrics::QosReport qos;
 };
 
-/// Simulates `ts` under a fresh instance of `kind` and accounts energy/QoS.
-/// `exec_model` optionally supplies actual execution times (default WCET).
-RunResult run_one(const core::TaskSet& ts, sched::SchemeKind kind,
-                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
-                  const energy::PowerParams& power = {},
-                  const sim::ExecTimeModel* exec_model = nullptr);
+/// Everything one simulation run needs, in one place. Designated
+/// initializers keep call sites readable:
+///
+///   auto r = harness::run_one({.ts = ts,
+///                              .kind = sched::SchemeKind::kSelective,
+///                              .faults = &plan,
+///                              .sim = {.horizon = horizon}});
+struct RunSpec {
+  const core::TaskSet& ts;
+  /// Scheme selection: a fresh default-configured instance of `kind` is
+  /// created unless `scheme` is non-null (ablation variants, reused or
+  /// specially configured instances).
+  sched::SchemeKind kind{sched::SchemeKind::kSelective};
+  sim::Scheme* scheme{nullptr};
+  /// Fault plan of the run; nullptr means fault-free.
+  const sim::FaultPlan* faults{nullptr};
+  sim::SimConfig sim{};
+  energy::PowerParams power{};
+  /// Actual execution times (default WCET, the paper's model).
+  const sim::ExecTimeModel* exec_model{nullptr};
+  /// Custom trace sink. When set, the engine streams into it and the
+  /// returned RunResult is empty -- results live in the sink (e.g. a
+  /// sim::StatsSink for trace-free energy/QoS). When null, run_one uses an
+  /// internal FullTraceSink and returns the materialized trace plus its
+  /// energy accounting and QoS audit.
+  sim::TraceSink* sink{nullptr};
+};
 
-/// Same, with a caller-provided scheme instance (for ablation variants).
-RunResult run_one(const core::TaskSet& ts, sim::Scheme& scheme,
-                  const sim::FaultPlan& faults, const sim::SimConfig& sim_config,
-                  const energy::PowerParams& power = {},
-                  const sim::ExecTimeModel* exec_model = nullptr);
+/// Runs one simulation as described by `spec`.
+RunResult run_one(const RunSpec& spec);
 
 /// Simulation horizon for a task set: the (m,k)-pattern hyperperiod when it
 /// fits under `cap`, otherwise `cap` itself (identical across compared
@@ -85,6 +105,15 @@ struct SweepConfig {
   /// When non-empty, every quarantined error also dumps a repro bundle
   /// (serialized task set + run metadata) into this directory.
   std::string error_dir{};
+
+  /// Which trace sink the runs use. kAuto materializes full traces exactly
+  /// when `audit` is on (the auditor needs them); kFullTrace forces
+  /// materialization; kStats forces the lean online-statistics path even
+  /// with `audit` off already. The aggregated SweepResult is bit-identical
+  /// either way (see docs/architecture.md, "Run API, analysis cache & trace
+  /// sinks"); audited sweeps ignore kStats and keep full traces.
+  enum class Sink : std::uint8_t { kAuto, kFullTrace, kStats };
+  Sink sink{Sink::kAuto};
 };
 
 struct BinSummary {
@@ -129,6 +158,15 @@ struct SweepResult {
   /// for every thread count. Task sets with any errored variant are excluded
   /// from the bin statistics.
   std::vector<SweepError> errors;
+
+  /// Wall-clock seconds per sweep phase (generation / simulation /
+  /// aggregation), for throughput reporting (bench/perf_sweep).
+  struct PhaseTimings {
+    double generate_seconds{0};
+    double simulate_seconds{0};
+    double aggregate_seconds{0};
+  };
+  PhaseTimings timings;
 
   /// Largest mean relative gain of scheme `a` over scheme `b` across bins
   /// (indices into scheme_names), e.g. 0.28 for "up to 28% lower energy".

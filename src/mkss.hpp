@@ -17,10 +17,12 @@
 //   workload/  Section-V random task-set generation, paper example task sets
 //   metrics/   (m,k) QoS auditing (Theorem 1), running statistics
 //   report/    fixed-width tables and CSV
-//   harness/   single-run helper and the Figure-6 evaluation sweeps
+//   harness/   RunSpec/run_one, BatchRunner (per-set analysis cache + pooled
+//              engine), and the Figure-6 evaluation sweeps
 #pragma once
 
 #include "analysis/breakdown.hpp"
+#include "analysis/cache.hpp"
 #include "analysis/postponement.hpp"
 #include "analysis/promotion.hpp"
 #include "analysis/rta.hpp"
@@ -38,6 +40,7 @@
 #include "energy/energy_model.hpp"
 #include "fault/campaign.hpp"
 #include "fault/injection.hpp"
+#include "harness/batch_runner.hpp"
 #include "harness/evaluation.hpp"
 #include "io/taskset_io.hpp"
 #include "io/trace_json.hpp"
@@ -48,5 +51,6 @@
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
 #include "sim/gantt.hpp"
+#include "sim/trace_sink.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/taskset_gen.hpp"

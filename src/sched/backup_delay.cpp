@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/cache.hpp"
 #include "analysis/postponement.hpp"
 #include "analysis/promotion.hpp"
 
@@ -34,6 +35,34 @@ std::vector<core::Ticks> backup_delays(const core::TaskSet& ts,
       analysis::PostponementOptions opts;
       opts.pattern = pattern;
       const auto result = analysis::compute_postponement(ts, opts);
+      for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+        delays[i] = result.theta(i);
+      }
+      break;
+    }
+  }
+  return delays;
+}
+
+std::vector<core::Ticks> backup_delays(analysis::AnalysisCache& cache,
+                                       BackupDelayPolicy policy,
+                                       core::PatternKind pattern) {
+  const core::TaskSet& ts = cache.taskset();
+  std::vector<core::Ticks> delays(ts.size(), 0);
+  switch (policy) {
+    case BackupDelayPolicy::kNone:
+      break;
+    case BackupDelayPolicy::kPromotion: {
+      const auto& promos = cache.promotions();
+      for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+        delays[i] = promos[i] ? std::max<core::Ticks>(0, *promos[i]) : 0;
+      }
+      break;
+    }
+    case BackupDelayPolicy::kPostponed: {
+      analysis::PostponementOptions opts;
+      opts.pattern = pattern;
+      const auto& result = cache.postponement(opts);
       for (core::TaskIndex i = 0; i < ts.size(); ++i) {
         delays[i] = result.theta(i);
       }

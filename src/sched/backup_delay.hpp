@@ -7,6 +7,10 @@
 #include "core/pattern.hpp"
 #include "core/task.hpp"
 
+namespace mkss::analysis {
+class AnalysisCache;
+}
+
 namespace mkss::sched {
 
 /// How far a backup job's eligibility is delayed past its release.
@@ -24,6 +28,13 @@ const char* to_string(BackupDelayPolicy policy);
 /// theta analysis only).
 std::vector<core::Ticks> backup_delays(
     const core::TaskSet& ts, BackupDelayPolicy policy,
+    core::PatternKind pattern = core::PatternKind::kDeeplyRed);
+
+/// Same ladder, but the promotion / postponement analyses come from (and are
+/// memoized in) `cache`. Bit-identical to the uncached overload on
+/// cache.taskset().
+std::vector<core::Ticks> backup_delays(
+    analysis::AnalysisCache& cache, BackupDelayPolicy policy,
     core::PatternKind pattern = core::PatternKind::kDeeplyRed);
 
 }  // namespace mkss::sched

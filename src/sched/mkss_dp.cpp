@@ -21,6 +21,8 @@ void MkssDp::on_setup() {
   if (main_frequency_ < 1.0) {
     y_ = backup_delays(scale_wcets(taskset(), main_frequency_), opts_.delay,
                        opts_.pattern);
+  } else if (analysis::AnalysisCache* c = cache()) {
+    y_ = backup_delays(*c, opts_.delay, opts_.pattern);
   } else {
     y_ = backup_delays(taskset(), opts_.delay, opts_.pattern);
   }

@@ -13,7 +13,14 @@ void MkssSelective::on_setup() {
     main_frequency_ = lowest_feasible_frequency(
         ts, analysis::DemandModel::kRPatternMandatory, opts_.dvs);
   }
-  theta_ = sched::backup_delays(ts, opts_.delay);  // free function, not the accessor
+  // Free function, not the accessor. The theta analysis always runs on the
+  // unscaled set (the spare only executes full-speed work), so a bound
+  // analysis cache applies with or without DVS.
+  if (analysis::AnalysisCache* c = cache()) {
+    theta_ = sched::backup_delays(*c, opts_.delay);
+  } else {
+    theta_ = sched::backup_delays(ts, opts_.delay);
+  }
 
   history_.clear();
   history_.reserve(ts.size());

@@ -2,6 +2,7 @@
 // tracking after the permanent fault, and the default re-routing policy.
 #pragma once
 
+#include "analysis/cache.hpp"
 #include "sim/scheme.hpp"
 
 namespace mkss::sched {
@@ -14,6 +15,12 @@ class SchemeBase : public sim::Scheme {
     survivor_ = sim::kPrimary;
     on_setup();
   }
+
+  /// Binds a shared per-task-set analysis cache (harness::BatchRunner owns
+  /// one per set). The cache must outlive the scheme's use of it; it is
+  /// consulted only while the scheme is set up on the cache's own task set,
+  /// so a stale binding is ignored rather than misapplied.
+  void bind_cache(analysis::AnalysisCache* cache) { cache_ = cache; }
 
   void on_permanent_fault(sim::ProcessorId dead, core::Ticks /*now*/) override {
     degraded_ = true;
@@ -40,6 +47,12 @@ class SchemeBase : public sim::Scheme {
   virtual void on_setup() = 0;
 
   const core::TaskSet& taskset() const { return *ts_; }
+
+  /// The bound analysis cache, or nullptr when none is bound or the bound
+  /// cache belongs to a different task set than the current setup().
+  analysis::AnalysisCache* cache() const {
+    return cache_ != nullptr && &cache_->taskset() == ts_ ? cache_ : nullptr;
+  }
   bool degraded() const { return degraded_; }
   sim::ProcessorId survivor() const { return survivor_; }
 
@@ -68,6 +81,7 @@ class SchemeBase : public sim::Scheme {
 
  private:
   const core::TaskSet* ts_ = nullptr;
+  analysis::AnalysisCache* cache_ = nullptr;
   bool degraded_ = false;
   sim::ProcessorId survivor_ = sim::kPrimary;
 };

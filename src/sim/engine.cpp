@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 #include <tuple>
 
 #include "core/check.hpp"
+#include "sim/trace_sink.hpp"
 
 namespace mkss::sim {
 
@@ -34,7 +34,7 @@ struct Copy {
   std::uint32_t optional_rank{0};
   double frequency{1.0};
   bool alive{true};
-  std::size_t rec{0};  ///< index of this copy's CopyRecord in the trace
+  std::size_t rec{0};  ///< index of this copy's CopyRecord (tracing runs only)
 };
 
 struct LiveJob {
@@ -49,20 +49,15 @@ struct LiveJob {
   bool slot_failed[2]{false, false};
 };
 
-class Engine {
- public:
-  Engine(const core::TaskSet& ts, Scheme& scheme, const FaultPlan& faults,
-         const SimConfig& config, const ExecTimeModel* exec_model)
-      : ts_(ts), scheme_(scheme), faults_(faults), config_(config),
-        exec_model_(exec_model) {
-    if (config_.horizon <= 0) {
-      throw std::invalid_argument("SimConfig::horizon must be positive");
-    }
-  }
+}  // namespace
 
-  SimulationTrace run();
+/// The engine proper. Every vector below is an arena: reset (cleared, never
+/// shrunk) at the top of run(), so repeated runs reuse the same buffers.
+struct Simulator::Impl {
+  void run(const core::TaskSet& ts, Scheme& scheme, const FaultPlan& faults,
+           const SimConfig& config, TraceSink& sink,
+           const ExecTimeModel* exec_model);
 
- private:
   // --- event processing -----------------------------------------------
   Ticks next_event_time() const;
   void process_completions();
@@ -81,23 +76,27 @@ class Engine {
   bool copy_precedes(const Copy& a, const Copy& b) const;
   Ticks next_mandatory_activity(ProcessorId p) const;
 
-  const core::TaskSet& ts_;
-  Scheme& scheme_;
-  const FaultPlan& faults_;
+  void push_deadline(Ticks deadline, std::size_t job_idx);
+  void pop_deadline();
+
+  // Per-run bindings (valid only inside run()).
+  const core::TaskSet* ts_{nullptr};
+  Scheme* scheme_{nullptr};
+  const FaultPlan* faults_{nullptr};
   SimConfig config_;
-  const ExecTimeModel* exec_model_;
+  const ExecTimeModel* exec_model_{nullptr};
+  TraceSink* sink_{nullptr};
+  SimulationTrace* trace_{nullptr};  ///< null on lean (stats-only) runs
 
   Ticks now_{0};
   std::vector<Copy> copies_;
   std::vector<LiveJob> jobs_;
-  std::vector<std::vector<std::size_t>> live_;  // live copy indices per processor
-  std::vector<Ticks> next_release_;             // per task
-  std::vector<std::uint64_t> next_j_;           // per task, 1-based next instance
-  // (deadline, job index), earliest first, lazily pruned.
-  std::priority_queue<std::pair<Ticks, std::size_t>,
-                      std::vector<std::pair<Ticks, std::size_t>>,
-                      std::greater<>>
-      deadlines_;
+  std::array<std::vector<std::size_t>, kProcessorCount> live_;
+  std::vector<Ticks> next_release_;    // per task
+  std::vector<std::uint64_t> next_j_;  // per task, 1-based next instance
+  // (deadline, job index) min-heap via push_heap/pop_heap with greater<>,
+  // exactly the order a std::priority_queue would produce, but clearable.
+  std::vector<std::pair<Ticks, std::size_t>> deadlines_;
 
   bool proc_alive_[kProcessorCount]{true, true};
   int running_[kProcessorCount]{kNone, kNone};
@@ -107,21 +106,74 @@ class Engine {
   std::optional<PermanentFault> pf_;
   bool pf_applied_{false};
 
-  SimulationTrace trace_;
+  SimStats stats_;
+  std::array<Ticks, kProcessorCount> death_time_{core::kNever, core::kNever};
+  std::array<Ticks, kProcessorCount> busy_time_{0, 0};
   std::vector<std::uint64_t> last_resolved_j_;  // per task, outcome-order check
+  std::vector<std::size_t> lost_scratch_;       // permanent-fault handover
 };
 
-SimulationTrace Engine::run() {
-  const std::size_t n = ts_.size();
-  live_.resize(kProcessorCount);
+void Simulator::Impl::push_deadline(Ticks deadline, std::size_t job_idx) {
+  deadlines_.emplace_back(deadline, job_idx);
+  std::push_heap(deadlines_.begin(), deadlines_.end(), std::greater<>{});
+}
+
+void Simulator::Impl::pop_deadline() {
+  std::pop_heap(deadlines_.begin(), deadlines_.end(), std::greater<>{});
+  deadlines_.pop_back();
+}
+
+void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
+                          const FaultPlan& faults, const SimConfig& config,
+                          TraceSink& sink, const ExecTimeModel* exec_model) {
+  if (config.horizon <= 0) {
+    throw std::invalid_argument("SimConfig::horizon must be positive");
+  }
+  ts_ = &ts;
+  scheme_ = &scheme;
+  faults_ = &faults;
+  config_ = config;
+  exec_model_ = exec_model;
+  sink_ = &sink;
+
+  // Reset the arenas; every clear()/assign() keeps its buffer's capacity.
+  const std::size_t n = ts.size();
+  now_ = 0;
+  copies_.clear();
+  jobs_.clear();
+  for (auto& lv : live_) lv.clear();
   next_release_.assign(n, 0);
   next_j_.assign(n, 1);
-  trace_.horizon = config_.horizon;
-  trace_.outcomes_per_task.resize(n);
+  deadlines_.clear();
+  for (std::size_t p = 0; p < kProcessorCount; ++p) {
+    proc_alive_[p] = true;
+    running_[p] = kNone;
+    run_start_[p] = 0;
+    sleep_until_[p] = 0;
+  }
+  pf_.reset();
+  pf_applied_ = false;
+  stats_ = SimStats{};
+  death_time_ = {core::kNever, core::kNever};
+  busy_time_ = {0, 0};
   last_resolved_j_.assign(n, 0);
 
-  scheme_.setup(ts_);
-  pf_ = faults_.permanent();
+  sink.begin_run(ts, config);
+  trace_ = sink.trace_buffer();
+  if (trace_) {
+    trace_->horizon = config_.horizon;
+    trace_->segments.clear();
+    trace_->jobs.clear();
+    trace_->copies.clear();
+    trace_->outcomes_per_task.resize(n);
+    for (auto& outcomes : trace_->outcomes_per_task) outcomes.clear();
+    trace_->death_time = {core::kNever, core::kNever};
+    trace_->busy_time = {0, 0};
+    trace_->stats = SimStats{};
+  }
+
+  scheme_->setup(ts);
+  pf_ = faults.permanent();
   if (pf_ && pf_->time >= config_.horizon) pf_.reset();
 
   // Time 0: an instantaneous permanent fault and the first releases happen
@@ -158,31 +210,42 @@ SimulationTrace Engine::run() {
   stop_running(kPrimary, config_.horizon);
   stop_running(kSpare, config_.horizon);
 
-  // Copies still alive at the horizon close their lifecycle records here.
-  for (const Copy& c : copies_) {
-    if (c.alive) trace_.copies[c.rec].ended = config_.horizon;
+  if (trace_) {
+    // Copies still alive at the horizon close their lifecycle records here.
+    for (const Copy& c : copies_) {
+      if (c.alive) trace_->copies[c.rec].ended = config_.horizon;
+    }
+
+    trace_->jobs.reserve(jobs_.size());
+    for (const LiveJob& lj : jobs_) {
+      JobRecord rec;
+      rec.job = lj.job;
+      rec.mandatory = lj.mandatory;
+      rec.executed_optional = lj.executed_optional;
+      rec.counted = lj.counted;
+      rec.resolved = lj.resolved;
+      rec.outcome = lj.outcome;
+      rec.resolved_at = lj.resolved_at;
+      rec.main_transient_fault = lj.slot_failed[0];
+      rec.backup_transient_fault = lj.slot_failed[1];
+      trace_->jobs.push_back(rec);
+    }
+    trace_->death_time = death_time_;
+    trace_->busy_time = busy_time_;
+    trace_->stats = stats_;
   }
 
-  trace_.jobs.reserve(jobs_.size());
-  for (const LiveJob& lj : jobs_) {
-    JobRecord rec;
-    rec.job = lj.job;
-    rec.mandatory = lj.mandatory;
-    rec.executed_optional = lj.executed_optional;
-    rec.counted = lj.counted;
-    rec.resolved = lj.resolved;
-    rec.outcome = lj.outcome;
-    rec.resolved_at = lj.resolved_at;
-    rec.main_transient_fault = lj.slot_failed[0];
-    rec.backup_transient_fault = lj.slot_failed[1];
-    trace_.jobs.push_back(rec);
-  }
-  return std::move(trace_);
+  RunFacts facts;
+  facts.horizon = config_.horizon;
+  facts.death_time = death_time_;
+  facts.busy_time = busy_time_;
+  facts.stats = &stats_;
+  sink.end_run(facts);
 }
 
-Ticks Engine::next_event_time() const {
+Ticks Simulator::Impl::next_event_time() const {
   Ticks t = core::kNever;
-  for (std::size_t i = 0; i < ts_.size(); ++i) {
+  for (std::size_t i = 0; i < ts_->size(); ++i) {
     if (next_release_[i] < config_.horizon) t = std::min(t, next_release_[i]);
   }
   for (const ProcessorId p : {kPrimary, kSpare}) {
@@ -195,7 +258,7 @@ Ticks Engine::next_event_time() const {
       if (c.alive && c.eligible > now_) t = std::min(t, c.eligible);
     }
   }
-  if (!deadlines_.empty()) t = std::min(t, deadlines_.top().first);
+  if (!deadlines_.empty()) t = std::min(t, deadlines_.front().first);
   if (pf_ && !pf_applied_) t = std::min(t, pf_->time);
   MKSS_CHECK(t > now_ || t == core::kNever,
              "next event time must advance beyond " +
@@ -203,7 +266,7 @@ Ticks Engine::next_event_time() const {
   return t;
 }
 
-void Engine::process_completions() {
+void Simulator::Impl::process_completions() {
   for (const ProcessorId p : {kPrimary, kSpare}) {
     const int idx = running_[p];
     if (idx != kNone && copies_[static_cast<std::size_t>(idx)].remaining == 0) {
@@ -212,34 +275,36 @@ void Engine::process_completions() {
   }
 }
 
-void Engine::apply_permanent_fault() {
+void Simulator::Impl::apply_permanent_fault() {
   pf_applied_ = true;
   const ProcessorId dead = pf_->proc;
   const ProcessorId survivor = other(dead);
   proc_alive_[dead] = false;
-  trace_.death_time[dead] = now_;
+  death_time_[dead] = now_;
   stop_running(dead, now_);
-  scheme_.on_permanent_fault(dead, now_);
+  scheme_->on_permanent_fault(dead, now_);
 
   // Copies on the dead processor are lost; jobs left with no live copy get a
   // chance to be re-admitted on the survivor.
-  std::vector<std::size_t> lost = std::move(live_[dead]);
+  lost_scratch_.assign(live_[dead].begin(), live_[dead].end());
   live_[dead].clear();
-  for (const std::size_t idx : lost) {
+  for (const std::size_t idx : lost_scratch_) {
     Copy& c = copies_[idx];
     if (!c.alive) continue;
     const Ticks remaining = c.remaining;
     c.alive = false;
-    trace_.copies[c.rec].ended = now_;
-    trace_.copies[c.rec].end = CopyEnd::kLostToDeath;
+    if (trace_) {
+      trace_->copies[c.rec].ended = now_;
+      trace_->copies[c.rec].end = CopyEnd::kLostToDeath;
+    }
     LiveJob& job = jobs_[c.job_idx];
     job.copy_in_slot[slot_of(c.kind)] = kNone;
     if (job.resolved) continue;
     const bool has_other =
         job.copy_in_slot[0] != kNone || job.copy_in_slot[1] != kNone;
     if (has_other) continue;
-    const auto replacement = scheme_.reroute_on_death(job.job, job.mandatory,
-                                                      survivor, now_, remaining);
+    const auto replacement = scheme_->reroute_on_death(job.job, job.mandatory,
+                                                       survivor, now_, remaining);
     if (replacement) {
       CopySpec spec = *replacement;
       spec.proc = survivor;  // the scheme cannot resurrect the dead processor
@@ -251,21 +316,21 @@ void Engine::apply_permanent_fault() {
   }
 }
 
-void Engine::process_deadlines() {
-  while (!deadlines_.empty() && deadlines_.top().first <= now_) {
-    const std::size_t job_idx = deadlines_.top().second;
-    deadlines_.pop();
+void Simulator::Impl::process_deadlines() {
+  while (!deadlines_.empty() && deadlines_.front().first <= now_) {
+    const std::size_t job_idx = deadlines_.front().second;
+    pop_deadline();
     if (!jobs_[job_idx].resolved) {
       resolve(job_idx, JobOutcome::kMissed);
     }
   }
 }
 
-void Engine::process_releases() {
-  for (TaskIndex i = 0; i < ts_.size(); ++i) {
+void Simulator::Impl::process_releases() {
+  for (TaskIndex i = 0; i < ts_->size(); ++i) {
     if (next_release_[i] != now_ || next_release_[i] >= config_.horizon) continue;
     const std::uint64_t j = next_j_[i];
-    core::Job job = core::Job::instance(ts_[i], i, j);
+    core::Job job = core::Job::instance((*ts_)[i], i, j);
     MKSS_CHECK(job.release == now_,
                "release of " + core::to_string(job.id) +
                    " does not match the current event time");
@@ -280,30 +345,30 @@ void Engine::process_releases() {
     lj.job = job;
     lj.counted = job.deadline <= config_.horizon;
 
-    ReleaseDecision decision = scheme_.on_release(i, j, now_);
+    ReleaseDecision decision = scheme_->on_release(i, j, now_);
     lj.mandatory = decision.mandatory;
     lj.executed_optional = !decision.mandatory && !decision.copies.empty();
 
-    ++trace_.stats.jobs_released;
+    ++stats_.jobs_released;
     if (decision.mandatory) {
-      ++trace_.stats.mandatory_jobs;
+      ++stats_.mandatory_jobs;
     } else if (!decision.copies.empty()) {
-      ++trace_.stats.optional_selected;
+      ++stats_.optional_selected;
     } else {
-      ++trace_.stats.optional_skipped;
+      ++stats_.optional_skipped;
     }
 
     for (const CopySpec& spec : decision.copies) {
       admit_copy(job_idx, spec);
     }
-    if (lj.counted) deadlines_.emplace(job.deadline, job_idx);
+    if (lj.counted) push_deadline(job.deadline, job_idx);
 
     next_j_[i] = j + 1;
-    next_release_[i] += ts_[i].period;
+    next_release_[i] += (*ts_)[i].period;
   }
 }
 
-void Engine::admit_copy(std::size_t job_idx, const CopySpec& spec) {
+void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
   LiveJob& job = jobs_[job_idx];
   Copy c;
   c.job_idx = job_idx;
@@ -324,26 +389,28 @@ void Engine::admit_copy(std::size_t job_idx, const CopySpec& spec) {
     throw std::logic_error("admit_copy: replica slot already occupied");
   }
 
-  CopyRecord rec;
-  rec.job = job.job.id;
-  rec.kind = c.kind;
-  rec.proc = c.proc;
-  rec.band = c.band;
-  rec.admitted = now_;
-  rec.eligible = c.eligible;
-  rec.work = c.remaining;
-  rec.frequency = c.frequency;
-  c.rec = trace_.copies.size();
-  trace_.copies.push_back(rec);
+  if (trace_) {
+    CopyRecord rec;
+    rec.job = job.job.id;
+    rec.kind = c.kind;
+    rec.proc = c.proc;
+    rec.band = c.band;
+    rec.admitted = now_;
+    rec.eligible = c.eligible;
+    rec.work = c.remaining;
+    rec.frequency = c.frequency;
+    c.rec = trace_->copies.size();
+    trace_->copies.push_back(rec);
+  }
 
   copies_.push_back(c);
   const auto idx = copies_.size() - 1;
   job.copy_in_slot[slot] = static_cast<int>(idx);
   live_[c.proc].push_back(idx);
-  if (spec.kind == CopyKind::kBackup) ++trace_.stats.backups_created;
+  if (spec.kind == CopyKind::kBackup) ++stats_.backups_created;
 }
 
-void Engine::complete_copy(int idx) {
+void Simulator::Impl::complete_copy(int idx) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   MKSS_CHECK(c.remaining == 0 && c.alive,
              "completing a copy that is not an exhausted live copy");
@@ -353,12 +420,14 @@ void Engine::complete_copy(int idx) {
   const int slot = slot_of(c.kind);
   job.copy_in_slot[slot] = kNone;
 
-  const bool faulted = faults_.transient(job.job.id, slot);
-  trace_.copies[c.rec].ended = now_;
-  trace_.copies[c.rec].end = CopyEnd::kCompleted;
-  trace_.copies[c.rec].transient_fault = faulted;
+  const bool faulted = faults_->transient(job.job.id, slot);
+  if (trace_) {
+    trace_->copies[c.rec].ended = now_;
+    trace_->copies[c.rec].end = CopyEnd::kCompleted;
+    trace_->copies[c.rec].transient_fault = faulted;
+  }
   if (faulted) {
-    ++trace_.stats.transient_faults;
+    ++stats_.transient_faults;
     job.slot_failed[slot] = true;
     const int sibling = job.copy_in_slot[1 - slot];
     if (sibling == kNone && !job.resolved) {
@@ -373,25 +442,27 @@ void Engine::complete_copy(int idx) {
   if (sibling != kNone && copies_[static_cast<std::size_t>(sibling)].alive) {
     const CopyKind sk = copies_[static_cast<std::size_t>(sibling)].kind;
     if (sk == CopyKind::kBackup) {
-      ++trace_.stats.backups_canceled;
+      ++stats_.backups_canceled;
     } else {
-      ++trace_.stats.mains_canceled;
+      ++stats_.mains_canceled;
     }
   }
   resolve(c.job_idx, JobOutcome::kMet);
 }
 
-void Engine::kill_copy(int idx, CopyEnd reason) {
+void Simulator::Impl::kill_copy(int idx, CopyEnd reason) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   if (!c.alive) return;
   if (running_[c.proc] == idx) stop_running(c.proc, now_);
   c.alive = false;
-  trace_.copies[c.rec].ended = now_;
-  trace_.copies[c.rec].end = reason;
+  if (trace_) {
+    trace_->copies[c.rec].ended = now_;
+    trace_->copies[c.rec].end = reason;
+  }
   jobs_[c.job_idx].copy_in_slot[slot_of(c.kind)] = kNone;
 }
 
-void Engine::resolve(std::size_t job_idx, JobOutcome outcome) {
+void Simulator::Impl::resolve(std::size_t job_idx, JobOutcome outcome) {
   LiveJob& job = jobs_[job_idx];
   MKSS_CHECK(!job.resolved,
              core::to_string(job.job.id) + " resolved more than once");
@@ -411,33 +482,36 @@ void Engine::resolve(std::size_t job_idx, JobOutcome outcome) {
              "outcomes must resolve in job order per task (" +
                  core::to_string(job.job.id) + ")");
   last_resolved_j_[i] = job.job.id.job;
-  trace_.outcomes_per_task[i].push_back(outcome);
+  if (trace_) trace_->outcomes_per_task[i].push_back(outcome);
+  sink_->on_outcome(i, outcome);
   if (outcome == JobOutcome::kMet) {
-    ++trace_.stats.jobs_met;
+    ++stats_.jobs_met;
   } else {
-    ++trace_.stats.jobs_missed;
-    if (job.mandatory) ++trace_.stats.mandatory_misses;
+    ++stats_.jobs_missed;
+    if (job.mandatory) ++stats_.mandatory_misses;
   }
-  scheme_.on_outcome(i, job.job.id.job, outcome);
+  scheme_->on_outcome(i, job.job.id.job, outcome);
 }
 
-void Engine::stop_running(ProcessorId p, Ticks end) {
+void Simulator::Impl::stop_running(ProcessorId p, Ticks end) {
   const int idx = running_[p];
   if (idx == kNone) return;
   running_[p] = kNone;
   if (end <= run_start_[p]) return;
   const Copy& c = copies_[static_cast<std::size_t>(idx)];
-  trace_.segments.push_back(ExecSegment{
-      p, jobs_[c.job_idx].job.id, c.kind, {run_start_[p], end}, c.frequency});
-  trace_.busy_time[p] += end - run_start_[p];
+  const ExecSegment segment{
+      p, jobs_[c.job_idx].job.id, c.kind, {run_start_[p], end}, c.frequency};
+  if (trace_) trace_->segments.push_back(segment);
+  sink_->on_segment(segment);
+  busy_time_[p] += end - run_start_[p];
 }
 
-void Engine::start_running(ProcessorId p, int idx) {
+void Simulator::Impl::start_running(ProcessorId p, int idx) {
   running_[p] = idx;
   run_start_[p] = now_;
 }
 
-bool Engine::copy_precedes(const Copy& a, const Copy& b) const {
+bool Simulator::Impl::copy_precedes(const Copy& a, const Copy& b) const {
   const auto key = [this](const Copy& c) {
     const core::JobId& id = jobs_[c.job_idx].job.id;
     const std::uint32_t rank = c.band == Band::kOptional ? c.optional_rank : 0;
@@ -447,7 +521,7 @@ bool Engine::copy_precedes(const Copy& a, const Copy& b) const {
   return key(a) < key(b);
 }
 
-Ticks Engine::next_mandatory_activity(ProcessorId p) const {
+Ticks Simulator::Impl::next_mandatory_activity(ProcessorId p) const {
   // Algorithm 1 line 12: "the earliest release time of all jobs in MJQ" --
   // i.e. only mandatory copies already admitted (postponed backups, promoted
   // jobs). A mandatory copy admitted later wakes the processor anyway,
@@ -463,7 +537,7 @@ Ticks Engine::next_mandatory_activity(ProcessorId p) const {
   return t;
 }
 
-void Engine::dispatch(ProcessorId p) {
+void Simulator::Impl::dispatch(ProcessorId p) {
   if (!proc_alive_[p]) return;
   const bool sleeping = !config_.wake_for_optional && sleep_until_[p] > now_;
 
@@ -518,13 +592,13 @@ void Engine::dispatch(ProcessorId p) {
       Copy& victim = copies_[static_cast<std::size_t>(old)];
       if (victim.alive && victim.remaining > 0) {
         victim.remaining += config_.preemption_overhead;
-        trace_.copies[victim.rec].work += config_.preemption_overhead;
-        ++trace_.stats.preemptions;
+        if (trace_) trace_->copies[victim.rec].work += config_.preemption_overhead;
+        ++stats_.preemptions;
       }
     } else if (old != kNone &&
                copies_[static_cast<std::size_t>(old)].alive &&
                copies_[static_cast<std::size_t>(old)].remaining > 0) {
-      ++trace_.stats.preemptions;
+      ++stats_.preemptions;
     }
     stop_running(p, now_);
     if (best != kNone) start_running(p, best);
@@ -538,13 +612,24 @@ void Engine::dispatch(ProcessorId p) {
   }
 }
 
-}  // namespace
+Simulator::Simulator() : impl_(std::make_unique<Impl>()) {}
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+void Simulator::run(const core::TaskSet& ts, Scheme& scheme,
+                    const FaultPlan& faults, const SimConfig& config,
+                    TraceSink& sink, const ExecTimeModel* exec_model) {
+  impl_->run(ts, scheme, faults, config, sink, exec_model);
+}
 
 SimulationTrace simulate(const core::TaskSet& ts, Scheme& scheme,
                          const FaultPlan& faults, const SimConfig& config,
                          const ExecTimeModel* exec_model) {
-  Engine engine(ts, scheme, faults, config, exec_model);
-  return engine.run();
+  Simulator sim;
+  FullTraceSink sink;
+  sim.run(ts, scheme, faults, config, sink, exec_model);
+  return sink.take();
 }
 
 }  // namespace mkss::sim

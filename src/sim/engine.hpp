@@ -49,10 +49,38 @@ struct SimConfig {
   core::Ticks preemption_overhead{0};
 };
 
-/// Runs `scheme` over `ts` under `faults` and returns the full trace.
-/// `exec_model` supplies actual per-job execution demands (default: WCET,
-/// the paper's model); feasibility pruning of optional copies then uses the
-/// actual remaining demand, while all offline analyses stay WCET-based.
+class TraceSink;
+
+/// Reusable simulation engine. All per-run storage (live jobs, execution
+/// copies, ready queues, the deadline heap, and the pooled trace of a
+/// FullTraceSink) lives in engine-owned arenas that are reset -- not
+/// reallocated -- between run() calls, so the hot path of a sweep that runs
+/// thousands of simulations performs no steady-state heap allocation.
+/// Results stream into the caller-supplied TraceSink (see sim/trace_sink.hpp)
+/// which picks between the full materialized trace and online statistics.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
+
+  /// Runs `scheme` over `ts` under `faults`, streaming segments and outcomes
+  /// into `sink`. `exec_model` supplies actual per-job execution demands
+  /// (default: WCET, the paper's model); feasibility pruning of optional
+  /// copies then uses the actual remaining demand, while all offline
+  /// analyses stay WCET-based.
+  void run(const core::TaskSet& ts, Scheme& scheme, const FaultPlan& faults,
+           const SimConfig& config, TraceSink& sink,
+           const ExecTimeModel* exec_model = nullptr);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience wrapper: runs a fresh Simulator with a FullTraceSink
+/// and returns the materialized trace. Bit-identical to the pooled path.
 SimulationTrace simulate(const core::TaskSet& ts, Scheme& scheme,
                          const FaultPlan& faults, const SimConfig& config,
                          const ExecTimeModel* exec_model = nullptr);

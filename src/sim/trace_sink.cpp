@@ -1,0 +1,90 @@
+#include "sim/trace_sink.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+
+namespace mkss::sim {
+
+namespace {
+
+/// Same unit convention as energy::account_energy: 1 unit == P_act for 1 ms.
+double units(core::Ticks t, double power) {
+  return core::to_ms(t) * power;
+}
+
+}  // namespace
+
+void FullTraceSink::begin_run(const core::TaskSet&, const SimConfig&) {
+  // The engine clears and refills the pooled trace via trace_buffer();
+  // nothing to reset here.
+}
+
+void StatsSink::begin_run(const core::TaskSet& ts, const SimConfig&) {
+  const std::size_t n = ts.size();
+  energy_ = energy::EnergyBreakdown{};
+  stats_ = SimStats{};
+  cursor_ = {0, 0};
+  qos_.per_task.assign(n, metrics::TaskQos{});
+  qos_.mk_satisfied = true;
+  qos_.mandatory_misses = 0;
+  history_.clear();
+  history_.reserve(n);
+  for (const core::Task& t : ts) history_.emplace_back(t.m, t.k);
+  violated_.assign(n, 0);
+}
+
+void StatsSink::charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap) {
+  // Mirrors the charge_idle lambda in energy::account_energy term for term.
+  if (gap <= 0) return;
+  if (gap > power_.break_even) {
+    pe.transition += units(power_.break_even, power_.p_idle);
+    pe.sleep += units(gap - power_.break_even, power_.p_sleep);
+    pe.slept_time += gap - power_.break_even;
+    pe.idle_time += power_.break_even;
+  } else {
+    pe.idle += units(gap, power_.p_idle);
+    pe.idle_time += gap;
+  }
+}
+
+void StatsSink::on_segment(const ExecSegment& segment) {
+  // The engine emits each processor's segments in increasing begin order and
+  // never past its death time, so this accumulation visits the exact spans
+  // account_energy would after its per-processor sort.
+  const ProcessorId p = segment.proc;
+  energy::ProcessorEnergy& pe = energy_.per_proc[p];
+  charge_idle(pe, segment.span.begin - cursor_[p]);
+  pe.active += units(segment.span.length(), power_.power_at(segment.frequency));
+  pe.busy_time += segment.span.length();
+  cursor_[p] = segment.span.end;
+}
+
+void StatsSink::on_outcome(core::TaskIndex i, core::JobOutcome outcome) {
+  metrics::TaskQos& q = qos_.per_task[i];
+  ++q.jobs;
+  if (outcome == core::JobOutcome::kMet) {
+    ++q.met;
+  } else {
+    ++q.missed;
+  }
+  // Online replay of core::audit_mk_sequence: capture the first violated
+  // window only (q.jobs is the 1-based index of the just-recorded job).
+  history_[i].record(outcome);
+  if (!violated_[i] && history_[i].violated()) {
+    violated_[i] = 1;
+    q.violation = core::MkViolation{q.jobs, history_[i].met_in_window()};
+    qos_.mk_satisfied = false;
+  }
+}
+
+void StatsSink::end_run(const RunFacts& facts) {
+  for (const ProcessorId p : {kPrimary, kSpare}) {
+    const core::Ticks life_end = std::min(facts.horizon, facts.death_time[p]);
+    charge_idle(energy_.per_proc[p], life_end - cursor_[p]);
+  }
+  if (facts.stats != nullptr) stats_ = *facts.stats;
+  qos_.mandatory_misses = stats_.mandatory_misses;
+}
+
+}  // namespace mkss::sim

@@ -1,0 +1,125 @@
+// Trace sinks: where the engine's per-run output goes.
+//
+// The engine produces three streams -- execution segments, copy/job lifecycle
+// records, and per-task outcome sequences. Most consumers fall into two
+// camps: the auditor and the JSON exporter need the *full* SimulationTrace,
+// while the Figure-6 sweeps only need energy and (m,k)-QoS statistics. A
+// TraceSink lets the caller pick per run:
+//
+//   * FullTraceSink materializes the complete trace into a pooled
+//     SimulationTrace whose buffers are reused across runs (no reallocation
+//     in steady state). This is bit-identical to what sim::simulate()
+//     historically returned.
+//   * StatsSink accumulates the energy breakdown and the QoS report online,
+//     segment by segment and outcome by outcome, without ever materializing
+//     copy or job records. Its results are bit-identical to running
+//     energy::account_energy + metrics::audit_qos over the full trace: the
+//     engine emits each processor's segments in begin order (exactly the
+//     order account_energy sorts into) and outcomes in per-task job order
+//     (exactly what core::audit_mk_sequence replays), so the floating-point
+//     accumulation order matches term for term.
+//
+// Ownership and pooling: a sink owns its buffers and survives across runs;
+// begin_run() resets per-run state but keeps capacity. The engine never
+// holds onto a sink between Simulator::run calls. When trace_buffer()
+// returns nullptr the engine skips every per-copy and per-job record
+// entirely -- a lean sink therefore must not expect trace fields at
+// end_run().
+#pragma once
+
+#include <array>
+
+#include "core/mk_constraint.hpp"
+#include "core/task.hpp"
+#include "energy/energy_model.hpp"
+#include "metrics/qos.hpp"
+#include "sim/types.hpp"
+
+namespace mkss::sim {
+
+struct SimConfig;
+
+/// End-of-run facts every sink receives, trace or no trace.
+struct RunFacts {
+  core::Ticks horizon{0};
+  std::array<core::Ticks, kProcessorCount> death_time{core::kNever, core::kNever};
+  std::array<core::Ticks, kProcessorCount> busy_time{0, 0};
+  const SimStats* stats{nullptr};
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Called once before time 0; resets per-run state (keep buffers).
+  virtual void begin_run(const core::TaskSet& ts, const SimConfig& config) = 0;
+
+  /// Non-null: the engine materializes the full trace into this pooled
+  /// object (cleared by the engine, capacity reused). Null: the engine
+  /// skips copy records, job records and outcome storage entirely.
+  virtual SimulationTrace* trace_buffer() { return nullptr; }
+
+  /// One closed execution segment. Per processor, segments arrive in
+  /// strictly increasing begin order. Also called when trace_buffer() is
+  /// non-null (the record is then additionally stored in the trace).
+  virtual void on_segment(const ExecSegment& segment) = 0;
+
+  /// Outcome of the next counted job of task `i`, in per-task job order.
+  virtual void on_outcome(core::TaskIndex i, core::JobOutcome outcome) = 0;
+
+  /// Called once after the horizon closed and all records are final.
+  virtual void end_run(const RunFacts& facts) = 0;
+};
+
+/// Materializes the full SimulationTrace, reusing buffers across runs.
+class FullTraceSink final : public TraceSink {
+ public:
+  void begin_run(const core::TaskSet& ts, const SimConfig& config) override;
+  SimulationTrace* trace_buffer() override { return &trace_; }
+  void on_segment(const ExecSegment&) override {}
+  void on_outcome(core::TaskIndex, core::JobOutcome) override {}
+  void end_run(const RunFacts&) override {}
+
+  /// The last run's trace; valid until the next begin_run.
+  const SimulationTrace& trace() const noexcept { return trace_; }
+  SimulationTrace& trace() noexcept { return trace_; }
+
+  /// Moves the trace out (the compat path of sim::simulate()).
+  SimulationTrace take() { return std::move(trace_); }
+
+ private:
+  SimulationTrace trace_;
+};
+
+/// Accumulates energy and QoS online; never materializes the trace.
+class StatsSink final : public TraceSink {
+ public:
+  explicit StatsSink(energy::PowerParams power = {}) : power_(power) {}
+
+  void set_power(const energy::PowerParams& power) { power_ = power; }
+
+  void begin_run(const core::TaskSet& ts, const SimConfig& config) override;
+  void on_segment(const ExecSegment& segment) override;
+  void on_outcome(core::TaskIndex i, core::JobOutcome outcome) override;
+  void end_run(const RunFacts& facts) override;
+
+  /// Valid after end_run; bit-identical to account_energy over the trace.
+  const energy::EnergyBreakdown& energy() const noexcept { return energy_; }
+  /// Valid after end_run; bit-identical to audit_qos over the trace.
+  const metrics::QosReport& qos() const noexcept { return qos_; }
+  /// Valid after end_run.
+  const SimStats& stats() const noexcept { return stats_; }
+
+ private:
+  void charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap);
+
+  energy::PowerParams power_;
+  energy::EnergyBreakdown energy_;
+  metrics::QosReport qos_;
+  SimStats stats_;
+  std::array<core::Ticks, kProcessorCount> cursor_{0, 0};
+  std::vector<core::MkHistory> history_;
+  std::vector<char> violated_;  ///< per task: first violation already captured
+};
+
+}  // namespace mkss::sim

@@ -13,9 +13,11 @@ using core::Ticks;
 
 namespace {
 
-/// UUniFast (Bini & Buttazzo): splits `total` into n unbiased shares.
-std::vector<double> uunifast(std::size_t n, double total, core::Rng& rng) {
-  std::vector<double> shares(n);
+/// UUniFast (Bini & Buttazzo): splits `total` into n unbiased shares,
+/// written into `shares` (resized; reused across attempts by generate_bin).
+void uunifast(std::size_t n, double total, core::Rng& rng,
+              std::vector<double>& shares) {
+  shares.resize(n);
   double sum = total;
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const double next =
@@ -24,33 +26,47 @@ std::vector<double> uunifast(std::size_t n, double total, core::Rng& rng) {
     sum = next;
   }
   shares[n - 1] = sum;
-  return shares;
 }
 
 /// Greedily steps individual m_i values (each step changes the total by
 /// (C_i/P_i)/k_i) towards `target` total (m,k)-utilization.
-void repair_mk_total(std::vector<Task>& tasks, double target) {
-  const auto total = [&tasks] {
+///
+/// C_i/P_i and the per-step delta only depend on (C, P, k), which the loop
+/// never touches, so both are hoisted out of the iterations; every double
+/// below reproduces Task::mk_utilization()'s expression term for term, so
+/// the accept/reject decisions stay bit-identical to the naive form.
+void repair_mk_total(std::vector<Task>& tasks, double target,
+                     std::vector<double>& util, std::vector<double>& step) {
+  util.resize(tasks.size());
+  step.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    util[i] = tasks[i].utilization();
+    step[i] = util[i] / static_cast<double>(tasks[i].k);
+  }
+  const auto total = [&] {
     double u = 0;
-    for (const Task& t : tasks) u += t.mk_utilization();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      u += util[i] * static_cast<double>(tasks[i].m) /
+           static_cast<double>(tasks[i].k);
+    }
     return u;
   };
   for (int iter = 0; iter < 256; ++iter) {
-    const double gap = target - total();
+    const double current = total();
+    const double gap = target - current;
     // Find the m step that best reduces |gap| without leaving [1, k-1].
     std::size_t best = tasks.size();
     double best_improve = 0;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const Task& t = tasks[i];
-      const double step = t.utilization() / static_cast<double>(t.k);
       if (gap > 0 && t.m + 1 < t.k) {
-        const double improve = std::abs(gap) - std::abs(gap - step);
+        const double improve = std::abs(gap) - std::abs(gap - step[i]);
         if (improve > best_improve) {
           best_improve = improve;
           best = i;
         }
       } else if (gap < 0 && t.m > 1) {
-        const double improve = std::abs(gap) - std::abs(gap + step);
+        const double improve = std::abs(gap) - std::abs(gap + step[i]);
         if (improve > best_improve) {
           best_improve = improve;
           best = i;
@@ -58,7 +74,7 @@ void repair_mk_total(std::vector<Task>& tasks, double target) {
       }
     }
     if (best == tasks.size()) break;  // no step improves the total
-    if (target > total()) {
+    if (target > current) {
       ++tasks[best].m;
     } else {
       --tasks[best].m;
@@ -66,17 +82,27 @@ void repair_mk_total(std::vector<Task>& tasks, double target) {
   }
 }
 
-}  // namespace
+/// Scratch buffers reused across generation attempts, so the 95%+ of draws
+/// that get rejected never touch the heap.
+struct GenScratch {
+  std::vector<double> shares;
+  std::vector<Task> tasks;
+  std::vector<double> repair_util;
+  std::vector<double> repair_step;
+};
 
-std::optional<TaskSet> generate_taskset(const GenParams& params,
-                                        double target_mk_util, core::Rng& rng) {
+/// Draws one candidate into `s.tasks` -- draw-for-draw identical to the
+/// original generate_taskset (the accepted-set golden values depend on the
+/// RNG sequence). Returns false when a share is too big for its (m,k,P)
+/// draw; tasks come out sorted rate-monotonically but unnamed.
+bool draw_candidate(const GenParams& params, double target_mk_util,
+                    core::Rng& rng, GenScratch& s) {
   const auto n = static_cast<std::size_t>(
       rng.range(static_cast<std::int64_t>(params.min_tasks),
                 static_cast<std::int64_t>(params.max_tasks)));
-  const std::vector<double> shares = uunifast(n, target_mk_util, rng);
+  uunifast(n, target_mk_util, rng, s.shares);
 
-  std::vector<Task> tasks;
-  tasks.reserve(n);
+  s.tasks.clear();
   for (std::size_t i = 0; i < n; ++i) {
     Task t;
     t.period = core::from_ms(rng.range(params.min_period_ms, params.max_period_ms));
@@ -93,7 +119,7 @@ std::optional<TaskSet> generate_taskset(const GenParams& params,
         t.wcet = std::max<Ticks>(
             1, static_cast<Ticks>(std::llround(v * static_cast<double>(t.period))));
         const double m_real =
-            static_cast<double>(t.k) * shares[i] / v;
+            static_cast<double>(t.k) * s.shares[i] / v;
         const auto m = static_cast<std::int64_t>(std::llround(m_real));
         t.m = static_cast<std::uint32_t>(
             std::clamp<std::int64_t>(m, 1, static_cast<std::int64_t>(t.k) - 1));
@@ -103,7 +129,7 @@ std::optional<TaskSet> generate_taskset(const GenParams& params,
         t.m = static_cast<std::uint32_t>(
             rng.range(1, static_cast<std::int64_t>(t.k) - 1));
         // share = m*C / (k*P)  =>  C = share * k * P / m.
-        const double c_ticks = shares[i] * static_cast<double>(t.k) *
+        const double c_ticks = s.shares[i] * static_cast<double>(t.k) *
                                static_cast<double>(t.period) /
                                static_cast<double>(t.m);
         t.wcet = static_cast<Ticks>(std::llround(c_ticks));
@@ -111,25 +137,43 @@ std::optional<TaskSet> generate_taskset(const GenParams& params,
         break;
       }
     }
-    if (!t.valid()) return std::nullopt;  // share too big for this (m,k,P) draw
-    tasks.push_back(t);
+    if (!t.valid()) return false;  // share too big for this (m,k,P) draw
+    s.tasks.push_back(t);
   }
 
   // Integer m_i rounding can drift the total away from the target; repair by
   // nudging m values until the total is as close to the target as unit steps
   // allow.
   if (params.wcet_model == WcetModel::kUniformWcet) {
-    repair_mk_total(tasks, target_mk_util);
+    repair_mk_total(s.tasks, target_mk_util, s.repair_util, s.repair_step);
   }
 
   // Rate-monotonic priority order (shorter period == higher priority), the
   // natural fixed-priority assignment for implicit deadlines.
-  std::sort(tasks.begin(), tasks.end(),
+  std::sort(s.tasks.begin(), s.tasks.end(),
             [](const Task& a, const Task& b) { return a.period < b.period; });
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    tasks[i].name = "tau" + std::to_string(i + 1);
+  return true;
+}
+
+/// Sum of m C / (k P) over the scratch tasks, in the same (sorted) order as
+/// TaskSet::total_mk_utilization would accumulate it -- bit-identical, so
+/// the bin accept/reject decision matches the materialized path.
+double raw_mk_utilization(const std::vector<Task>& tasks) {
+  double u = 0;
+  for (const Task& t : tasks) u += t.mk_utilization();
+  return u;
+}
+
+}  // namespace
+
+std::optional<TaskSet> generate_taskset(const GenParams& params,
+                                        double target_mk_util, core::Rng& rng) {
+  GenScratch s;
+  if (!draw_candidate(params, target_mk_util, rng, s)) return std::nullopt;
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    s.tasks[i].name = "tau" + std::to_string(i + 1);
   }
-  return TaskSet(std::move(tasks));
+  return TaskSet(std::move(s.tasks));
 }
 
 BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
@@ -138,17 +182,21 @@ BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
   BinnedBatch batch;
   batch.bin_lo = bin_lo;
   batch.bin_hi = bin_hi;
+  GenScratch scratch;
   while (batch.sets.size() < want_schedulable && batch.attempts < max_attempts) {
     ++batch.attempts;
     const double target = rng.uniform(bin_lo, bin_hi);
-    auto ts = generate_taskset(params, target, rng);
-    if (!ts) continue;
-    const double u = ts->total_mk_utilization();
+    if (!draw_candidate(params, target, rng, scratch)) continue;
+    // Cheap rejections first: most candidates drift out of the bin after
+    // integer rounding, and the raw-vector total is bit-identical to the
+    // TaskSet one, so names/TaskSet are only materialized for survivors.
+    const double u = raw_mk_utilization(scratch.tasks);
     if (u < bin_lo || u >= bin_hi) continue;  // rounding moved it out of bin
-    if (!analysis::schedulable(*ts, params.accept_model)) {
+    TaskSet ts(std::vector<Task>(scratch.tasks.begin(), scratch.tasks.end()));
+    if (!analysis::schedulable(ts, params.accept_model)) {
       continue;
     }
-    batch.sets.push_back(std::move(*ts));
+    batch.sets.push_back(std::move(ts));
   }
   return batch;
 }

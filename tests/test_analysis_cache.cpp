@@ -1,0 +1,126 @@
+// Unit tests: analysis::AnalysisCache must return exactly what the
+// underlying analyses compute (it stores their results, so equality is
+// exact, not approximate), memoize across calls, and leave scheme behavior
+// unchanged when bound through harness::BatchRunner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/cache.hpp"
+#include "analysis/postponement.hpp"
+#include "analysis/promotion.hpp"
+#include "analysis/rta.hpp"
+#include "harness/batch_runner.hpp"
+#include "io/trace_json.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss {
+namespace {
+
+using core::TaskSet;
+using core::from_ms;
+
+const std::array<analysis::DemandModel, 3> kAllModels = {
+    analysis::DemandModel::kAllJobs, analysis::DemandModel::kRPatternMandatory,
+    analysis::DemandModel::kEPatternMandatory};
+
+void expect_cache_matches_fresh(const TaskSet& ts) {
+  analysis::AnalysisCache cache(ts);
+  EXPECT_EQ(&cache.taskset(), &ts);
+
+  const auto fresh_theta = analysis::compute_postponement(ts);
+  const auto& cached_theta = cache.postponement();
+  ASSERT_EQ(cached_theta.per_task.size(), fresh_theta.per_task.size());
+  EXPECT_EQ(cached_theta.all_exact, fresh_theta.all_exact);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(cached_theta.theta(i), fresh_theta.theta(i)) << "task " << i;
+    EXPECT_EQ(cached_theta.per_task[i].source, fresh_theta.per_task[i].source);
+  }
+
+  EXPECT_EQ(cache.promotions(), analysis::promotion_times(ts));
+
+  for (const auto model : kAllModels) {
+    EXPECT_EQ(cache.response_times(model), analysis::response_times(ts, model));
+    EXPECT_EQ(cache.schedulable(model), analysis::schedulable(ts, model));
+  }
+
+  const core::Ticks cap = from_ms(std::int64_t{10000});
+  EXPECT_EQ(cache.horizon(cap), ts.mk_hyperperiod(cap).value_or(cap));
+}
+
+TEST(AnalysisCache, MatchesFreshComputationOnPaperSet) {
+  expect_cache_matches_fresh(workload::paper_fig1_taskset());
+}
+
+TEST(AnalysisCache, MatchesFreshComputationOnRandomizedSets) {
+  workload::GenParams params;
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    core::Rng rng(seed);
+    for (const double lo : {0.2, 0.5}) {
+      const auto batch = workload::generate_bin(params, lo, lo + 0.1, 3, 2000, rng);
+      for (const auto& ts : batch.sets) {
+        SCOPED_TRACE(ts.describe());
+        expect_cache_matches_fresh(ts);
+      }
+    }
+  }
+}
+
+TEST(AnalysisCache, MemoizesByReturningTheSameObject) {
+  const auto ts = workload::paper_fig1_taskset();
+  analysis::AnalysisCache cache(ts);
+  EXPECT_EQ(&cache.postponement(), &cache.postponement());
+  EXPECT_EQ(&cache.promotions(), &cache.promotions());
+  EXPECT_EQ(&cache.response_times(analysis::DemandModel::kAllJobs),
+            &cache.response_times(analysis::DemandModel::kAllJobs));
+  const core::Ticks cap = from_ms(std::int64_t{10000});
+  EXPECT_EQ(cache.horizon(cap), cache.horizon(cap));
+}
+
+TEST(AnalysisCache, DistinguishesPostponementOptions) {
+  const auto ts = workload::paper_fig1_taskset();
+  analysis::AnalysisCache cache(ts);
+  analysis::PostponementOptions capped;
+  capped.horizon_cap = from_ms(std::int64_t{20});
+  const auto& a = cache.postponement();
+  const auto& b = cache.postponement(capped);
+  EXPECT_NE(&a, &b);  // distinct memo entries per option set
+  const auto fresh = analysis::compute_postponement(ts, capped);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(b.theta(i), fresh.theta(i));
+  }
+}
+
+TEST(AnalysisCache, CacheBoundSchemeProducesIdenticalTraces) {
+  // The same scheme kind with and without a bound cache must schedule
+  // identically: the cache only memoizes, never alters, the analyses.
+  workload::GenParams params;
+  core::Rng rng(99);
+  const auto batch = workload::generate_bin(params, 0.4, 0.5, 2, 2000, rng);
+  ASSERT_FALSE(batch.sets.empty());
+  const sim::NoFaultPlan nofault;
+  for (const auto& ts : batch.sets) {
+    sim::SimConfig cfg;
+    cfg.horizon = from_ms(std::int64_t{1000});
+    for (const auto kind :
+         {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+          sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
+      SCOPED_TRACE(sched::to_string(kind));
+      const auto plain_scheme = sched::make_scheme(kind);
+      const auto plain = sim::simulate(ts, *plain_scheme, nofault, cfg);
+
+      harness::BatchRunner runner(ts);
+      const auto bound_scheme = sched::make_scheme(kind);
+      runner.bind(*bound_scheme);
+      const sim::SimulationTrace& bound =
+          runner.run_full(*bound_scheme, nofault, cfg);
+      EXPECT_EQ(io::trace_to_json(plain, ts), io::trace_to_json(bound, ts));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mkss

@@ -95,6 +95,76 @@ TEST(Cli, CampaignOnTasksetExitsZero) {
   std::filesystem::remove(ts);
 }
 
+// --- Shared option parser: --threads/--seed/--horizon/--error-dir must be
+// spelled and validated identically across sweep, audit and campaign. -----
+
+TEST(Cli, SharedSeedValidationIsIdenticalAcrossCommands) {
+  const std::string ts = write_temp("seedval", kFig1);
+  const char* expect = "--seed wants a non-negative integer, got '12x'";
+  for (const std::string cmd :
+       {std::string("sweep --seed 12x"), "audit " + ts + " --seed 12x",
+        std::string("campaign --seed 12x")}) {
+    const CliResult r = run_cli(cmd);
+    EXPECT_EQ(r.exit_code, 2) << cmd;
+    EXPECT_NE(r.output.find(expect), std::string::npos) << cmd << "\n" << r.output;
+  }
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, SharedHorizonValidationIsIdenticalAcrossCommands) {
+  const std::string ts = write_temp("horval", kFig1);
+  const char* expect = "wants a positive duration in ms, got '-5'";
+  for (const std::string cmd :
+       {std::string("sweep --horizon -5"), "audit " + ts + " --horizon -5",
+        std::string("campaign --horizon -5")}) {
+    const CliResult r = run_cli(cmd);
+    EXPECT_EQ(r.exit_code, 2) << cmd;
+    EXPECT_NE(r.output.find(expect), std::string::npos) << cmd << "\n" << r.output;
+  }
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, SharedFlagMissingValueIsUsageError) {
+  const CliResult r = run_cli("sweep --threads");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value for --threads"), std::string::npos);
+}
+
+TEST(Cli, SweepThreadsRejectsGarbage) {
+  const CliResult r = run_cli("sweep --threads two");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads wants a non-negative integer"),
+            std::string::npos);
+}
+
+TEST(Cli, SweepAcceptsSeedAndHorizon) {
+  const CliResult r =
+      run_cli("sweep --sets 1 --seed 7 --horizon 2000 --threads 2 --no-audit");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("bin"), std::string::npos);
+}
+
+TEST(Cli, CampaignHorizonCapAliasMatchesHorizon) {
+  const std::string ts = write_temp("alias", kFig1);
+  const CliResult canonical =
+      run_cli("campaign --taskset " + ts + " --scheme st --horizon 40");
+  const CliResult alias =
+      run_cli("campaign --taskset " + ts + " --scheme st --horizon-cap 40");
+  EXPECT_EQ(canonical.exit_code, 0) << canonical.output;
+  EXPECT_EQ(alias.exit_code, 0) << alias.output;
+  EXPECT_EQ(canonical.output, alias.output);
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, AuditAcceptsSharedSeedAndHorizon) {
+  const std::string ts = write_temp("auditshared", kFig1);
+  const CliResult r =
+      run_cli("audit " + ts + " --scheme selective --seed 3 --horizon 40");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("audit clean"), std::string::npos);
+  std::filesystem::remove(ts);
+}
+
 TEST(Cli, ExampleOutputRoundTripsThroughAnalyze) {
   const CliResult example = run_cli("example");
   ASSERT_EQ(example.exit_code, 0);

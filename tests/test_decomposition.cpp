@@ -16,12 +16,11 @@ using core::from_ms;
 
 TEST(Decomposition, SplitsMatchTotalsPerScheme) {
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{20});
   for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                           sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
-    const auto run = harness::run_one(ts, kind, nofault, cfg);
+    const auto run = harness::run_one({.ts = ts, .kind = kind, .sim = cfg});
     const auto split = metrics::split_active_energy(run.trace);
     EXPECT_NEAR(split.total(), run.energy.active_total(), 1e-9)
         << sched::to_string(kind);
@@ -31,16 +30,17 @@ TEST(Decomposition, SplitsMatchTotalsPerScheme) {
 TEST(Decomposition, StHasMaximalBackupShare) {
   // Lock-step ST spends exactly half its active energy on backups.
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{20});
-  const auto st = harness::run_one(ts, sched::SchemeKind::kSt, nofault, cfg);
+  const auto st =
+      harness::run_one({.ts = ts, .kind = sched::SchemeKind::kSt, .sim = cfg});
   const auto st_split = metrics::split_active_energy(st.trace);
   EXPECT_DOUBLE_EQ(st_split.backup_share(), 0.5);
   EXPECT_DOUBLE_EQ(st_split.optional_jobs, 0.0);
 
   // DP procrastinates, so its backup share must be strictly smaller.
-  const auto dp = harness::run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  const auto dp =
+      harness::run_one({.ts = ts, .kind = sched::SchemeKind::kDp, .sim = cfg});
   const auto dp_split = metrics::split_active_energy(dp.trace);
   EXPECT_LT(dp_split.backup_share(), st_split.backup_share());
   // Figure 1: mains 9 units, backups 6 units.
@@ -50,10 +50,10 @@ TEST(Decomposition, StHasMaximalBackupShare) {
 
 TEST(Decomposition, SelectiveSpendsOnOptionalSingles) {
   const auto ts = workload::paper_fig3_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{25});
-  const auto run = harness::run_one(ts, sched::SchemeKind::kSelective, nofault, cfg);
+  const auto run = harness::run_one(
+      {.ts = ts, .kind = sched::SchemeKind::kSelective, .sim = cfg});
   const auto split = metrics::split_active_energy(run.trace);
   EXPECT_DOUBLE_EQ(split.optional_jobs, 14.0);  // Figure 4 is all-optional
   EXPECT_DOUBLE_EQ(split.main, 0.0);

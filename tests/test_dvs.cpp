@@ -102,7 +102,6 @@ TEST(Dvs, EngineStretchesExecutionAtReducedFrequency) {
 TEST(Dvs, DpWithDvsKeepsDeadlinesAndSavesDynamicEnergy) {
   // A light task set where the full set can be slowed substantially.
   const TaskSet ts({Task::from_ms(20, 20, 2, 1, 2), Task::from_ms(40, 40, 3, 1, 2)});
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{80});
   energy::PowerParams power;
@@ -114,8 +113,10 @@ TEST(Dvs, DpWithDvsKeepsDeadlinesAndSavesDynamicEnergy) {
   dvs_opts.dvs.enabled = true;
   MkssDp dvs(dvs_opts);
 
-  const auto run_plain = harness::run_one(ts, plain, nofault, cfg, power);
-  const auto run_dvs = harness::run_one(ts, dvs, nofault, cfg, power);
+  const auto run_plain = harness::run_one(
+      {.ts = ts, .scheme = &plain, .sim = cfg, .power = power});
+  const auto run_dvs = harness::run_one(
+      {.ts = ts, .scheme = &dvs, .sim = cfg, .power = power});
   EXPECT_LT(dvs.main_frequency(), 1.0);
   EXPECT_TRUE(run_dvs.qos.theorem1_holds());
   EXPECT_LT(run_dvs.energy.total(), run_plain.energy.total());
@@ -137,7 +138,8 @@ TEST(Dvs, SelectiveWithDvsKeepsTheorem1UnderFaults) {
     } else {
       plan = std::make_unique<sim::NoFaultPlan>();
     }
-    const auto run = harness::run_one(ts, scheme, *plan, cfg);
+    const auto run = harness::run_one(
+        {.ts = ts, .scheme = &scheme, .faults = plan.get(), .sim = cfg});
     EXPECT_TRUE(run.qos.mk_satisfied) << "fault=" << fault;
     EXPECT_EQ(run.qos.mandatory_misses, 0u) << "fault=" << fault;
   }

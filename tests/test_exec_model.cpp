@@ -84,14 +84,14 @@ TEST(ExecModel, EngineRunsJobsForTheirActualTime) {
 
 TEST(ExecModel, EarlyCompletionNeverIncreasesEnergy) {
   const auto ts = workload::paper_fig1_taskset();
-  NoFaultPlan nofault;
   SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{40});
   for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                           sched::SchemeKind::kSelective}) {
-    const auto wcet_run = harness::run_one(ts, kind, nofault, cfg);
+    const auto wcet_run = harness::run_one({.ts = ts, .kind = kind, .sim = cfg});
     const UniformExecModel model(0.5, 5);
-    const auto early_run = harness::run_one(ts, kind, nofault, cfg, {}, &model);
+    const auto early_run = harness::run_one(
+        {.ts = ts, .kind = kind, .sim = cfg, .exec_model = &model});
     EXPECT_LE(early_run.energy.active_total(), wcet_run.energy.active_total())
         << sched::to_string(kind);
     EXPECT_TRUE(early_run.qos.mk_satisfied) << sched::to_string(kind);
@@ -102,14 +102,14 @@ TEST(ExecModel, Theorem1HoldsWithVariableExecutionTimes) {
   // Shorter-than-WCET jobs can only add slack; the (m,k) guarantee must be
   // untouched for every scheme.
   const auto ts = workload::paper_fig3_taskset();
-  NoFaultPlan nofault;
   SimConfig cfg;
   cfg.horizon = from_ms(std::int64_t{160});
   for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                           sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
     for (const double bcet : {0.25, 0.5, 0.9}) {
       const UniformExecModel model(bcet, 123);
-      const auto run = harness::run_one(ts, kind, nofault, cfg, {}, &model);
+      const auto run = harness::run_one(
+          {.ts = ts, .kind = kind, .sim = cfg, .exec_model = &model});
       EXPECT_TRUE(run.qos.theorem1_holds())
           << sched::to_string(kind) << " bcet=" << bcet;
     }

@@ -16,10 +16,9 @@ namespace {
 
 TEST(RunOne, ProducesConsistentEnergyAndQos) {
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{20});
-  const auto run = run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  const auto run = run_one({.ts = ts, .kind = sched::SchemeKind::kDp, .sim = cfg});
   EXPECT_DOUBLE_EQ(run.energy.active_total(), 15.0);
   EXPECT_TRUE(run.qos.theorem1_holds());
   EXPECT_EQ(run.trace.horizon, cfg.horizon);
@@ -27,12 +26,11 @@ TEST(RunOne, ProducesConsistentEnergyAndQos) {
 
 TEST(RunOne, ActiveEnergyEqualsBusyTime) {
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{20});
   for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                           sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
-    const auto run = run_one(ts, kind, nofault, cfg);
+    const auto run = run_one({.ts = ts, .kind = kind, .sim = cfg});
     const double busy_ms = core::to_ms(run.trace.busy_time[sim::kPrimary] +
                                        run.trace.busy_time[sim::kSpare]);
     EXPECT_DOUBLE_EQ(run.energy.active_total(), busy_ms) << sched::to_string(kind);

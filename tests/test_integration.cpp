@@ -29,10 +29,9 @@ std::map<sched::SchemeKind, std::vector<harness::RunResult>> run_batch(
     ++produced;
     sim::SimConfig cfg;
     cfg.horizon = harness::choose_horizon(*ts, core::from_ms(std::int64_t{1500}));
-    sim::NoFaultPlan nofault;
     for (const auto kind : {sched::SchemeKind::kSt, sched::SchemeKind::kDp,
                             sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
-      out[kind].push_back(harness::run_one(*ts, kind, nofault, cfg));
+      out[kind].push_back(harness::run_one({.ts = *ts, .kind = kind, .sim = cfg}));
     }
   }
   return out;
@@ -148,12 +147,11 @@ TEST(Integration, EveryCountedJobGetsExactlyOneOutcome) {
 TEST(Integration, WakeForOptionalOffNeverIncreasesActiveEnergyButMayMiss) {
   const auto ts = workload::paper_fig3_taskset();
   for (const auto kind : {sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective}) {
-    sim::NoFaultPlan nofault;
     sim::SimConfig on, off;
     on.horizon = off.horizon = core::from_ms(std::int64_t{80});
     off.wake_for_optional = false;
-    const auto run_on = harness::run_one(ts, kind, nofault, on);
-    const auto run_off = harness::run_one(ts, kind, nofault, off);
+    const auto run_on = harness::run_one({.ts = ts, .kind = kind, .sim = on});
+    const auto run_off = harness::run_one({.ts = ts, .kind = kind, .sim = off});
     EXPECT_TRUE(run_on.qos.mk_satisfied);
     EXPECT_TRUE(run_off.qos.mk_satisfied);
   }

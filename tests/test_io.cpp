@@ -95,10 +95,10 @@ TEST(TasksetIo, MissingFileThrows) {
 
 TEST(TraceJson, ContainsAllSections) {
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{20});
-  const auto run = harness::run_one(ts, sched::SchemeKind::kSelective, nofault, cfg);
+  const auto run = harness::run_one(
+      {.ts = ts, .kind = sched::SchemeKind::kSelective, .sim = cfg});
   const std::string json = trace_to_json(run.trace, ts);
 
   for (const char* key :
@@ -113,10 +113,10 @@ TEST(TraceJson, ContainsAllSections) {
 
 TEST(TraceJson, BalancedBracesAndBrackets) {
   const auto ts = workload::paper_fig1_taskset();
-  sim::NoFaultPlan nofault;
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{40});
-  const auto run = harness::run_one(ts, sched::SchemeKind::kDp, nofault, cfg);
+  const auto run =
+      harness::run_one({.ts = ts, .kind = sched::SchemeKind::kDp, .sim = cfg});
   const std::string json = trace_to_json(run.trace, ts);
   int braces = 0, brackets = 0;
   for (const char c : json) {
@@ -133,7 +133,8 @@ TEST(TraceJson, ReportsDeathTime) {
                                 {}, 1);
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{20});
-  const auto run = harness::run_one(ts, sched::SchemeKind::kSt, plan, cfg);
+  const auto run = harness::run_one(
+      {.ts = ts, .kind = sched::SchemeKind::kSt, .faults = &plan, .sim = cfg});
   const std::string json = trace_to_json(run.trace, ts);
   EXPECT_NE(json.find("\"death_time_ms\": [null, 3.000]"), std::string::npos);
 }

@@ -50,7 +50,8 @@ TEST_P(Theorem1Property, MkDeadlinesAlwaysHold) {
                                                 param.lambda, fault_rng);
     sim::SimConfig cfg;
     cfg.horizon = horizon;
-    const auto run = harness::run_one(*ts, param.scheme, *plan, cfg);
+    const auto run = harness::run_one(
+        {.ts = *ts, .kind = param.scheme, .faults = plan.get(), .sim = cfg});
 
     // Theorem 1 presumes the standby-sparing redundancy absorbs the faults.
     // Two physical situations exceed that budget and are legitimately

@@ -14,7 +14,8 @@
 //         --json                            dump the full trace as JSON
 //
 //   mkss_cli sweep [--scenario none|permanent|transient] [--sets <n>]
-//                  [--threads <n>] [--no-audit] [--error-dir <dir>]
+//                  [--threads <n>] [--seed <n>] [--horizon <ms>]
+//                  [--no-audit] [--error-dir <dir>]
 //       run the Figure-6 style sweep and print the table + CSV.
 //       --threads 0 uses every hardware thread; results are bit-identical
 //       for any thread count (default 1). Every run is audited unless
@@ -24,8 +25,9 @@
 //       run one scheme and certify the trace with the structural auditor.
 //
 //   mkss_cli campaign [--scheme st|dp|greedy|selective|all]
-//                     [--taskset <file>] [--horizon-cap <ms>] [--seed <n>]
+//                     [--taskset <file>] [--horizon <ms>] [--seed <n>]
 //                     [--no-bursts]
+//       (--horizon-cap is accepted as an alias for --horizon.)
 //       enumerate adversarial fault placements (permanent faults at every
 //       inspecting point, targeted/bursty transients) and audit every run.
 //
@@ -34,9 +36,11 @@
 //
 // Exit codes: 0 success, 1 run-time failure (e.g. QoS not satisfied),
 // 2 usage error, 3 malformed input, 4 audit/campaign violation.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "io/taskset_io.hpp"
@@ -57,6 +61,106 @@ class UsageError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// --- Shared option parsing ------------------------------------------------
+//
+// Every subcommand parses its flag tail through the same cursor and value
+// parsers, and the flags shared between subcommands (--threads, --seed,
+// --horizon, --error-dir) go through one table, so their spelling,
+// validation and error messages cannot drift between `sweep`, `audit` and
+// `campaign`.
+
+/// Cursor over a subcommand's argv tail.
+struct Args {
+  int argc;
+  char** argv;
+  int i{0};
+
+  bool done() const { return i >= argc; }
+  std::string arg() const { return argv[i]; }
+  /// Consumes and returns the value of the flag currently under the cursor.
+  const char* value(const std::string& flag) {
+    if (i + 1 >= argc) throw UsageError("missing value for " + flag);
+    return argv[++i];
+  }
+};
+
+/// Strict non-negative integer ("--seed 12x" is a usage error, not 12).
+std::uint64_t parse_u64(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (value[0] == '\0' || value[0] == '-' || end == value || *end != '\0' ||
+      errno == ERANGE) {
+    throw UsageError(flag + " wants a non-negative integer, got '" +
+                     std::string(value) + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Strict positive duration in milliseconds.
+double parse_positive_ms(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (value[0] == '\0' || end == value || *end != '\0' || !(v > 0)) {
+    throw UsageError(flag + " wants a positive duration in ms, got '" +
+                     std::string(value) + "'");
+  }
+  return v;
+}
+
+/// Strict non-negative rate (per ms).
+double parse_rate(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (value[0] == '\0' || end == value || *end != '\0' || !(v >= 0)) {
+    throw UsageError(flag + " wants a non-negative rate, got '" +
+                     std::string(value) + "'");
+  }
+  return v;
+}
+
+/// Values of the shared flags; unset members keep each command's default.
+struct CommonOptions {
+  std::optional<std::size_t> threads;
+  std::optional<std::uint64_t> seed;
+  std::optional<core::Ticks> horizon;
+  std::optional<std::string> error_dir;
+};
+
+/// Which shared flags a subcommand accepts.
+struct CommonFlagSet {
+  bool threads{false};
+  bool seed{false};
+  bool horizon{false};
+  bool horizon_cap_alias{false};  ///< also accept --horizon-cap for --horizon
+  bool error_dir{false};
+};
+
+/// Consumes one shared flag from the cursor if it matches; returns false to
+/// let the subcommand try its own flags.
+bool parse_common_flag(Args& a, const CommonFlagSet& accepts,
+                       CommonOptions& out) {
+  const std::string arg = a.arg();
+  if (accepts.threads && arg == "--threads") {
+    out.threads = static_cast<std::size_t>(parse_u64(arg, a.value(arg)));
+    return true;
+  }
+  if (accepts.seed && arg == "--seed") {
+    out.seed = parse_u64(arg, a.value(arg));
+    return true;
+  }
+  if (accepts.horizon &&
+      (arg == "--horizon" || (accepts.horizon_cap_alias && arg == "--horizon-cap"))) {
+    out.horizon = core::from_ms(parse_positive_ms(arg, a.value(arg)));
+    return true;
+  }
+  if (accepts.error_dir && arg == "--error-dir") {
+    out.error_dir = a.value(arg);
+    return true;
+  }
+  return false;
+}
+
 int usage() {
   std::fputs(
       "usage: mkss_cli analyze <taskset.txt>\n"
@@ -64,10 +168,11 @@ int usage() {
       "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
       "                [--seed n] [--gantt] [--json]\n"
       "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
-      "                [--threads n] [--no-audit] [--error-dir dir]\n"
+      "                [--threads n] [--seed n] [--horizon ms] [--no-audit]\n"
+      "                [--error-dir dir]\n"
       "       mkss_cli audit <taskset.txt> [simulate options]\n"
       "       mkss_cli campaign [--scheme st|dp|greedy|selective|all]\n"
-      "                [--taskset file] [--horizon-cap ms] [--seed n]\n"
+      "                [--taskset file] [--horizon ms] [--seed n]\n"
       "                [--no-bursts]\n"
       "       mkss_cli example\n"
       "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n",
@@ -126,27 +231,22 @@ struct SimulateOptions {
 
 SimulateOptions parse_simulate_options(int argc, char** argv) {
   SimulateOptions opt;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
-      return argv[++i];
-    };
+  const CommonFlagSet accepts{.seed = true, .horizon = true};
+  CommonOptions common;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (parse_common_flag(a, accepts, common)) continue;
+    const std::string arg = a.arg();
     if (arg == "--scheme") {
-      opt.kind = parse_scheme(next());
-    } else if (arg == "--horizon") {
-      opt.horizon = core::from_ms(std::atof(next()));
+      opt.kind = parse_scheme(a.value(arg));
     } else if (arg == "--permanent") {
-      const std::string v = next();
+      const std::string v = a.value(arg);
       const auto at = v.find('@');
       if (at == std::string::npos) throw UsageError("--permanent wants proc@ms");
       opt.permanent = sim::PermanentFault{
           static_cast<sim::ProcessorId>(std::atoi(v.substr(0, at).c_str())),
           core::from_ms(std::atof(v.substr(at + 1).c_str()))};
     } else if (arg == "--lambda") {
-      opt.lambda = std::atof(next());
-    } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.lambda = parse_rate(arg, a.value(arg));
     } else if (arg == "--gantt") {
       opt.gantt = true;
     } else if (arg == "--json") {
@@ -155,6 +255,8 @@ SimulateOptions parse_simulate_options(int argc, char** argv) {
       throw UsageError("unknown option '" + arg + "'");
     }
   }
+  if (common.seed) opt.seed = *common.seed;
+  if (common.horizon) opt.horizon = *common.horizon;
   return opt;
 }
 
@@ -168,7 +270,8 @@ harness::RunResult run_simulate(const core::TaskSet& ts,
       opt.permanent, fault::transient_probabilities(ts, opt.lambda), opt.seed);
   sim::SimConfig cfg;
   cfg.horizon = horizon;
-  return harness::run_one(ts, opt.kind, plan, cfg);
+  return harness::run_one(
+      {.ts = ts, .kind = opt.kind, .faults = &plan, .sim = cfg});
 }
 
 int cmd_simulate(const std::string& path, int argc, char** argv) {
@@ -211,26 +314,30 @@ int cmd_simulate(const std::string& path, int argc, char** argv) {
 
 int cmd_sweep(int argc, char** argv) {
   harness::SweepConfig cfg;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--scenario" && i + 1 < argc) {
-      const std::string v = argv[++i];
+  const CommonFlagSet accepts{
+      .threads = true, .seed = true, .horizon = true, .error_dir = true};
+  CommonOptions common;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (parse_common_flag(a, accepts, common)) continue;
+    const std::string arg = a.arg();
+    if (arg == "--scenario") {
+      const std::string v = a.value(arg);
       if (v == "none") cfg.scenario = fault::Scenario::kNoFault;
       else if (v == "permanent") cfg.scenario = fault::Scenario::kPermanentOnly;
       else if (v == "transient") cfg.scenario = fault::Scenario::kPermanentAndTransient;
       else throw UsageError("unknown scenario '" + v + "'");
-    } else if (arg == "--sets" && i + 1 < argc) {
-      cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (arg == "--threads" && i + 1 < argc) {
-      cfg.num_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--sets") {
+      cfg.sets_per_bin = static_cast<std::size_t>(parse_u64(arg, a.value(arg)));
     } else if (arg == "--no-audit") {
       cfg.audit = false;
-    } else if (arg == "--error-dir" && i + 1 < argc) {
-      cfg.error_dir = argv[++i];
     } else {
       throw UsageError("unknown option '" + arg + "'");
     }
   }
+  if (common.threads) cfg.num_threads = *common.threads;
+  if (common.seed) cfg.seed = *common.seed;
+  if (common.horizon) cfg.horizon_cap = *common.horizon;
+  if (common.error_dir) cfg.error_dir = *common.error_dir;
   const auto result = harness::run_sweep(cfg);
   std::printf("%s", result.to_table().to_string().c_str());
   std::printf("\nmax gain selective over DP: %s; audit failures: %llu\n",
@@ -275,26 +382,24 @@ int cmd_campaign(int argc, char** argv) {
   std::string scheme = "all";
   std::string taskset_path;
   std::uint64_t seed = 20200309;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
-      return argv[++i];
-    };
+  const CommonFlagSet accepts{
+      .seed = true, .horizon = true, .horizon_cap_alias = true};
+  CommonOptions common;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (parse_common_flag(a, accepts, common)) continue;
+    const std::string arg = a.arg();
     if (arg == "--scheme") {
-      scheme = next();
+      scheme = a.value(arg);
     } else if (arg == "--taskset") {
-      taskset_path = next();
-    } else if (arg == "--horizon-cap") {
-      cfg.horizon_cap = core::from_ms(std::atof(next()));
-    } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next()));
+      taskset_path = a.value(arg);
     } else if (arg == "--no-bursts") {
       cfg.include_bursts = false;
     } else {
       throw UsageError("unknown option '" + arg + "'");
     }
   }
+  if (common.seed) seed = *common.seed;
+  if (common.horizon) cfg.horizon_cap = *common.horizon;
 
   std::vector<fault::CampaignScheme> schemes;
   if (scheme == "all") {
