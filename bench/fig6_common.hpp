@@ -41,6 +41,11 @@ inline harness::SweepConfig paper_sweep_config(fault::Scenario scenario) {
 ///   --threads n       worker threads (0 = all hardware threads)
 ///   --sets n          schedulable sets per bin
 ///   --max-attempts n  generation cap per bin
+///   --corpus-dir d    cache generated task sets in d (save on first run,
+///                     load on later runs with the same generation key; a
+///                     key mismatch aborts loudly). fig6a/b/c share a corpus:
+///                     the key covers generation inputs only, not the fault
+///                     scenario.
 /// Returns false (after printing usage) on an unknown argument.
 inline bool apply_bench_cli(harness::SweepConfig& cfg, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -52,9 +57,12 @@ inline bool apply_bench_cli(harness::SweepConfig& cfg, int argc, char** argv) {
       cfg.sets_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--max-attempts" && has_value) {
       cfg.max_attempts_per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--corpus-dir" && has_value) {
+      cfg.corpus_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads n] [--sets n] [--max-attempts n]\n",
+                   "usage: %s [--threads n] [--sets n] [--max-attempts n] "
+                   "[--corpus-dir d]\n",
                    argv[0]);
       return false;
     }

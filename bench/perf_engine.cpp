@@ -1,7 +1,23 @@
-// Micro-benchmarks (google-benchmark): simulator throughput per scheme,
-// offline analyses, and the (m,k) primitives. These guard the harness's
-// ability to run the paper-scale sweeps in seconds.
-#include <benchmark/benchmark.h>
+// perf_engine: raw event-loop throughput of the indexed simulator core.
+//
+// Runs every scheme over a deterministic pool of schedulable task sets on
+// the lean production path (StatsSink, no trace materialization, scan
+// oracle off) and reports events/second plus the per-event-class counters
+// the engine now keeps in SimStats (releases, completions, deadline fires,
+// eligibility wake-ups, lazily discarded ready entries). The counters are
+// asserted identical across repetitions -- the timing reps double as a
+// determinism check -- and the whole matrix is timed best-of-N so scheduler
+// noise on a loaded box does not masquerade as a regression.
+//
+// Emits BENCH_engine.json in the working directory; CI compares
+// events_per_sec against bench/BENCH_engine.baseline.json with the same
+// >30%-drop rule as perf_sweep.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "mkss.hpp"
 
@@ -9,87 +25,168 @@ namespace {
 
 using namespace mkss;
 
-core::TaskSet bench_taskset() {
-  core::Rng rng(7777);
-  while (true) {
-    const auto ts = workload::generate_taskset({}, 0.4, rng);
-    if (ts && analysis::schedulable(*ts, analysis::DemandModel::kRPatternMandatory)) {
-      return *ts;
+/// Deterministic pool: `per_bin` schedulable sets at each utilization bin.
+/// Generation is seeded per bin, so the pool is stable across reps and
+/// machines.
+std::vector<core::TaskSet> build_pool(std::size_t per_bin) {
+  const double bins[] = {0.2, 0.4, 0.6, 0.8};
+  std::vector<core::TaskSet> pool;
+  std::size_t bin_index = 0;
+  for (const double u : bins) {
+    core::Rng rng(0xE193C0DEULL + bin_index++);
+    std::size_t made = 0;
+    while (made < per_bin) {
+      const auto ts = workload::generate_taskset({}, u, rng);
+      if (ts && analysis::schedulable(*ts, analysis::DemandModel::kRPatternMandatory)) {
+        pool.push_back(*ts);
+        ++made;
+      }
     }
   }
+  return pool;
 }
 
-void BM_SimulateScheme(benchmark::State& state) {
-  const auto ts = bench_taskset();
-  const auto kind = static_cast<sched::SchemeKind>(state.range(0));
-  sim::NoFaultPlan nofault;
-  sim::SimConfig cfg;
-  cfg.horizon = core::from_ms(std::int64_t{1000});
-  std::uint64_t jobs = 0;
-  for (auto _ : state) {
-    const auto scheme = sched::make_scheme(kind);
-    const auto trace = sim::simulate(ts, *scheme, nofault, cfg);
-    jobs += trace.stats.jobs_released;
-    benchmark::DoNotOptimize(trace.busy_time[0]);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
-  state.SetLabel(sched::to_string(kind));
-}
-BENCHMARK(BM_SimulateScheme)
-    ->Arg(static_cast<int>(sched::SchemeKind::kSt))
-    ->Arg(static_cast<int>(sched::SchemeKind::kDp))
-    ->Arg(static_cast<int>(sched::SchemeKind::kGreedy))
-    ->Arg(static_cast<int>(sched::SchemeKind::kSelective));
+struct Counters {
+  std::uint64_t events{0};
+  std::uint64_t releases{0};
+  std::uint64_t completions{0};
+  std::uint64_t deadline_fires{0};
+  std::uint64_t eligibility_wakeups{0};
+  std::uint64_t dispatch_pops{0};
+  std::uint64_t preemptions{0};
 
-void BM_PostponementAnalysis(benchmark::State& state) {
-  const auto ts = bench_taskset();
-  for (auto _ : state) {
-    const auto result = analysis::compute_postponement(ts);
-    benchmark::DoNotOptimize(result.per_task.data());
+  void add(const sim::SimStats& s) {
+    events += s.sim_events;
+    releases += s.jobs_released;
+    completions += s.completions;
+    deadline_fires += s.deadline_fires;
+    eligibility_wakeups += s.eligibility_wakeups;
+    dispatch_pops += s.dispatch_pops;
+    preemptions += s.preemptions;
   }
-}
-BENCHMARK(BM_PostponementAnalysis);
-
-void BM_ResponseTimeAnalysis(benchmark::State& state) {
-  const auto ts = bench_taskset();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        analysis::schedulable(ts, analysis::DemandModel::kRPatternMandatory));
-  }
-}
-BENCHMARK(BM_ResponseTimeAnalysis);
-
-void BM_FlexibilityDegree(benchmark::State& state) {
-  core::MkHistory h(3, static_cast<std::uint32_t>(state.range(0)));
-  core::Rng rng(5);
-  for (auto _ : state) {
-    h.record(rng.chance(0.8) ? core::JobOutcome::kMet : core::JobOutcome::kMissed);
-    benchmark::DoNotOptimize(h.flexibility_degree());
-  }
-}
-BENCHMARK(BM_FlexibilityDegree)->Arg(4)->Arg(10)->Arg(20);
-
-void BM_TaskSetGeneration(benchmark::State& state) {
-  core::Rng rng(6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(workload::generate_taskset({}, 0.4, rng));
-  }
-}
-BENCHMARK(BM_TaskSetGeneration);
-
-void BM_EnergyAccounting(benchmark::State& state) {
-  const auto ts = bench_taskset();
-  const auto scheme = sched::make_scheme(sched::SchemeKind::kSelective);
-  sim::NoFaultPlan nofault;
-  sim::SimConfig cfg;
-  cfg.horizon = core::from_ms(std::int64_t{1000});
-  const auto trace = sim::simulate(ts, *scheme, nofault, cfg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(energy::account_energy(trace).total());
-  }
-}
-BENCHMARK(BM_EnergyAccounting);
+  bool operator==(const Counters&) const = default;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using clock = std::chrono::steady_clock;
+
+  std::size_t per_bin = 8;
+  std::size_t reps = 5;
+  const char* out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--sets" && has_value) {
+      per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--reps" && has_value) {
+      reps = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--sets per_bin] [--reps n] [--out file]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (const char* env = std::getenv("MKSS_PERF_REPS")) {
+    reps = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (reps < 1) reps = 1;
+
+  const auto pool = build_pool(per_bin);
+  const sched::SchemeKind kinds[] = {
+      sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+      sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
+
+  sim::SimConfig cfg;
+  cfg.horizon = core::from_ms(std::int64_t{1000});
+  cfg.cross_check = false;  // the production lean path, any build type
+
+  sim::Simulator simulator;  // pooled arenas: the sweep's steady-state path
+  sim::StatsSink sink;
+  sim::NoFaultPlan nofault;
+
+  Counters first;
+  double best = 0.0;
+  std::vector<double> rep_seconds;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Counters c;
+    const auto start = clock::now();
+    for (const core::TaskSet& ts : pool) {
+      for (const sched::SchemeKind kind : kinds) {
+        const auto scheme = sched::make_scheme(kind);
+        simulator.run(ts, *scheme, nofault, cfg, sink);
+        c.add(sink.stats());
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+    rep_seconds.push_back(secs);
+    if (rep == 0) {
+      first = c;
+    } else if (!(c == first)) {
+      std::fprintf(stderr, "FAIL: counters diverged between reps\n");
+      return 1;
+    }
+    if (best == 0.0 || secs < best) best = secs;
+  }
+
+  const double events_per_sec =
+      best > 0 ? static_cast<double>(first.events) / best : 0.0;
+  const std::size_t runs = pool.size() * std::size(kinds);
+
+  std::printf("=== perf_engine: indexed event core throughput (lean path) ===\n");
+  std::printf("%zu sets x %zu schemes = %zu runs, best of %zu reps\n",
+              pool.size(), std::size(kinds), runs, reps);
+  std::printf("events             %llu\n", (unsigned long long)first.events);
+  std::printf("  releases         %llu\n", (unsigned long long)first.releases);
+  std::printf("  completions      %llu\n", (unsigned long long)first.completions);
+  std::printf("  deadline fires   %llu\n", (unsigned long long)first.deadline_fires);
+  std::printf("  elig. wake-ups   %llu\n", (unsigned long long)first.eligibility_wakeups);
+  std::printf("  dispatch pops    %llu\n", (unsigned long long)first.dispatch_pops);
+  std::printf("  preemptions      %llu\n", (unsigned long long)first.preemptions);
+  std::printf("best %.4fs  ->  %.0f events/sec\n", best, events_per_sec);
+
+  std::string json = "{\n  \"bench\": \"engine_events\",\n";
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "  \"sets\": %zu,\n  \"schemes\": %zu,\n  \"runs\": %zu,\n"
+                "  \"reps\": %zu,\n  \"horizon_ms\": 1000,\n",
+                pool.size(), std::size(kinds), runs, reps);
+  json += line;
+  std::snprintf(line, sizeof line,
+                "  \"events\": %llu,\n  \"releases\": %llu,\n"
+                "  \"completions\": %llu,\n  \"deadline_fires\": %llu,\n"
+                "  \"eligibility_wakeups\": %llu,\n  \"dispatch_pops\": %llu,\n"
+                "  \"preemptions\": %llu,\n",
+                (unsigned long long)first.events,
+                (unsigned long long)first.releases,
+                (unsigned long long)first.completions,
+                (unsigned long long)first.deadline_fires,
+                (unsigned long long)first.eligibility_wakeups,
+                (unsigned long long)first.dispatch_pops,
+                (unsigned long long)first.preemptions);
+  json += line;
+  json += "  \"rep_seconds\": [";
+  for (std::size_t i = 0; i < rep_seconds.size(); ++i) {
+    std::snprintf(line, sizeof line, "%s%.4f", i ? ", " : "", rep_seconds[i]);
+    json += line;
+  }
+  json += "],\n";
+  std::snprintf(line, sizeof line,
+                "  \"best_seconds\": %.4f,\n  \"events_per_sec\": %.0f\n}\n",
+                best, events_per_sec);
+  json += line;
+
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -102,9 +102,9 @@ int main(int argc, char** argv) {
   std::size_t total_sets = 0;
 
   std::printf("=== perf_sweep: Figure-6a harness throughput (lean path) ===\n");
-  // Always include 2 threads so the determinism contract is exercised even
-  // on single-core machines.
-  for (std::size_t t = 1; t <= std::max<std::size_t>(max_threads, 2); t *= 2) {
+  // Timed samples stop at the hardware limit: an oversubscribed run only
+  // measures scheduler thrash, and its "speedup" poisons the baseline.
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
     cfg.num_threads = t;
     const auto start = clock::now();
     const auto result = harness::run_sweep(cfg);
@@ -125,9 +125,22 @@ int main(int argc, char** argv) {
         same ? "bit-identical" : "MISMATCH vs serial full-trace reference");
   }
 
+  // The determinism contract must still see a genuinely multi-threaded run
+  // even on a single-core machine: verify 2 threads untimed, outside the
+  // benchmark samples.
+  bool contract_identical = true;
+  if (max_threads < 2) {
+    cfg.num_threads = 2;
+    contract_identical = identical(reference, harness::run_sweep(cfg));
+    std::printf("threads=2 (untimed contract check)  %s\n",
+                contract_identical
+                    ? "bit-identical"
+                    : "MISMATCH vs serial full-trace reference");
+  }
+
   const std::size_t hardware_threads = core::ThreadPool::resolve_num_threads(0);
   const double serial_rate = samples.front().sets_per_sec;
-  bool all_identical = true;
+  bool all_identical = contract_identical;
   std::string json = "{\n  \"bench\": \"fig6a_sweep\",\n";
   json += "  \"schemes\": 4,\n";
   json += "  \"sets_total\": " + std::to_string(total_sets) + ",\n";

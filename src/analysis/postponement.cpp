@@ -21,39 +21,54 @@ constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
   return (a % b != 0 && ((a < 0) != (b < 0))) ? q - 1 : q;
 }
 
-/// Enumerates the 1-based indices l of pattern-mandatory jobs of `hp`
-/// whose postponed release r~ = (l-1)P + theta lies in the open interval
-/// (lo, hi), invoking fn(l, r_tilde).
-template <typename Fn>
-void for_mandatory_postponed_in(core::PatternKind pattern, const Task& hp,
-                                Ticks theta, Ticks lo, Ticks hi, Fn&& fn) {
-  if (hi <= lo) return;
-  // (l-1)P + theta > lo  =>  l-1 >= floor((lo - theta)/P) + 1
-  std::int64_t first = floor_div(lo - theta, hp.period) + 1;
-  first = std::max<std::int64_t>(first, 0);
-  for (std::int64_t lm1 = first;; ++lm1) {
-    const Ticks r_tilde = lm1 * hp.period + theta;
-    if (r_tilde >= hi) break;
-    const auto l = static_cast<std::uint64_t>(lm1) + 1;
-    if (core::pattern_mandatory(pattern, hp.m, hp.k, l)) fn(l, r_tilde);
+/// Per-task pattern lookup tables. Every (m,k) pattern here is periodic with
+/// period k, so job l is mandatory iff mand[l % k], and the number of
+/// mandatory jobs among 1..x has the closed form
+/// (x / k) * per_group + prefix[x % k]. These turn the interference sums of
+/// Equation 4 from per-job enumeration into O(1) counting -- same integer
+/// arithmetic, same results.
+struct PatternTable {
+  std::vector<char> mand;           ///< indexed by l % k
+  std::vector<std::int64_t> prefix; ///< prefix[t]: mandatory among 1..t of a group
+};
+
+PatternTable build_table(core::PatternKind pattern, const Task& task) {
+  PatternTable out;
+  out.mand.resize(task.k);
+  out.prefix.resize(task.k + 1);
+  out.prefix[0] = 0;
+  for (std::uint32_t j = 1; j <= task.k; ++j) {
+    const bool m = core::pattern_mandatory(pattern, task.m, task.k, j);
+    out.mand[j % task.k] = m ? 1 : 0;
+    out.prefix[j] = out.prefix[j - 1] + (m ? 1 : 0);
   }
+  return out;
+}
+
+/// Mandatory jobs of `task` among instances 1..x (x may be non-positive).
+std::int64_t mandatory_upto(const PatternTable& table, const Task& task,
+                            std::int64_t x) noexcept {
+  if (x <= 0) return 0;
+  const std::int64_t k = task.k;
+  return (x / k) * table.prefix[static_cast<std::size_t>(k)] +
+         table.prefix[static_cast<std::size_t>(x % k)];
 }
 
 /// Sum of WCETs of mandatory jobs of `hp` with d_kl > r_ij and
-/// r~_kl < t_bar (the interference term of Equation 4).
-Ticks interference_before(core::PatternKind pattern, const Task& hp, Ticks theta,
+/// r~_kl < t_bar (the interference term of Equation 4), in closed form:
+/// the qualifying instances form the contiguous index range
+/// [first + 1, floor((t_bar - theta - 1) / P) + 1].
+Ticks interference_before(const PatternTable& table, const Task& hp, Ticks theta,
                           Ticks release_i, Ticks t_bar) {
-  Ticks sum = 0;
   // d_kl > r_ij  =>  (l-1)P + D > r  =>  l-1 >= floor((r - D)/P) + 1.
   std::int64_t first = floor_div(release_i - hp.deadline, hp.period) + 1;
   first = std::max<std::int64_t>(first, 0);
-  for (std::int64_t lm1 = first;; ++lm1) {
-    const Ticks r_tilde = lm1 * hp.period + theta;
-    if (r_tilde >= t_bar) break;  // r~ grows with l, so we can stop here
-    const auto l = static_cast<std::uint64_t>(lm1) + 1;
-    if (core::pattern_mandatory(pattern, hp.m, hp.k, l)) sum += hp.wcet;
-  }
-  return sum;
+  // r~ < t_bar  =>  (l-1)P + theta < t_bar  =>  l-1 <= floor((t_bar-theta-1)/P).
+  const std::int64_t last = floor_div(t_bar - theta - 1, hp.period);
+  if (last < first) return 0;
+  const std::int64_t count = mandatory_upto(table, hp, last + 1) -
+                             mandatory_upto(table, hp, first);
+  return count * hp.wcet;
 }
 
 }  // namespace
@@ -64,6 +79,12 @@ PostponementResult compute_postponement(const TaskSet& ts,
   result.per_task.resize(ts.size());
 
   const auto promos = promotion_times(ts);
+
+  std::vector<PatternTable> tables;
+  tables.reserve(ts.size());
+  for (const Task& t : ts) tables.push_back(build_table(opts.pattern, t));
+
+  std::vector<Ticks> ips;  // inspecting-point buffer, reused across jobs
 
   for (TaskIndex i = 0; i < ts.size(); ++i) {
     const Task& task = ts[i];
@@ -89,31 +110,44 @@ PostponementResult compute_postponement(const TaskSet& ts,
     bool any_job = false;
     Ticks min_theta = core::kNever;
     for (std::uint64_t j = 1; static_cast<Ticks>(j - 1) * task.period < *horizon; ++j) {
-      if (!core::pattern_mandatory(opts.pattern, task.m, task.k, j)) continue;
+      if (!tables[i].mand[j % task.k]) continue;
       any_job = true;
       const Ticks r = static_cast<Ticks>(j - 1) * task.period;
       const Ticks d = r + task.deadline;
 
       // Inspecting points (Definition 3): d_ij plus postponed releases of
       // higher-priority backup jobs strictly inside (r_ij, d_ij).
-      std::vector<Ticks> ips{d};
+      ips.clear();
+      ips.push_back(d);
       for (TaskIndex q = 0; q < i; ++q) {
-        for_mandatory_postponed_in(opts.pattern, ts[q], result.per_task[q].theta,
-                                   r, d, [&](std::uint64_t, Ticks r_tilde) {
-                                     ips.push_back(r_tilde);
-                                   });
+        const Task& hp = ts[q];
+        const Ticks theta = result.per_task[q].theta;
+        // (l-1)P + theta > r  =>  l-1 >= floor((r - theta)/P) + 1.
+        std::int64_t lm1 = std::max<std::int64_t>(
+            floor_div(r - theta, hp.period) + 1, 0);
+        for (;; ++lm1) {
+          const Ticks r_tilde = lm1 * hp.period + theta;
+          if (r_tilde >= d) break;
+          if (tables[q].mand[static_cast<std::size_t>((lm1 + 1) %
+                                                      hp.k)]) {
+            ips.push_back(r_tilde);
+          }
+        }
       }
 
       Ticks theta_ij = std::numeric_limits<Ticks>::min();
       for (const Ticks t_bar : ips) {
         Ticks interf = 0;
         for (TaskIndex q = 0; q < i; ++q) {
-          interf += interference_before(opts.pattern, ts[q],
+          interf += interference_before(tables[q], ts[q],
                                         result.per_task[q].theta, r, t_bar);
         }
         theta_ij = std::max(theta_ij, t_bar - (task.wcet + interf) - r);
       }
       min_theta = std::min(min_theta, theta_ij);
+      // min_theta only decreases, and any value below the safe floor clamps
+      // to the floor below -- the remaining jobs cannot change the result.
+      if (min_theta < floor_theta) break;
     }
 
     if (!any_job) {

@@ -18,7 +18,7 @@ void MkHistory::record(JobOutcome outcome) noexcept {
   met_in_window_ -= ring_[head_];
   ring_[head_] = value;
   met_in_window_ += value;
-  head_ = (head_ + 1) % ring_.size();
+  if (++head_ == ring_.size()) head_ = 0;
   ++recorded_;
 }
 
@@ -31,8 +31,9 @@ std::uint32_t MkHistory::flexibility_degree() const noexcept {
   if (met_in_window_ < m_) return 0;
   const std::size_t k = ring_.size();
   std::uint32_t met = 0;
+  std::size_t idx = head_;  // head_ is the oldest entry; newest is head_ - 1
   for (std::size_t n = 1; n <= k; ++n) {
-    const std::size_t idx = (head_ + k - n) % k;  // n-th most recent outcome
+    idx = (idx == 0 ? k : idx) - 1;  // walk newest to oldest without modulo
     met += ring_[idx];
     if (met == m_) {
       return static_cast<std::uint32_t>(k - n);

@@ -57,10 +57,19 @@ EnergyBreakdown account_energy(const sim::SimulationTrace& trace,
     };
 
     Ticks cursor = 0;
+    // One-entry power_at memo: segments overwhelmingly share one DVS level,
+    // and std::pow dominates the per-span cost otherwise. Keyed on the exact
+    // frequency bits, so the sum is bit-identical.
+    double memo_frequency = 1.0;
+    double memo_power = params.power_at(1.0);
     for (const BusySpan& b : busy) {
       if (b.span.empty()) continue;
       charge_idle(b.span.begin - cursor);
-      pe.active += units(b.span.length(), params.power_at(b.frequency));
+      if (b.frequency != memo_frequency) {
+        memo_frequency = b.frequency;
+        memo_power = params.power_at(b.frequency);
+      }
+      pe.active += units(b.span.length(), memo_power);
       pe.busy_time += b.span.length();
       cursor = b.span.end;
     }

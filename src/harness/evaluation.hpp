@@ -114,6 +114,16 @@ struct SweepConfig {
   /// sinks"); audited sweeps ignore kStats and keep full traces.
   enum class Sink : std::uint8_t { kAuto, kFullTrace, kStats };
   Sink sink{Sink::kAuto};
+
+  /// When non-empty, generated task sets are cached in this directory as
+  /// io::serialize_taskset files plus a manifest keyed on every parameter
+  /// generation depends on (seed, bin grid, set counts, GenParams). A later
+  /// sweep with the same key loads the corpus instead of regenerating --
+  /// bit-identical either way, since the serializer is tick-exact. A manifest
+  /// written under a *different* key makes the sweep throw instead of
+  /// silently mixing workloads; delete the directory to regenerate. Sweeps
+  /// that differ only in fault scenario / power / schemes share one corpus.
+  std::string corpus_dir{};
 };
 
 struct BinSummary {

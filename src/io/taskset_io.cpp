@@ -110,14 +110,45 @@ core::TaskSet parse_taskset_file(const std::string& path) {
   return parse_taskset(in);
 }
 
+namespace {
+
+/// Formats a tick count as exact fixed-point milliseconds. A tick is 1/1000
+/// ms, so three decimals represent every Ticks value exactly -- unlike the
+/// %.6g this replaced, which silently truncated values with more than six
+/// significant digits and broke tick-exact round-trips.
+void append_ms(std::string& out, core::Ticks t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(t / core::kTicksPerMs),
+                static_cast<long long>(t % core::kTicksPerMs));
+  out += buf;
+}
+
+}  // namespace
+
 std::string serialize_taskset(const core::TaskSet& ts) {
   std::string out = "# name period deadline wcet m k (ms)\n";
   for (const core::Task& t : ts) {
-    char buf[160];
-    std::snprintf(buf, sizeof buf, "%s %.6g %.6g %.6g %u %u\n", t.name.c_str(),
-                  core::to_ms(t.period), core::to_ms(t.deadline),
-                  core::to_ms(t.wcet), t.m, t.k);
+    out += t.name;
+    for (const core::Ticks v : {t.period, t.deadline, t.wcet}) {
+      out += ' ';
+      append_ms(out, v);
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, " %u %u\n", t.m, t.k);
     out += buf;
+  }
+  // Tick-exact round-trip guarantee: the corpus cache and repro bundles feed
+  // these files back through the parser, and a single off-by-one tick would
+  // silently break bit-identical replay.
+  const core::TaskSet round = parse_taskset_string(out);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (round[i].period != ts[i].period || round[i].deadline != ts[i].deadline ||
+        round[i].wcet != ts[i].wcet || round[i].m != ts[i].m ||
+        round[i].k != ts[i].k) {
+      throw std::logic_error("serialize_taskset: lossy round-trip for task '" +
+                             ts[i].name + "'");
+    }
   }
   return out;
 }

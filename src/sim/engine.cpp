@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <compare>
 #include <stdexcept>
 #include <tuple>
 
@@ -31,6 +32,7 @@ struct Copy {
   Band band{Band::kMandatory};
   Ticks eligible{0};
   Ticks remaining{0};
+  Ticks deadline{0};  ///< the job's deadline, cached to spare a jobs_ hop
   std::uint32_t optional_rank{0};
   double frequency{1.0};
   bool alive{true};
@@ -49,6 +51,59 @@ struct LiveJob {
   bool slot_failed[2]{false, false};
 };
 
+// --- indexed event-core entries -----------------------------------------
+//
+// All heaps below are vector-backed binary min-heaps driven by
+// push_heap/pop_heap with greater<> (the same clearable-arena idiom as the
+// deadline queue). Every comparison key embeds a final unique index, so heap
+// order is a strict total order and pops are deterministic.
+
+/// Ready-queue entry: the exact copy_precedes() tuple (band, optional rank,
+/// task, job, kind), precomputed at admission -- every component is
+/// immutable for the copy's lifetime -- plus the copies_ index as the final
+/// (never actually tying) component. Packed to 24 bytes so heap sifts move
+/// little memory; the comparison order is semantic, not declaration order.
+struct ReadyEntry {
+  std::uint64_t job{0};
+  std::uint32_t rank{0};
+  std::uint32_t task{0};
+  std::uint32_t idx{0};
+  std::uint8_t band{0};
+  std::uint8_t kind{0};
+
+  friend bool operator>(const ReadyEntry& a, const ReadyEntry& b) noexcept {
+    if (a.band != b.band) return a.band > b.band;
+    if (a.rank != b.rank) return a.rank > b.rank;
+    if (a.task != b.task) return a.task > b.task;
+    if (a.job != b.job) return a.job > b.job;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.idx > b.idx;
+  }
+};
+
+/// (time, index) entry of the release calendar (index == task), the
+/// eligibility heaps (index == copy) and the optional prune heap, where
+/// `time` is the copy's latest feasible start deadline - remaining.
+/// 32-bit indices keep the entry at 16 bytes; a run cannot hold 2^32 copies
+/// (each one costs >50 bytes of arena) or 2^32 tasks.
+struct TimedEntry {
+  Ticks time{0};
+  std::uint32_t idx{0};
+  friend auto operator<=>(const TimedEntry&, const TimedEntry&) = default;
+};
+
+template <typename T>
+void heap_push(std::vector<T>& heap, const T& entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+template <typename T>
+void heap_pop(std::vector<T>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  heap.pop_back();
+}
+
 }  // namespace
 
 /// The engine proper. Every vector below is an arena: reset (cleared, never
@@ -59,12 +114,29 @@ struct Simulator::Impl {
            const ExecTimeModel* exec_model);
 
   // --- event processing -----------------------------------------------
-  Ticks next_event_time() const;
+  Ticks next_event_time();
   void process_completions();
   void apply_permanent_fault();
   void process_deadlines();
+  void fire_tail_deadlines();
   void process_releases();
   void dispatch(ProcessorId p);
+
+  // --- indexed event core ----------------------------------------------
+  void make_ready(std::size_t idx);
+  void push_prune(std::size_t idx);
+  void wake_eligible(ProcessorId p);
+  void prune_pass(ProcessorId p);
+  int ready_best(ProcessorId p, bool sleeping);
+  Ticks pending_min(std::vector<TimedEntry>& heap);
+  bool need_dispatch(ProcessorId p) const;
+  void retime_release_top(Ticks time);
+
+  // --- scan oracle (SimConfig::cross_check) -----------------------------
+  Ticks scan_next_event_time() const;
+  Ticks scan_next_mandatory_activity(ProcessorId p) const;
+  void check_dispatch_oracle(ProcessorId p, bool sleeping, int best) const;
+  void check_skip_oracle(ProcessorId p) const;
 
   // --- mechanics --------------------------------------------------------
   void admit_copy(std::size_t job_idx, const CopySpec& spec);
@@ -74,7 +146,7 @@ struct Simulator::Impl {
   void stop_running(ProcessorId p, Ticks end);
   void start_running(ProcessorId p, int idx);
   bool copy_precedes(const Copy& a, const Copy& b) const;
-  Ticks next_mandatory_activity(ProcessorId p) const;
+  Ticks next_mandatory_activity(ProcessorId p);
 
   void push_deadline(Ticks deadline, std::size_t job_idx);
   void pop_deadline();
@@ -91,16 +163,80 @@ struct Simulator::Impl {
   Ticks now_{0};
   std::vector<Copy> copies_;
   std::vector<LiveJob> jobs_;
+  /// Per-processor admission log (append-only within a run): every copy ever
+  /// admitted to the processor, dead or alive. Consumed by the permanent-
+  /// fault handover and by the scan oracle; the hot path never walks it.
   std::array<std::vector<std::size_t>, kProcessorCount> live_;
   std::vector<Ticks> next_release_;    // per task
   std::vector<std::uint64_t> next_j_;  // per task, 1-based next instance
   // (deadline, job index) min-heap via push_heap/pop_heap with greater<>,
   // exactly the order a std::priority_queue would produce, but clearable.
+  // Unused on implicit-deadline runs, where deadline firing folds into the
+  // release path (see process_releases).
   std::vector<std::pair<Ticks, std::size_t>> deadlines_;
+  /// True when every task has D == P. Then job j's deadline coincides with
+  /// job j+1's release (or with the horizon for the final instance), so
+  /// deadline firing piggybacks on the release calendar: no deadline heap
+  /// traffic and no separate deadline candidate in next_event_time(). The
+  /// event set is provably unchanged -- every counted deadline instant
+  /// before the horizon is also a release instant of the same task, and a
+  /// deadline exactly at the horizon never drives an in-loop event.
+  bool implicit_deadlines_{false};
+  /// Per task: live index of the most recent release whose deadline has not
+  /// fired yet (implicit-deadline runs only), or -1.
+  std::vector<std::int64_t> last_released_;
+
+  // --- indexed event core (docs/architecture.md, "Indexed event core") ---
+  /// (next release, task) calendar; tasks whose next release reaches the
+  /// horizon leave the calendar for the rest of the run.
+  std::vector<TimedEntry> release_cal_;
+  /// Per processor: copies admitted with a future eligible time (postponed
+  /// backups theta, dual-priority promotions Y), split by band so the DPD
+  /// sleep decision can query mandatory activity alone. Entries are
+  /// immutable; dead copies are discarded lazily on peek.
+  std::array<std::vector<TimedEntry>, kProcessorCount> pending_mand_;
+  std::array<std::vector<TimedEntry>, kProcessorCount> pending_opt_;
+  /// Per processor: eligible copies ordered by the dispatch priority tuple.
+  /// The running copy stays in the heap; dead entries are discarded lazily.
+  std::array<std::vector<ReadyEntry>, kProcessorCount> ready_;
+  /// Per processor: eligible *optional* copies keyed by their latest
+  /// feasible start (deadline - remaining). An entry is current only while
+  /// the copy has not executed since it was pushed; executing re-indexes the
+  /// copy on preemption, and a completed/killed copy invalidates lazily.
+  std::array<std::vector<TimedEntry>, kProcessorCount> prune_;
+  std::vector<std::size_t> prune_scratch_;
+  /// Set when something that can change processor p's dispatch choice
+  /// mutated this event; cleared when dispatch(p) runs. The rules are
+  /// deliberately tight: a ready admission dirties only when it outranks the
+  /// running copy or the processor is idle (a lower-priority arrival is a
+  /// dispatch no-op under fixed priorities); a kill dirties only when the
+  /// victim was running or the processor is idle (killing a parked copy
+  /// below the running one cannot move the choice, but on an idle DPD
+  /// processor it can move the sleep-commit horizon); pending (future-
+  /// eligible) admissions never dirty -- their eligibility instant is a
+  /// need_dispatch() trigger, and new arrivals only move the mandatory-
+  /// activity minimum down, never invalidating a no-sleep decision.
+  /// Completions and the permanent fault always dirty. Together with the
+  /// time-driven conditions in need_dispatch() this lets quiet events skip
+  /// dispatch entirely -- the skip-soundness argument lives in
+  /// docs/architecture.md and is enforced by check_skip_oracle() under
+  /// SimConfig::cross_check.
+  bool dirty_[kProcessorCount]{true, true};
+  bool cross_check_{false};
 
   bool proc_alive_[kProcessorCount]{true, true};
   int running_[kProcessorCount]{kNone, kNone};
+  /// Priority key of the running copy (valid while running_[p] != kNone):
+  /// lets make_ready() decide in O(1) whether a fresh admission outranks the
+  /// running copy and therefore needs a dispatch this event.
+  ReadyEntry running_entry_[kProcessorCount];
   Ticks run_start_[kProcessorCount]{0, 0};
+  /// Absolute completion instant of the running copy (valid while
+  /// running_[p] != kNone). The running copy's `remaining` field is stale
+  /// between start_running() and stop_running() -- stop_running materializes
+  /// it from this cache -- which removes the per-event advance loop the
+  /// legacy engine used to decrement remaining at every event.
+  Ticks completion_at_[kProcessorCount]{0, 0};
   Ticks sleep_until_[kProcessorCount]{0, 0};
 
   std::optional<PermanentFault> pf_;
@@ -135,6 +271,7 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   config_ = config;
   exec_model_ = exec_model;
   sink_ = &sink;
+  cross_check_ = config.cross_check;
 
   // Reset the arenas; every clear()/assign() keeps its buffer's capacity.
   const std::size_t n = ts.size();
@@ -145,11 +282,31 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   next_release_.assign(n, 0);
   next_j_.assign(n, 1);
   deadlines_.clear();
+  implicit_deadlines_ = true;
+  for (const core::Task& t : ts) {
+    if (t.deadline != t.period) {
+      implicit_deadlines_ = false;
+      break;
+    }
+  }
+  last_released_.assign(n, -1);
+  release_cal_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    // (0, 0), (0, 1), ... is already a valid min-heap: equal times, ascending
+    // task index.
+    release_cal_.push_back(TimedEntry{0, static_cast<std::uint32_t>(i)});
+  }
   for (std::size_t p = 0; p < kProcessorCount; ++p) {
+    pending_mand_[p].clear();
+    pending_opt_[p].clear();
+    ready_[p].clear();
+    prune_[p].clear();
     proc_alive_[p] = true;
     running_[p] = kNone;
     run_start_[p] = 0;
+    completion_at_[p] = 0;
     sleep_until_[p] = 0;
+    dirty_[p] = true;
   }
   pf_.reset();
   pf_applied_ = false;
@@ -185,28 +342,34 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
 
   while (true) {
     const Ticks t = next_event_time();
-    const Ticks step_to = std::min(t, config_.horizon);
-    // Advance running copies to the new time.
-    for (std::size_t p = 0; p < kProcessorCount; ++p) {
-      if (running_[p] != kNone) {
-        copies_[static_cast<std::size_t>(running_[p])].remaining -= step_to - now_;
-      }
-    }
-    now_ = step_to;
+    now_ = std::min(t, config_.horizon);
     if (t >= config_.horizon) break;
+    ++stats_.sim_events;
 
     process_completions();
     if (pf_ && !pf_applied_ && pf_->time == now_) apply_permanent_fault();
-    process_deadlines();
+    if (!implicit_deadlines_) process_deadlines();
     process_releases();
-    dispatch(kPrimary);
-    dispatch(kSpare);
+    // Quiet processors skip dispatch entirely: nothing that could change
+    // their choice happened this event. Under cross_check the skip itself is
+    // proven sound against the scan oracle.
+    for (const ProcessorId p : {kPrimary, kSpare}) {
+      if (need_dispatch(p)) {
+        dispatch(p);
+      } else if (cross_check_) {
+        check_skip_oracle(p);
+      }
+    }
   }
 
   // Horizon edge: copies finishing exactly at the horizon complete, then
   // deadlines falling exactly on the horizon fire, then open segments clip.
   process_completions();
-  process_deadlines();
+  if (implicit_deadlines_) {
+    fire_tail_deadlines();
+  } else {
+    process_deadlines();
+  }
   stop_running(kPrimary, config_.horizon);
   stop_running(kSpare, config_.horizon);
 
@@ -243,15 +406,90 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   sink.end_run(facts);
 }
 
-Ticks Simulator::Impl::next_event_time() const {
+/// Minimum time of the pending heap's live entries; dead copies peel off
+/// lazily (each entry is popped at most once over the whole run).
+Ticks Simulator::Impl::pending_min(std::vector<TimedEntry>& heap) {
+  while (!heap.empty() && !copies_[heap.front().idx].alive) heap_pop(heap);
+  return heap.empty() ? core::kNever : heap.front().time;
+}
+
+/// True when dispatch(p) could change anything at the current instant:
+/// a tracked mutation happened this event, a committed DPD sleep just
+/// expired, a pending copy's eligible time arrived, or an eligible optional
+/// copy's latest feasible start has passed (prune due). Heap fronts are read
+/// without discarding dead entries -- a dead front can only force a spurious
+/// (harmless) dispatch, never mask a needed one, because every live copy's
+/// trigger time is itself a front candidate no later than its due instant.
+bool Simulator::Impl::need_dispatch(ProcessorId p) const {
+  if (dirty_[p]) return true;
+  if (sleep_until_[p] != 0 && sleep_until_[p] <= now_) return true;
+  if (!pending_mand_[p].empty() && pending_mand_[p].front().time <= now_) {
+    return true;
+  }
+  if (!pending_opt_[p].empty() && pending_opt_[p].front().time <= now_) {
+    return true;
+  }
+  if (!prune_[p].empty() && prune_[p].front().time < now_) return true;
+  return false;
+}
+
+/// Re-keys the release calendar's root to `time` (the releasing task's next
+/// instance) and restores the heap with a single sift-down -- one traversal
+/// instead of the pop+push pair.
+void Simulator::Impl::retime_release_top(Ticks time) {
+  auto& h = release_cal_;
+  const TimedEntry entry{time, h.front().idx};
+  std::size_t i = 0;
+  const std::size_t sz = h.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= sz) break;
+    if (child + 1 < sz && h[child + 1] < h[child]) ++child;
+    if (!(h[child] < entry)) break;
+    h[i] = h[child];
+    i = child;
+  }
+  h[i] = entry;
+}
+
+Ticks Simulator::Impl::next_event_time() {
+  // Constant-size min over the cached candidates: next release, the two
+  // running-copy completions, sleep expiries, pending eligibility minima,
+  // the earliest deadline and the permanent fault.
+  Ticks t = core::kNever;
+  if (!release_cal_.empty()) t = std::min(t, release_cal_.front().time);
+  for (const ProcessorId p : {kPrimary, kSpare}) {
+    if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
+    if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
+    if (!pending_mand_[p].empty()) t = std::min(t, pending_min(pending_mand_[p]));
+    if (!pending_opt_[p].empty()) t = std::min(t, pending_min(pending_opt_[p]));
+  }
+  // Implicit-deadline runs keep the deadline heap empty: every counted
+  // deadline before the horizon is simultaneously a release candidate of the
+  // same task, and one exactly at the horizon never drives an in-loop event.
+  if (!deadlines_.empty()) t = std::min(t, deadlines_.front().first);
+  if (pf_ && !pf_applied_) t = std::min(t, pf_->time);
+  if (cross_check_) {
+    MKSS_CHECK(t == scan_next_event_time(),
+               "indexed next_event_time diverged from the scan oracle at " +
+                   core::format_ticks(now_));
+  }
+  MKSS_CHECK(t > now_ || t == core::kNever,
+             "next event time must advance beyond " +
+                 core::format_ticks(now_));
+  return t;
+}
+
+/// The legacy O(tasks + live copies) scan, retained as the cross-check
+/// oracle: recomputes the next event time from the raw per-task release
+/// state and the per-processor admission logs.
+Ticks Simulator::Impl::scan_next_event_time() const {
   Ticks t = core::kNever;
   for (std::size_t i = 0; i < ts_->size(); ++i) {
     if (next_release_[i] < config_.horizon) t = std::min(t, next_release_[i]);
   }
   for (const ProcessorId p : {kPrimary, kSpare}) {
-    if (running_[p] != kNone) {
-      t = std::min(t, now_ + copies_[static_cast<std::size_t>(running_[p])].remaining);
-    }
+    if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
     if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
     for (const std::size_t idx : live_[p]) {
       const Copy& c = copies_[idx];
@@ -260,18 +498,13 @@ Ticks Simulator::Impl::next_event_time() const {
   }
   if (!deadlines_.empty()) t = std::min(t, deadlines_.front().first);
   if (pf_ && !pf_applied_) t = std::min(t, pf_->time);
-  MKSS_CHECK(t > now_ || t == core::kNever,
-             "next event time must advance beyond " +
-                 core::format_ticks(now_));
   return t;
 }
 
 void Simulator::Impl::process_completions() {
   for (const ProcessorId p : {kPrimary, kSpare}) {
     const int idx = running_[p];
-    if (idx != kNone && copies_[static_cast<std::size_t>(idx)].remaining == 0) {
-      complete_copy(idx);
-    }
+    if (idx != kNone && completion_at_[p] == now_) complete_copy(idx);
   }
 }
 
@@ -279,6 +512,8 @@ void Simulator::Impl::apply_permanent_fault() {
   pf_applied_ = true;
   const ProcessorId dead = pf_->proc;
   const ProcessorId survivor = other(dead);
+  dirty_[dead] = true;
+  dirty_[survivor] = true;
   proc_alive_[dead] = false;
   death_time_[dead] = now_;
   stop_running(dead, now_);
@@ -288,6 +523,12 @@ void Simulator::Impl::apply_permanent_fault() {
   // chance to be re-admitted on the survivor.
   lost_scratch_.assign(live_[dead].begin(), live_[dead].end());
   live_[dead].clear();
+  // The dead processor's event indexes only reference copies that die right
+  // here; drop them wholesale instead of peeling entries lazily.
+  pending_mand_[dead].clear();
+  pending_opt_[dead].clear();
+  ready_[dead].clear();
+  prune_[dead].clear();
   for (const std::size_t idx : lost_scratch_) {
     Copy& c = copies_[idx];
     if (!c.alive) continue;
@@ -320,16 +561,53 @@ void Simulator::Impl::process_deadlines() {
   while (!deadlines_.empty() && deadlines_.front().first <= now_) {
     const std::size_t job_idx = deadlines_.front().second;
     pop_deadline();
+    ++stats_.deadline_fires;
     if (!jobs_[job_idx].resolved) {
       resolve(job_idx, JobOutcome::kMissed);
     }
   }
 }
 
+/// Implicit-deadline runs: fires the deadline of each task's final released
+/// instance at the horizon edge. Such a job's deadline equals its successor
+/// release, which is past or at the horizon; it is counted exactly when the
+/// deadline lands on the horizon itself -- the same entries the deadline
+/// heap would still hold here, all keyed to the same instant.
+void Simulator::Impl::fire_tail_deadlines() {
+  for (std::size_t i = 0; i < last_released_.size(); ++i) {
+    const std::int64_t prev = last_released_[i];
+    if (prev < 0) continue;
+    LiveJob& pj = jobs_[static_cast<std::size_t>(prev)];
+    if (!pj.counted) continue;
+    ++stats_.deadline_fires;
+    if (!pj.resolved) resolve(static_cast<std::size_t>(prev), JobOutcome::kMissed);
+  }
+}
+
 void Simulator::Impl::process_releases() {
-  for (TaskIndex i = 0; i < ts_->size(); ++i) {
-    if (next_release_[i] != now_ || next_release_[i] >= config_.horizon) continue;
+  // The calendar pops (time, task) in ascending task order within one
+  // instant -- exactly the order the legacy per-task scan released in.
+  while (!release_cal_.empty() && release_cal_.front().time == now_) {
+    const TaskIndex i = release_cal_.front().idx;
     const std::uint64_t j = next_j_[i];
+    if (implicit_deadlines_) {
+      // D == P: the predecessor instance's deadline is exactly this release
+      // instant. Firing it here -- before the scheme classifies the new
+      // instance -- reproduces the deadline-heap order: outcome first, then
+      // on_release sees the updated (m,k)-history. Cross-task interleaving
+      // within one instant is not trace-visible (outcome streams and scheme
+      // state are per-task).
+      const std::int64_t prev = last_released_[i];
+      if (prev >= 0) {
+        LiveJob& pj = jobs_[static_cast<std::size_t>(prev)];
+        MKSS_CHECK(pj.job.deadline == now_,
+                   "implicit-deadline fold out of step with the calendar");
+        ++stats_.deadline_fires;
+        if (!pj.resolved) {
+          resolve(static_cast<std::size_t>(prev), JobOutcome::kMissed);
+        }
+      }
+    }
     core::Job job = core::Job::instance((*ts_)[i], i, j);
     MKSS_CHECK(job.release == now_,
                "release of " + core::to_string(job.id) +
@@ -361,11 +639,121 @@ void Simulator::Impl::process_releases() {
     for (const CopySpec& spec : decision.copies) {
       admit_copy(job_idx, spec);
     }
-    if (lj.counted) push_deadline(job.deadline, job_idx);
+    if (implicit_deadlines_) {
+      last_released_[i] = static_cast<std::int64_t>(job_idx);
+    } else if (lj.counted) {
+      push_deadline(job.deadline, job_idx);
+    }
 
     next_j_[i] = j + 1;
     next_release_[i] += (*ts_)[i].period;
+    if (next_release_[i] < config_.horizon) {
+      retime_release_top(next_release_[i]);
+    } else {
+      heap_pop(release_cal_);  // the task leaves the calendar for good
+    }
   }
+}
+
+/// Enters an eligible copy into the dispatch indexes: the priority-ordered
+/// ready heap, plus the prune heap when it is optional-band work whose
+/// feasibility has to be watched.
+void Simulator::Impl::make_ready(std::size_t idx) {
+  const Copy& c = copies_[idx];
+  const core::JobId& id = jobs_[c.job_idx].job.id;
+  ReadyEntry entry;
+  entry.job = id.job;
+  entry.rank = c.band == Band::kOptional ? c.optional_rank : 0;
+  entry.task = static_cast<std::uint32_t>(id.task);
+  entry.idx = static_cast<std::uint32_t>(idx);
+  entry.band = static_cast<std::uint8_t>(c.band);
+  entry.kind = static_cast<std::uint8_t>(c.kind);
+  // Only an arrival that outranks the running copy (or lands on an idle
+  // processor) can change the dispatch choice this event.
+  if (running_[c.proc] == kNone || running_entry_[c.proc] > entry) {
+    dirty_[c.proc] = true;
+  }
+  heap_push(ready_[c.proc], entry);
+  if (c.band == Band::kOptional) push_prune(idx);
+}
+
+void Simulator::Impl::push_prune(std::size_t idx) {
+  const Copy& c = copies_[idx];
+  heap_push(prune_[c.proc], TimedEntry{c.deadline - c.remaining,
+                                       static_cast<std::uint32_t>(idx)});
+}
+
+/// Promotes pending copies whose eligible time has arrived (postponed backup
+/// releases theta, dual-priority promotions Y) into the ready indexes.
+void Simulator::Impl::wake_eligible(ProcessorId p) {
+  for (auto* pending : {&pending_mand_[p], &pending_opt_[p]}) {
+    while (!pending->empty() && pending->front().time <= now_) {
+      const std::size_t idx = pending->front().idx;
+      heap_pop(*pending);
+      if (!copies_[idx].alive) continue;
+      ++stats_.eligibility_wakeups;
+      make_ready(idx);
+    }
+  }
+}
+
+/// Drops every eligible optional copy that can no longer meet its deadline
+/// (the paper's "O11 will not be invoked at all"), exactly when the legacy
+/// scan would have: at the first dispatch with now > deadline - remaining.
+///
+/// An entry is current iff its key still equals the copy's latest feasible
+/// start; a copy that executed since the push is either running (feasible by
+/// construction: now + remaining is invariant while it runs) or was
+/// re-indexed on preemption, so stale entries are simply discarded. Pruning
+/// applies in ascending admission order == per-task job order, which keeps
+/// resolve()'s outcome streams ordered; cross-task order within one instant
+/// is not trace-visible (`ended`/`end` are per-copy fields and outcome
+/// streams are per-task).
+void Simulator::Impl::prune_pass(ProcessorId p) {
+  auto& heap = prune_[p];
+  if (heap.empty() || heap.front().time >= now_) return;  // common fast path
+  prune_scratch_.clear();
+  while (!heap.empty() && heap.front().time < now_) {
+    const TimedEntry entry = heap.front();
+    heap_pop(heap);
+    const Copy& c = copies_[entry.idx];
+    if (!c.alive) continue;
+    // The running copy's remaining is stale (completion_at_ carries it) but
+    // it needs no check either way: a running optional is feasible by
+    // construction -- now + remaining is invariant while it runs -- so the
+    // legacy scan always found its current key >= now and skipped it.
+    if (running_[p] == static_cast<int>(entry.idx)) continue;
+    if (c.deadline - c.remaining != entry.time) continue;
+    prune_scratch_.push_back(entry.idx);
+  }
+  std::sort(prune_scratch_.begin(), prune_scratch_.end());
+  for (const std::size_t idx : prune_scratch_) {
+    Copy& c = copies_[idx];
+    if (!c.alive) continue;
+    LiveJob& job = jobs_[c.job_idx];
+    // Can no longer finish in time: never invoke / abandon (energy already
+    // spent stays spent).
+    kill_copy(static_cast<int>(idx), CopyEnd::kAbandoned);
+    if (!job.resolved && job.copy_in_slot[0] == kNone &&
+        job.copy_in_slot[1] == kNone) {
+      resolve(c.job_idx, JobOutcome::kMissed);
+    }
+  }
+}
+
+/// Highest-priority eligible copy on p, or kNone. Dead entries peel off the
+/// heap top lazily; the mandatory band sorts strictly first, so a sleeping
+/// processor (which ignores optional work) only has to look at the top.
+int Simulator::Impl::ready_best(ProcessorId p, bool sleeping) {
+  auto& heap = ready_[p];
+  while (!heap.empty() && !copies_[heap.front().idx].alive) {
+    heap_pop(heap);
+    ++stats_.dispatch_pops;
+  }
+  if (heap.empty()) return kNone;
+  const ReadyEntry& top = heap.front();
+  if (sleeping && static_cast<Band>(top.band) == Band::kOptional) return kNone;
+  return static_cast<int>(top.idx);
 }
 
 void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
@@ -383,6 +771,7 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
                     ? job.job.exec
                     : static_cast<Ticks>(std::llround(
                           static_cast<double>(job.job.exec) / c.frequency));
+  c.deadline = job.job.deadline;
   c.optional_rank = spec.optional_rank;
   const int slot = slot_of(spec.kind);
   if (job.copy_in_slot[slot] != kNone) {
@@ -407,15 +796,24 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
   const auto idx = copies_.size() - 1;
   job.copy_in_slot[slot] = static_cast<int>(idx);
   live_[c.proc].push_back(idx);
+  if (c.eligible > now_) {
+    auto& pending = c.band == Band::kMandatory ? pending_mand_[c.proc]
+                                               : pending_opt_[c.proc];
+    heap_push(pending, TimedEntry{c.eligible, static_cast<std::uint32_t>(idx)});
+  } else {
+    make_ready(idx);
+  }
   if (spec.kind == CopyKind::kBackup) ++stats_.backups_created;
 }
 
 void Simulator::Impl::complete_copy(int idx) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
+  stop_running(c.proc, now_);  // materializes remaining (== 0 on completion)
   MKSS_CHECK(c.remaining == 0 && c.alive,
              "completing a copy that is not an exhausted live copy");
-  stop_running(c.proc, now_);
   c.alive = false;
+  dirty_[c.proc] = true;
+  ++stats_.completions;
   LiveJob& job = jobs_[c.job_idx];
   const int slot = slot_of(c.kind);
   job.copy_in_slot[slot] = kNone;
@@ -453,7 +851,16 @@ void Simulator::Impl::complete_copy(int idx) {
 void Simulator::Impl::kill_copy(int idx, CopyEnd reason) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   if (!c.alive) return;
-  if (running_[c.proc] == idx) stop_running(c.proc, now_);
+  if (running_[c.proc] == idx) {
+    stop_running(c.proc, now_);
+    dirty_[c.proc] = true;  // the processor just went idle
+  } else if (running_[c.proc] == kNone) {
+    // Killing a parked or pending copy cannot outrank work that is already
+    // running, but on an idle DPD processor it can move the sleep-commit
+    // horizon (the killed copy may have been the near mandatory activity
+    // keeping the processor awake), so the idle case must re-dispatch.
+    dirty_[c.proc] = true;
+  }
   c.alive = false;
   if (trace_) {
     trace_->copies[c.rec].ended = now_;
@@ -497,8 +904,11 @@ void Simulator::Impl::stop_running(ProcessorId p, Ticks end) {
   const int idx = running_[p];
   if (idx == kNone) return;
   running_[p] = kNone;
+  Copy& c = copies_[static_cast<std::size_t>(idx)];
+  // Materialize the executed progress (remaining went stale at
+  // start_running; completion_at_ carried the live value).
+  c.remaining = completion_at_[p] - end;
   if (end <= run_start_[p]) return;
-  const Copy& c = copies_[static_cast<std::size_t>(idx)];
   const ExecSegment segment{
       p, jobs_[c.job_idx].job.id, c.kind, {run_start_[p], end}, c.frequency};
   if (trace_) trace_->segments.push_back(segment);
@@ -509,6 +919,10 @@ void Simulator::Impl::stop_running(ProcessorId p, Ticks end) {
 void Simulator::Impl::start_running(ProcessorId p, int idx) {
   running_[p] = idx;
   run_start_[p] = now_;
+  completion_at_[p] = now_ + copies_[static_cast<std::size_t>(idx)].remaining;
+  // The only caller is dispatch(), which always starts the ready heap's top
+  // (dead entries were peeled in ready_best just before).
+  running_entry_[p] = ready_[p].front();
 }
 
 bool Simulator::Impl::copy_precedes(const Copy& a, const Copy& b) const {
@@ -521,12 +935,23 @@ bool Simulator::Impl::copy_precedes(const Copy& a, const Copy& b) const {
   return key(a) < key(b);
 }
 
-Ticks Simulator::Impl::next_mandatory_activity(ProcessorId p) const {
+Ticks Simulator::Impl::next_mandatory_activity(ProcessorId p) {
   // Algorithm 1 line 12: "the earliest release time of all jobs in MJQ" --
   // i.e. only mandatory copies already admitted (postponed backups, promoted
   // jobs). A mandatory copy admitted later wakes the processor anyway,
   // because dispatch always considers mandatory-band work regardless of the
   // sleep commitment.
+  const Ticks t = std::min(config_.horizon, pending_min(pending_mand_[p]));
+  if (cross_check_) {
+    MKSS_CHECK(t == scan_next_mandatory_activity(p),
+               "indexed next_mandatory_activity diverged from the scan "
+               "oracle at " +
+                   core::format_ticks(now_));
+  }
+  return t;
+}
+
+Ticks Simulator::Impl::scan_next_mandatory_activity(ProcessorId p) const {
   Ticks t = config_.horizon;
   for (const std::size_t idx : live_[p]) {
     const Copy& c = copies_[idx];
@@ -537,70 +962,95 @@ Ticks Simulator::Impl::next_mandatory_activity(ProcessorId p) const {
   return t;
 }
 
-void Simulator::Impl::dispatch(ProcessorId p) {
+/// Oracle: re-derives the dispatch choice with the legacy walk over the
+/// admission log and checks the prune pass left no infeasible optional copy.
+void Simulator::Impl::check_dispatch_oracle(ProcessorId p, bool sleeping,
+                                            int best) const {
+  int scan = kNone;
+  for (const std::size_t idx : live_[p]) {
+    const Copy& c = copies_[idx];
+    if (!c.alive || c.proc != p || c.eligible > now_) continue;
+    if (c.band == Band::kOptional) {
+      // The running copy's remaining lives in completion_at_ until
+      // stop_running materializes it.
+      const Ticks rem = running_[p] == static_cast<int>(idx)
+                            ? completion_at_[p] - now_
+                            : c.remaining;
+      MKSS_CHECK(now_ + rem <= jobs_[c.job_idx].job.deadline,
+                 "prune pass left an infeasible optional copy live at " +
+                     core::format_ticks(now_));
+      if (sleeping) continue;
+    }
+    if (scan == kNone ||
+        copy_precedes(c, copies_[static_cast<std::size_t>(scan)])) {
+      scan = static_cast<int>(idx);
+    }
+  }
+  MKSS_CHECK(scan == best,
+             "indexed dispatch diverged from the scan oracle at " +
+                 core::format_ticks(now_));
+}
+
+/// Oracle for skipped dispatches: proves via the legacy scan that running
+/// dispatch(p) now would have been a no-op -- the scan-derived best copy is
+/// exactly what is already running (or nothing), no eligible optional copy
+/// is infeasible, and the DPD sleep decision would not newly commit.
+void Simulator::Impl::check_skip_oracle(ProcessorId p) const {
   if (!proc_alive_[p]) return;
   const bool sleeping = !config_.wake_for_optional && sleep_until_[p] > now_;
-
-  int best = kNone;
-  auto& lv = live_[p];
-  for (std::size_t pos = 0; pos < lv.size();) {
-    const std::size_t idx = lv[pos];
-    Copy& c = copies_[idx];
-    if (!c.alive || c.proc != p) {  // lazily compact dead entries
-      lv[pos] = lv.back();
-      lv.pop_back();
-      continue;
-    }
-    if (c.eligible > now_) {
-      ++pos;
-      continue;
-    }
-    if (c.band == Band::kOptional) {
-      LiveJob& job = jobs_[c.job_idx];
-      if (now_ + c.remaining > job.job.deadline) {
-        // Can no longer finish in time: never invoke / abandon (energy
-        // already spent stays spent).
-        kill_copy(static_cast<int>(idx), CopyEnd::kAbandoned);
-        if (!job.resolved && job.copy_in_slot[0] == kNone &&
-            job.copy_in_slot[1] == kNone) {
-          resolve(c.job_idx, JobOutcome::kMissed);
-        }
-        lv[pos] = lv.back();
-        lv.pop_back();
-        continue;
-      }
-      if (sleeping) {
-        ++pos;
-        continue;
-      }
-    }
-    if (best == kNone ||
-        copy_precedes(c, copies_[static_cast<std::size_t>(best)])) {
-      best = static_cast<int>(idx);
-    }
-    ++pos;
+  check_dispatch_oracle(p, sleeping, running_[p]);
+  if (running_[p] == kNone && !config_.wake_for_optional && !sleeping) {
+    MKSS_CHECK(scan_next_mandatory_activity(p) - now_ <= config_.break_even,
+               "skipped dispatch would have committed to DPD sleep at " +
+                   core::format_ticks(now_));
   }
+}
+
+void Simulator::Impl::dispatch(ProcessorId p) {
+  if (!proc_alive_[p]) {
+    dirty_[p] = false;  // a dead processor never needs another dispatch
+    return;
+  }
+  // An expired sleep commitment behaves exactly like none at all (the legacy
+  // scan only ever compared sleep_until_ against now); normalizing it to 0
+  // makes need_dispatch()'s sleep-expiry trigger one-shot.
+  if (sleep_until_[p] != 0 && sleep_until_[p] <= now_) sleep_until_[p] = 0;
+  // Call-site guards: wake-ups and prune work are rare (a few percent of
+  // dispatches), so the common case pays two heap-front peeks, not calls.
+  if ((!pending_mand_[p].empty() && pending_mand_[p].front().time <= now_) ||
+      (!pending_opt_[p].empty() && pending_opt_[p].front().time <= now_)) {
+    wake_eligible(p);
+  }
+  const bool sleeping = !config_.wake_for_optional && sleep_until_[p] > now_;
+  if (!prune_[p].empty() && prune_[p].front().time < now_) prune_pass(p);
+  const int best = ready_best(p, sleeping);
+  if (cross_check_) check_dispatch_oracle(p, sleeping, best);
 
   if (best != kNone) {
     sleep_until_[p] = 0;  // dispatching (mandatory) work ends the sleep
   }
   if (best != running_[p]) {
-    // A genuinely preempted copy (still alive, work left) pays the context
-    // overhead on its remaining demand.
     const int old = running_[p];
-    if (old != kNone && config_.preemption_overhead > 0) {
+    stop_running(p, now_);  // also materializes the victim's remaining
+    if (old != kNone) {
       Copy& victim = copies_[static_cast<std::size_t>(old)];
       if (victim.alive && victim.remaining > 0) {
-        victim.remaining += config_.preemption_overhead;
-        if (trace_) trace_->copies[victim.rec].work += config_.preemption_overhead;
+        // A genuinely preempted copy (still alive, work left) pays the
+        // context overhead on its remaining demand.
+        if (config_.preemption_overhead > 0) {
+          victim.remaining += config_.preemption_overhead;
+          if (trace_) {
+            trace_->copies[victim.rec].work += config_.preemption_overhead;
+          }
+        }
         ++stats_.preemptions;
+        // A preempted optional copy's latest feasible start moved (it
+        // executed and may have absorbed preemption overhead): re-index it.
+        if (victim.band == Band::kOptional) {
+          push_prune(static_cast<std::size_t>(old));
+        }
       }
-    } else if (old != kNone &&
-               copies_[static_cast<std::size_t>(old)].alive &&
-               copies_[static_cast<std::size_t>(old)].remaining > 0) {
-      ++stats_.preemptions;
     }
-    stop_running(p, now_);
     if (best != kNone) start_running(p, best);
   }
 
@@ -610,6 +1060,9 @@ void Simulator::Impl::dispatch(ProcessorId p) {
       sleep_until_[p] = next_mandatory;  // commit to DPD sleep
     }
   }
+  // All kills this dispatch performed (prune pass) were accounted for before
+  // the choice, so the processor ends the event clean.
+  dirty_[p] = false;
 }
 
 Simulator::Simulator() : impl_(std::make_unique<Impl>()) {}

@@ -47,6 +47,16 @@ struct SimConfig {
   /// execution (pipeline/cache refill on resume). 0 reproduces the paper's
   /// overhead-free model; bench/ablation_overhead sweeps it.
   core::Ticks preemption_overhead{0};
+  /// Cross-check the indexed event core against the retained scan-based
+  /// oracle at every event (next-event time, dispatch choice, prune
+  /// completeness) via MKSS_CHECK. Defaults to on in Debug builds (assert
+  /// semantics) and off otherwise; tests force it on to prove bit-identity
+  /// of the indexed structures in any build type.
+#ifdef NDEBUG
+  bool cross_check{false};
+#else
+  bool cross_check{true};
+#endif
 };
 
 class TraceSink;
@@ -56,6 +66,14 @@ class TraceSink;
 /// FullTraceSink) lives in engine-owned arenas that are reset -- not
 /// reallocated -- between run() calls, so the hot path of a sweep that runs
 /// thousands of simulations performs no steady-state heap allocation.
+///
+/// Event discovery is fully indexed (see docs/architecture.md, "Indexed
+/// event core"): a release calendar, per-processor eligibility min-heaps and
+/// priority-ordered ready heaps with lazy invalidation replace the per-event
+/// linear scans, so next_event_time() is a constant-size min over cached
+/// candidates and dispatch() is O(log n). Tie-breaking reproduces the legacy
+/// scan order exactly; traces are bit-identical (SimConfig::cross_check runs
+/// the retained scan oracle against the indexes at every event).
 /// Results stream into the caller-supplied TraceSink (see sim/trace_sink.hpp)
 /// which picks between the full materialized trace and online statistics.
 class Simulator {

@@ -7,10 +7,11 @@
 // when it resolves, and how to re-route work when a processor dies.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "core/job.hpp"
 #include "core/task.hpp"
@@ -36,13 +37,44 @@ struct CopySpec {
   double frequency{1.0};
 };
 
+/// Fixed-capacity list of requested copies. A logical job has at most two
+/// copies -- the engine's replica slots hold one main/optional plus one
+/// backup -- so the list lives inline and a release decision never touches
+/// the heap (on_release sits on the simulator's per-release hot path).
+class CopyList {
+ public:
+  void push_back(const CopySpec& spec) {
+    if (size_ == kCapacity) {
+      throw std::logic_error("ReleaseDecision: more than two copies requested");
+    }
+    specs_[size_++] = spec;
+  }
+  template <typename Pred>
+  void erase_if(Pred pred) {
+    std::uint8_t kept = 0;
+    for (std::uint8_t i = 0; i < size_; ++i) {
+      if (!pred(specs_[i])) specs_[kept++] = specs_[i];
+    }
+    size_ = kept;
+  }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  const CopySpec* begin() const noexcept { return specs_.data(); }
+  const CopySpec* end() const noexcept { return specs_.data() + size_; }
+
+ private:
+  static constexpr std::uint8_t kCapacity = 2;
+  std::array<CopySpec, kCapacity> specs_{};
+  std::uint8_t size_{0};
+};
+
 /// The scheme's verdict on a released job.
 struct ReleaseDecision {
   /// True when the job was classified mandatory (FD == 0 / static pattern).
   bool mandatory{false};
   /// Zero copies == skipped optional job (counts as a miss when its deadline
   /// passes); one or two copies otherwise.
-  std::vector<CopySpec> copies;
+  CopyList copies;
 
   static ReleaseDecision skip() { return {}; }
 };

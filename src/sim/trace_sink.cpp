@@ -32,6 +32,8 @@ void StatsSink::begin_run(const core::TaskSet& ts, const SimConfig&) {
   history_.reserve(n);
   for (const core::Task& t : ts) history_.emplace_back(t.m, t.k);
   violated_.assign(n, 0);
+  memo_frequency_ = 1.0;
+  memo_power_ = power_.power_at(1.0);
 }
 
 void StatsSink::charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap) {
@@ -55,7 +57,11 @@ void StatsSink::on_segment(const ExecSegment& segment) {
   const ProcessorId p = segment.proc;
   energy::ProcessorEnergy& pe = energy_.per_proc[p];
   charge_idle(pe, segment.span.begin - cursor_[p]);
-  pe.active += units(segment.span.length(), power_.power_at(segment.frequency));
+  if (segment.frequency != memo_frequency_) {
+    memo_frequency_ = segment.frequency;
+    memo_power_ = power_.power_at(segment.frequency);
+  }
+  pe.active += units(segment.span.length(), memo_power_);
   pe.busy_time += segment.span.length();
   cursor_[p] = segment.span.end;
 }

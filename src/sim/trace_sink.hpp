@@ -114,6 +114,12 @@ class StatsSink final : public TraceSink {
   void charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap);
 
   energy::PowerParams power_;
+  /// One-entry power_at() memo keyed on the exact frequency bits: segments
+  /// overwhelmingly repeat the same DVS level, and power_at's std::pow
+  /// otherwise dominates the lean per-segment cost. Same input, same
+  /// output -- bit-identical to calling power_at per segment.
+  double memo_frequency_{1.0};
+  double memo_power_{0.0};
   energy::EnergyBreakdown energy_;
   metrics::QosReport qos_;
   SimStats stats_;

@@ -66,7 +66,7 @@ class NoBackupScheme final : public sim::Scheme {
   sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
                                   core::Ticks release) override {
     sim::ReleaseDecision d = inner_->on_release(i, j, release);
-    std::erase_if(d.copies, [](const sim::CopySpec& c) {
+    d.copies.erase_if([](const sim::CopySpec& c) {
       return c.kind == sim::CopyKind::kBackup;
     });
     return d;

@@ -11,6 +11,8 @@
 
 #include "core/rng.hpp"
 #include "fault/injection.hpp"
+#include "io/trace_json.hpp"
+#include "sched/mkss_selective.hpp"
 #include "sim/engine.hpp"
 #include "workload/taskset_gen.hpp"
 
@@ -22,7 +24,10 @@ using core::Ticks;
 /// Makes arbitrary valid release decisions, driven by a seeded RNG.
 class RandomScheme final : public Scheme {
  public:
-  explicit RandomScheme(std::uint64_t seed) : rng_(seed) {}
+  /// `use_dvs` = false pins every copy to full speed; true mixes random
+  /// frequencies (the engine-side DVS path: scaled demand, scaled segments).
+  explicit RandomScheme(std::uint64_t seed, bool use_dvs = true)
+      : rng_(seed), use_dvs_(use_dvs) {}
 
   std::string name() const override { return "fuzz"; }
   void setup(const core::TaskSet& ts) override { ts_ = &ts; }
@@ -32,7 +37,8 @@ class RandomScheme final : public Scheme {
     ReleaseDecision d;
     const auto roll = rng_.below(10);
     const auto proc = static_cast<ProcessorId>(rng_.below(2));
-    const double freq = std::array<double, 3>{1.0, 0.75, 0.5}[rng_.below(3)];
+    const double freq =
+        use_dvs_ ? std::array<double, 3>{1.0, 0.75, 0.5}[rng_.below(3)] : 1.0;
     const Ticks slack = task.deadline - task.wcet;
     const Ticks delay = slack > 0 ? rng_.range(0, slack) : 0;
 
@@ -72,6 +78,7 @@ class RandomScheme final : public Scheme {
  private:
   const core::TaskSet* ts_ = nullptr;
   core::Rng rng_;
+  bool use_dvs_;
 };
 
 void check_invariants(const SimulationTrace& trace, const core::TaskSet& ts,
@@ -189,6 +196,86 @@ TEST_P(EngineFuzz, IdenticalSeedsGiveIdenticalTraces) {
     EXPECT_EQ(a.segments[i].proc, b.segments[i].proc);
   }
   EXPECT_EQ(a.stats.jobs_met, b.stats.jobs_met);
+}
+
+/// Full-trace equality down to the last counter. trace_to_json covers
+/// segments, jobs, copies, outcomes and death times byte for byte; the stats
+/// fields are compared explicitly because the scan oracle must not even
+/// touch the event-core counters.
+void expect_bit_identical(const SimulationTrace& a, const SimulationTrace& b,
+                          const core::TaskSet& ts, std::uint64_t seed) {
+  EXPECT_EQ(io::trace_to_json(a, ts), io::trace_to_json(b, ts)) << "seed " << seed;
+  EXPECT_EQ(a.stats.sim_events, b.stats.sim_events) << "seed " << seed;
+  EXPECT_EQ(a.stats.completions, b.stats.completions) << "seed " << seed;
+  EXPECT_EQ(a.stats.deadline_fires, b.stats.deadline_fires) << "seed " << seed;
+  EXPECT_EQ(a.stats.eligibility_wakeups, b.stats.eligibility_wakeups)
+      << "seed " << seed;
+  EXPECT_EQ(a.stats.dispatch_pops, b.stats.dispatch_pops) << "seed " << seed;
+  EXPECT_EQ(a.stats.preemptions, b.stats.preemptions) << "seed " << seed;
+  EXPECT_EQ(a.stats.jobs_met, b.stats.jobs_met) << "seed " << seed;
+  EXPECT_EQ(a.stats.jobs_missed, b.stats.jobs_missed) << "seed " << seed;
+  EXPECT_EQ(a.busy_time, b.busy_time) << "seed " << seed;
+  EXPECT_EQ(a.death_time, b.death_time) << "seed " << seed;
+}
+
+TEST_P(EngineFuzz, IndexedCoreMatchesScanOracleOnLongHorizons) {
+  // The indexed event core vs. the retained scan oracle, over long horizons:
+  // with SimConfig::cross_check on, every event re-derives the next-event
+  // time, dispatch choice and prune set by linear scan and MKSS_CHECKs them
+  // against the heaps -- a completed run is a per-event equivalence proof.
+  // The cross-checked trace must then be bit-identical to the production
+  // (cross_check off) trace: the oracle observes, never perturbs. Swept
+  // across {no fault, permanent, transient burst} x {DVS off, DVS on}.
+  const std::uint64_t seed = GetParam();
+  core::Rng rng(seed * 7919 + 17);
+  std::optional<core::TaskSet> ts;
+  for (int trial = 0; trial < 4000 && !ts; ++trial) {
+    ts = workload::generate_taskset({}, rng.uniform(0.3, 0.7), rng);
+  }
+  ASSERT_TRUE(ts.has_value());
+  const Ticks horizon = core::from_ms(rng.range(1500, 3000));
+
+  struct Case {
+    fault::Scenario scenario;
+    double lambda_per_ms;
+  };
+  for (const Case c : {Case{fault::Scenario::kNoFault, 0.0},
+                       Case{fault::Scenario::kPermanentOnly, 0.0},
+                       // 0.02/ms is a burst regime: multi-fault jobs happen.
+                       Case{fault::Scenario::kPermanentAndTransient, 0.02}}) {
+    core::Rng fault_rng = rng.split();
+    const auto plan = fault::make_scenario_plan(c.scenario, *ts, horizon,
+                                                c.lambda_per_ms, fault_rng);
+    for (const bool dvs : {false, true}) {
+      const auto run = [&](bool cross_check) {
+        RandomScheme scheme(seed ^ (dvs ? 0x515 : 0xACE), dvs);
+        SimConfig cfg;
+        cfg.horizon = horizon;
+        cfg.wake_for_optional = (seed % 2) == 0;
+        cfg.cross_check = cross_check;
+        return simulate(*ts, scheme, *plan, cfg);
+      };
+      const auto indexed = run(false);
+      const auto checked = run(true);
+      expect_bit_identical(indexed, checked, *ts, seed);
+      check_invariants(indexed, *ts, seed);
+    }
+
+    // Same contract under a real scheme (the paper's best performer), with
+    // its own DVS ladder instead of random frequencies.
+    for (const bool dvs : {false, true}) {
+      const auto run = [&](bool cross_check) {
+        sched::SelectiveOptions opts;
+        opts.dvs.enabled = dvs;
+        sched::MkssSelective scheme(opts);
+        SimConfig cfg;
+        cfg.horizon = horizon;
+        cfg.cross_check = cross_check;
+        return simulate(*ts, scheme, *plan, cfg);
+      };
+      expect_bit_identical(run(false), run(true), *ts, seed);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,

@@ -201,7 +201,7 @@ class NoBackupScheme final : public sim::Scheme {
   sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
                                   core::Ticks release) override {
     sim::ReleaseDecision d = inner_->on_release(i, j, release);
-    std::erase_if(d.copies, [](const sim::CopySpec& c) {
+    d.copies.erase_if([](const sim::CopySpec& c) {
       return c.kind == sim::CopyKind::kBackup;
     });
     return d;
@@ -275,6 +275,71 @@ TEST(Sweep, ErrorDirReceivesParseableReproBundles) {
     const core::TaskSet repro = io::parse_taskset_file(bundle.string());
     EXPECT_EQ(io::serialize_taskset(repro), e.taskset);
   }
+  fs::remove_all(dir);
+}
+
+TEST(Sweep, CorpusRoundTripsBitIdentically) {
+  // First sweep generates and saves the corpus; the second loads it. Both
+  // must agree to the last bit -- the serializer is tick-exact, so a loaded
+  // set is the generated set.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("mkss_corpus_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  SweepConfig cfg;
+  cfg.bin_starts = {0.2, 0.4};
+  cfg.sets_per_bin = 4;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  cfg.corpus_dir = dir.string();
+
+  const auto saved = run_sweep(cfg);
+  ASSERT_TRUE(fs::exists(dir / "manifest.txt"));
+  const auto loaded = run_sweep(cfg);
+
+  ASSERT_EQ(loaded.bins.size(), saved.bins.size());
+  for (std::size_t b = 0; b < saved.bins.size(); ++b) {
+    EXPECT_EQ(loaded.bins[b].sets, saved.bins[b].sets);
+    EXPECT_EQ(loaded.bins[b].attempts, saved.bins[b].attempts);
+    for (std::size_t s = 0; s < saved.bins[b].normalized.size(); ++s) {
+      EXPECT_EQ(loaded.bins[b].normalized[s].mean(),
+                saved.bins[b].normalized[s].mean());
+      EXPECT_EQ(loaded.bins[b].normalized[s].stddev(),
+                saved.bins[b].normalized[s].stddev());
+      EXPECT_EQ(loaded.bins[b].absolute[s].mean(),
+                saved.bins[b].absolute[s].mean());
+    }
+  }
+  EXPECT_EQ(loaded.to_table().to_csv(), saved.to_table().to_csv());
+  fs::remove_all(dir);
+}
+
+TEST(Sweep, CorpusRejectsStaleKeyLoudly) {
+  // A corpus written under different generation parameters must abort the
+  // sweep, never silently benchmark the wrong workload.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("mkss_corpus_stale_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  SweepConfig cfg;
+  cfg.bin_starts = {0.3};
+  cfg.sets_per_bin = 2;
+  cfg.max_attempts_per_bin = 2000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  cfg.corpus_dir = dir.string();
+  run_sweep(cfg);
+
+  SweepConfig stale = cfg;
+  stale.seed += 1;
+  EXPECT_THROW(run_sweep(stale), std::runtime_error);
+  stale = cfg;
+  stale.gen.max_k += 1;
+  EXPECT_THROW(run_sweep(stale), std::runtime_error);
+  // Scenario and power are not generation inputs: changing them reuses the
+  // corpus (this is what lets fig6a/b/c share one directory).
+  SweepConfig shared = cfg;
+  shared.scenario = fault::Scenario::kPermanentOnly;
+  EXPECT_NO_THROW(run_sweep(shared));
   fs::remove_all(dir);
 }
 

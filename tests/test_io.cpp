@@ -89,6 +89,20 @@ TEST(TasksetIo, SerializationRoundTrips) {
   }
 }
 
+TEST(TasksetIo, SerializationIsTickExact) {
+  // Values with more than six significant digits were silently truncated by
+  // the old %.6g formatter (1234.567 ms -> "1234.57"); the fixed-point
+  // formatter must round-trip every tick count exactly.
+  const core::Task t = core::Task::from_ms(1234.567, 1234.333, 987.001, 3, 7,
+                                           "longtask");
+  const core::TaskSet original({t});
+  const auto round = parse_taskset_string(serialize_taskset(original));
+  EXPECT_EQ(round[0].period, original[0].period);
+  EXPECT_EQ(round[0].deadline, original[0].deadline);
+  EXPECT_EQ(round[0].wcet, original[0].wcet);
+  EXPECT_EQ(round[0].period, core::from_ms(1234.567));
+}
+
 TEST(TasksetIo, MissingFileThrows) {
   EXPECT_THROW(parse_taskset_file("/nonexistent/path/ts.txt"), std::runtime_error);
 }
