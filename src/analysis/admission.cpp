@@ -1,0 +1,222 @@
+#include "analysis/admission.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/pattern.hpp"
+
+namespace mkss::analysis {
+
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+
+namespace {
+
+/// Under kAllJobs every released job demands time: effm == effk == 1 and the
+/// (empty) tail contributes nothing.
+constexpr std::uint32_t kAllJobsPrefix[1] = {0};
+
+/// Hyperbolic-bound threshold with a floating-point safety margin. The
+/// product of n (1 + U_i) factors accumulates at most ~3n ulp of relative
+/// rounding error (n is tiny here), far below 1e-12, so:
+///   computed <= margin  =>  true product < 2  =>  truly schedulable.
+/// A candidate whose true product is within 1e-12 of 2 simply falls through
+/// to the exact stage instead -- the margin can delay the cheap accept but
+/// never contradict the exact verdict.
+constexpr double kHyperbolicMargin = 2.0 * (1.0 - 1e-12);
+
+constexpr Ticks kNoProbe = std::numeric_limits<Ticks>::max();
+
+}  // namespace
+
+const std::uint32_t* AdmissionContext::prefix_for(DemandModel model,
+                                                  std::uint32_t m,
+                                                  std::uint32_t k) {
+  const std::uint8_t kind = model == DemandModel::kRPatternMandatory ? 0 : 1;
+  if (k <= kFlatMaxK) {
+    if (prefix_flat_.empty()) {
+      prefix_flat_.assign(2 * (kFlatMaxK + 1) * (kFlatMaxK + 1), nullptr);
+    }
+    const std::size_t idx =
+        (static_cast<std::size_t>(kind) * (kFlatMaxK + 1) + k) * (kFlatMaxK + 1) +
+        m;
+    const std::uint32_t*& slot = prefix_flat_[idx];
+    if (slot == nullptr) slot = build_prefix(kind, m, k);
+    return slot;
+  }
+  return build_prefix(kind, m, k);
+}
+
+const std::uint32_t* AdmissionContext::build_prefix(std::uint8_t kind,
+                                                    std::uint32_t m,
+                                                    std::uint32_t k) {
+  auto [it, inserted] = prefix_cache_.try_emplace(std::tuple{kind, m, k});
+  if (inserted) {
+    // prefix[r] = mandatory jobs among the first r jobs of an aligned
+    // k-group. Both patterns are periodic with period k and hold exactly m
+    // mandatory jobs per group (for the E-pattern because
+    // ceil((a+k)m/k) = ceil(am/k) + m exactly in integer arithmetic), so the
+    // tail-group count only depends on released % k.
+    std::vector<std::uint32_t>& prefix = it->second;
+    prefix.resize(k);
+    if (kind == 0) {
+      // Deeply red: jobs 1..m of each group are mandatory.
+      for (std::uint32_t r = 0; r < k; ++r) prefix[r] = std::min(r, m);
+    } else {
+      std::uint32_t count = 0;
+      prefix[0] = 0;
+      for (std::uint32_t r = 1; r < k; ++r) {
+        count += core::e_pattern_mandatory(m, k, r) ? 1U : 0U;
+        prefix[r] = count;
+      }
+    }
+  }
+  return it->second.data();
+}
+
+Ticks AdmissionContext::demand_at(std::size_t i, Ticks t) const {
+  // Demand of task i (priority order) in a window [0, t), t >= 1: its own
+  // WCET plus every higher-priority task's mandatory releases. released =
+  // (t-1)/P + 1 equals the reference's ceil(t/P); the step table turns the
+  // pattern count into one divide and one prefix lookup.
+  Ticks demand = rows_[i].wcet;
+  for (std::size_t j = 0; j < i; ++j) {
+    const Row& hp = rows_[j];
+    const auto released = static_cast<std::uint64_t>((t - 1) / hp.period) + 1;
+    const std::uint64_t count =
+        (released / hp.effk) * hp.effm + hp.prefix[released % hp.effk];
+    demand += static_cast<Ticks>(count) * hp.wcet;
+  }
+  return demand;
+}
+
+AdmissionVerdict AdmissionContext::admit(const TaskSet& ts, DemandModel model) {
+  const std::size_t n = ts.size();
+  if (n == 0) return {true, AdmissionStage::kProbeAccept};  // vacuously
+  rows_.resize(n);
+  // One fused pass builds the rows and runs stages 1 and 2 (see admit_rows'
+  // comments for the soundness arguments): most candidates decide here,
+  // before any interference step table is resolved.
+  Ticks hp_sum = 0;
+  bool rm_implicit = true;
+  double prod = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = ts[i];
+    Row& row = rows_[i];
+    row.period = t.period;
+    row.deadline = t.deadline;
+    row.wcet = t.wcet;
+    row.s0 = hp_sum + t.wcet;
+    if (row.s0 > row.deadline) return {false, AdmissionStage::kLowerBoundReject};
+    row.effm = t.m;  // raw draw; resolve_prefixes() maps to effective values
+    row.effk = t.k;
+    hp_sum += t.wcet;
+    rm_implicit = rm_implicit && t.deadline == t.period &&
+                  (i == 0 || rows_[i - 1].period <= t.period);
+    prod *= 1.0 + static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  if (rm_implicit && prod <= kHyperbolicMargin) {
+    return {true, AdmissionStage::kHyperbolicAccept};
+  }
+  resolve_prefixes(model);
+  return admit_rows();
+}
+
+AdmissionVerdict AdmissionContext::admit(const std::vector<Task>& tasks,
+                                         const std::vector<std::uint32_t>& order,
+                                         DemandModel model) {
+  const std::size_t n = order.size();
+  if (n == 0) return {true, AdmissionStage::kProbeAccept};  // vacuously
+  rows_.resize(n);
+  Ticks hp_sum = 0;
+  bool rm_implicit = true;
+  double prod = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Task& t = tasks[order[i]];
+    Row& row = rows_[i];
+    row.period = t.period;
+    row.deadline = t.deadline;
+    row.wcet = t.wcet;
+    row.s0 = hp_sum + t.wcet;
+    if (row.s0 > row.deadline) return {false, AdmissionStage::kLowerBoundReject};
+    row.effm = t.m;
+    row.effk = t.k;
+    hp_sum += t.wcet;
+    rm_implicit = rm_implicit && t.deadline == t.period &&
+                  (i == 0 || rows_[i - 1].period <= t.period);
+    prod *= 1.0 + static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  }
+  if (rm_implicit && prod <= kHyperbolicMargin) {
+    return {true, AdmissionStage::kHyperbolicAccept};
+  }
+  resolve_prefixes(model);
+  return admit_rows();
+}
+
+/// Maps each row's raw (m, k) draw to the effective step-table triple. Only
+/// candidates that survive stages 1 and 2 pay for table lookups.
+void AdmissionContext::resolve_prefixes(DemandModel model) {
+  for (Row& row : rows_) {
+    if (model == DemandModel::kAllJobs) {
+      row.effm = 1;
+      row.effk = 1;
+      row.prefix = kAllJobsPrefix;
+    } else {
+      row.prefix = prefix_for(model, static_cast<std::uint32_t>(row.effm),
+                              static_cast<std::uint32_t>(row.effk));
+    }
+  }
+}
+
+AdmissionVerdict AdmissionContext::admit_rows() {
+  const std::size_t n = rows_.size();
+
+  // Stage 1 -- demand lower bound -- and stage 2 -- hyperbolic sufficient
+  // accept -- already ran fused into the row-building pass in admit().
+  // Stage 1 is exact: demand_i(t) >= S0_i for every t >= 1 (job 1 is
+  // mandatory under all patterns), so S0_i > D_i certifies unschedulability.
+  // Stage 2 is valid for implicit deadlines under rate-monotonic-consistent
+  // priorities; mandatory demand is dominated by full-jobs demand
+  // (count_pattern(released) <= released), so a full-jobs certificate covers
+  // every demand model.
+
+  // Stages 3+4 -- probe, then exact. Lowest priority first: the verdict is a
+  // conjunction (order-independent), and random candidates overwhelmingly
+  // fail at the lowest-priority task, so rejects exit after one task.
+  if (probe_.size() < n) probe_.resize(n, kNoProbe);
+  bool exact_used = false;
+  for (std::size_t i = n; i-- > 0;) {
+    const Row& row = rows_[i];
+    if (probe_[i] != kNoProbe) {
+      // Any q with demand(q) <= q is a post-fixed point of the monotone
+      // demand function, so the least fixed point is <= q <= D_i: accepted.
+      // demand(q) is itself a (tighter) post-fixed point; remember it.
+      // q < S0_i cannot certify (demand >= S0_i everywhere) -- skip the eval.
+      const Ticks q = std::min(probe_[i], row.deadline);
+      if (q >= row.s0) {
+        const Ticks d = demand_at(i, q);
+        if (d <= q) {
+          probe_[i] = d;
+          continue;
+        }
+      }
+    }
+    // Exact fixed point, seeded at S0_i: demand(t) >= S0_i everywhere, so
+    // S0_i lower-bounds the least fixed point and the ascent converges to
+    // exactly the value the reference reaches from C_i.
+    exact_used = true;
+    Ticks r = row.s0;
+    while (true) {
+      const Ticks d = demand_at(i, r);
+      if (d == r) break;
+      if (d > row.deadline) return {false, AdmissionStage::kExactReject};
+      r = d;
+    }
+    probe_[i] = r;
+  }
+  return {true,
+          exact_used ? AdmissionStage::kExactAccept : AdmissionStage::kProbeAccept};
+}
+
+}  // namespace mkss::analysis

@@ -1,0 +1,122 @@
+// Staged schedulability admission for the generation hot path.
+//
+// `analysis::schedulable` answers one exact question per task with a full
+// fixed-point iteration whose interference terms re-derive pattern counts on
+// every step. That is the right reference semantics, but the task-set
+// generator asks the same question millions of times on short-lived random
+// candidates, and almost all of them are rejected. AdmissionContext keeps the
+// verdict bit-identical to `analysis::schedulable` (fuzz-enforced in
+// tests/test_admission.cpp) while letting most candidates exit through one of
+// three cheap stages before any exact fixed point runs:
+//
+//   1. demand lower-bound reject (exact necessary condition): every
+//      higher-priority task releases at least one mandatory job in any busy
+//      window [0, t), t >= 1 -- job 1 is mandatory under every pattern -- so
+//      demand_i(t) >= S0_i := C_i + sum_{j<i} C_j for all t >= 1. If
+//      S0_i > D_i the least fixed point exceeds D_i and the set is
+//      unschedulable, no iteration needed.
+//   2. hyperbolic sufficient accept (Bini & Buttazzo): when every deadline is
+//      implicit (D_i == P_i) and periods are nondecreasing in priority order,
+//      prod(U_i + 1) <= 2 proves full-jobs schedulability; mandatory-job
+//      demand never exceeds full-jobs demand, so the same certificate covers
+//      the pattern models. Checked with a floating-point safety margin so a
+//      boundary rounding error can never flip a verdict the exact stage
+//      would have decided differently.
+//   3. post-fixed-point probe accept: demand_i is monotone, so any q with
+//      demand_i(q) <= q and q <= D_i certifies task i (the least fixed point
+//      is <= q). The context remembers the last converged/probed value per
+//      priority level; consecutive candidates in the same utilization bin
+//      are similar enough that the previous value usually still certifies.
+//
+// Candidates surviving all three run the exact iteration, seeded at S0_i
+// (a lower bound on the least fixed point, so the ascent converges to the
+// same value as the classic C_i start), over interference step tables that
+// reduce every pattern count to one divide + one table lookup. Tasks are
+// tested lowest priority first: the verdict is a conjunction, and the
+// lowest-priority task is where random candidates fail first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/rta.hpp"
+#include "core/task.hpp"
+
+namespace mkss::analysis {
+
+/// Which rung of the staged ladder decided the verdict.
+enum class AdmissionStage : std::uint8_t {
+  kLowerBoundReject,  ///< S0_i > D_i for some task; no fixed point ran
+  kHyperbolicAccept,  ///< hyperbolic bound certified the whole set
+  kProbeAccept,       ///< every task certified by a remembered probe value
+  kExactAccept,       ///< at least one task needed the exact fixed point
+  kExactReject,       ///< an exact fixed point exceeded its deadline
+};
+
+struct AdmissionVerdict {
+  bool schedulable{false};
+  AdmissionStage stage{AdmissionStage::kExactReject};
+};
+
+/// Reusable staged-admission state. One instance per worker thread; admit()
+/// may be called any number of times with unrelated task sets. The remembered
+/// probe values only ever change which *stage* certifies a task -- every
+/// probe is verified against the actual demand function before it is trusted,
+/// so the verdict (and the fact that it matches `analysis::schedulable`)
+/// never depends on call history.
+class AdmissionContext {
+ public:
+  /// Staged verdict for `ts` under `model`; bit-identical to
+  /// `analysis::schedulable(ts, model)`.
+  AdmissionVerdict admit(const core::TaskSet& ts, DemandModel model);
+
+  /// Same, over a raw task vector viewed through a priority permutation:
+  /// `tasks[order[0]]` is the highest-priority task. Tasks must satisfy
+  /// Task::valid(); this is the generator's no-materialization entry point.
+  AdmissionVerdict admit(const std::vector<core::Task>& tasks,
+                         const std::vector<std::uint32_t>& order,
+                         DemandModel model);
+
+ private:
+  /// Per-task interference step table: mandatory-jobs-released-before counts
+  /// collapse to (released / effk) * effm + prefix[released % effk]. Until
+  /// resolve_prefixes() runs, effm/effk hold the raw (m, k) draw and prefix is
+  /// unset -- candidates rejected or accepted by stages 1/2 never build
+  /// tables.
+  struct Row {
+    core::Ticks period{0};
+    core::Ticks deadline{0};
+    core::Ticks wcet{0};
+    core::Ticks s0{0};  ///< C_i + sum of higher-priority WCETs
+    std::uint64_t effm{0};
+    std::uint64_t effk{0};
+    const std::uint32_t* prefix{nullptr};  ///< cumulative mandatory counts
+  };
+
+  AdmissionVerdict admit_rows();
+  void resolve_prefixes(DemandModel model);
+  const std::uint32_t* prefix_for(DemandModel model, std::uint32_t m,
+                                  std::uint32_t k);
+  const std::uint32_t* build_prefix(std::uint8_t kind, std::uint32_t m,
+                                    std::uint32_t k);
+  core::Ticks demand_at(std::size_t i, core::Ticks t) const;
+
+  std::vector<Row> rows_;
+  /// Last certified post-fixed-point value per priority level (speed hint
+  /// only -- see class comment). Ticks::max marks "no hint yet".
+  std::vector<core::Ticks> probe_;
+  /// O(1) prefix-table pointer lookup for the common small windows,
+  /// direct-indexed by (pattern-kind, k, m). Entries point into
+  /// prefix_cache_ nodes; k > kFlatMaxK falls back to the map itself.
+  static constexpr std::uint32_t kFlatMaxK = 64;
+  std::vector<const std::uint32_t*> prefix_flat_;
+  /// Cumulative mandatory-job prefix tables keyed (pattern-kind, m, k);
+  /// std::map nodes give the stable addresses Row::prefix points into.
+  std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>,
+           std::vector<std::uint32_t>>
+      prefix_cache_;
+};
+
+}  // namespace mkss::analysis

@@ -21,6 +21,7 @@
 //              engine), and the Figure-6 evaluation sweeps
 #pragma once
 
+#include "analysis/admission.hpp"
 #include "analysis/breakdown.hpp"
 #include "analysis/cache.hpp"
 #include "analysis/postponement.hpp"

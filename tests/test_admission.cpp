@@ -1,0 +1,182 @@
+// Fuzz + unit tests: analysis::AdmissionContext is a staged (filtered,
+// memoized, warm-started) front end for the exact schedulability test, so its
+// verdict must be *bit-identical* to analysis::schedulable on every input,
+// for every demand model, regardless of what the context admitted before.
+// The randomized corpus deliberately mixes implicit and constrained
+// deadlines, equal periods, non-rate-monotonic orders, m == k tasks, and
+// totals straddling the schedulability boundary so every ladder rung fires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "analysis/admission.hpp"
+#include "analysis/rta.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace mkss {
+namespace {
+
+using analysis::AdmissionContext;
+using analysis::AdmissionStage;
+using analysis::DemandModel;
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+
+const std::array<DemandModel, 3> kAllModels = {DemandModel::kAllJobs,
+                                               DemandModel::kRPatternMandatory,
+                                               DemandModel::kEPatternMandatory};
+
+Task make_task(Ticks period_ms, Ticks deadline_ms, Ticks wcet_ms,
+               std::uint32_t m, std::uint32_t k) {
+  Task t;
+  t.period = core::from_ms(static_cast<std::int64_t>(period_ms));
+  t.deadline = core::from_ms(static_cast<std::int64_t>(deadline_ms));
+  t.wcet = core::from_ms(static_cast<std::int64_t>(wcet_ms));
+  t.m = m;
+  t.k = k;
+  return t;
+}
+
+/// Random valid task set straddling the schedulability boundary. Half the
+/// draws are rate-monotonic with implicit deadlines (the hyperbolic stage's
+/// domain); the rest keep draw order and constrained deadlines.
+TaskSet random_taskset(core::Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.range(1, 10));
+  const bool rm_implicit = rng.chance(0.5);
+  std::vector<Task> tasks(n);
+  for (auto& t : tasks) {
+    // Small period range on purpose: equal periods must be common.
+    t.period = core::from_ms(rng.range(1, 12));
+    const double share =
+        rng.uniform(0.02, 1.8 / static_cast<double>(n));  // mix of verdicts
+    t.wcet = std::clamp<Ticks>(
+        static_cast<Ticks>(std::llround(share * static_cast<double>(t.period))),
+        1, t.period);
+    t.deadline = rm_implicit ? t.period : rng.range(t.wcet, t.period);
+    t.k = static_cast<std::uint32_t>(rng.range(1, 12));
+    t.m = rng.chance(0.2) ? t.k
+                          : static_cast<std::uint32_t>(
+                                rng.range(1, static_cast<std::int64_t>(t.k)));
+  }
+  if (rm_implicit) {
+    std::sort(tasks.begin(), tasks.end(),
+              [](const Task& a, const Task& b) { return a.period < b.period; });
+  }
+  return TaskSet(std::move(tasks));
+}
+
+TEST(Admission, FuzzVerdictMatchesReferenceAcrossModels) {
+  AdmissionContext persistent;  // carries probe hints across every set
+  std::array<std::uint64_t, 5> stage_hits{};
+  core::Rng rng(0x5EED0005);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const TaskSet ts = random_taskset(rng);
+    for (const auto model : kAllModels) {
+      const bool ref = analysis::schedulable(ts, model);
+      AdmissionContext fresh;
+      ASSERT_EQ(fresh.admit(ts, model).schedulable, ref)
+          << "fresh context diverged on " << ts.describe();
+      const auto v = persistent.admit(ts, model);
+      ASSERT_EQ(v.schedulable, ref)
+          << "warm context diverged on " << ts.describe();
+      ++stage_hits[static_cast<std::size_t>(v.stage)];
+    }
+  }
+  // The corpus must actually exercise every ladder rung, or the equivalence
+  // assertions above prove less than they claim.
+  for (std::size_t s = 0; s < stage_hits.size(); ++s) {
+    EXPECT_GT(stage_hits[s], 0u) << "stage " << s << " never fired";
+  }
+}
+
+TEST(Admission, RawVectorOverloadMatchesTaskSetOverload) {
+  core::Rng rng(0xD15C0);
+  AdmissionContext by_set;
+  AdmissionContext by_vector;
+  for (int iter = 0; iter < 500; ++iter) {
+    const TaskSet ts = random_taskset(rng);
+    // Scatter the tasks into a random storage order and describe the
+    // priority order through the permutation, as generate_bin does.
+    std::vector<std::uint32_t> order(ts.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i)))]);
+    }
+    std::vector<Task> storage(ts.size());
+    for (std::size_t pri = 0; pri < order.size(); ++pri) {
+      storage[order[pri]] = ts[pri];
+    }
+    for (const auto model : kAllModels) {
+      const auto a = by_set.admit(ts, model);
+      const auto b = by_vector.admit(storage, order, model);
+      EXPECT_EQ(a.schedulable, b.schedulable) << ts.describe();
+      EXPECT_EQ(analysis::schedulable(ts, model), b.schedulable);
+    }
+  }
+}
+
+TEST(Admission, LowerBoundRejectNeedsNoIteration) {
+  // Two tasks whose WCETs alone overflow the second deadline.
+  const TaskSet ts({make_task(5, 5, 4, 1, 2), make_task(5, 5, 4, 1, 2)});
+  AdmissionContext ctx;
+  for (const auto model : kAllModels) {
+    const auto v = ctx.admit(ts, model);
+    EXPECT_FALSE(v.schedulable);
+    EXPECT_EQ(v.stage, AdmissionStage::kLowerBoundReject);
+    EXPECT_FALSE(analysis::schedulable(ts, model));
+  }
+}
+
+TEST(Admission, HyperbolicAcceptCoversLowUtilizationImplicitDeadlines) {
+  const TaskSet ts({make_task(10, 10, 1, 1, 2), make_task(20, 20, 2, 2, 3),
+                    make_task(40, 40, 4, 3, 4)});  // prod(1+U) = 1.331
+  AdmissionContext ctx;
+  for (const auto model : kAllModels) {
+    const auto v = ctx.admit(ts, model);
+    EXPECT_TRUE(v.schedulable);
+    EXPECT_EQ(v.stage, AdmissionStage::kHyperbolicAccept);
+    EXPECT_TRUE(analysis::schedulable(ts, model));
+  }
+}
+
+TEST(Admission, ProbeAcceptsRepeatAdmissionsWithoutExactIteration) {
+  // Constrained deadlines disable the hyperbolic stage, so the first admit
+  // must run the exact iteration; the remembered fixed points then certify
+  // the identical set on every later admit.
+  const TaskSet ts({make_task(8, 6, 2, 1, 2), make_task(12, 9, 3, 2, 3),
+                    make_task(24, 20, 4, 1, 4)});
+  AdmissionContext ctx;
+  const auto first = ctx.admit(ts, DemandModel::kRPatternMandatory);
+  EXPECT_TRUE(first.schedulable);
+  EXPECT_EQ(first.stage, AdmissionStage::kExactAccept);
+  const auto second = ctx.admit(ts, DemandModel::kRPatternMandatory);
+  EXPECT_TRUE(second.schedulable);
+  EXPECT_EQ(second.stage, AdmissionStage::kProbeAccept);
+}
+
+TEST(Admission, ExactRejectWhenIterationOverrunsDeadline) {
+  // Survives the lower bound (2+5 <= 8) but the fixed point does not.
+  const TaskSet ts({make_task(4, 4, 2, 1, 1), make_task(8, 8, 5, 1, 1)});
+  AdmissionContext ctx;
+  const auto v = ctx.admit(ts, DemandModel::kAllJobs);
+  EXPECT_FALSE(v.schedulable);
+  EXPECT_EQ(v.stage, AdmissionStage::kExactReject);
+  EXPECT_FALSE(analysis::schedulable(ts, DemandModel::kAllJobs));
+}
+
+TEST(Admission, EmptySetIsVacuouslySchedulable) {
+  AdmissionContext ctx;
+  for (const auto model : kAllModels) {
+    EXPECT_TRUE(ctx.admit(TaskSet(), model).schedulable);
+  }
+}
+
+}  // namespace
+}  // namespace mkss
