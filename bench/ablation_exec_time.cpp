@@ -13,10 +13,11 @@ int main(int argc, char** argv) {
   report::Table table({"bcet/wcet", "bin", "sets", "DP/ST", "selective/ST",
                        "sel vs DP gain"});
   for (const double bcet : {1.0, 0.75, 0.5, 0.25}) {
+    std::uint64_t bin = 0;
     for (const double lo : {0.2, 0.4}) {
-      core::Rng rng(8675309);
       workload::GenParams gen;
-      const auto batch = workload::generate_bin(gen, lo, lo + 0.1, 15, 4000, rng);
+      const auto batch =
+          workload::generate_bin(gen, lo, lo + 0.1, 15, 4000, 8675309, bin++);
 
       // Each task set fills its own slot; stats are folded in index order
       // afterwards, so the result is identical for any thread count.

@@ -60,8 +60,8 @@ int main(int argc, char** argv) {
   report::Table table({"generator", "sets", "DP/ST", "selective/ST",
                        "sel vs DP gain", "audit failures"});
   for (const Config& config : configs) {
-    core::Rng rng(5551212);
-    const auto batch = workload::generate_bin(config.gen, 0.25, 0.35, 15, 6000, rng);
+    const auto batch =
+        workload::generate_bin(config.gen, 0.25, 0.35, 15, 6000, 5551212, 0);
 
     struct SetResult {
       double dp{0}, sel{0};

@@ -13,10 +13,11 @@ int main(int argc, char** argv) {
                        "preemptions/run (sel)", "audit failures"});
   for (const double overhead_us : {0.0, 10.0, 50.0, 100.0, 250.0}) {
     const core::Ticks overhead = core::from_ms(overhead_us / 1000.0);
+    std::uint64_t bin = 0;
     for (const double lo : {0.2, 0.4}) {
-      core::Rng rng(31337);
       workload::GenParams gen;
-      const auto batch = workload::generate_bin(gen, lo, lo + 0.1, 15, 4000, rng);
+      const auto batch =
+          workload::generate_bin(gen, lo, lo + 0.1, 15, 4000, 31337, bin++);
 
       struct SetResult {
         double dp{0}, sel{0}, preempts{0};

@@ -25,20 +25,57 @@ class Rng {
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~result_type{0}; }
 
-  result_type operator()() noexcept;
+  // The draw primitives are defined inline: the task-set generator makes
+  // tens of millions of draws per sweep, and an out-of-line call per draw
+  // costs more than the xoshiro step itself.
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound) using Lemire's unbiased method.
   /// bound must be > 0.
-  std::uint64_t below(std::uint64_t bound) noexcept;
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    __extension__ using U128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    U128 mul = static_cast<U128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(mul);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        mul = static_cast<U128>(x) * bound;
+        low = static_cast<std::uint64_t>(mul);
+      }
+    }
+    return static_cast<std::uint64_t>(mul >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
 
   /// Uniform double in [0, 1).
-  double uniform01() noexcept;
+  double uniform01() noexcept {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
 
   /// Exponentially distributed double with the given rate (mean 1/rate).
   double exponential(double rate) noexcept;
@@ -50,6 +87,10 @@ class Rng {
   Rng split() noexcept;
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int s) noexcept {
+    return (v << s) | (v >> (64 - s));
+  }
+
   std::array<std::uint64_t, 4> state_;
 };
 

@@ -19,24 +19,6 @@ Task Task::from_ms(double period_ms, double deadline_ms, double wcet_ms,
   return t;
 }
 
-double Task::utilization() const noexcept {
-  return static_cast<double>(wcet) / static_cast<double>(period);
-}
-
-double Task::mk_utilization() const noexcept {
-  return utilization() * static_cast<double>(m) / static_cast<double>(k);
-}
-
-bool Task::valid() const noexcept {
-  if (period <= 0 || wcet <= 0 || deadline <= 0) return false;
-  if (deadline > period) return false;
-  if (wcet > deadline) return false;
-  if (k == 0 || m == 0) return false;
-  if (m > k) return false;
-  // The paper requires 0 < m < k; we additionally allow the degenerate
-  // hard-real-time encoding m == k (every job mandatory).
-  return true;
-}
 
 TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
   for (std::size_t i = 0; i < tasks_.size(); ++i) {

@@ -33,15 +33,30 @@ struct Task {
   static Task from_ms(double period_ms, double deadline_ms, double wcet_ms,
                       std::uint32_t m, std::uint32_t k, std::string name = {});
 
-  /// Classic utilization C/P.
-  double utilization() const noexcept;
+  /// Classic utilization C/P. Defined inline (with the other one-liners
+  /// below): the task-set generator calls these millions of times per sweep
+  /// and a cross-library call per term dominates the actual arithmetic.
+  double utilization() const noexcept {
+    return static_cast<double>(wcet) / static_cast<double>(period);
+  }
   /// (m,k)-utilization m*C/(k*P) -- the x-axis of Figure 6.
-  double mk_utilization() const noexcept;
+  double mk_utilization() const noexcept {
+    return utilization() * static_cast<double>(m) / static_cast<double>(k);
+  }
 
   /// True when all structural invariants hold (positive P/C, D <= P,
   /// C <= D, 0 < m < k as required by the paper, or m == k == 1 for a
   /// plain hard-real-time task).
-  bool valid() const noexcept;
+  bool valid() const noexcept {
+    if (period <= 0 || wcet <= 0 || deadline <= 0) return false;
+    if (deadline > period) return false;
+    if (wcet > deadline) return false;
+    if (k == 0 || m == 0) return false;
+    if (m > k) return false;
+    // The paper requires 0 < m < k; we additionally allow the degenerate
+    // hard-real-time encoding m == k (every job mandatory).
+    return true;
+  }
 
   friend bool operator==(const Task&, const Task&) = default;
 };

@@ -269,9 +269,9 @@ std::vector<CampaignCase> default_campaign_cases(std::uint64_t seed) {
   params.max_k = 6;
   int index = 0;
   for (const double bin_lo : {0.3, 0.6}) {
-    core::Rng rng(core::stream_seed(seed, 0xCA17, static_cast<std::uint64_t>(index)));
-    const workload::BinnedBatch batch =
-        workload::generate_bin(params, bin_lo, bin_lo + 0.1, 1, 500, rng);
+    const workload::BinnedBatch batch = workload::generate_bin(
+        params, bin_lo, bin_lo + 0.1, 1, 500, core::stream_seed(seed, 0xCA17, 0),
+        static_cast<std::uint64_t>(index));
     if (!batch.sets.empty()) {
       cases.push_back({"gen-u" + std::to_string(index), batch.sets.front()});
     }

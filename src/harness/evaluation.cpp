@@ -56,8 +56,15 @@ double SweepResult::max_gain(std::size_t a, std::size_t b) const {
   return best;
 }
 
+workload::GenCounters SweepResult::generation_totals() const {
+  workload::GenCounters total;
+  for (const BinSummary& bin : bins) total += bin.gen_counters;
+  return total;
+}
+
 report::Table SweepResult::to_table() const {
-  std::vector<std::string> header{"mk-util bin", "sets", "attempts"};
+  std::vector<std::string> header{"mk-util bin", "sets", "attempts",
+                                  "rejects draw/bin/filter/rta"};
   for (const std::string& name : scheme_names) header.push_back(name);
   report::Table table(std::move(header));
   for (const BinSummary& bin : bins) {
@@ -65,6 +72,11 @@ report::Table SweepResult::to_table() const {
     row.push_back(report::interval(bin.bin_lo, bin.bin_hi));
     row.push_back(std::to_string(bin.sets));
     row.push_back(std::to_string(bin.attempts));
+    const workload::GenCounters& c = bin.gen_counters;
+    row.push_back(std::to_string(c.draw_failures) + "/" +
+                  std::to_string(c.out_of_bin) + "/" +
+                  std::to_string(c.filter_rejects) + "/" +
+                  std::to_string(c.rta_rejects));
     for (std::size_t s = 0; s < scheme_names.size(); ++s) {
       row.push_back(bin.sets ? report::fmt(bin.normalized[s].mean(), 3) : "-");
     }
@@ -84,9 +96,11 @@ SweepResult run_sweep(const SweepConfig& config) {
 
 namespace {
 
-/// Stream index reserved for task-set generation inside a bin; set indices
-/// (the other consumers of the (seed, bin, x) stream space) are dense from 0
-/// and can never reach it.
+/// Stream index reserved for task-set generation. The generation root seed
+/// is stream_seed(config.seed, kGenerationStream, 0); generate_bin then
+/// names attempt streams (root, bin_index, attempt). Fault plans draw from
+/// (config.seed, bin_index, set_index) directly, so the two stream families
+/// live under different root seeds and cannot collide.
 constexpr std::uint64_t kGenerationStream = ~std::uint64_t{0};
 
 /// Everything one task-set job reads and the slots it writes (one slot per
@@ -159,7 +173,11 @@ std::string corpus_set_path(const SweepConfig& config, std::size_t bin,
 
 std::string corpus_key(const SweepConfig& config) {
   char buf[160];
-  std::string key = "mkss-corpus-v1\n";
+  // v2: the RNG substream scheme moved to per-attempt streams
+  // (GenParams::stream_version 2), which reshuffles every generated set, so
+  // the key header and the gen line's trailing stream_version make corpora
+  // written by v1 builds abort loudly instead of replaying stale sets.
+  std::string key = "mkss-corpus-v2\n";
   key += "seed " + std::to_string(config.seed) + "\n";
   std::snprintf(buf, sizeof buf, "bin_width %a\nbins", config.bin_width);
   key += buf;
@@ -171,12 +189,12 @@ std::string corpus_key(const SweepConfig& config) {
   key += "max_attempts_per_bin " + std::to_string(config.max_attempts_per_bin) +
          "\n";
   const workload::GenParams& g = config.gen;
-  std::snprintf(buf, sizeof buf, "gen %zu %zu %lld %lld %u %u %a %d %d\n",
+  std::snprintf(buf, sizeof buf, "gen %zu %zu %lld %lld %u %u %a %d %d %u\n",
                 g.min_tasks, g.max_tasks,
                 static_cast<long long>(g.min_period_ms),
                 static_cast<long long>(g.max_period_ms), g.min_k, g.max_k,
                 g.deadline_factor, static_cast<int>(g.wcet_model),
-                static_cast<int>(g.accept_model));
+                static_cast<int>(g.accept_model), g.stream_version);
   key += buf;
   return key;
 }
@@ -216,8 +234,12 @@ bool load_corpus(const SweepConfig& config,
   for (std::size_t b = 0; b < bin_lines.size(); ++b) {
     std::size_t idx = 0, sets = 0;
     unsigned long long attempts = 0;
-    if (std::sscanf(bin_lines[b].c_str(), "bin %zu sets %zu attempts %llu",
-                    &idx, &sets, &attempts) != 3 ||
+    unsigned long long stage[6] = {};
+    if (std::sscanf(bin_lines[b].c_str(),
+                    "bin %zu sets %zu attempts %llu "
+                    "stages %llu %llu %llu %llu %llu quick %llu",
+                    &idx, &sets, &attempts, &stage[0], &stage[1], &stage[2],
+                    &stage[3], &stage[4], &stage[5]) != 9 ||
         idx != b) {
       throw std::runtime_error("corpus " + config.corpus_dir +
                                ": malformed manifest line '" + bin_lines[b] +
@@ -227,6 +249,8 @@ bool load_corpus(const SweepConfig& config,
     batch.bin_lo = config.bin_starts[b];
     batch.bin_hi = batch.bin_lo + config.bin_width;
     batch.attempts = attempts;
+    batch.counters = {stage[0], stage[1], stage[2], stage[3], stage[4],
+                      stage[5]};
     batch.sets.reserve(sets);
     for (std::size_t s = 0; s < sets; ++s) {
       batch.sets.push_back(io::parse_taskset_file(corpus_set_path(config, b, s)));
@@ -258,8 +282,11 @@ void save_corpus(const SweepConfig& config,
   std::ofstream out(corpus_manifest_path(config));
   out << corpus_key(config);
   for (std::size_t b = 0; b < batches.size(); ++b) {
+    const workload::GenCounters& c = batches[b].counters;
     out << "bin " << b << " sets " << batches[b].sets.size() << " attempts "
-        << batches[b].attempts << "\n";
+        << batches[b].attempts << " stages " << c.draw_failures << " "
+        << c.out_of_bin << " " << c.filter_rejects << " " << c.rta_rejects
+        << " " << c.accepted << " quick " << c.quick_accepts << "\n";
   }
   if (!out.flush()) {
     throw std::runtime_error("corpus: cannot write " +
@@ -286,23 +313,25 @@ SweepResult run_variant_sweep(const SweepConfig& config,
   std::unique_ptr<core::ThreadPool> pool;
   if (n_threads > 1) pool = std::make_unique<core::ThreadPool>(n_threads);
 
-  // Phase 1: task-set generation, one independent job per bin. Each bin owns
-  // the stream (seed, bin_index, kGenerationStream); rejection sampling
-  // inside a bin stays sequential (each draw depends on the previous ones),
-  // but bins proceed concurrently.
+  // Phase 1: task-set generation. Bins run one after another, and each bin
+  // fans its speculative attempt chunks across the pool (every attempt owns
+  // the stream (generation root, bin_index, attempt), so attempts are
+  // independent). This balances far better than one job per bin: high-
+  // utilization bins need orders of magnitude more attempts than low ones,
+  // and per-bin jobs left every worker but one idle on the last stragglers.
   const auto generate_start = Clock::now();
   std::vector<workload::BinnedBatch> batches(config.bin_starts.size());
   const bool corpus_loaded =
       !config.corpus_dir.empty() && load_corpus(config, batches);
   if (!corpus_loaded) {
-    core::parallel_for(pool.get(), batches.size(), [&](std::size_t b) {
+    const std::uint64_t gen_root =
+        core::stream_seed(config.seed, kGenerationStream, 0);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
       const double lo = config.bin_starts[b];
-      core::Rng gen_rng(core::stream_seed(config.seed, b, kGenerationStream));
-      batches[b] =
-          workload::generate_bin(config.gen, lo, lo + config.bin_width,
-                                 config.sets_per_bin,
-                                 config.max_attempts_per_bin, gen_rng);
-    });
+      batches[b] = workload::generate_bin(
+          config.gen, lo, lo + config.bin_width, config.sets_per_bin,
+          config.max_attempts_per_bin, gen_root, b, pool.get());
+    }
     if (!config.corpus_dir.empty()) save_corpus(config, batches);
   }
   result.timings.generate_seconds = seconds_since(generate_start);
@@ -403,6 +432,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     bin.bin_lo = batches[b].bin_lo;
     bin.bin_hi = batches[b].bin_hi;
     bin.attempts = batches[b].attempts;
+    bin.gen_counters = batches[b].counters;
     bin.normalized.resize(variants.size());
     bin.absolute.resize(variants.size());
 

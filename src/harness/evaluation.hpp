@@ -89,10 +89,12 @@ struct SweepConfig {
 
   /// Worker threads for the sweep: 1 = run everything inline on the calling
   /// thread, 0 = std::thread::hardware_concurrency. Results are bit-identical
-  /// for every value (see docs/architecture.md, "Harness threading model"):
-  /// all random streams are derived from (seed, bin_index, set_index) via
-  /// core::stream_seed, and statistics are aggregated in set-index order
-  /// after a barrier, never in completion order.
+  /// for every value (see docs/architecture.md, "Harness threading model" and
+  /// "Generation pipeline"): every random stream is named by indices via
+  /// core::stream_seed -- fault plans by (seed, bin_index, set_index),
+  /// generation attempts by (generation root, bin_index, attempt) -- and
+  /// results are committed/aggregated in index order after a barrier, never
+  /// in completion order.
   std::size_t num_threads{1};
 
   /// Attach the trace auditor (src/audit) to every run. An audit violation
@@ -131,6 +133,11 @@ struct BinSummary {
   double bin_hi{0};
   std::size_t sets{0};
   std::uint64_t attempts{0};
+  /// Where this bin's generation attempts went (draw failures / out-of-bin /
+  /// staged-filter rejects / exact-RTA rejects / accepts); the five stages
+  /// sum to `attempts`, so accept-rate regressions show up in the sweep
+  /// output instead of hiding inside a bigger attempt count.
+  workload::GenCounters gen_counters;
   /// Per scheme: normalized-energy statistics (vs. the reference scheme on
   /// the same task set) and absolute energy units.
   std::vector<metrics::RunningStat> normalized;
@@ -181,6 +188,9 @@ struct SweepResult {
   /// Largest mean relative gain of scheme `a` over scheme `b` across bins
   /// (indices into scheme_names), e.g. 0.28 for "up to 28% lower energy".
   double max_gain(std::size_t a, std::size_t b) const;
+
+  /// Sum of the per-bin generation counters.
+  workload::GenCounters generation_totals() const;
 
   /// Paper-style table: one row per bin, one column per scheme (normalized
   /// mean), plus set counts.

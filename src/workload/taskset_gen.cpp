@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
-#include "analysis/rta.hpp"
+#include "analysis/admission.hpp"
 
 namespace mkss::workload {
 
@@ -13,6 +14,18 @@ using core::Ticks;
 
 namespace {
 
+/// u^(1/e) for integer e >= 1. The small exponents that dominate UUniFast's
+/// tail get hardware square roots (correctly rounded per IEEE-754, so *more*
+/// reproducible than libm pow) instead of a libm pow call.
+double inv_int_root(double u, std::size_t e) {
+  switch (e) {
+    case 1: return u;
+    case 2: return std::sqrt(u);
+    case 4: return std::sqrt(std::sqrt(u));
+    default: return std::pow(u, 1.0 / static_cast<double>(e));
+  }
+}
+
 /// UUniFast (Bini & Buttazzo): splits `total` into n unbiased shares,
 /// written into `shares` (resized; reused across attempts by generate_bin).
 void uunifast(std::size_t n, double total, core::Rng& rng,
@@ -20,8 +33,7 @@ void uunifast(std::size_t n, double total, core::Rng& rng,
   shares.resize(n);
   double sum = total;
   for (std::size_t i = 0; i + 1 < n; ++i) {
-    const double next =
-        sum * std::pow(rng.uniform01(), 1.0 / static_cast<double>(n - 1 - i));
+    const double next = sum * inv_int_root(rng.uniform01(), n - 1 - i);
     shares[i] = sum - next;
     sum = next;
   }
@@ -32,82 +44,98 @@ void uunifast(std::size_t n, double total, core::Rng& rng,
 /// (C_i/P_i)/k_i) towards `target` total (m,k)-utilization.
 ///
 /// C_i/P_i and the per-step delta only depend on (C, P, k), which the loop
-/// never touches, so both are hoisted out of the iterations; every double
-/// below reproduces Task::mk_utilization()'s expression term for term, so
-/// the accept/reject decisions stay bit-identical to the naive form.
+/// never touches, so both are hoisted out of the iterations, and the running
+/// total is maintained incrementally (current +/- the applied step) instead
+/// of being re-summed every iteration. The greedy m choices therefore follow
+/// this accumulation's rounding -- a deterministic IEEE evaluation order,
+/// just not the re-summed one -- which is fine: repair only picks integer m
+/// values, and the bin filter re-checks the exact total afterwards.
 void repair_mk_total(std::vector<Task>& tasks, double target,
-                     std::vector<double>& util, std::vector<double>& step) {
-  util.resize(tasks.size());
-  step.resize(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    util[i] = tasks[i].utilization();
-    step[i] = util[i] / static_cast<double>(tasks[i].k);
+                     std::vector<double>& step, std::vector<std::uint32_t>& m,
+                     std::vector<std::uint32_t>& k) {
+  const std::size_t n = tasks.size();
+  step.resize(n);
+  m.resize(n);
+  k.resize(n);
+  double current = 0;
+  // The greedy scan runs over tight scalar arrays instead of the 64-byte
+  // Task structs (whose name strings would drag dead bytes through the
+  // cache); m values are written back once at the end.
+  for (std::size_t i = 0; i < n; ++i) {
+    step[i] = tasks[i].utilization() / static_cast<double>(tasks[i].k);
+    m[i] = tasks[i].m;
+    k[i] = tasks[i].k;
+    current += step[i] * static_cast<double>(m[i]);
   }
-  const auto total = [&] {
-    double u = 0;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      u += util[i] * static_cast<double>(tasks[i].m) /
-           static_cast<double>(tasks[i].k);
-    }
-    return u;
-  };
   for (int iter = 0; iter < 256; ++iter) {
-    const double current = total();
     const double gap = target - current;
+    const bool up = gap > 0;
+    // Stepping m by one changes |gap| by |gap| - |gap -+ step|, which for a
+    // step in the right direction equals min(step, 2|gap| - step): the full
+    // step if it fits inside the gap, the post-overshoot remainder if not.
+    const double twice_gap = up ? gap + gap : -(gap + gap);
     // Find the m step that best reduces |gap| without leaving [1, k-1].
-    std::size_t best = tasks.size();
+    std::size_t best = n;
     double best_improve = 0;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const Task& t = tasks[i];
-      if (gap > 0 && t.m + 1 < t.k) {
-        const double improve = std::abs(gap) - std::abs(gap - step[i]);
-        if (improve > best_improve) {
-          best_improve = improve;
-          best = i;
-        }
-      } else if (gap < 0 && t.m > 1) {
-        const double improve = std::abs(gap) - std::abs(gap + step[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (up ? m[i] + 1 < k[i] : m[i] > 1) {
+        const double improve = std::min(step[i], twice_gap - step[i]);
         if (improve > best_improve) {
           best_improve = improve;
           best = i;
         }
       }
     }
-    if (best == tasks.size()) break;  // no step improves the total
-    if (target > current) {
-      ++tasks[best].m;
+    if (best == n) break;  // no step improves the total
+    if (up) {
+      ++m[best];
+      current += step[best];
     } else {
-      --tasks[best].m;
+      --m[best];
+      current -= step[best];
     }
   }
+  for (std::size_t i = 0; i < n; ++i) tasks[i].m = m[i];
 }
 
 /// Scratch buffers reused across generation attempts, so the 95%+ of draws
 /// that get rejected never touch the heap.
 struct GenScratch {
   std::vector<double> shares;
-  std::vector<Task> tasks;
-  std::vector<double> repair_util;
+  std::vector<Task> tasks;          ///< draw order; never physically sorted
+  std::vector<std::uint32_t> order; ///< priority permutation into `tasks`
   std::vector<double> repair_step;
+  std::vector<std::uint32_t> repair_m;
+  std::vector<std::uint32_t> repair_k;
+  core::Ticks wcet_sum{0};     ///< sum of all drawn WCETs
+  core::Ticks lp_deadline{0};  ///< deadline of the longest-period task
 };
 
-/// Draws one candidate into `s.tasks` -- draw-for-draw identical to the
-/// original generate_taskset (the accepted-set golden values depend on the
-/// RNG sequence). Returns false when a share is too big for its (m,k,P)
-/// draw; tasks come out sorted rate-monotonically but unnamed.
-bool draw_candidate(const GenParams& params, double target_mk_util,
-                    core::Rng& rng, GenScratch& s) {
+/// Draws one raw candidate into `s.tasks` -- draw-for-draw identical to
+/// generate_taskset (the accepted-set values depend on the RNG sequence).
+/// Returns false when a share is too big for its (m,k,P) draw. Also records
+/// `s.wcet_sum` and `s.lp_deadline`, the ingredients of the pre-repair
+/// lower-bound filter in run_attempt. finalize_candidate() finishes the job
+/// (m repair + priority order) for candidates that survive it.
+bool draw_raw(const GenParams& params, double target_mk_util, core::Rng& rng,
+              GenScratch& s) {
   const auto n = static_cast<std::size_t>(
       rng.range(static_cast<std::int64_t>(params.min_tasks),
                 static_cast<std::int64_t>(params.max_tasks)));
   uunifast(n, target_mk_util, rng, s.shares);
 
-  s.tasks.clear();
+  // Scratch tasks are written field-by-field in place (names stay empty --
+  // only accepted candidates are ever materialized into named TaskSets).
+  s.tasks.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    Task t;
+    Task& t = s.tasks[i];
     t.period = core::from_ms(rng.range(params.min_period_ms, params.max_period_ms));
-    t.deadline = std::max<Ticks>(
-        1, core::from_ms(params.deadline_factor * core::to_ms(t.period)));
+    // deadline_factor == 1.0 round-trips exactly (periods this size are exact
+    // in double), so skip the ms conversions on the common implicit path.
+    t.deadline = params.deadline_factor == 1.0
+                     ? t.period
+                     : std::max<Ticks>(1, core::from_ms(params.deadline_factor *
+                                                        core::to_ms(t.period)));
     t.k = static_cast<std::uint32_t>(
         rng.range(params.min_k, static_cast<std::int64_t>(params.max_k)));
 
@@ -138,65 +166,243 @@ bool draw_candidate(const GenParams& params, double target_mk_util,
       }
     }
     if (!t.valid()) return false;  // share too big for this (m,k,P) draw
-    s.tasks.push_back(t);
   }
+
+  s.wcet_sum = 0;
+  s.lp_deadline = 0;
+  Ticks max_period = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.wcet_sum += s.tasks[i].wcet;
+    // Equal periods share a deadline (it is a pure function of the period),
+    // so any longest-period task gives the lowest-priority deadline.
+    if (s.tasks[i].period >= max_period) {
+      max_period = s.tasks[i].period;
+      s.lp_deadline = s.tasks[i].deadline;
+    }
+  }
+  return true;
+}
+
+/// Second half of a candidate draw: m repair towards the target total and
+/// the rate-monotonic priority permutation. Consumes no RNG, so callers may
+/// discard a raw draw before this without perturbing the stream.
+void finalize_candidate(const GenParams& params, double target_mk_util,
+                        GenScratch& s) {
+  const std::size_t n = s.tasks.size();
 
   // Integer m_i rounding can drift the total away from the target; repair by
   // nudging m values until the total is as close to the target as unit steps
   // allow.
   if (params.wcet_model == WcetModel::kUniformWcet) {
-    repair_mk_total(s.tasks, target_mk_util, s.repair_util, s.repair_step);
+    repair_mk_total(s.tasks, target_mk_util, s.repair_step, s.repair_m,
+                    s.repair_k);
   }
 
   // Rate-monotonic priority order (shorter period == higher priority), the
-  // natural fixed-priority assignment for implicit deadlines.
-  std::sort(s.tasks.begin(), s.tasks.end(),
-            [](const Task& a, const Task& b) { return a.period < b.period; });
-  return true;
+  // natural fixed-priority assignment for implicit deadlines. Insertion sort
+  // of the identity permutation: stable, so equal periods keep draw order --
+  // std::sort over the Task structs left that tie implementation-defined.
+  s.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.order[i] = i;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t key = s.order[i];
+    const Ticks key_period = s.tasks[key].period;
+    std::size_t j = i;
+    for (; j > 0 && s.tasks[s.order[j - 1]].period > key_period; --j) {
+      s.order[j] = s.order[j - 1];
+    }
+    s.order[j] = key;
+  }
 }
 
-/// Sum of m C / (k P) over the scratch tasks, in the same (sorted) order as
-/// TaskSet::total_mk_utilization would accumulate it -- bit-identical, so
-/// the bin accept/reject decision matches the materialized path.
-double raw_mk_utilization(const std::vector<Task>& tasks) {
+/// Sum of m C / (k P) over the scratch tasks in priority order -- the same
+/// accumulation order as TaskSet::total_mk_utilization, so the bin
+/// accept/reject decision is bit-identical to the materialized path.
+double raw_mk_utilization(const GenScratch& s) {
   double u = 0;
-  for (const Task& t : tasks) u += t.mk_utilization();
+  for (const auto idx : s.order) u += s.tasks[idx].mk_utilization();
   return u;
+}
+
+/// Per-thread generation state: scratch buffers plus the staged-admission
+/// context whose probe hints warm-start consecutive attempts.
+struct AttemptWorker {
+  GenScratch scratch;
+  analysis::AdmissionContext admission;
+};
+
+enum class AttemptKind : std::uint8_t {
+  kDrawFail,
+  kOutOfBin,
+  kFilterReject,
+  kRtaReject,
+  kAccepted,
+};
+
+struct AttemptResult {
+  AttemptKind kind{AttemptKind::kDrawFail};
+  bool quick{false};  ///< accepted by the hyperbolic bound alone
+};
+
+/// Runs one fully self-contained attempt: its private RNG stream, a draw,
+/// the bin filter, and staged admission. On accept, writes the tasks (in
+/// priority order, unnamed -- the TaskSet constructor names them) into
+/// `accepted_out`. Attempts touch no shared state, which is what makes the
+/// speculative parallel path below trivially race-free.
+AttemptResult run_attempt(const GenParams& params, double bin_lo, double bin_hi,
+                          std::uint64_t seed, std::uint64_t bin_index,
+                          std::uint64_t attempt, AttemptWorker& w,
+                          std::vector<Task>& accepted_out) {
+  core::Rng rng(core::stream_seed(seed, bin_index, attempt));
+  const double target = rng.uniform(bin_lo, bin_hi);
+  if (!draw_raw(params, target, rng, w.scratch)) {
+    return {AttemptKind::kDrawFail, false};
+  }
+  // Pre-repair lower-bound filter: the lowest-priority task under any
+  // priority order is a longest-period one, and its demand lower bound S0
+  // (see AdmissionContext) is the order-independent sum of ALL WCETs. m
+  // repair never touches WCETs, periods, or deadlines, so when that exact
+  // Ticks comparison fails here, staged admission would reject the finished
+  // candidate with kLowerBoundReject regardless of its bin -- skip the
+  // repair, the sort, and the admission call outright.
+  if (w.scratch.wcet_sum > w.scratch.lp_deadline) {
+    return {AttemptKind::kFilterReject, false};
+  }
+  finalize_candidate(params, target, w.scratch);
+  // Cheap rejections next: most surviving candidates drift out of the bin
+  // after integer rounding, and the raw-vector total is bit-identical to the
+  // TaskSet one, so names/TaskSet are only materialized for survivors.
+  const double u = raw_mk_utilization(w.scratch);
+  if (u < bin_lo || u >= bin_hi) return {AttemptKind::kOutOfBin, false};
+  const auto verdict = w.admission.admit(w.scratch.tasks, w.scratch.order,
+                                         params.accept_model);
+  if (!verdict.schedulable) {
+    return {verdict.stage == analysis::AdmissionStage::kLowerBoundReject
+                ? AttemptKind::kFilterReject
+                : AttemptKind::kRtaReject,
+            false};
+  }
+  accepted_out.clear();
+  accepted_out.reserve(w.scratch.order.size());
+  for (const auto idx : w.scratch.order) {
+    accepted_out.push_back(w.scratch.tasks[idx]);
+  }
+  // Only the hyperbolic stage counts as "quick": it is a pure function of
+  // the candidate. The probe-vs-exact distinction depends on the admission
+  // context's history (which attempts this worker ran before), and counters
+  // must be bit-identical across thread counts.
+  return {AttemptKind::kAccepted,
+          verdict.stage == analysis::AdmissionStage::kHyperbolicAccept};
+}
+
+void tally(GenCounters& c, const AttemptResult& r) {
+  switch (r.kind) {
+    case AttemptKind::kDrawFail: ++c.draw_failures; break;
+    case AttemptKind::kOutOfBin: ++c.out_of_bin; break;
+    case AttemptKind::kFilterReject: ++c.filter_rejects; break;
+    case AttemptKind::kRtaReject: ++c.rta_rejects; break;
+    case AttemptKind::kAccepted:
+      ++c.accepted;
+      if (r.quick) ++c.quick_accepts;
+      break;
+  }
 }
 
 }  // namespace
 
+GenCounters& GenCounters::operator+=(const GenCounters& o) noexcept {
+  draw_failures += o.draw_failures;
+  out_of_bin += o.out_of_bin;
+  filter_rejects += o.filter_rejects;
+  rta_rejects += o.rta_rejects;
+  accepted += o.accepted;
+  quick_accepts += o.quick_accepts;
+  return *this;
+}
+
 std::optional<TaskSet> generate_taskset(const GenParams& params,
                                         double target_mk_util, core::Rng& rng) {
   GenScratch s;
-  if (!draw_candidate(params, target_mk_util, rng, s)) return std::nullopt;
-  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
-    s.tasks[i].name = "tau" + std::to_string(i + 1);
+  if (!draw_raw(params, target_mk_util, rng, s)) return std::nullopt;
+  finalize_candidate(params, target_mk_util, s);
+  std::vector<Task> tasks;
+  tasks.reserve(s.order.size());
+  for (const auto idx : s.order) tasks.push_back(s.tasks[idx]);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].name = "tau" + std::to_string(i + 1);
   }
-  return TaskSet(std::move(s.tasks));
+  return TaskSet(std::move(tasks));
 }
 
 BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
                          std::size_t want_schedulable, std::size_t max_attempts,
-                         core::Rng& rng) {
+                         std::uint64_t seed, std::uint64_t bin_index,
+                         core::ThreadPool* pool) {
+  if (params.stream_version != 2) {
+    throw std::invalid_argument(
+        "generate_bin: unsupported GenParams::stream_version " +
+        std::to_string(params.stream_version) +
+        " (this build only speaks the v2 per-attempt substream scheme)");
+  }
   BinnedBatch batch;
   batch.bin_lo = bin_lo;
   batch.bin_hi = bin_hi;
-  GenScratch scratch;
-  while (batch.sets.size() < want_schedulable && batch.attempts < max_attempts) {
-    ++batch.attempts;
-    const double target = rng.uniform(bin_lo, bin_hi);
-    if (!draw_candidate(params, target, rng, scratch)) continue;
-    // Cheap rejections first: most candidates drift out of the bin after
-    // integer rounding, and the raw-vector total is bit-identical to the
-    // TaskSet one, so names/TaskSet are only materialized for survivors.
-    const double u = raw_mk_utilization(scratch.tasks);
-    if (u < bin_lo || u >= bin_hi) continue;  // rounding moved it out of bin
-    TaskSet ts(std::vector<Task>(scratch.tasks.begin(), scratch.tasks.end()));
-    if (!analysis::schedulable(ts, params.accept_model)) {
-      continue;
+
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers <= 1) {
+    static thread_local AttemptWorker worker;
+    std::vector<Task> accepted;
+    while (batch.sets.size() < want_schedulable && batch.attempts < max_attempts) {
+      const std::uint64_t attempt = batch.attempts++;
+      const AttemptResult r = run_attempt(params, bin_lo, bin_hi, seed,
+                                          bin_index, attempt, worker, accepted);
+      tally(batch.counters, r);
+      if (r.kind == AttemptKind::kAccepted) {
+        batch.sets.emplace_back(std::move(accepted));
+      }
     }
-    batch.sets.push_back(std::move(ts));
+    return batch;
+  }
+
+  // Speculative parallel attempts: fill a chunk of per-attempt result slots
+  // across the pool (attempts are independent under the v2 substreams), then
+  // commit them in ascending attempt order until `want_schedulable` is
+  // reached -- attempts past the deciding one are discarded unexamined, so
+  // the batch (sets, attempt count, counters) is bit-identical to the serial
+  // path no matter how many workers raced ahead. Chunks grow geometrically:
+  // reject-heavy bins amortize dispatch overhead, while bins that fill from
+  // a handful of attempts waste little speculative work.
+  struct Slot {
+    AttemptResult result;
+    std::vector<Task> tasks;
+  };
+  std::vector<Slot> slots;
+  std::uint64_t next = 0;  // first attempt index not yet examined
+  std::size_t per_job = 64;
+  while (batch.sets.size() < want_schedulable && next < max_attempts) {
+    const auto chunk = std::min<std::uint64_t>(max_attempts - next,
+                                               workers * per_job);
+    if (slots.size() < chunk) slots.resize(chunk);
+    const auto jobs = static_cast<std::size_t>((chunk + per_job - 1) / per_job);
+    core::parallel_for(pool, jobs, [&](std::size_t job) {
+      static thread_local AttemptWorker worker;
+      const std::uint64_t begin = job * per_job;
+      const auto end = std::min<std::uint64_t>(begin + per_job, chunk);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        slots[i].result = run_attempt(params, bin_lo, bin_hi, seed, bin_index,
+                                      next + i, worker, slots[i].tasks);
+      }
+    });
+    for (std::uint64_t i = 0;
+         i < chunk && batch.sets.size() < want_schedulable; ++i) {
+      ++batch.attempts;
+      tally(batch.counters, slots[i].result);
+      if (slots[i].result.kind == AttemptKind::kAccepted) {
+        batch.sets.emplace_back(std::move(slots[i].tasks));
+      }
+    }
+    next += chunk;
+    per_job = std::min<std::size_t>(per_job * 2, 2048);
   }
   return batch;
 }

@@ -14,6 +14,7 @@
 #include "analysis/rta.hpp"
 #include "core/rng.hpp"
 #include "core/task.hpp"
+#include "core/thread_pool.hpp"
 
 namespace mkss::workload {
 
@@ -46,6 +47,18 @@ struct GenParams {
   /// ("schedulable under R-pattern" in the paper; the E-pattern model is
   /// used by the pattern ablation).
   analysis::DemandModel accept_model{analysis::DemandModel::kRPatternMandatory};
+  /// RNG substream scheme version; 2 is the only supported value.
+  ///
+  /// Version 2 gives every generation attempt its own named stream,
+  /// core::stream_seed(seed, bin_index, attempt), so attempts are mutually
+  /// independent -- which is what lets generate_bin run speculative attempt
+  /// chunks across the thread pool and still commit bit-identical results
+  /// for every thread count. Version 1 (one sequential stream per bin,
+  /// attempt N's draws depending on how many values attempts 0..N-1
+  /// consumed) could not be parallelized and was removed; the bump
+  /// regenerated every golden fixture once and extended the corpus manifest
+  /// key so v1 corpora abort loudly instead of replaying stale sets.
+  std::uint32_t stream_version{2};
 };
 
 /// Draws one random task set whose total (m,k)-utilization is close to
@@ -55,18 +68,50 @@ std::optional<core::TaskSet> generate_taskset(const GenParams& params,
                                               double target_mk_util,
                                               core::Rng& rng);
 
+/// Per-stage generation telemetry. Every attempt lands in exactly one of
+/// draw_failures / out_of_bin / filter_rejects / rta_rejects / accepted, so
+/// the five sum to the attempt count; quick_accepts is the subset of
+/// `accepted` certified by the closed-form hyperbolic bound without any
+/// demand evaluation. (Probe accepts are deliberately NOT counted
+/// separately: whether a remembered probe or an exact fixed point certifies
+/// a task depends on which candidates an admission context saw before, i.e.
+/// on worker scheduling -- only history-independent stages may feed a
+/// counter that must be bit-identical across thread counts.)
+struct GenCounters {
+  std::uint64_t draw_failures{0};   ///< a share was too big for its (m,k,P)
+  std::uint64_t out_of_bin{0};      ///< integer rounding drifted the total
+  std::uint64_t filter_rejects{0};  ///< staged demand lower bound fired
+  std::uint64_t rta_rejects{0};     ///< exact fixed point overran a deadline
+  std::uint64_t accepted{0};
+  std::uint64_t quick_accepts{0};
+
+  GenCounters& operator+=(const GenCounters& o) noexcept;
+  friend bool operator==(const GenCounters&, const GenCounters&) = default;
+};
+
 /// A batch of schedulable task sets inside one (m,k)-utilization bin.
 struct BinnedBatch {
   double bin_lo{0};
   double bin_hi{0};
   std::vector<core::TaskSet> sets;   ///< R-pattern schedulable, util in bin
   std::uint64_t attempts{0};         ///< total generation attempts
+  GenCounters counters;              ///< where the attempts went
 };
 
-/// Generates until `want_schedulable` R-pattern-schedulable sets landed in
+/// Generates until `want_schedulable` schedulable sets landed in
 /// [bin_lo, bin_hi) or `max_attempts` draws were made.
+///
+/// Attempt a draws from core::Rng(core::stream_seed(seed, bin_index, a)) and
+/// accepted sets commit in ascending attempt order, so the result is a pure
+/// function of (params, bin bounds, want, max_attempts, seed, bin_index):
+/// with a thread pool the attempts run as speculative chunks across the
+/// workers, bit-identical to the serial path (pool == nullptr) for every
+/// thread count. Callers that derive `seed` from a wider context should
+/// reserve a stream index for it (the sweep harness uses its generation
+/// stream tag) so attempt streams cannot collide with other named streams.
 BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
                          std::size_t want_schedulable, std::size_t max_attempts,
-                         core::Rng& rng);
+                         std::uint64_t seed, std::uint64_t bin_index,
+                         core::ThreadPool* pool = nullptr);
 
 }  // namespace mkss::workload

@@ -58,9 +58,10 @@ TEST(AnalysisCache, MatchesFreshComputationOnPaperSet) {
 TEST(AnalysisCache, MatchesFreshComputationOnRandomizedSets) {
   workload::GenParams params;
   for (const std::uint64_t seed : {11u, 12u, 13u}) {
-    core::Rng rng(seed);
+    std::uint64_t bin = 0;
     for (const double lo : {0.2, 0.5}) {
-      const auto batch = workload::generate_bin(params, lo, lo + 0.1, 3, 2000, rng);
+      const auto batch =
+          workload::generate_bin(params, lo, lo + 0.1, 3, 2000, seed, bin++);
       for (const auto& ts : batch.sets) {
         SCOPED_TRACE(ts.describe());
         expect_cache_matches_fresh(ts);
@@ -98,8 +99,7 @@ TEST(AnalysisCache, CacheBoundSchemeProducesIdenticalTraces) {
   // The same scheme kind with and without a bound cache must schedule
   // identically: the cache only memoizes, never alters, the analyses.
   workload::GenParams params;
-  core::Rng rng(99);
-  const auto batch = workload::generate_bin(params, 0.4, 0.5, 2, 2000, rng);
+  const auto batch = workload::generate_bin(params, 0.4, 0.5, 2, 2000, 99, 0);
   ASSERT_FALSE(batch.sets.empty());
   const sim::NoFaultPlan nofault;
   for (const auto& ts : batch.sets) {

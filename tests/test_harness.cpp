@@ -130,6 +130,7 @@ TEST(Sweep, BitIdenticalAcrossThreadCounts) {
       const auto& pb = parallel.bins[b];
       EXPECT_EQ(pb.sets, sb.sets) << threads;
       EXPECT_EQ(pb.attempts, sb.attempts) << threads;
+      EXPECT_EQ(pb.gen_counters, sb.gen_counters) << threads;
       ASSERT_EQ(pb.normalized.size(), sb.normalized.size());
       for (std::size_t s = 0; s < sb.normalized.size(); ++s) {
         // Bit-identical, not just close: same streams, same fp order.
@@ -156,6 +157,28 @@ TEST(Sweep, TableRecordsGenerationAttempts) {
   const auto csv = result.to_table().to_csv();
   EXPECT_NE(csv.find("attempts"), std::string::npos);
   EXPECT_NE(csv.find(std::to_string(result.bins[0].attempts)),
+            std::string::npos);
+}
+
+TEST(Sweep, SurfacesGenerationStageCounters) {
+  SweepConfig cfg;
+  cfg.bin_starts = {0.2, 0.4};
+  cfg.sets_per_bin = 4;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  const auto result = run_sweep(cfg);
+  ASSERT_EQ(result.bins.size(), 2u);
+  for (const auto& bin : result.bins) {
+    const workload::GenCounters& c = bin.gen_counters;
+    // Every attempt exits through exactly one stage.
+    EXPECT_EQ(c.draw_failures + c.out_of_bin + c.filter_rejects +
+                  c.rta_rejects + c.accepted,
+              bin.attempts);
+    EXPECT_EQ(c.accepted, bin.sets);
+  }
+  const auto totals = result.generation_totals();
+  EXPECT_EQ(totals.accepted, result.bins[0].sets + result.bins[1].sets);
+  EXPECT_NE(result.to_table().to_csv().find("rejects draw/bin/filter/rta"),
             std::string::npos);
 }
 

@@ -164,8 +164,7 @@ TEST(Sinks, StatsMatchesFullTraceWithDvsFrequencies) {
 
 TEST(Sinks, StatsMatchesFullTraceOnRandomizedSets) {
   workload::GenParams params;
-  core::Rng rng(7);
-  const auto batch = workload::generate_bin(params, 0.3, 0.4, 4, 2000, rng);
+  const auto batch = workload::generate_bin(params, 0.3, 0.4, 4, 2000, 7, 0);
   ASSERT_FALSE(batch.sets.empty());
   const fault::ScenarioFaultPlan plan(
       sim::PermanentFault{sim::kPrimary, from_ms(std::int64_t{500})},

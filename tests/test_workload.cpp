@@ -1,8 +1,11 @@
 // Unit tests: synthetic task-set generation (Section V parameters).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "analysis/rta.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/taskset_gen.hpp"
 
@@ -111,8 +114,7 @@ TEST(Generator, UniformModelKeepsSubstantialWcets) {
 }
 
 TEST(GenerateBin, ProducesSchedulableSetsInsideTheBin) {
-  core::Rng rng(106);
-  const auto batch = generate_bin(GenParams{}, 0.3, 0.4, 10, 4000, rng);
+  const auto batch = generate_bin(GenParams{}, 0.3, 0.4, 10, 4000, 106, 0);
   EXPECT_GT(batch.sets.size(), 0u);
   EXPECT_LE(batch.sets.size(), 10u);
   EXPECT_GT(batch.attempts, 0u);
@@ -125,20 +127,65 @@ TEST(GenerateBin, ProducesSchedulableSetsInsideTheBin) {
 }
 
 TEST(GenerateBin, RespectsAttemptCap) {
-  core::Rng rng(107);
   // An (almost) unfillable bin: cap must stop the search.
-  const auto batch = generate_bin(GenParams{}, 0.95, 1.05, 5, 50, rng);
+  const auto batch = generate_bin(GenParams{}, 0.95, 1.05, 5, 50, 107, 0);
   EXPECT_LE(batch.attempts, 50u);
 }
 
 TEST(GenerateBin, DeterministicForFixedSeed) {
-  core::Rng a(108), b(108);
-  const auto batch_a = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, a);
-  const auto batch_b = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, b);
+  const auto batch_a = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, 108, 3);
+  const auto batch_b = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, 108, 3);
   ASSERT_EQ(batch_a.sets.size(), batch_b.sets.size());
   for (std::size_t i = 0; i < batch_a.sets.size(); ++i) {
     EXPECT_EQ(batch_a.sets[i].describe(), batch_b.sets[i].describe());
   }
+  EXPECT_EQ(batch_a.attempts, batch_b.attempts);
+  EXPECT_EQ(batch_a.counters, batch_b.counters);
+}
+
+TEST(GenerateBin, BinIndexSelectsIndependentStreams) {
+  const auto batch_a = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, 108, 3);
+  const auto batch_c = generate_bin(GenParams{}, 0.4, 0.5, 5, 2000, 108, 4);
+  ASSERT_FALSE(batch_a.sets.empty());
+  ASSERT_FALSE(batch_c.sets.empty());
+  EXPECT_NE(batch_a.sets.front().describe(), batch_c.sets.front().describe());
+}
+
+TEST(GenerateBin, CountersPartitionAttempts) {
+  const auto batch = generate_bin(GenParams{}, 0.3, 0.4, 10, 4000, 106, 0);
+  const GenCounters& c = batch.counters;
+  EXPECT_EQ(c.draw_failures + c.out_of_bin + c.filter_rejects + c.rta_rejects +
+                c.accepted,
+            batch.attempts);
+  EXPECT_EQ(c.accepted, batch.sets.size());
+  EXPECT_LE(c.quick_accepts, c.accepted);
+  EXPECT_GT(c.out_of_bin + c.filter_rejects + c.rta_rejects, 0u);
+}
+
+TEST(GenerateBin, BitIdenticalAcrossThreadCounts) {
+  // The speculative parallel path must commit exactly the serial result:
+  // same sets in the same order, same attempt count, same stage counters.
+  const auto serial = generate_bin(GenParams{}, 0.4, 0.5, 6, 4000, 109, 1);
+  ASSERT_FALSE(serial.sets.empty());
+  for (const std::size_t n_threads : {std::size_t{2}, std::size_t{0}}) {
+    core::ThreadPool pool(core::ThreadPool::resolve_num_threads(n_threads));
+    const auto parallel =
+        generate_bin(GenParams{}, 0.4, 0.5, 6, 4000, 109, 1, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(pool.size()));
+    EXPECT_EQ(parallel.attempts, serial.attempts);
+    EXPECT_EQ(parallel.counters, serial.counters);
+    ASSERT_EQ(parallel.sets.size(), serial.sets.size());
+    for (std::size_t i = 0; i < serial.sets.size(); ++i) {
+      EXPECT_EQ(parallel.sets[i].describe(), serial.sets[i].describe());
+    }
+  }
+}
+
+TEST(GenerateBin, RejectsUnknownStreamVersion) {
+  GenParams params;
+  params.stream_version = 1;
+  EXPECT_THROW(generate_bin(params, 0.3, 0.4, 1, 10, 1, 0),
+               std::invalid_argument);
 }
 
 }  // namespace
