@@ -127,12 +127,21 @@ inline void print_sweep(const char* title, const harness::SweepResult& result) {
     }
   }
 
-  std::printf("csv:\nbin_lo,bin_hi,sets,attempts");
+  std::printf(
+      "csv:\nbin_lo,bin_hi,sets,attempts,draw_failures,out_of_bin,"
+      "filter_rejects,rta_rejects,quick_accepts");
   for (const auto& name : result.scheme_names) std::printf(",%s", name.c_str());
   std::printf("\n");
   for (const auto& bin : result.bins) {
-    std::printf("%.1f,%.1f,%zu,%llu", bin.bin_lo, bin.bin_hi, bin.sets,
-                static_cast<unsigned long long>(bin.attempts));
+    const workload::GenCounters& gc = bin.gen_counters;
+    std::printf("%.1f,%.1f,%zu,%llu,%llu,%llu,%llu,%llu,%llu", bin.bin_lo,
+                bin.bin_hi, bin.sets,
+                static_cast<unsigned long long>(bin.attempts),
+                static_cast<unsigned long long>(gc.draw_failures),
+                static_cast<unsigned long long>(gc.out_of_bin),
+                static_cast<unsigned long long>(gc.filter_rejects),
+                static_cast<unsigned long long>(gc.rta_rejects),
+                static_cast<unsigned long long>(gc.quick_accepts));
     for (std::size_t s = 0; s < result.scheme_names.size(); ++s) {
       std::printf(",%s",
                   bin.sets ? report::fmt(bin.normalized[s].mean(), 4).c_str() : "");

@@ -1,0 +1,137 @@
+// perf_gen: throughput of the task-set generator in isolation.
+//
+// perf_sweep times generation as one phase of the full harness; this bench
+// pins the generator itself so a regression in the staged-admission ladder
+// or the speculative parallel path is visible without simulator noise. It
+// runs the Figure-6 bins serially (attempts/sec is the headline number,
+// emitted to bench/BENCH_gen.json with the per-stage exit counts), then
+// re-runs them against a thread pool and fails unless sets, attempt counts
+// and stage counters are bit-identical to the serial pass.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "workload/taskset_gen.hpp"
+
+int main() {
+  using namespace mkss;
+  using clock = std::chrono::steady_clock;
+
+  // The perf_sweep workload: Figure-6 bins, scaled up so the serial pass is
+  // long enough to time (the high bins are rejection-dominated and exhaust
+  // the cap).
+  const workload::GenParams params;
+  const std::vector<double> bin_starts = {0.1, 0.2, 0.3, 0.4,
+                                          0.5, 0.6, 0.7, 0.8};
+  std::size_t want = 400;
+  std::size_t cap = 80000;
+  if (const char* env = std::getenv("MKSS_SETS_PER_BIN")) {
+    want = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (const char* env = std::getenv("MKSS_MAX_ATTEMPTS")) {
+    cap = static_cast<std::size_t>(std::atoll(env));
+  }
+  const std::uint64_t seed = 20260806;
+
+  const auto run_all = [&](core::ThreadPool* pool) {
+    std::vector<workload::BinnedBatch> batches;
+    batches.reserve(bin_starts.size());
+    for (std::size_t b = 0; b < bin_starts.size(); ++b) {
+      batches.push_back(workload::generate_bin(params, bin_starts[b],
+                                               bin_starts[b] + 0.1, want, cap,
+                                               seed, b, pool));
+    }
+    return batches;
+  };
+
+  const auto start = clock::now();
+  const auto serial = run_all(nullptr);
+  const double secs = std::chrono::duration<double>(clock::now() - start).count();
+
+  std::uint64_t attempts = 0;
+  std::size_t sets = 0;
+  workload::GenCounters totals;
+  for (const auto& batch : serial) {
+    attempts += batch.attempts;
+    sets += batch.sets.size();
+    totals += batch.counters;
+  }
+  const double attempts_per_sec =
+      secs > 0 ? static_cast<double>(attempts) / secs : 0;
+
+  std::printf("=== perf_gen: task-set generator throughput ===\n");
+  std::printf("serial  %.3fs  %llu attempts  %zu sets  %.0f attempts/sec\n",
+              secs, static_cast<unsigned long long>(attempts), sets,
+              attempts_per_sec);
+  std::printf(
+      "stages: draw-fail %llu, out-of-bin %llu, filter-reject %llu, "
+      "rta-reject %llu, accepted %llu (quick %llu)\n",
+      static_cast<unsigned long long>(totals.draw_failures),
+      static_cast<unsigned long long>(totals.out_of_bin),
+      static_cast<unsigned long long>(totals.filter_rejects),
+      static_cast<unsigned long long>(totals.rta_rejects),
+      static_cast<unsigned long long>(totals.accepted),
+      static_cast<unsigned long long>(totals.quick_accepts));
+
+  // Determinism contract: the speculative parallel path must reproduce the
+  // serial batches exactly, for a small pool and for the hardware size.
+  bool identical = true;
+  for (const std::size_t n_threads : {std::size_t{2}, std::size_t{0}}) {
+    core::ThreadPool pool(core::ThreadPool::resolve_num_threads(n_threads));
+    const auto parallel = run_all(&pool);
+    for (std::size_t b = 0; b < serial.size(); ++b) {
+      if (parallel[b].attempts != serial[b].attempts ||
+          !(parallel[b].counters == serial[b].counters) ||
+          parallel[b].sets.size() != serial[b].sets.size()) {
+        identical = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < serial[b].sets.size(); ++i) {
+        if (parallel[b].sets[i].describe() != serial[b].sets[i].describe()) {
+          identical = false;
+        }
+      }
+    }
+    std::printf("threads=%zu  %s\n", pool.size(),
+                identical ? "bit-identical" : "MISMATCH vs serial");
+  }
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\n  \"bench\": \"taskset_gen\",\n  \"seconds\": %.4f,\n"
+      "  \"attempts\": %llu,\n  \"sets\": %zu,\n"
+      "  \"attempts_per_sec\": %.1f,\n"
+      "  \"stages\": {\"draw_failures\": %llu, \"out_of_bin\": %llu, "
+      "\"filter_rejects\": %llu, \"rta_rejects\": %llu, \"accepted\": %llu, "
+      "\"quick_accepts\": %llu},\n  \"bit_identical\": %s\n}\n",
+      secs, static_cast<unsigned long long>(attempts), sets, attempts_per_sec,
+      static_cast<unsigned long long>(totals.draw_failures),
+      static_cast<unsigned long long>(totals.out_of_bin),
+      static_cast<unsigned long long>(totals.filter_rejects),
+      static_cast<unsigned long long>(totals.rta_rejects),
+      static_cast<unsigned long long>(totals.accepted),
+      static_cast<unsigned long long>(totals.quick_accepts),
+      identical ? "true" : "false");
+
+  const char* out_path = "bench/BENCH_gen.json";
+  std::error_code ec;
+  std::filesystem::create_directories("bench", ec);
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json, f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: parallel generation diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

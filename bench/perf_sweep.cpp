@@ -3,15 +3,16 @@
 // Benchmarks the lean production path (StatsSink, audit off) of the default
 // Figure 6(a) configuration once per thread count (1, 2, ..., up to the
 // hardware limit, env MKSS_PERF_MAX_THREADS to cap) and emits
-// BENCH_sweep.json with sets/sec and per-phase timings per thread count plus
-// the speedup over the serial run, so CI can track the perf trajectory as
-// data. Also asserts the determinism contract en route: every thread count
+// bench/BENCH_sweep.json with sets/sec, per-phase timings and the serial
+// run's generation stage counters per thread count plus the speedup over the
+// serial run, so CI can track the perf trajectory as data. Also asserts the determinism contract en route: every thread count
 // AND the trace-free StatsSink must reproduce the serial full-trace
 // SweepResult bit-for-bit (including the quarantined-error list).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,10 @@ bool identical(const mkss::harness::SweepResult& a,
   for (std::size_t i = 0; i < a.bins.size(); ++i) {
     const auto& x = a.bins[i];
     const auto& y = b.bins[i];
-    if (x.sets != y.sets || x.attempts != y.attempts) return false;
+    if (x.sets != y.sets || x.attempts != y.attempts ||
+        !(x.gen_counters == y.gen_counters)) {
+      return false;
+    }
     for (std::size_t s = 0; s < x.normalized.size(); ++s) {
       if (x.normalized[s].mean() != y.normalized[s].mean() ||
           x.normalized[s].stddev() != y.normalized[s].stddev() ||
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
   };
   std::vector<Sample> samples;
   std::size_t total_sets = 0;
+  std::uint64_t total_attempts = 0;
+  workload::GenCounters gen_totals;
 
   std::printf("=== perf_sweep: Figure-6a harness throughput (lean path) ===\n");
   // Timed samples stop at the hardware limit: an oversubscribed run only
@@ -114,7 +120,11 @@ int main(int argc, char** argv) {
     std::size_t sets = 0;
     for (const auto& bin : result.bins) sets += bin.sets;
     const bool same = identical(reference, result);
-    if (t == 1) total_sets = sets;
+    if (t == 1) {
+      total_sets = sets;
+      for (const auto& bin : result.bins) total_attempts += bin.attempts;
+      gen_totals = result.generation_totals();
+    }
     samples.push_back({t, secs, secs > 0 ? static_cast<double>(sets) / secs : 0,
                        same, result.timings});
     std::printf(
@@ -146,6 +156,25 @@ int main(int argc, char** argv) {
   json += "  \"sets_total\": " + std::to_string(total_sets) + ",\n";
   json += "  \"sets_per_bin\": " + std::to_string(cfg.sets_per_bin) + ",\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware_threads) + ",\n";
+  {
+    // Where the serial run's generation attempts exited the staged-admission
+    // ladder (see workload::GenCounters) -- a shift here usually explains a
+    // generate_seconds shift.
+    char gen[512];
+    std::snprintf(gen, sizeof gen,
+                  "  \"generation\": {\"attempts\": %llu, "
+                  "\"draw_failures\": %llu, \"out_of_bin\": %llu, "
+                  "\"filter_rejects\": %llu, \"rta_rejects\": %llu, "
+                  "\"accepted\": %llu, \"quick_accepts\": %llu},\n",
+                  static_cast<unsigned long long>(total_attempts),
+                  static_cast<unsigned long long>(gen_totals.draw_failures),
+                  static_cast<unsigned long long>(gen_totals.out_of_bin),
+                  static_cast<unsigned long long>(gen_totals.filter_rejects),
+                  static_cast<unsigned long long>(gen_totals.rta_rejects),
+                  static_cast<unsigned long long>(gen_totals.accepted),
+                  static_cast<unsigned long long>(gen_totals.quick_accepts));
+    json += gen;
+  }
   json += "  \"runs\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
@@ -167,7 +196,12 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  const char* out_path = "BENCH_sweep.json";
+  // Always under bench/ (created if the cwd doesn't have one): the repo root
+  // stays free of bench artifacts, and .gitignore only has one place to
+  // cover.
+  const char* out_path = "bench/BENCH_sweep.json";
+  std::error_code ec;
+  std::filesystem::create_directories("bench", ec);
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
