@@ -9,7 +9,8 @@
 // determinism check -- and the whole matrix is timed best-of-N so scheduler
 // noise on a loaded box does not masquerade as a regression.
 //
-// Emits BENCH_engine.json in the working directory; CI compares
+// Emits bench/BENCH_engine.json (next to the committed baseline, like the
+// other perf benches -- run from the repository root); CI compares
 // events_per_sec against bench/BENCH_engine.baseline.json with the same
 // >30%-drop rule as perf_sweep.
 #include <chrono>
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
 
   std::size_t per_bin = 8;
   std::size_t reps = 5;
-  const char* out_path = "BENCH_engine.json";
+  const char* out_path = "bench/BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const bool has_value = i + 1 < argc;

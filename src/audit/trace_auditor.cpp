@@ -76,9 +76,12 @@ AuditReport TraceAuditor::audit(const SimulationTrace& trace,
   const Ticks horizon = trace.horizon;
 
   // --- 1. Segment geometry: bounds, per-processor exclusivity, death. -----
-  std::array<std::vector<const ExecSegment*>, sim::kProcessorCount> per_proc;
+  // The platform size is whatever the trace recorded: one death_time entry
+  // per processor.
+  const std::size_t nproc = trace.death_time.size();
+  std::vector<std::vector<const ExecSegment*>> per_proc(nproc);
   for (const ExecSegment& s : trace.segments) {
-    if (s.proc >= sim::kProcessorCount) {
+    if (s.proc >= nproc) {
       out.add("segment-bounds", "segment on unknown processor " +
                                     std::to_string(s.proc));
       continue;
@@ -96,7 +99,7 @@ AuditReport TraceAuditor::audit(const SimulationTrace& trace,
     }
     per_proc[s.proc].push_back(&s);
   }
-  for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+  for (std::size_t p = 0; p < nproc; ++p) {
     auto& list = per_proc[p];
     std::sort(list.begin(), list.end(),
               [](const ExecSegment* a, const ExecSegment* b) {
@@ -205,7 +208,7 @@ AuditReport TraceAuditor::audit(const SimulationTrace& trace,
 
   // --- 3. Band discipline: MJQ strictly above OJQ on each processor. ------
   for (const ExecSegment& s : trace.segments) {
-    if (s.proc >= sim::kProcessorCount) continue;
+    if (s.proc >= nproc) continue;
     // Find the segment's band through its copy record.
     const auto it = copies_of.find(s.job);
     if (it == copies_of.end()) continue;
@@ -243,9 +246,12 @@ AuditReport TraceAuditor::audit(const SimulationTrace& trace,
   }
 
   // --- 4. Job resolution and cancellation protocol. -----------------------
-  const bool had_permanent =
-      trace.death_time[0] != core::kNever || trace.death_time[1] != core::kNever;
-  const Ticks death = std::min(trace.death_time[0], trace.death_time[1]);
+  bool had_permanent = false;
+  Ticks death = core::kNever;
+  for (const Ticks dt : trace.death_time) {
+    if (dt != core::kNever) had_permanent = true;
+    death = std::min(death, dt);
+  }
   std::vector<std::size_t> counted_jobs(ts.size(), 0);
   std::uint64_t met = 0, missed = 0, mandatory_misses = 0, mandatory_jobs = 0;
   std::uint64_t optional_selected = 0, optional_skipped = 0;
@@ -417,7 +423,7 @@ AuditReport TraceAuditor::audit(const SimulationTrace& trace,
   // --- 7. Energy accounting reconciles with busy/sleep intervals. ---------
   if (options_.check_energy) {
     const auto energy = energy::account_energy(trace, options_.power);
-    for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+    for (std::size_t p = 0; p < nproc; ++p) {
       const auto& pe = energy.per_proc[p];
       const Ticks life = std::min(horizon, trace.death_time[p]);
       if (pe.busy_time != trace.busy_time[p]) {

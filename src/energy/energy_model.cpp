@@ -24,8 +24,9 @@ double PowerParams::power_at(double f) const noexcept {
 EnergyBreakdown account_energy(const sim::SimulationTrace& trace,
                                const PowerParams& params) {
   EnergyBreakdown out;
+  out.per_proc.resize(trace.death_time.size());
 
-  for (const sim::ProcessorId p : {sim::kPrimary, sim::kSpare}) {
+  for (std::size_t p = 0; p < out.per_proc.size(); ++p) {
     ProcessorEnergy& pe = out.per_proc[p];
     // A dead processor stops consuming at its death time.
     const Ticks life_end = std::min(trace.horizon, trace.death_time[p]);

@@ -14,7 +14,7 @@
 // 15 units").
 #pragma once
 
-#include <array>
+#include <vector>
 
 #include "core/time.hpp"
 #include "sim/types.hpp"
@@ -52,13 +52,18 @@ struct ProcessorEnergy {
 };
 
 struct EnergyBreakdown {
-  std::array<ProcessorEnergy, sim::kProcessorCount> per_proc{};
+  /// One entry per platform processor; sized by the accounting pass.
+  std::vector<ProcessorEnergy> per_proc;
 
   double total() const noexcept {
-    return per_proc[0].total() + per_proc[1].total();
+    double sum = 0.0;
+    for (const ProcessorEnergy& pe : per_proc) sum += pe.total();
+    return sum;
   }
   double active_total() const noexcept {
-    return per_proc[0].active + per_proc[1].active;
+    double sum = 0.0;
+    for (const ProcessorEnergy& pe : per_proc) sum += pe.active;
+    return sum;
   }
 };
 

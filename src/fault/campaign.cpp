@@ -185,9 +185,15 @@ CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
       // identical to a fresh instance.
       const std::unique_ptr<sim::Scheme> scheme = entry.make();
       batch.bind(*scheme);
-      SchemeRunner runner{cs,     entry,        config,      taskset_text,
-                          sim::SimConfig{.horizon = horizon}, &batch,
-                          scheme.get(),                       &result};
+      SchemeRunner runner{
+          cs,
+          entry,
+          config,
+          taskset_text,
+          sim::SimConfig{.horizon = horizon, .platform = config.platform},
+          &batch,
+          scheme.get(),
+          &result};
 
       // Fault-free probe: must itself audit clean, and its trace names the
       // inspecting points / copy targets the adversarial placements use.
@@ -199,7 +205,7 @@ CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
       std::vector<ExplicitFaultPlan> plans;
       for (const Ticks t :
            harvest_instants(*probe, config.max_permanent_instants)) {
-        for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+        for (std::size_t p = 0; p < config.platform.num_procs(); ++p) {
           ExplicitFaultPlan plan;
           plan.set_permanent({static_cast<sim::ProcessorId>(p), t});
           plans.push_back(std::move(plan));

@@ -71,6 +71,9 @@ struct CampaignCase {
 struct CampaignConfig {
   /// Horizon cap: each case simulates min(its (m,k)-hyperperiod, this).
   core::Ticks horizon_cap{core::from_ms(std::int64_t{2000})};
+  /// Execution platform for every run; permanent-fault placements are
+  /// enumerated on each of its processors.
+  sim::PlatformSpec platform{};
   /// At most this many permanent-fault instants per (case, scheme), chosen
   /// by a deterministic stride over the harvested inspecting points.
   std::size_t max_permanent_instants{64};

@@ -110,9 +110,12 @@ std::string trace_to_json(const sim::SimulationTrace& trace,
   }
   out += "  ],\n";
 
-  append_fmt(out, "  \"death_time_ms\": [%s, %s],\n",
-             ms_or_null(trace.death_time[0]).c_str(),
-             ms_or_null(trace.death_time[1]).c_str());
+  out += "  \"death_time_ms\": [";
+  for (std::size_t p = 0; p < trace.death_time.size(); ++p) {
+    if (p > 0) out += ", ";
+    out += ms_or_null(trace.death_time[p]);
+  }
+  out += "],\n";
 
   const sim::SimStats& st = trace.stats;
   append_fmt(out,

@@ -12,7 +12,9 @@
 //   fault/     permanent + Poisson transient fault plans, adversarial
 //              fault-placement campaigns
 //   sched/     MKSS_ST, MKSS_DP, MKSS_greedy, MKSS_selective (Algorithm 1),
-//              backup-delay ladder, static DVS
+//              N-processor global/partitioned FP, global EDF, multi-spare,
+//              the self-registering scheme registry, backup-delay ladder,
+//              static DVS
 //   io/        task-set text files, JSON trace export
 //   workload/  Section-V random task-set generation, paper example task sets
 //   metrics/   (m,k) QoS auditing (Theorem 1), running statistics
@@ -50,6 +52,11 @@
 #include "metrics/summary.hpp"
 #include "report/table.hpp"
 #include "sched/factory.hpp"
+#include "sched/global_edf.hpp"
+#include "sched/global_fp.hpp"
+#include "sched/multi_spare.hpp"
+#include "sched/partitioned_fp.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/gantt.hpp"
 #include "sim/trace_sink.hpp"

@@ -1,0 +1,65 @@
+#include "sched/global_edf.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "sched/registry.hpp"
+
+namespace mkss::sched {
+
+namespace {
+
+/// Absolute deadline as a dispatch rank; saturates on (absurdly) long
+/// horizons rather than wrapping.
+std::uint32_t deadline_rank(core::Ticks absolute_deadline) {
+  return static_cast<std::uint32_t>(std::min<core::Ticks>(
+      absolute_deadline, std::numeric_limits<std::uint32_t>::max()));
+}
+
+}  // namespace
+
+void GlobalEdf::on_setup() { load_.assign(num_procs(), 0); }
+
+sim::ReleaseDecision GlobalEdf::on_release(core::TaskIndex i, std::uint64_t j,
+                                           core::Ticks release) {
+  const core::Task& task = taskset()[i];
+  if (!core::pattern_mandatory(core::PatternKind::kDeeplyRed, task.m, task.k,
+                               j)) {
+    return sim::ReleaseDecision::skip();
+  }
+  const std::uint32_t rank = deadline_rank(release + task.deadline);
+  sim::ReleaseDecision d;
+  d.mandatory = true;
+  if (degraded()) {
+    // Single full-speed copy on the survivor, still EDF-ranked (EDF stays
+    // optimal on the lone processor).
+    d.copies.push_back({survivor(), sim::CopyKind::kMain, sim::Band::kMandatory,
+                        release, rank, 1.0});
+    return d;
+  }
+  sim::ProcessorId proc = 0;
+  for (sim::ProcessorId p = 1; p < load_.size(); ++p) {
+    if (load_[p] < load_[proc]) proc = p;
+  }
+  load_[proc] += task.wcet;
+  d.copies.push_back({proc, sim::CopyKind::kMain, sim::Band::kMandatory,
+                      release, rank, 1.0});
+  d.copies.push_back({platform().partner(proc), sim::CopyKind::kBackup,
+                      sim::Band::kMandatory, release, rank, 1.0});
+  return d;
+}
+
+namespace {
+const RegisterScheme reg{{
+    .name = "global_edf",
+    .title = "Global-EDF",
+    .policy = "R-pattern mandatory jobs; copies ranked by absolute deadline "
+              "(EDF within the mandatory band), least-loaded placement",
+    .min_procs = 2,
+    .max_procs = 0,
+    .make = [] { return std::make_unique<GlobalEdf>(); },
+}};
+}  // namespace
+
+}  // namespace mkss::sched

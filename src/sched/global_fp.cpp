@@ -1,0 +1,36 @@
+#include "sched/global_fp.hpp"
+
+#include "sched/registry.hpp"
+
+namespace mkss::sched {
+
+void GlobalFp::on_setup() { load_.assign(num_procs(), 0); }
+
+sim::ReleaseDecision GlobalFp::on_release(core::TaskIndex i, std::uint64_t j,
+                                          core::Ticks release) {
+  const core::Task& task = taskset()[i];
+  if (!core::pattern_mandatory(core::PatternKind::kDeeplyRed, task.m, task.k,
+                               j)) {
+    return sim::ReleaseDecision::skip();
+  }
+  sim::ProcessorId proc = 0;
+  for (sim::ProcessorId p = 1; p < load_.size(); ++p) {
+    if (load_[p] < load_[proc]) proc = p;
+  }
+  load_[proc] += task.wcet;
+  return mandatory_release(proc, release, release);
+}
+
+namespace {
+const RegisterScheme reg{{
+    .name = "global_fp",
+    .title = "Global-FP",
+    .policy = "R-pattern mandatory jobs duplicated; least-loaded main "
+              "placement, unprocrastinated backup on the next processor",
+    .min_procs = 2,
+    .max_procs = 0,
+    .make = [] { return std::make_unique<GlobalFp>(); },
+}};
+}  // namespace
+
+}  // namespace mkss::sched

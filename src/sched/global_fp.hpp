@@ -1,0 +1,38 @@
+// Global-FP -- N-processor standby-sparing with per-release placement.
+//
+// R-pattern mandatory jobs are duplicated: the main goes to the processor
+// with the least cumulative admitted main work (ties to the lowest index),
+// the backup to the next processor in index order -- always distinct, so the
+// single-fault tolerance argument of Theorem 1 carries over. Backups are
+// unprocrastinated (MKSS_ST style) and optional jobs are skipped.
+//
+// Feasibility: every processor's mandatory workload is a subset of the full
+// single-processor R-pattern workload, and FP interference is monotone in
+// the job set, so any placement keeps the deadlines the dual-platform
+// MKSS_ST analysis certifies.
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+class GlobalFp final : public SchemeBase {
+ public:
+  std::string name() const override { return "Global-FP"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override;
+  void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+
+ protected:
+  void on_setup() override;
+
+ private:
+  /// Cumulative admitted main WCET per processor, the placement key.
+  std::vector<core::Ticks> load_;
+};
+
+}  // namespace mkss::sched

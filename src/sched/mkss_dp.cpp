@@ -4,8 +4,21 @@
 
 #include "analysis/promotion.hpp"
 #include "core/pattern.hpp"
+#include "sched/registry.hpp"
 
 namespace mkss::sched {
+
+namespace {
+const RegisterScheme reg{{
+    .name = "dp",
+    .title = "MKSS_DP",
+    .policy = "static R-pattern; preference-oriented dual-priority backups "
+              "promoted at r + Y_i (Haque/Begam comparison scheme)",
+    .min_procs = 2,
+    .max_procs = 2,
+    .make = [] { return std::make_unique<MkssDp>(); },
+}};
+}  // namespace
 
 void MkssDp::on_setup() {
   main_frequency_ = 1.0;

@@ -1,6 +1,20 @@
 #include "sched/mkss_greedy.hpp"
 
+#include "sched/registry.hpp"
+
 namespace mkss::sched {
+
+namespace {
+const RegisterScheme reg{{
+    .name = "greedy",
+    .title = "MKSS_greedy",
+    .policy = "dynamic pattern; every optional job executed (the Section III "
+              "strawman that can cost more energy than it saves)",
+    .min_procs = 2,
+    .max_procs = 2,
+    .make = [] { return std::make_unique<MkssGreedy>(); },
+}};
+}  // namespace
 
 void MkssGreedy::on_setup() {
   history_.clear();

@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "analysis/promotion.hpp"
+#include "sched/registry.hpp"
 
 namespace mkss::sched {
+
+namespace {
+const RegisterScheme reg{{
+    .name = "selective",
+    .title = "MKSS_selective",
+    .policy = "dynamic pattern; FD == 1 optionals selected, backups "
+              "postponed to r + theta_i (the paper's contribution)",
+    .min_procs = 2,
+    .max_procs = 2,
+    .make = [] { return std::make_unique<MkssSelective>(); },
+}};
+}  // namespace
 
 void MkssSelective::on_setup() {
   const core::TaskSet& ts = taskset();
@@ -50,7 +63,7 @@ sim::ReleaseDecision MkssSelective::on_release(core::TaskIndex i, std::uint64_t 
     proc = survivor();
   } else if (opts_.alternate) {
     proc = next_optional_proc_[i];
-    next_optional_proc_[i] = sim::other(proc);
+    next_optional_proc_[i] = platform().partner(proc);
   }
   d.copies.push_back({proc, sim::CopyKind::kOptional, sim::Band::kOptional,
                       release, fd, degraded() ? 1.0 : main_frequency_});

@@ -1,8 +1,21 @@
 #include "sched/mkss_st.hpp"
 
 #include "core/pattern.hpp"
+#include "sched/registry.hpp"
 
 namespace mkss::sched {
+
+namespace {
+const RegisterScheme reg{{
+    .name = "st",
+    .title = "MKSS_ST",
+    .policy = "static R-pattern; mandatory jobs duplicated without "
+              "procrastination, optionals never executed (Section V baseline)",
+    .min_procs = 2,
+    .max_procs = 2,
+    .make = [] { return std::make_unique<MkssSt>(); },
+}};
+}  // namespace
 
 sim::ReleaseDecision MkssSt::on_release(core::TaskIndex i, std::uint64_t j,
                                         core::Ticks release) {

@@ -1,0 +1,53 @@
+#include "sched/multi_spare.hpp"
+
+#include "sched/registry.hpp"
+
+namespace mkss::sched {
+
+void MultiSpare::on_setup() {
+  const core::TaskSet& ts = taskset();
+  // Same safety ladder as MKSS_selective: exact theta where the analysis
+  // succeeds, promotion Y as fallback, 0 otherwise.
+  if (analysis::AnalysisCache* c = cache()) {
+    theta_ = sched::backup_delays(*c, BackupDelayPolicy::kPostponed);
+  } else {
+    theta_ = sched::backup_delays(ts, BackupDelayPolicy::kPostponed);
+  }
+  // Partition mains over the primaries (everything but the last processor).
+  const std::size_t primaries = num_procs() - 1;
+  assign_.assign(ts.size(), 0);
+  std::vector<double> load(primaries, 0.0);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    sim::ProcessorId proc = 0;
+    for (sim::ProcessorId p = 1; p < load.size(); ++p) {
+      if (load[p] < load[proc]) proc = p;
+    }
+    assign_[i] = proc;
+    load[proc] += ts[i].mk_utilization();
+  }
+}
+
+sim::ReleaseDecision MultiSpare::on_release(core::TaskIndex i, std::uint64_t j,
+                                            core::Ticks release) {
+  const core::Task& task = taskset()[i];
+  if (!core::pattern_mandatory(core::PatternKind::kDeeplyRed, task.m, task.k,
+                               j)) {
+    return sim::ReleaseDecision::skip();
+  }
+  return mandatory_release_on(assign_[i], spare(), release,
+                              release + theta_[i]);
+}
+
+namespace {
+const RegisterScheme reg{{
+    .name = "multi_spare",
+    .title = "Multi-spare",
+    .policy = "N-1 partitioned primaries share one dedicated spare; backups "
+              "postponed to r + theta_i as on the dual platform",
+    .min_procs = 2,
+    .max_procs = 0,
+    .make = [] { return std::make_unique<MultiSpare>(); },
+}};
+}  // namespace
+
+}  // namespace mkss::sched

@@ -1,0 +1,46 @@
+// Multi-spare -- N-1 primaries sharing one dedicated spare processor.
+//
+// The straight generalization of the paper's standby-sparing pair: tasks are
+// partitioned over the first N-1 processors (utilization-balancing first-fit
+// in priority order), while every backup goes to the last processor -- the
+// spare -- postponed to r + theta_i exactly as on the dual platform
+// (Definitions 2-5). Optional jobs are skipped.
+//
+// The spare's workload (all R-pattern backups, theta-postponed) is identical
+// to the dual platform's spare, so the postponement analysis applies
+// verbatim; the primaries each carry a subset of the dual platform's single
+// primary, so main-side response times only shrink.
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "sched/backup_delay.hpp"
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+class MultiSpare final : public SchemeBase {
+ public:
+  std::string name() const override { return "Multi-spare"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override;
+  void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+
+  /// Backup postponements actually in use (valid after setup()).
+  const std::vector<core::Ticks>& backup_delays() const { return theta_; }
+
+ protected:
+  void on_setup() override;
+
+ private:
+  sim::ProcessorId spare() const {
+    return static_cast<sim::ProcessorId>(num_procs() - 1);
+  }
+
+  std::vector<core::Ticks> theta_;
+  std::vector<sim::ProcessorId> assign_;
+};
+
+}  // namespace mkss::sched

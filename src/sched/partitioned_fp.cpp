@@ -1,0 +1,45 @@
+#include "sched/partitioned_fp.hpp"
+
+#include "sched/registry.hpp"
+
+namespace mkss::sched {
+
+void PartitionedFp::on_setup() {
+  const core::TaskSet& ts = taskset();
+  assign_.assign(ts.size(), 0);
+  std::vector<double> load(num_procs(), 0.0);
+  for (core::TaskIndex i = 0; i < ts.size(); ++i) {
+    sim::ProcessorId proc = 0;
+    for (sim::ProcessorId p = 1; p < load.size(); ++p) {
+      if (load[p] < load[proc]) proc = p;
+    }
+    assign_[i] = proc;
+    load[proc] += ts[i].mk_utilization();
+  }
+}
+
+sim::ReleaseDecision PartitionedFp::on_release(core::TaskIndex i,
+                                               std::uint64_t j,
+                                               core::Ticks release) {
+  const core::Task& task = taskset()[i];
+  if (!core::pattern_mandatory(core::PatternKind::kDeeplyRed, task.m, task.k,
+                               j)) {
+    return sim::ReleaseDecision::skip();
+  }
+  return mandatory_release(assign_[i], release, release);
+}
+
+namespace {
+const RegisterScheme reg{{
+    .name = "partitioned_fp",
+    .title = "Partitioned-FP",
+    .policy = "R-pattern mandatory jobs; per-task (m,k)-utilization "
+              "first-fit partitioning, unprocrastinated backup on the "
+              "partner processor",
+    .min_procs = 2,
+    .max_procs = 0,
+    .make = [] { return std::make_unique<PartitionedFp>(); },
+}};
+}  // namespace
+
+}  // namespace mkss::sched

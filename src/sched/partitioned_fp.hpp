@@ -1,0 +1,39 @@
+// Partitioned-FP -- N-processor standby-sparing with static partitioning.
+//
+// Tasks are partitioned once at setup, in priority (index) order, onto the
+// processor with the least accumulated (m,k)-utilization (ties to the lowest
+// index -- the utilization-balancing first-fit). A task's mandatory jobs
+// then always run their main on the assigned processor and their
+// unprocrastinated backup on the partner (next index), keeping both copies
+// on distinct processors as Theorem 1 requires. Optional jobs are skipped.
+//
+// Feasibility mirrors Global-FP: each processor carries a subset of the full
+// single-processor R-pattern workload, and FP interference is monotone.
+#pragma once
+
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+class PartitionedFp final : public SchemeBase {
+ public:
+  std::string name() const override { return "Partitioned-FP"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override;
+  void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+
+  /// The static task -> processor assignment (valid after setup()).
+  const std::vector<sim::ProcessorId>& assignment() const { return assign_; }
+
+ protected:
+  void on_setup() override;
+
+ private:
+  std::vector<sim::ProcessorId> assign_;
+};
+
+}  // namespace mkss::sched

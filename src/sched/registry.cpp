@@ -1,0 +1,60 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+
+namespace mkss::sched {
+
+Registry& Registry::instance() {
+  // Function-local static: constructed on first registrar, immune to the
+  // static initialization order fiasco across scheme translation units.
+  static Registry registry;
+  return registry;
+}
+
+void Registry::register_scheme(SchemeInfo info) {
+  if (info.name.empty() || !info.make) {
+    throw std::logic_error("Registry: scheme needs a name and a factory");
+  }
+  if (contains(info.name)) {
+    throw std::logic_error("Registry: duplicate scheme name '" + info.name +
+                           "'");
+  }
+  schemes_.push_back(std::move(info));
+}
+
+bool Registry::contains(const std::string& name) const noexcept {
+  return std::any_of(schemes_.begin(), schemes_.end(),
+                     [&](const SchemeInfo& s) { return s.name == name; });
+}
+
+const SchemeInfo& Registry::resolve(const std::string& name) const {
+  for (const SchemeInfo& s : schemes_) {
+    if (s.name == name) return s;
+  }
+  std::string message = "unknown scheme '" + name + "'; available:";
+  for (const std::string& n : names()) {
+    message += ' ';
+    message += n;
+  }
+  throw UnknownSchemeError(message);
+}
+
+std::vector<const SchemeInfo*> Registry::all() const {
+  std::vector<const SchemeInfo*> out;
+  out.reserve(schemes_.size());
+  for (const SchemeInfo& s : schemes_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const SchemeInfo* a, const SchemeInfo* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(schemes_.size());
+  for (const SchemeInfo* s : all()) out.push_back(s->name);
+  return out;
+}
+
+}  // namespace mkss::sched

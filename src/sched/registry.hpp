@@ -1,0 +1,86 @@
+// Scheduler plugin registry.
+//
+// Every scheme translation unit self-registers a SchemeInfo (name, platform
+// constraints, factory) via a static RegisterScheme object, so adding a
+// scheduler is one new .cpp file: the CLI's `--scheme` flag, its `schemes`
+// subcommand, and the CI scheme matrix all resolve through the registry and
+// pick the newcomer up without being edited. The legacy SchemeKind factory
+// (sched/factory.hpp) stays as the typed shortcut for benches and tests; the
+// registry is the stringly-named superset.
+//
+// Consumers link the sched library through $<LINK_LIBRARY:WHOLE_ARCHIVE,...>
+// so the registrar objects survive static linking (an archive member with no
+// referenced symbol would otherwise be dropped, silently emptying the
+// registry).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/scheme_base.hpp"
+
+namespace mkss::sched {
+
+/// One registered scheduler: identity, platform envelope, and a factory.
+/// Schemes are stateful, so every simulation run takes a fresh instance.
+struct SchemeInfo {
+  std::string name;    ///< CLI identifier, e.g. "st" or "global_edf"
+  std::string title;   ///< display name, e.g. "MKSS_ST"
+  std::string policy;  ///< one-line policy summary for `schemes` listings
+  /// Smallest platform the scheme can run on (inclusive).
+  std::size_t min_procs{2};
+  /// Largest platform supported; 0 means unbounded.
+  std::size_t max_procs{2};
+  std::function<std::unique_ptr<SchemeBase>()> make;
+
+  bool supports(std::size_t num_procs) const noexcept {
+    return num_procs >= min_procs &&
+           (max_procs == 0 || num_procs <= max_procs);
+  }
+};
+
+/// Thrown by Registry::resolve; the message lists the registered names so a
+/// CLI can surface it verbatim.
+class UnknownSchemeError : public std::invalid_argument {
+ public:
+  explicit UnknownSchemeError(const std::string& message)
+      : std::invalid_argument(message) {}
+};
+
+class Registry {
+ public:
+  /// The process-wide registry the static registrars populate.
+  static Registry& instance();
+
+  /// Registers a scheme. Throws std::logic_error on a duplicate name or a
+  /// missing factory -- both are programming errors worth failing loudly on.
+  void register_scheme(SchemeInfo info);
+
+  /// Looks a scheme up by name; throws UnknownSchemeError (listing every
+  /// registered name) when absent.
+  const SchemeInfo& resolve(const std::string& name) const;
+
+  bool contains(const std::string& name) const noexcept;
+
+  /// Every registered scheme, sorted by name.
+  std::vector<const SchemeInfo*> all() const;
+
+  /// Sorted registered names, e.g. for error messages and `schemes --names`.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<SchemeInfo> schemes_;
+};
+
+/// Static self-registration hook: file-scope `const RegisterScheme reg{...};`
+/// in a scheme's .cpp adds it to Registry::instance() before main().
+struct RegisterScheme {
+  explicit RegisterScheme(SchemeInfo info) {
+    Registry::instance().register_scheme(std::move(info));
+  }
+};
+
+}  // namespace mkss::sched

@@ -9,6 +9,10 @@ namespace mkss::sched {
 
 class SchemeBase : public sim::Scheme {
  public:
+  void bind_platform(const sim::PlatformSpec& platform) final {
+    platform_ = platform;
+  }
+
   void setup(const core::TaskSet& ts) final {
     ts_ = &ts;
     degraded_ = false;
@@ -24,7 +28,9 @@ class SchemeBase : public sim::Scheme {
 
   void on_permanent_fault(sim::ProcessorId dead, core::Ticks /*now*/) override {
     degraded_ = true;
-    survivor_ = sim::other(dead);
+    // Lowest-indexed processor other than the dead one -- the engine's own
+    // handover target; on the dual platform exactly the other processor.
+    survivor_ = dead == 0 ? sim::ProcessorId{1} : sim::ProcessorId{0};
   }
 
   /// Default policy: a mandatory job that lost its last copy restarts from
@@ -56,8 +62,13 @@ class SchemeBase : public sim::Scheme {
   bool degraded() const { return degraded_; }
   sim::ProcessorId survivor() const { return survivor_; }
 
+  /// The platform bound by the engine before setup(); defaults to the
+  /// paper's dual platform so schemes driven directly in tests still work.
+  const sim::PlatformSpec& platform() const { return platform_; }
+  std::size_t num_procs() const { return platform_.num_procs(); }
+
   /// Duplicated mandatory release: main on `main_proc` now (optionally DVS
-  /// slowed), backup on the other processor at full speed once
+  /// slowed), backup on the partner processor at full speed once
   /// `backup_eligible` passes. Degraded mode collapses to a single immediate
   /// full-speed copy on the survivor (no sibling can cancel it, so slowing
   /// it down would only gamble with the deadline).
@@ -65,6 +76,17 @@ class SchemeBase : public sim::Scheme {
                                          core::Ticks release,
                                          core::Ticks backup_eligible,
                                          double main_frequency = 1.0) const {
+    return mandatory_release_on(main_proc, platform_.partner(main_proc),
+                                release, backup_eligible, main_frequency);
+  }
+
+  /// Same, but with an explicit backup processor (multi-spare platforms
+  /// funnel every backup onto the dedicated spare rather than the partner).
+  sim::ReleaseDecision mandatory_release_on(sim::ProcessorId main_proc,
+                                            sim::ProcessorId backup_proc,
+                                            core::Ticks release,
+                                            core::Ticks backup_eligible,
+                                            double main_frequency = 1.0) const {
     sim::ReleaseDecision d;
     d.mandatory = true;
     if (degraded_) {
@@ -74,12 +96,13 @@ class SchemeBase : public sim::Scheme {
     }
     d.copies.push_back({main_proc, sim::CopyKind::kMain, sim::Band::kMandatory,
                         release, 0, main_frequency});
-    d.copies.push_back({sim::other(main_proc), sim::CopyKind::kBackup,
+    d.copies.push_back({backup_proc, sim::CopyKind::kBackup,
                         sim::Band::kMandatory, backup_eligible, 0, 1.0});
     return d;
   }
 
  private:
+  sim::PlatformSpec platform_{};
   const core::TaskSet* ts_ = nullptr;
   analysis::AnalysisCache* cache_ = nullptr;
   bool degraded_ = false;

@@ -33,7 +33,7 @@ struct Copy {
   Ticks eligible{0};
   Ticks remaining{0};
   Ticks deadline{0};  ///< the job's deadline, cached to spare a jobs_ hop
-  std::uint32_t optional_rank{0};
+  std::uint32_t rank{0};
   double frequency{1.0};
   bool alive{true};
   std::size_t rec{0};  ///< index of this copy's CopyRecord (tracing runs only)
@@ -166,7 +166,7 @@ struct Simulator::Impl {
   /// Per-processor admission log (append-only within a run): every copy ever
   /// admitted to the processor, dead or alive. Consumed by the permanent-
   /// fault handover and by the scan oracle; the hot path never walks it.
-  std::array<std::vector<std::size_t>, kProcessorCount> live_;
+  std::vector<std::vector<std::size_t>> live_;
   std::vector<Ticks> next_release_;    // per task
   std::vector<std::uint64_t> next_j_;  // per task, 1-based next instance
   // (deadline, job index) min-heap via push_heap/pop_heap with greater<>,
@@ -194,16 +194,16 @@ struct Simulator::Impl {
   /// backups theta, dual-priority promotions Y), split by band so the DPD
   /// sleep decision can query mandatory activity alone. Entries are
   /// immutable; dead copies are discarded lazily on peek.
-  std::array<std::vector<TimedEntry>, kProcessorCount> pending_mand_;
-  std::array<std::vector<TimedEntry>, kProcessorCount> pending_opt_;
+  std::vector<std::vector<TimedEntry>> pending_mand_;
+  std::vector<std::vector<TimedEntry>> pending_opt_;
   /// Per processor: eligible copies ordered by the dispatch priority tuple.
   /// The running copy stays in the heap; dead entries are discarded lazily.
-  std::array<std::vector<ReadyEntry>, kProcessorCount> ready_;
+  std::vector<std::vector<ReadyEntry>> ready_;
   /// Per processor: eligible *optional* copies keyed by their latest
   /// feasible start (deadline - remaining). An entry is current only while
   /// the copy has not executed since it was pushed; executing re-indexes the
   /// copy on preemption, and a completed/killed copy invalidates lazily.
-  std::array<std::vector<TimedEntry>, kProcessorCount> prune_;
+  std::vector<std::vector<TimedEntry>> prune_;
   std::vector<std::size_t> prune_scratch_;
   /// Set when something that can change processor p's dispatch choice
   /// mutated this event; cleared when dispatch(p) runs. The rules are
@@ -221,30 +221,33 @@ struct Simulator::Impl {
   /// dispatch entirely -- the skip-soundness argument lives in
   /// docs/architecture.md and is enforced by check_skip_oracle() under
   /// SimConfig::cross_check.
-  bool dirty_[kProcessorCount]{true, true};
+  std::vector<std::uint8_t> dirty_;
   bool cross_check_{false};
 
-  bool proc_alive_[kProcessorCount]{true, true};
-  int running_[kProcessorCount]{kNone, kNone};
+  /// Processor count of the current run (== config_.platform.num_procs()).
+  /// Every per-processor vector above and below is sized to it in run().
+  ProcessorId nproc_{2};
+  std::vector<std::uint8_t> proc_alive_;
+  std::vector<int> running_;
   /// Priority key of the running copy (valid while running_[p] != kNone):
   /// lets make_ready() decide in O(1) whether a fresh admission outranks the
   /// running copy and therefore needs a dispatch this event.
-  ReadyEntry running_entry_[kProcessorCount];
-  Ticks run_start_[kProcessorCount]{0, 0};
+  std::vector<ReadyEntry> running_entry_;
+  std::vector<Ticks> run_start_;
   /// Absolute completion instant of the running copy (valid while
   /// running_[p] != kNone). The running copy's `remaining` field is stale
   /// between start_running() and stop_running() -- stop_running materializes
   /// it from this cache -- which removes the per-event advance loop the
   /// legacy engine used to decrement remaining at every event.
-  Ticks completion_at_[kProcessorCount]{0, 0};
-  Ticks sleep_until_[kProcessorCount]{0, 0};
+  std::vector<Ticks> completion_at_;
+  std::vector<Ticks> sleep_until_;
 
   std::optional<PermanentFault> pf_;
   bool pf_applied_{false};
 
   SimStats stats_;
-  std::array<Ticks, kProcessorCount> death_time_{core::kNever, core::kNever};
-  std::array<Ticks, kProcessorCount> busy_time_{0, 0};
+  std::vector<Ticks> death_time_;
+  std::vector<Ticks> busy_time_;
   std::vector<std::uint64_t> last_resolved_j_;  // per task, outcome-order check
   std::vector<std::size_t> lost_scratch_;       // permanent-fault handover
 };
@@ -265,6 +268,10 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   if (config.horizon <= 0) {
     throw std::invalid_argument("SimConfig::horizon must be positive");
   }
+  if (config.platform.num_procs() < 1 || config.platform.num_procs() > 255) {
+    throw std::invalid_argument(
+        "SimConfig::platform must have 1 to 255 processors");
+  }
   ts_ = &ts;
   scheme_ = &scheme;
   faults_ = &faults;
@@ -274,10 +281,28 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   cross_check_ = config.cross_check;
 
   // Reset the arenas; every clear()/assign() keeps its buffer's capacity.
+  // The per-processor arenas resize only when the platform size changes
+  // between runs (a platform switch is a cold path; repeated runs on one
+  // platform reuse every inner buffer).
   const std::size_t n = ts.size();
+  nproc_ = static_cast<ProcessorId>(config.platform.num_procs());
   now_ = 0;
   copies_.clear();
   jobs_.clear();
+  live_.resize(nproc_);
+  pending_mand_.resize(nproc_);
+  pending_opt_.resize(nproc_);
+  ready_.resize(nproc_);
+  prune_.resize(nproc_);
+  dirty_.resize(nproc_);
+  proc_alive_.resize(nproc_);
+  running_.resize(nproc_);
+  running_entry_.resize(nproc_);
+  run_start_.resize(nproc_);
+  completion_at_.resize(nproc_);
+  sleep_until_.resize(nproc_);
+  death_time_.resize(nproc_);
+  busy_time_.resize(nproc_);
   for (auto& lv : live_) lv.clear();
   next_release_.assign(n, 0);
   next_j_.assign(n, 1);
@@ -296,7 +321,7 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     // task index.
     release_cal_.push_back(TimedEntry{0, static_cast<std::uint32_t>(i)});
   }
-  for (std::size_t p = 0; p < kProcessorCount; ++p) {
+  for (std::size_t p = 0; p < nproc_; ++p) {
     pending_mand_[p].clear();
     pending_opt_[p].clear();
     ready_[p].clear();
@@ -307,12 +332,12 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     completion_at_[p] = 0;
     sleep_until_[p] = 0;
     dirty_[p] = true;
+    death_time_[p] = core::kNever;
+    busy_time_[p] = 0;
   }
   pf_.reset();
   pf_applied_ = false;
   stats_ = SimStats{};
-  death_time_ = {core::kNever, core::kNever};
-  busy_time_ = {0, 0};
   last_resolved_j_.assign(n, 0);
 
   sink.begin_run(ts, config);
@@ -324,21 +349,21 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     trace_->copies.clear();
     trace_->outcomes_per_task.resize(n);
     for (auto& outcomes : trace_->outcomes_per_task) outcomes.clear();
-    trace_->death_time = {core::kNever, core::kNever};
-    trace_->busy_time = {0, 0};
+    trace_->death_time.assign(nproc_, core::kNever);
+    trace_->busy_time.assign(nproc_, 0);
     trace_->stats = SimStats{};
   }
 
+  scheme_->bind_platform(config_.platform);
   scheme_->setup(ts);
   pf_ = faults.permanent();
-  if (pf_ && pf_->time >= config_.horizon) pf_.reset();
+  if (pf_ && (pf_->time >= config_.horizon || pf_->proc >= nproc_)) pf_.reset();
 
   // Time 0: an instantaneous permanent fault and the first releases happen
   // before the first dispatch.
   if (pf_ && !pf_applied_ && pf_->time == 0) apply_permanent_fault();
   process_releases();
-  dispatch(kPrimary);
-  dispatch(kSpare);
+  for (ProcessorId p = 0; p < nproc_; ++p) dispatch(p);
 
   while (true) {
     const Ticks t = next_event_time();
@@ -353,7 +378,7 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     // Quiet processors skip dispatch entirely: nothing that could change
     // their choice happened this event. Under cross_check the skip itself is
     // proven sound against the scan oracle.
-    for (const ProcessorId p : {kPrimary, kSpare}) {
+    for (ProcessorId p = 0; p < nproc_; ++p) {
       if (need_dispatch(p)) {
         dispatch(p);
       } else if (cross_check_) {
@@ -370,8 +395,7 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   } else {
     process_deadlines();
   }
-  stop_running(kPrimary, config_.horizon);
-  stop_running(kSpare, config_.horizon);
+  for (ProcessorId p = 0; p < nproc_; ++p) stop_running(p, config_.horizon);
 
   if (trace_) {
     // Copies still alive at the horizon close their lifecycle records here.
@@ -406,10 +430,16 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   sink.end_run(facts);
 }
 
-/// Minimum time of the pending heap's live entries; dead copies peel off
-/// lazily (each entry is popped at most once over the whole run).
+/// Minimum time of the pending heap's live entries; dead copies and entries
+/// staled by a fault-detection promotion (the copy's eligible time was
+/// rewritten and it is already ready) peel off lazily (each entry is popped
+/// at most once over the whole run).
 Ticks Simulator::Impl::pending_min(std::vector<TimedEntry>& heap) {
-  while (!heap.empty() && !copies_[heap.front().idx].alive) heap_pop(heap);
+  while (!heap.empty() && (!copies_[heap.front().idx].alive ||
+                           copies_[heap.front().idx].eligible !=
+                               heap.front().time)) {
+    heap_pop(heap);
+  }
   return heap.empty() ? core::kNever : heap.front().time;
 }
 
@@ -458,7 +488,7 @@ Ticks Simulator::Impl::next_event_time() {
   // the earliest deadline and the permanent fault.
   Ticks t = core::kNever;
   if (!release_cal_.empty()) t = std::min(t, release_cal_.front().time);
-  for (const ProcessorId p : {kPrimary, kSpare}) {
+  for (ProcessorId p = 0; p < nproc_; ++p) {
     if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
     if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
     if (!pending_mand_[p].empty()) t = std::min(t, pending_min(pending_mand_[p]));
@@ -488,7 +518,7 @@ Ticks Simulator::Impl::scan_next_event_time() const {
   for (std::size_t i = 0; i < ts_->size(); ++i) {
     if (next_release_[i] < config_.horizon) t = std::min(t, next_release_[i]);
   }
-  for (const ProcessorId p : {kPrimary, kSpare}) {
+  for (ProcessorId p = 0; p < nproc_; ++p) {
     if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
     if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
     for (const std::size_t idx : live_[p]) {
@@ -502,7 +532,7 @@ Ticks Simulator::Impl::scan_next_event_time() const {
 }
 
 void Simulator::Impl::process_completions() {
-  for (const ProcessorId p : {kPrimary, kSpare}) {
+  for (ProcessorId p = 0; p < nproc_; ++p) {
     const int idx = running_[p];
     if (idx != kNone && completion_at_[p] == now_) complete_copy(idx);
   }
@@ -511,11 +541,16 @@ void Simulator::Impl::process_completions() {
 void Simulator::Impl::apply_permanent_fault() {
   pf_applied_ = true;
   const ProcessorId dead = pf_->proc;
-  const ProcessorId survivor = other(dead);
-  dirty_[dead] = true;
-  dirty_[survivor] = true;
   proc_alive_[dead] = false;
   death_time_[dead] = now_;
+  // The handover target is the lowest-indexed alive processor -- on the dual
+  // platform exactly other(dead). Every alive processor's sleep/dispatch
+  // state may be affected by rerouted work, so all of them re-dispatch.
+  ProcessorId survivor = dead;
+  for (ProcessorId p = 0; p < nproc_; ++p) {
+    dirty_[p] = true;
+    if (survivor == dead && proc_alive_[p]) survivor = p;
+  }
   stop_running(dead, now_);
   scheme_->on_permanent_fault(dead, now_);
 
@@ -541,9 +576,27 @@ void Simulator::Impl::apply_permanent_fault() {
     LiveJob& job = jobs_[c.job_idx];
     job.copy_in_slot[slot_of(c.kind)] = kNone;
     if (job.resolved) continue;
-    const bool has_other =
-        job.copy_in_slot[0] != kNone || job.copy_in_slot[1] != kNone;
-    if (has_other) continue;
+    const int sibling =
+        job.copy_in_slot[0] != kNone ? job.copy_in_slot[0] : job.copy_in_slot[1];
+    if (sibling != kNone) {
+      // Fault detection promotes the surviving copy: postponement (theta, Y)
+      // only pays while the lost copy could still succeed, and the recovery
+      // analyses assume the backup runs as soon as the failure is known.
+      Copy& s = copies_[static_cast<std::size_t>(sibling)];
+      if (s.alive && s.eligible > now_) {
+        s.eligible = now_;
+        if (trace_) trace_->copies[s.rec].eligible = now_;
+        make_ready(static_cast<std::size_t>(sibling));
+      }
+      continue;
+    }
+    if (survivor == dead) {
+      // No processor left: the job misses, now or at its deadline event.
+      if (now_ >= job.job.deadline || !job.counted) {
+        resolve(c.job_idx, JobOutcome::kMissed);
+      }
+      continue;
+    }
     const auto replacement = scheme_->reroute_on_death(job.job, job.mandatory,
                                                        survivor, now_, remaining);
     if (replacement) {
@@ -663,7 +716,7 @@ void Simulator::Impl::make_ready(std::size_t idx) {
   const core::JobId& id = jobs_[c.job_idx].job.id;
   ReadyEntry entry;
   entry.job = id.job;
-  entry.rank = c.band == Band::kOptional ? c.optional_rank : 0;
+  entry.rank = c.rank;
   entry.task = static_cast<std::uint32_t>(id.task);
   entry.idx = static_cast<std::uint32_t>(idx);
   entry.band = static_cast<std::uint8_t>(c.band);
@@ -688,9 +741,13 @@ void Simulator::Impl::push_prune(std::size_t idx) {
 void Simulator::Impl::wake_eligible(ProcessorId p) {
   for (auto* pending : {&pending_mand_[p], &pending_opt_[p]}) {
     while (!pending->empty() && pending->front().time <= now_) {
-      const std::size_t idx = pending->front().idx;
+      const TimedEntry entry = pending->front();
       heap_pop(*pending);
+      const std::size_t idx = entry.idx;
       if (!copies_[idx].alive) continue;
+      // A fault-detection promotion rewrites `eligible` and readies the copy
+      // directly; its original pending entry is stale and must not re-ready.
+      if (copies_[idx].eligible != entry.time) continue;
       ++stats_.eligibility_wakeups;
       make_ready(idx);
     }
@@ -761,7 +818,18 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
   Copy c;
   c.job_idx = job_idx;
   c.kind = spec.kind;
-  c.proc = proc_alive_[spec.proc] ? spec.proc : other(spec.proc);
+  MKSS_CHECK(spec.proc < nproc_, "admit_copy: processor outside the platform");
+  c.proc = spec.proc;
+  if (!proc_alive_[c.proc]) {
+    // Placement on a dead processor falls through to the lowest-indexed
+    // alive one (on the dual platform: the other processor).
+    for (ProcessorId p = 0; p < nproc_; ++p) {
+      if (proc_alive_[p]) {
+        c.proc = p;
+        break;
+      }
+    }
+  }
   c.band = spec.band;
   c.eligible = std::max(spec.eligible, now_);
   // DVS: execution stretches to C / f at reduced frequency. Clamp to a sane
@@ -772,7 +840,7 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
                     : static_cast<Ticks>(std::llround(
                           static_cast<double>(job.job.exec) / c.frequency));
   c.deadline = job.job.deadline;
-  c.optional_rank = spec.optional_rank;
+  c.rank = spec.rank;
   const int slot = slot_of(spec.kind);
   if (job.copy_in_slot[slot] != kNone) {
     throw std::logic_error("admit_copy: replica slot already occupied");
@@ -928,8 +996,7 @@ void Simulator::Impl::start_running(ProcessorId p, int idx) {
 bool Simulator::Impl::copy_precedes(const Copy& a, const Copy& b) const {
   const auto key = [this](const Copy& c) {
     const core::JobId& id = jobs_[c.job_idx].job.id;
-    const std::uint32_t rank = c.band == Band::kOptional ? c.optional_rank : 0;
-    return std::make_tuple(static_cast<int>(c.band), rank, id.task, id.job,
+    return std::make_tuple(static_cast<int>(c.band), c.rank, id.task, id.job,
                            static_cast<int>(c.kind));
   };
   return key(a) < key(b);

@@ -1,4 +1,4 @@
-// Discrete-event simulator for dual-processor standby-sparing schedules.
+// Discrete-event simulator for N-processor standby-sparing schedules.
 //
 // The engine owns the platform mechanics shared by all schemes:
 //   * periodic job releases and classification callbacks into the Scheme;
@@ -37,6 +37,11 @@ struct SimConfig {
   /// Simulation horizon; jobs are released while r < horizon and audited
   /// when their deadline is within the horizon.
   core::Ticks horizon{0};
+  /// Execution platform; defaults to the paper's dual primary/spare pair.
+  /// Every per-processor engine structure is sized from this spec, and all
+  /// tie-breaks are keyed on the processor index, so schedules are
+  /// deterministic for any processor count.
+  PlatformSpec platform{};
   /// When false, a sleeping processor ignores optional-band work until the
   /// next mandatory activity (the literal reading of Algorithm 1's wake-up
   /// timer); when true (default), any eligible work wakes it.

@@ -18,7 +18,14 @@ char glyph(CopyKind kind, bool full) {
   return '?';
 }
 
-const char* proc_name(ProcessorId p) { return p == kPrimary ? "primary" : "spare  "; }
+/// 7-character row label. The dual platform keeps the historical
+/// "primary"/"spare" labels; larger platforms label by index.
+std::string proc_name(ProcessorId p, std::size_t nproc) {
+  if (nproc == 2) return p == kPrimary ? "primary" : "spare  ";
+  std::string label = "proc " + std::to_string(p);
+  label.resize(7, ' ');
+  return label;
+}
 
 }  // namespace
 
@@ -30,12 +37,13 @@ std::string render_gantt(const SimulationTrace& trace, const core::TaskSet& ts,
   const auto cells = static_cast<std::size_t>((end - begin + per_cell - 1) / per_cell);
 
   // coverage[proc][task][cell] = ticks of execution inside the cell.
+  const std::size_t nproc = trace.death_time.size();
   std::vector<std::vector<std::vector<Ticks>>> covered(
-      kProcessorCount,
+      nproc,
       std::vector<std::vector<Ticks>>(ts.size(), std::vector<Ticks>(cells, 0)));
   std::vector<std::vector<std::vector<CopyKind>>> kind(
-      kProcessorCount, std::vector<std::vector<CopyKind>>(
-                           ts.size(), std::vector<CopyKind>(cells, CopyKind::kMain)));
+      nproc, std::vector<std::vector<CopyKind>>(
+                 ts.size(), std::vector<CopyKind>(cells, CopyKind::kMain)));
 
   for (const ExecSegment& s : trace.segments) {
     const Ticks lo = std::max(s.span.begin, begin);
@@ -69,10 +77,10 @@ std::string render_gantt(const SimulationTrace& trace, const core::TaskSet& ts,
     out += std::string(8 + 1 + label_width + 2, ' ') + ruler + "\n";
   }
 
-  for (const ProcessorId p : {kPrimary, kSpare}) {
+  for (ProcessorId p = 0; p < nproc; ++p) {
     for (std::size_t i = 0; i < ts.size(); ++i) {
       std::string row;
-      row += proc_name(p);
+      row += proc_name(p, nproc);
       row += ' ';
       row += ts[i].name;
       row += std::string(label_width - ts[i].name.size(), ' ');

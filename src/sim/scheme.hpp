@@ -27,10 +27,12 @@ struct CopySpec {
   /// Absolute time from which the copy may execute (release, postponed
   /// release r + theta_i, or dual-priority promotion r + Y_i).
   core::Ticks eligible{0};
-  /// Dispatch rank *within* the optional band; lower runs first. The greedy
-  /// scheme ranks by flexibility degree (more urgent first), the selective
-  /// scheme leaves it 0 (plain FP among FD==1 jobs).
-  std::uint32_t optional_rank{0};
+  /// Dispatch rank *within* the copy's band; lower runs first, ties fall
+  /// back to task index (FP order). Fixed-priority schemes leave it 0; the
+  /// greedy scheme ranks optional copies by flexibility degree, and
+  /// dynamic-priority schemes (global EDF) rank mandatory copies by absolute
+  /// deadline.
+  std::uint32_t rank{0};
   /// Normalized DVS frequency (0 < f <= 1): the copy's execution time
   /// stretches to C / f while its power drops per the energy model. The
   /// admitting scheme is responsible for schedulability at the chosen f.
@@ -84,6 +86,11 @@ class Scheme {
   virtual ~Scheme() = default;
 
   virtual std::string name() const = 0;
+
+  /// Called by the engine before setup() with the run's platform. The
+  /// default keeps schemes written for the dual platform oblivious; platform-
+  /// aware schemes capture the spec here to drive their placement.
+  virtual void bind_platform(const PlatformSpec& /*platform*/) {}
 
   /// Called once before time 0.
   virtual void setup(const core::TaskSet& ts) = 0;

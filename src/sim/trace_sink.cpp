@@ -20,11 +20,13 @@ void FullTraceSink::begin_run(const core::TaskSet&, const SimConfig&) {
   // nothing to reset here.
 }
 
-void StatsSink::begin_run(const core::TaskSet& ts, const SimConfig&) {
+void StatsSink::begin_run(const core::TaskSet& ts, const SimConfig& config) {
   const std::size_t n = ts.size();
+  const std::size_t nproc = config.platform.num_procs();
   energy_ = energy::EnergyBreakdown{};
+  energy_.per_proc.resize(nproc);
   stats_ = SimStats{};
-  cursor_ = {0, 0};
+  cursor_.assign(nproc, 0);
   qos_.per_task.assign(n, metrics::TaskQos{});
   qos_.mk_satisfied = true;
   qos_.mandatory_misses = 0;
@@ -85,7 +87,7 @@ void StatsSink::on_outcome(core::TaskIndex i, core::JobOutcome outcome) {
 }
 
 void StatsSink::end_run(const RunFacts& facts) {
-  for (const ProcessorId p : {kPrimary, kSpare}) {
+  for (std::size_t p = 0; p < facts.death_time.size(); ++p) {
     const core::Ticks life_end = std::min(facts.horizon, facts.death_time[p]);
     charge_idle(energy_.per_proc[p], life_end - cursor_[p]);
   }

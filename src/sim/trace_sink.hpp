@@ -27,7 +27,8 @@
 // end_run().
 #pragma once
 
-#include <array>
+#include <span>
+#include <vector>
 
 #include "core/mk_constraint.hpp"
 #include "core/task.hpp"
@@ -39,11 +40,13 @@ namespace mkss::sim {
 
 struct SimConfig;
 
-/// End-of-run facts every sink receives, trace or no trace.
+/// End-of-run facts every sink receives, trace or no trace. The spans view
+/// engine-owned per-processor vectors (one entry per platform processor)
+/// and stay valid for the duration of the end_run call only.
 struct RunFacts {
   core::Ticks horizon{0};
-  std::array<core::Ticks, kProcessorCount> death_time{core::kNever, core::kNever};
-  std::array<core::Ticks, kProcessorCount> busy_time{0, 0};
+  std::span<const core::Ticks> death_time;
+  std::span<const core::Ticks> busy_time;
   const SimStats* stats{nullptr};
 };
 
@@ -123,7 +126,7 @@ class StatsSink final : public TraceSink {
   energy::EnergyBreakdown energy_;
   metrics::QosReport qos_;
   SimStats stats_;
-  std::array<core::Ticks, kProcessorCount> cursor_{0, 0};
+  std::vector<core::Ticks> cursor_;  ///< per-processor segment cursor
   std::vector<core::MkHistory> history_;
   std::vector<char> violated_;  ///< per task: first violation already captured
 };

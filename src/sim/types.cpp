@@ -4,6 +4,14 @@
 
 namespace mkss::sim {
 
+std::string to_string(ProcRole role) {
+  switch (role) {
+    case ProcRole::kWorker: return "primary";
+    case ProcRole::kStandby: return "spare";
+  }
+  return "?";
+}
+
 std::string to_string(CopyKind kind) {
   switch (kind) {
     case CopyKind::kMain: return "main";

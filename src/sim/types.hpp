@@ -1,8 +1,8 @@
-// Shared vocabulary of the dual-processor standby-sparing simulator.
+// Shared vocabulary of the N-processor standby-sparing simulator.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -12,15 +12,70 @@
 
 namespace mkss::sim {
 
-/// The standby-sparing platform has exactly two processors (Section II-A).
 using ProcessorId = std::uint8_t;
+/// Canonical indices of the paper's dual platform (Section II-A): processor 0
+/// is the primary, processor 1 the spare. Larger platforms simply index
+/// 0..num_procs-1; the roles vector says which is which.
 inline constexpr ProcessorId kPrimary = 0;
 inline constexpr ProcessorId kSpare = 1;
-inline constexpr std::size_t kProcessorCount = 2;
 
-constexpr ProcessorId other(ProcessorId p) noexcept {
-  return static_cast<ProcessorId>(1 - p);
-}
+/// What a processor is provisioned for. Purely descriptive: the engine treats
+/// every processor identically (dispatch, faults, energy); schemes consult
+/// the roles to decide where mains and backups go.
+enum class ProcRole : std::uint8_t {
+  kWorker,   ///< runs main (and optional) copies by default
+  kStandby,  ///< reserved for backup copies by default
+};
+
+std::string to_string(ProcRole role);
+
+/// The execution platform: an ordered list of processor roles. The default
+/// is the paper's dual platform (one primary, one spare); factories build the
+/// common shapes. Processor identity is the index into `roles`, and every
+/// simulator tie-break is keyed on that index, so schedules stay
+/// deterministic for any processor count.
+struct PlatformSpec {
+  std::vector<ProcRole> roles{ProcRole::kWorker, ProcRole::kStandby};
+
+  std::size_t num_procs() const noexcept { return roles.size(); }
+
+  /// The next processor in index order, wrapping around -- the canonical
+  /// "sibling" placement. On the dual platform this is the other processor.
+  ProcessorId partner(ProcessorId p) const noexcept {
+    return static_cast<ProcessorId>((p + 1) % roles.size());
+  }
+
+  /// The paper's platform: {primary, spare}.
+  static PlatformSpec dual() { return {}; }
+
+  /// Standby-sparing with `num_procs - 1` primaries sharing one spare (the
+  /// spare is the last index). Requires at least two processors.
+  static PlatformSpec standby(std::size_t num_procs) {
+    check_size(num_procs);
+    PlatformSpec p;
+    p.roles.assign(num_procs, ProcRole::kWorker);
+    p.roles.back() = ProcRole::kStandby;
+    return p;
+  }
+
+  /// A symmetric platform of `num_procs` primaries (global/partitioned
+  /// baselines without a dedicated spare).
+  static PlatformSpec symmetric(std::size_t num_procs) {
+    check_size(num_procs);
+    PlatformSpec p;
+    p.roles.assign(num_procs, ProcRole::kWorker);
+    return p;
+  }
+
+ private:
+  static void check_size(std::size_t num_procs) {
+    if (num_procs < 2 || num_procs > 255) {
+      throw std::invalid_argument(
+          "PlatformSpec: processor count must be in [2, 255], got " +
+          std::to_string(num_procs));
+    }
+  }
+};
 
 /// Role of an execution copy of a logical job.
 enum class CopyKind : std::uint8_t {
@@ -132,9 +187,10 @@ struct SimulationTrace {
   /// outcomes_per_task[i][j] is the outcome of the (j+1)-th *counted* job
   /// of tau_{i+1}.
   std::vector<std::vector<core::JobOutcome>> outcomes_per_task;
-  /// Time at which a processor permanently failed, or kNever.
-  std::array<core::Ticks, kProcessorCount> death_time{core::kNever, core::kNever};
-  std::array<core::Ticks, kProcessorCount> busy_time{0, 0};
+  /// Time at which a processor permanently failed, or kNever. One entry per
+  /// platform processor; the vector length is the run's processor count.
+  std::vector<core::Ticks> death_time{core::kNever, core::kNever};
+  std::vector<core::Ticks> busy_time{0, 0};
   SimStats stats;
 
   /// Total execution time on both processors inside [0, upto) -- the

@@ -6,10 +6,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -95,13 +98,131 @@ TEST(Cli, CampaignOnTasksetExitsZero) {
   std::filesystem::remove(ts);
 }
 
+// --- Scheduler registry surface: `schemes`, --scheme resolution and the
+// --procs platform flag. ---------------------------------------------------
+
+TEST(Cli, UnknownSchemeIsUsageErrorListingAvailableSchemes) {
+  const std::string ts = write_temp("unknownscheme", kFig1);
+  const CliResult r = run_cli("simulate " + ts + " --scheme no_such_scheme");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown scheme 'no_such_scheme'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("available:"), std::string::npos) << r.output;
+  for (const char* name : {"st", "dp", "greedy", "selective", "global_fp",
+                           "partitioned_fp", "global_edf", "multi_spare"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos)
+        << "error does not list " << name << ":\n" << r.output;
+  }
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, SchemesSubcommandListsEveryRegisteredScheme) {
+  const CliResult r = run_cli("schemes");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* title : {"MKSS_ST", "MKSS_DP", "MKSS_greedy",
+                            "MKSS_selective", "Global-FP", "Partitioned-FP",
+                            "Global-EDF", "Multi-spare"}) {
+    EXPECT_NE(r.output.find(title), std::string::npos)
+        << "table is missing " << title << ":\n" << r.output;
+  }
+}
+
+TEST(Cli, SchemesNamesPrintsBareSortedNames) {
+  const CliResult r = run_cli("schemes --names");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // One bare name per line, sorted -- the CI matrix consumes this verbatim.
+  std::vector<std::string> names;
+  std::string line;
+  for (std::istringstream in(r.output); std::getline(in, line);) {
+    names.push_back(line);
+  }
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end())) << r.output;
+  EXPECT_NE(std::find(names.begin(), names.end(), "selective"), names.end());
+  EXPECT_EQ(r.output.find(' '), std::string::npos) << r.output;
+}
+
+TEST(Cli, SchemesNamesProcsFiltersToSupportingSchemes) {
+  const CliResult r = run_cli("schemes --names --procs 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* nproc : {"global_fp", "partitioned_fp", "global_edf",
+                            "multi_spare"}) {
+    EXPECT_NE(r.output.find(nproc), std::string::npos) << r.output;
+  }
+  for (const std::string dual_only : {"st", "dp", "greedy", "selective"}) {
+    EXPECT_EQ(r.output.find(dual_only + "\n"), std::string::npos)
+        << dual_only << " claims 4-processor support:\n" << r.output;
+  }
+}
+
+TEST(Cli, SimulateNewSchemeOnFourProcessors) {
+  const std::string ts = write_temp("fourproc", kFig1);
+  const CliResult r =
+      run_cli("simulate " + ts + " --scheme multi_spare --procs 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("scheme Multi-spare"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(m,k) satisfied: yes"), std::string::npos)
+      << r.output;
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, DualOnlySchemeRejectsFourProcessors) {
+  const std::string ts = write_temp("dualonly", kFig1);
+  const CliResult r = run_cli("simulate " + ts + " --scheme st --procs 4");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("does not support --procs 4"), std::string::npos)
+      << r.output;
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, ProcsOutsidePlatformEnvelopeIsUsageError) {
+  const std::string ts = write_temp("procsrange", kFig1);
+  for (const char* bad : {"0", "1", "256", "two"}) {
+    const CliResult r =
+        run_cli("simulate " + ts + " --scheme global_fp --procs " +
+                std::string(bad));
+    EXPECT_EQ(r.exit_code, 2) << bad << ":\n" << r.output;
+  }
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, PermanentFaultOutsidePlatformIsUsageError) {
+  const std::string ts = write_temp("pfoutside", kFig1);
+  const CliResult r = run_cli("simulate " + ts + " --scheme st --permanent 2@7");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, AuditNewSchemesOnFourProcessorsWithPermanentFault) {
+  const std::string ts = write_temp("auditnproc", kFig1);
+  for (const char* scheme : {"global_fp", "partitioned_fp", "global_edf",
+                             "multi_spare"}) {
+    const CliResult r = run_cli("audit " + ts + " --scheme " +
+                                std::string(scheme) +
+                                " --procs 4 --permanent 0@7");
+    EXPECT_EQ(r.exit_code, 0) << scheme << ":\n" << r.output;
+    EXPECT_NE(r.output.find("audit clean"), std::string::npos) << r.output;
+  }
+  std::filesystem::remove(ts);
+}
+
+TEST(Cli, CampaignSkipsDualOnlySchemesOnLargerPlatforms) {
+  const std::string ts = write_temp("campskip", kFig1);
+  const CliResult r = run_cli("campaign --taskset " + ts +
+                              " --scheme all --procs 3 --horizon 40");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("skipping st"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+  std::filesystem::remove(ts);
+}
+
 // --- Shared option parser: --threads/--seed/--horizon/--error-dir must be
 // spelled and validated identically across sweep, audit and campaign. -----
 
 TEST(Cli, SharedSeedValidationIsIdenticalAcrossCommands) {
   const std::string ts = write_temp("seedval", kFig1);
   const char* expect = "--seed wants a non-negative integer, got '12x'";
-  for (const std::string cmd :
+  for (const std::string& cmd :
        {std::string("sweep --seed 12x"), "audit " + ts + " --seed 12x",
         std::string("campaign --seed 12x")}) {
     const CliResult r = run_cli(cmd);
@@ -114,7 +235,7 @@ TEST(Cli, SharedSeedValidationIsIdenticalAcrossCommands) {
 TEST(Cli, SharedHorizonValidationIsIdenticalAcrossCommands) {
   const std::string ts = write_temp("horval", kFig1);
   const char* expect = "wants a positive duration in ms, got '-5'";
-  for (const std::string cmd :
+  for (const std::string& cmd :
        {std::string("sweep --horizon -5"), "audit " + ts + " --horizon -5",
         std::string("campaign --horizon -5")}) {
     const CliResult r = run_cli(cmd);

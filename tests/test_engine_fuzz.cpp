@@ -30,13 +30,16 @@ class RandomScheme final : public Scheme {
       : rng_(seed), use_dvs_(use_dvs) {}
 
   std::string name() const override { return "fuzz"; }
+  void bind_platform(const PlatformSpec& platform) override {
+    nproc_ = static_cast<std::uint64_t>(platform.num_procs());
+  }
   void setup(const core::TaskSet& ts) override { ts_ = &ts; }
 
   ReleaseDecision on_release(core::TaskIndex i, std::uint64_t, Ticks release) override {
     const core::Task& task = (*ts_)[i];
     ReleaseDecision d;
     const auto roll = rng_.below(10);
-    const auto proc = static_cast<ProcessorId>(rng_.below(2));
+    const auto proc = static_cast<ProcessorId>(rng_.below(nproc_));
     const double freq =
         use_dvs_ ? std::array<double, 3>{1.0, 0.75, 0.5}[rng_.below(3)] : 1.0;
     const Ticks slack = task.deadline - task.wcet;
@@ -48,7 +51,9 @@ class RandomScheme final : public Scheme {
     if (roll < 5) {  // duplicated mandatory, random backup delay
       d.mandatory = true;
       d.copies.push_back({kPrimary, CopyKind::kMain, Band::kMandatory, release, 0, 1.0});
-      d.copies.push_back({kSpare, CopyKind::kBackup, Band::kMandatory,
+      // Backup on the next processor: kSpare on the dual platform.
+      d.copies.push_back({static_cast<ProcessorId>(1 % nproc_),
+                          CopyKind::kBackup, Band::kMandatory,
                           release + delay, 0, 1.0});
       return d;
     }
@@ -79,14 +84,16 @@ class RandomScheme final : public Scheme {
   const core::TaskSet* ts_ = nullptr;
   core::Rng rng_;
   bool use_dvs_;
+  std::uint64_t nproc_{2};
 };
 
 void check_invariants(const SimulationTrace& trace, const core::TaskSet& ts,
                       std::uint64_t seed) {
   // 1. No overlapping execution on a processor; segments within horizon.
-  std::array<std::vector<core::Interval>, 2> spans;
+  const std::size_t nproc = trace.death_time.size();
+  std::vector<std::vector<core::Interval>> spans(nproc);
   for (const ExecSegment& s : trace.segments) {
-    ASSERT_LT(s.proc, kProcessorCount);
+    ASSERT_LT(s.proc, nproc);
     EXPECT_GE(s.span.begin, 0) << "seed " << seed;
     EXPECT_LE(s.span.end, trace.horizon) << "seed " << seed;
     EXPECT_LT(s.span.begin, s.span.end) << "seed " << seed;
@@ -101,10 +108,11 @@ void check_invariants(const SimulationTrace& trace, const core::TaskSet& ts,
   }
 
   // 2. busy_time bookkeeping is exact.
-  std::array<Ticks, 2> busy{0, 0};
+  std::vector<Ticks> busy(nproc, 0);
   for (const ExecSegment& s : trace.segments) busy[s.proc] += s.span.length();
-  EXPECT_EQ(busy[0], trace.busy_time[0]) << "seed " << seed;
-  EXPECT_EQ(busy[1], trace.busy_time[1]) << "seed " << seed;
+  for (std::size_t p = 0; p < nproc; ++p) {
+    EXPECT_EQ(busy[p], trace.busy_time[p]) << "seed " << seed << " proc " << p;
+  }
 
   // 3. Nothing executes on a dead processor after its death.
   for (const ExecSegment& s : trace.segments) {
@@ -275,6 +283,42 @@ TEST_P(EngineFuzz, IndexedCoreMatchesScanOracleOnLongHorizons) {
       };
       expect_bit_identical(run(false), run(true), *ts, seed);
     }
+  }
+}
+
+TEST_P(EngineFuzz, FourProcessorPlatformHoldsInvariantsAndMatchesOracle) {
+  // The vectorized engine on a 4-processor platform: random placements over
+  // all four processors, all fault scenarios, and the scan oracle cross-check
+  // proving the indexed structures stay equivalent beyond the dual platform.
+  const std::uint64_t seed = GetParam();
+  core::Rng rng(seed * 104729 + 31);
+  std::optional<core::TaskSet> ts;
+  for (int trial = 0; trial < 4000 && !ts; ++trial) {
+    ts = workload::generate_taskset({}, rng.uniform(0.3, 0.7), rng);
+  }
+  ASSERT_TRUE(ts.has_value());
+  const Ticks horizon = core::from_ms(rng.range(300, 800));
+
+  for (const auto scenario :
+       {fault::Scenario::kNoFault, fault::Scenario::kPermanentOnly,
+        fault::Scenario::kPermanentAndTransient}) {
+    core::Rng fault_rng = rng.split();
+    const auto plan =
+        fault::make_scenario_plan(scenario, *ts, horizon, 0.01, fault_rng);
+    const auto run = [&](bool cross_check) {
+      RandomScheme scheme(seed ^ 0x4444);
+      SimConfig cfg;
+      cfg.horizon = horizon;
+      cfg.platform = PlatformSpec::standby(4);
+      cfg.wake_for_optional = (seed % 2) == 0;
+      cfg.cross_check = cross_check;
+      return simulate(*ts, scheme, *plan, cfg);
+    };
+    const auto indexed = run(false);
+    const auto checked = run(true);
+    ASSERT_EQ(indexed.death_time.size(), 4u);
+    expect_bit_identical(indexed, checked, *ts, seed);
+    check_invariants(indexed, *ts, seed);
   }
 }
 

@@ -1,0 +1,113 @@
+// The scheduler plugin registry: static self-registration coverage (all the
+// in-tree schemes must be visible, proving the whole-archive link keeps the
+// registrar objects), lookup/error contracts, and platform envelopes.
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sched/mkss_st.hpp"
+
+namespace mkss::sched {
+namespace {
+
+TEST(Registry, AllInTreeSchemesSelfRegister) {
+  const std::vector<std::string> names = Registry::instance().names();
+  for (const char* expected : {"st", "dp", "greedy", "selective", "global_fp",
+                               "partitioned_fp", "global_edf", "multi_spare"}) {
+    EXPECT_TRUE(Registry::instance().contains(expected))
+        << expected << " is not registered";
+  }
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, AllIsSortedByNameAndMatchesNames) {
+  const auto infos = Registry::instance().all();
+  const auto names = Registry::instance().names();
+  ASSERT_EQ(infos.size(), names.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i]->name, names[i]);
+  }
+}
+
+TEST(Registry, ResolveReturnsWorkingFactory) {
+  const SchemeInfo& info = Registry::instance().resolve("st");
+  EXPECT_EQ(info.title, "MKSS_ST");
+  const std::unique_ptr<SchemeBase> scheme = info.make();
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_NE(dynamic_cast<MkssSt*>(scheme.get()), nullptr);
+}
+
+TEST(Registry, UnknownSchemeErrorListsEveryRegisteredName) {
+  try {
+    Registry::instance().resolve("no_such_scheme");
+    FAIL() << "resolve should have thrown";
+  } catch (const UnknownSchemeError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_scheme"), std::string::npos);
+    EXPECT_NE(msg.find("available"), std::string::npos);
+    for (const std::string& name : Registry::instance().names()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "error message does not list " << name;
+    }
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  SchemeInfo dup;
+  dup.name = "st";  // already taken by the real MKSS_ST registrar
+  dup.title = "imposter";
+  dup.make = [] { return std::make_unique<MkssSt>(); };
+  EXPECT_THROW(Registry::instance().register_scheme(std::move(dup)),
+               std::logic_error);
+}
+
+TEST(Registry, MissingFactoryThrows) {
+  SchemeInfo broken;
+  broken.name = "broken_scheme_without_factory";
+  EXPECT_THROW(Registry::instance().register_scheme(std::move(broken)),
+               std::logic_error);
+}
+
+TEST(Registry, EmptyNameThrows) {
+  SchemeInfo anonymous;
+  anonymous.make = [] { return std::make_unique<MkssSt>(); };
+  EXPECT_THROW(Registry::instance().register_scheme(std::move(anonymous)),
+               std::logic_error);
+}
+
+TEST(Registry, PlatformEnvelopes) {
+  // The paper's four schemes are written against the dual platform.
+  for (const char* dual_only : {"st", "dp", "greedy", "selective"}) {
+    const SchemeInfo& info = Registry::instance().resolve(dual_only);
+    EXPECT_TRUE(info.supports(2)) << dual_only;
+    EXPECT_FALSE(info.supports(3)) << dual_only;
+    EXPECT_FALSE(info.supports(4)) << dual_only;
+  }
+  // The N-processor schemes accept any platform the simulator accepts.
+  for (const char* nproc : {"global_fp", "partitioned_fp", "global_edf",
+                            "multi_spare"}) {
+    const SchemeInfo& info = Registry::instance().resolve(nproc);
+    EXPECT_TRUE(info.supports(2)) << nproc;
+    EXPECT_TRUE(info.supports(4)) << nproc;
+    EXPECT_TRUE(info.supports(255)) << nproc;
+  }
+}
+
+TEST(SchemeInfoSupports, BoundsAreInclusiveAndZeroMaxIsUnbounded) {
+  SchemeInfo info;
+  info.min_procs = 3;
+  info.max_procs = 5;
+  EXPECT_FALSE(info.supports(2));
+  EXPECT_TRUE(info.supports(3));
+  EXPECT_TRUE(info.supports(5));
+  EXPECT_FALSE(info.supports(6));
+  info.max_procs = 0;
+  EXPECT_TRUE(info.supports(1000));
+}
+
+}  // namespace
+}  // namespace mkss::sched

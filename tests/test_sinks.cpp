@@ -24,7 +24,8 @@ using core::from_ms;
 
 void expect_same_energy(const energy::EnergyBreakdown& full,
                         const energy::EnergyBreakdown& lean) {
-  for (std::size_t p = 0; p < sim::kProcessorCount; ++p) {
+  ASSERT_EQ(full.per_proc.size(), lean.per_proc.size());
+  for (std::size_t p = 0; p < full.per_proc.size(); ++p) {
     SCOPED_TRACE("processor " + std::to_string(p));
     const auto& a = full.per_proc[p];
     const auto& b = lean.per_proc[p];

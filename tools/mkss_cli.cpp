@@ -3,11 +3,19 @@
 //   mkss_cli analyze  <taskset.txt>
 //       schedulability report, promotion times Y_i and postponement theta_i.
 //
+//   mkss_cli schemes [--names] [--procs <n>]
+//       list every registered scheduler (name, platform envelope, policy);
+//       --names prints the bare names, one per line (CI matrix input), and
+//       --procs filters to schemes that support that platform size.
+//
 //   mkss_cli simulate <taskset.txt> [options]
 //       run one scheme over the task set and report schedule/energy/QoS.
-//         --scheme st|dp|greedy|selective   (default selective)
+//         --scheme <name>       any registered scheme (default selective);
+//                               see `mkss_cli schemes`
+//         --procs <n>           platform size: n-1 primaries + 1 spare
+//                               (default 2, the paper's dual platform)
 //         --horizon <ms>                    (default pattern hyperperiod)
-//         --permanent <proc>@<ms>           inject a permanent fault (0|1)
+//         --permanent <proc>@<ms>           inject a permanent fault
 //         --lambda <rate-per-ms>            transient fault rate (default 0)
 //         --seed <n>                        fault derandomization seed
 //         --gantt                           print the ASCII schedule
@@ -24,12 +32,14 @@
 //   mkss_cli audit <taskset.txt> [simulate options]
 //       run one scheme and certify the trace with the structural auditor.
 //
-//   mkss_cli campaign [--scheme st|dp|greedy|selective|all]
+//   mkss_cli campaign [--scheme <name>|all] [--procs <n>]
 //                     [--taskset <file>] [--horizon <ms>] [--seed <n>]
 //                     [--no-bursts]
 //       (--horizon-cap is accepted as an alias for --horizon.)
 //       enumerate adversarial fault placements (permanent faults at every
-//       inspecting point, targeted/bursty transients) and audit every run.
+//       inspecting point of every processor, targeted/bursty transients)
+//       and audit every run. `all` runs every registered scheme that
+//       supports the platform, noting the skipped ones.
 //
 //   mkss_cli example
 //       print a template task-set file.
@@ -164,17 +174,19 @@ bool parse_common_flag(Args& a, const CommonFlagSet& accepts,
 int usage() {
   std::fputs(
       "usage: mkss_cli analyze <taskset.txt>\n"
-      "       mkss_cli simulate <taskset.txt> [--scheme st|dp|greedy|selective]\n"
+      "       mkss_cli schemes [--names] [--procs n]\n"
+      "       mkss_cli simulate <taskset.txt> [--scheme name] [--procs n]\n"
       "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
       "                [--seed n] [--gantt] [--json]\n"
       "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
       "                [--threads n] [--seed n] [--horizon ms] [--no-audit]\n"
       "                [--error-dir dir]\n"
       "       mkss_cli audit <taskset.txt> [simulate options]\n"
-      "       mkss_cli campaign [--scheme st|dp|greedy|selective|all]\n"
+      "       mkss_cli campaign [--scheme name|all] [--procs n]\n"
       "                [--taskset file] [--horizon ms] [--seed n]\n"
       "                [--no-bursts]\n"
       "       mkss_cli example\n"
+      "schemes: see `mkss_cli schemes` (the registry drives --scheme)\n"
       "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n",
       stderr);
   return kExitUsage;
@@ -211,16 +223,29 @@ int cmd_analyze(const std::string& path) {
   return sched_report.r_pattern_feasible ? 0 : 1;
 }
 
-sched::SchemeKind parse_scheme(const std::string& v) {
-  if (v == "st") return sched::SchemeKind::kSt;
-  if (v == "dp") return sched::SchemeKind::kDp;
-  if (v == "greedy") return sched::SchemeKind::kGreedy;
-  if (v == "selective") return sched::SchemeKind::kSelective;
-  throw UsageError("unknown scheme '" + v + "'");
+/// Registry lookup; rethrows as UsageError (exit 2) with the name list.
+const sched::SchemeInfo& parse_scheme(const std::string& v) {
+  try {
+    return sched::Registry::instance().resolve(v);
+  } catch (const sched::UnknownSchemeError& e) {
+    throw UsageError(e.what());
+  }
+}
+
+/// Strict platform size: n-1 primaries plus one spare, within PlatformSpec's
+/// envelope of [2, 255] processors.
+std::size_t parse_procs(const std::string& flag, const char* value) {
+  const std::uint64_t n = parse_u64(flag, value);
+  if (n < 2 || n > 255) {
+    throw UsageError(flag + " wants a platform size in [2, 255], got '" +
+                     std::string(value) + "'");
+  }
+  return static_cast<std::size_t>(n);
 }
 
 struct SimulateOptions {
-  sched::SchemeKind kind{sched::SchemeKind::kSelective};
+  const sched::SchemeInfo* scheme{nullptr};  ///< null = default "selective"
+  std::size_t procs{2};
   core::Ticks horizon{0};
   std::optional<sim::PermanentFault> permanent;
   double lambda{0.0};
@@ -237,7 +262,9 @@ SimulateOptions parse_simulate_options(int argc, char** argv) {
     if (parse_common_flag(a, accepts, common)) continue;
     const std::string arg = a.arg();
     if (arg == "--scheme") {
-      opt.kind = parse_scheme(a.value(arg));
+      opt.scheme = &parse_scheme(a.value(arg));
+    } else if (arg == "--procs") {
+      opt.procs = parse_procs(arg, a.value(arg));
     } else if (arg == "--permanent") {
       const std::string v = a.value(arg);
       const auto at = v.find('@');
@@ -260,8 +287,29 @@ SimulateOptions parse_simulate_options(int argc, char** argv) {
   return opt;
 }
 
+/// Resolves the scheme (default "selective") and checks it against --procs.
+const sched::SchemeInfo& simulate_scheme(const SimulateOptions& opt) {
+  const sched::SchemeInfo& info =
+      opt.scheme ? *opt.scheme : parse_scheme("selective");
+  if (!info.supports(opt.procs)) {
+    throw UsageError("scheme '" + info.name + "' does not support --procs " +
+                     std::to_string(opt.procs) + " (supports " +
+                     std::to_string(info.min_procs) + ".." +
+                     (info.max_procs == 0 ? std::string("unbounded")
+                                          : std::to_string(info.max_procs)) +
+                     ")");
+  }
+  if (opt.permanent && opt.permanent->proc >= opt.procs) {
+    throw UsageError("--permanent names processor " +
+                     std::to_string(opt.permanent->proc) +
+                     " on a platform of " + std::to_string(opt.procs));
+  }
+  return info;
+}
+
 harness::RunResult run_simulate(const core::TaskSet& ts,
                                 const SimulateOptions& opt) {
+  const sched::SchemeInfo& info = simulate_scheme(opt);
   core::Ticks horizon = opt.horizon;
   if (horizon <= 0) {
     horizon = harness::choose_horizon(ts, core::from_ms(std::int64_t{10000}));
@@ -270,14 +318,16 @@ harness::RunResult run_simulate(const core::TaskSet& ts,
       opt.permanent, fault::transient_probabilities(ts, opt.lambda), opt.seed);
   sim::SimConfig cfg;
   cfg.horizon = horizon;
+  cfg.platform = sim::PlatformSpec::standby(opt.procs);
+  const std::unique_ptr<sched::SchemeBase> scheme = info.make();
   return harness::run_one(
-      {.ts = ts, .kind = opt.kind, .faults = &plan, .sim = cfg});
+      {.ts = ts, .scheme = scheme.get(), .faults = &plan, .sim = cfg});
 }
 
 int cmd_simulate(const std::string& path, int argc, char** argv) {
   const core::TaskSet ts = io::parse_taskset_file(path);
   const SimulateOptions opt = parse_simulate_options(argc, argv);
-  const sched::SchemeKind kind = opt.kind;
+  const sched::SchemeInfo& info = simulate_scheme(opt);
   const bool gantt = opt.gantt, json = opt.json;
   const auto run = run_simulate(ts, opt);
   const core::Ticks horizon = run.trace.horizon;
@@ -287,7 +337,7 @@ int cmd_simulate(const std::string& path, int argc, char** argv) {
     return run.qos.mk_satisfied ? 0 : 1;
   }
 
-  std::printf("scheme %s over %s\n", sched::to_string(kind),
+  std::printf("scheme %s over %s\n", info.title.c_str(),
               core::format_ticks(horizon).c_str());
   std::printf("energy: %.2f units (active %.2f)\n", run.energy.total(),
               run.energy.active_total());
@@ -377,10 +427,48 @@ int cmd_audit(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+int cmd_schemes(int argc, char** argv) {
+  bool names_only = false;
+  std::optional<std::size_t> procs;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (a.arg() == "--names") {
+      names_only = true;
+    } else if (a.arg() == "--procs") {
+      procs = parse_procs(a.arg(), a.value(a.arg()));
+    } else {
+      throw UsageError("unknown option '" + a.arg() + "'");
+    }
+  }
+  if (names_only) {
+    for (const sched::SchemeInfo* info : sched::Registry::instance().all()) {
+      if (procs && !info->supports(*procs)) continue;
+      std::printf("%s\n", info->name.c_str());
+    }
+    return 0;
+  }
+  report::Table table({"name", "scheme", "processors", "policy"});
+  for (const sched::SchemeInfo* info : sched::Registry::instance().all()) {
+    if (procs && !info->supports(*procs)) continue;
+    std::string envelope;
+    if (info->min_procs == info->max_procs) {
+      envelope = std::to_string(info->min_procs);
+    } else if (info->max_procs == 0) {
+      envelope = std::to_string(info->min_procs) + "+";
+    } else {
+      envelope = std::to_string(info->min_procs) + "-" +
+                 std::to_string(info->max_procs);
+    }
+    table.add_row({info->name, info->title, envelope, info->policy});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   fault::CampaignConfig cfg;
   std::string scheme = "all";
   std::string taskset_path;
+  std::size_t procs = 2;
   std::uint64_t seed = 20200309;
   const CommonFlagSet accepts{
       .seed = true, .horizon = true, .horizon_cap_alias = true};
@@ -390,6 +478,8 @@ int cmd_campaign(int argc, char** argv) {
     const std::string arg = a.arg();
     if (arg == "--scheme") {
       scheme = a.value(arg);
+    } else if (arg == "--procs") {
+      procs = parse_procs(arg, a.value(arg));
     } else if (arg == "--taskset") {
       taskset_path = a.value(arg);
     } else if (arg == "--no-bursts") {
@@ -400,15 +490,31 @@ int cmd_campaign(int argc, char** argv) {
   }
   if (common.seed) seed = *common.seed;
   if (common.horizon) cfg.horizon_cap = *common.horizon;
+  cfg.platform = sim::PlatformSpec::standby(procs);
 
+  // Campaign schemes come from the registry, so a newly registered scheduler
+  // is adversarially fault-tested without this file changing.
+  const auto campaign_scheme = [](const sched::SchemeInfo* info) {
+    return fault::CampaignScheme{info->title,
+                                 [info] { return info->make(); }};
+  };
   std::vector<fault::CampaignScheme> schemes;
   if (scheme == "all") {
-    schemes = fault::paper_schemes();
+    for (const sched::SchemeInfo* info : sched::Registry::instance().all()) {
+      if (!info->supports(procs)) {
+        std::printf("note: skipping %s (does not support %zu processors)\n",
+                    info->name.c_str(), procs);
+        continue;
+      }
+      schemes.push_back(campaign_scheme(info));
+    }
   } else {
-    const sched::SchemeKind kind = parse_scheme(scheme);
-    schemes.push_back({sched::to_string(kind), [kind] {
-                         return sched::make_scheme(kind);
-                       }});
+    const sched::SchemeInfo& info = parse_scheme(scheme);
+    if (!info.supports(procs)) {
+      throw UsageError("scheme '" + info.name + "' does not support --procs " +
+                       std::to_string(procs));
+    }
+    schemes.push_back(campaign_scheme(&info));
   }
   std::vector<fault::CampaignCase> cases;
   if (taskset_path.empty()) {
@@ -440,6 +546,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
+    if (cmd == "schemes") return cmd_schemes(argc - 2, argv + 2);
     if (cmd == "simulate" && argc >= 3) return cmd_simulate(argv[2], argc - 3, argv + 3);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "audit" && argc >= 3) return cmd_audit(argv[2], argc - 3, argv + 3);
