@@ -115,6 +115,8 @@ struct SchemeRunner {
           runner->run_full(*scheme, plan, sim_config);
       report = audit::TraceAuditor(config.audit).audit(trace, cs.ts);
       if (report.ok()) return &trace;
+    } catch (const sim::RunTimeoutError& e) {
+      report.violations.push_back({"timeout", e.what()});
     } catch (const std::exception& e) {
       report.violations.push_back({"exception", e.what()});
     }
@@ -190,7 +192,9 @@ CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
           entry,
           config,
           taskset_text,
-          sim::SimConfig{.horizon = horizon, .platform = config.platform},
+          sim::SimConfig{.horizon = horizon,
+                         .platform = config.platform,
+                         .wall_clock_budget_ms = config.run_budget_ms},
           &batch,
           scheme.get(),
           &result};

@@ -46,6 +46,12 @@ class ExplicitFaultPlan final : public sim::FaultPlan {
   }
   bool transient(const core::JobId& job, int slot) const override;
 
+  /// The explicit transient hits, sorted by (job, slot). The shrinker and
+  /// the repro-bundle serializer iterate these directly.
+  const std::vector<std::pair<core::JobId, int>>& transients() const {
+    return transients_;
+  }
+
   /// One-line description, e.g.
   /// "permanent proc 1 @ 3.5ms" or "transients: J1,2/main J1,3/main".
   std::string describe() const;
@@ -81,6 +87,10 @@ struct CampaignConfig {
   std::size_t max_transient_targets{64};
   /// Also inject per-task bursts (k_i consecutive mains, then backups).
   bool include_bursts{true};
+  /// Per-run wall-clock watchdog (SimConfig::wall_clock_budget_ms); a hung
+  /// run is recorded as a "timeout" violation instead of stalling the
+  /// campaign. 0 disables the watchdog.
+  double run_budget_ms{30000};
   /// Options forwarded to the trace auditor attached to every run.
   audit::AuditOptions audit{};
 };

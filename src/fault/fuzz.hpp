@@ -1,0 +1,130 @@
+// Chaos fault-fuzz campaigns with automatic repro shrinking.
+//
+// Where fault/campaign.hpp *enumerates* the worst corners of the fault space
+// for hand-picked task sets, the fuzzer samples the joint space of
+//   random task set x random platform x random fault process x every scheme
+// at scale. Each iteration draws a fresh R-pattern-schedulable task set from
+// the workload generator, a platform size from the configured pool, and one
+// of five fault processes (none; Poisson transients; a permanent fault; a
+// burst storm on one task's copies; permanent + transients combined), then
+// runs every registered scheme that supports the platform with the trace
+// auditor attached. Fault placements may exceed Theorem 1's tolerance
+// hypothesis on purpose -- check_repro then relaxes the two checks Theorem 1
+// no longer covers ((m,k) windows and the mandatory-miss rule), so copy
+// lifecycles, band ordering, outcome counts and energy reconciliation stay
+// audited under arbitrarily hostile fault storms.
+//
+// Determinism: iteration i draws everything from
+// core::Rng(core::stream_seed(seed, kFuzzStream, i)) in a fixed order, runs
+// fan out over the thread pool into disjoint result slots, and aggregation
+// walks the slots in iteration order -- so a fuzz run is a pure function of
+// its config, bit-identical for every --threads value.
+//
+// Violations are delta-debugged by fault::shrink and written as repro
+// bundles (io/repro_bundle.hpp) that `mkss_cli replay` re-runs audited.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+#include "fault/shrink.hpp"
+#include "io/repro_bundle.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss::fault {
+
+/// The five fault processes an iteration can draw (weights 1/3/2/2/2 in 10).
+enum class FaultMode {
+  kNone = 0,       ///< fault-free control run
+  kTransient,      ///< Poisson transients, lambda log-uniform in [1e-3, 10^-0.5] per ms
+  kPermanent,      ///< one permanent fault, uniform processor and instant
+  kBurst,          ///< storm: up to k_i consecutive jobs of one task, one slot
+  kCombined,       ///< permanent + Poisson transients (beyond tolerance)
+};
+inline constexpr std::size_t kNumFaultModes = 5;
+
+const char* to_string(FaultMode mode);
+
+struct FuzzConfig {
+  /// Iterations; each runs every eligible scheme once (audited).
+  std::uint64_t runs{1000};
+  std::uint64_t seed{20200309};
+  /// Platform-size pool; each iteration draws one entry uniformly and runs
+  /// on PlatformSpec::standby(procs).
+  std::vector<std::size_t> procs{2};
+  /// Registry names to fuzz; empty = every registered scheme.
+  std::vector<std::string> schemes{};
+  /// Task-set envelope. Defaults are smaller than the paper's evaluation
+  /// sets so a single iteration stays cheap and shrunk repros stay tiny.
+  workload::GenParams gen{.min_tasks = 3, .max_tasks = 6,
+                          .max_period_ms = 20, .max_k = 6};
+  /// Target (m,k)-utilization, drawn uniformly per iteration.
+  double min_mk_util{0.15};
+  double max_mk_util{0.70};
+  /// Generator retries before the iteration is recorded as a draw failure.
+  std::size_t max_draw_attempts{200};
+  /// Horizon cap per run (harness::choose_horizon).
+  core::Ticks horizon_cap{core::from_ms(std::int64_t{300})};
+  /// Per-run wall-clock watchdog; a hung run quarantines as "timeout".
+  double run_budget_ms{10000};
+  /// Worker threads: 1 = inline, 0 = all hardware threads. The result is
+  /// bit-identical for every value.
+  std::size_t num_threads{1};
+  /// Delta-debug violations into minimal repros (timeouts are never shrunk).
+  bool shrink{true};
+  std::uint64_t max_shrink_oracle_runs{2000};
+  /// When non-empty, write one bundle (plus a .min bundle when shrinking
+  /// changed anything) per violation into this directory.
+  std::string error_dir{};
+};
+
+/// One audited failure with its full and minimal reproducers.
+struct FuzzViolation {
+  std::uint64_t iteration{0};
+  std::string scheme;
+  FaultMode mode{FaultMode::kNone};
+  ReproVerdict verdict;       ///< of the original case
+  ReproCase repro;            ///< as drawn
+  ReproCase minimal;          ///< after shrinking (== repro when not shrunk)
+  ReproVerdict minimal_verdict;
+  std::uint64_t shrink_oracle_runs{0};
+  std::string bundle_path;          ///< empty unless error_dir was set
+  std::string minimal_bundle_path;  ///< empty when shrinking changed nothing
+};
+
+struct FuzzResult {
+  std::uint64_t iterations{0};
+  std::uint64_t audited_runs{0};  ///< scheme runs that completed the audit
+  std::uint64_t draw_failures{0};
+  std::uint64_t timeouts{0};
+  std::array<std::uint64_t, kNumFaultModes> mode_counts{};
+  std::vector<std::string> schemes;  ///< resolved scheme pool, fuzz order
+  std::vector<FuzzViolation> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// Multi-line human-readable summary; stable across thread counts.
+  std::string summary() const;
+};
+
+/// Runs the campaign. Throws sched::UnknownSchemeError for an unknown name
+/// in config.schemes and std::invalid_argument for an empty platform pool or
+/// a scheme/platform combination nothing supports.
+FuzzResult run_fuzz(const FuzzConfig& config);
+
+/// Converts a (case, verdict) pair into the on-disk bundle dialect.
+io::ReproBundle to_bundle(const ReproCase& c, const ReproVerdict& v);
+
+/// Re-runs a parsed bundle audited, reconstructing the platform from its
+/// roles string and the fault plan from whichever dialect it carries
+/// (explicit hit lists verbatim; scenario bundles re-derive the plan from
+/// the recorded scenario, lambda and fault seed, exactly like the sweep
+/// harness drew it). Throws sched::UnknownSchemeError / std::invalid_argument
+/// when the bundle's scheme or scenario cannot be resolved in this build.
+ReproVerdict replay_bundle(const io::ReproBundle& bundle,
+                           double run_budget_ms = 10000);
+
+}  // namespace mkss::fault

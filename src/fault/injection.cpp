@@ -13,6 +13,13 @@ const char* to_string(Scenario s) {
   return "?";
 }
 
+std::optional<Scenario> scenario_from_string(const std::string& name) {
+  if (name == "no-fault") return Scenario::kNoFault;
+  if (name == "permanent") return Scenario::kPermanentOnly;
+  if (name == "permanent+transient") return Scenario::kPermanentAndTransient;
+  return std::nullopt;
+}
+
 ScenarioFaultPlan::ScenarioFaultPlan(std::optional<sim::PermanentFault> permanent,
                                      std::vector<double> transient_prob_per_task,
                                      std::uint64_t seed)

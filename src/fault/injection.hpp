@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -28,6 +29,11 @@ enum class Scenario {
 };
 
 const char* to_string(Scenario s);
+
+/// Inverse of to_string ("no-fault", "permanent", "permanent+transient");
+/// nullopt for unknown tokens. Repro-bundle replay resolves the recorded
+/// scenario name through this.
+std::optional<Scenario> scenario_from_string(const std::string& name);
 
 /// Deterministic fault plan configured from a scenario.
 class ScenarioFaultPlan final : public sim::FaultPlan {

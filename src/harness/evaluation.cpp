@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/thread_pool.hpp"
+#include "io/repro_bundle.hpp"
 #include "io/taskset_io.hpp"
 
 namespace mkss::harness {
@@ -88,8 +89,9 @@ report::Table SweepResult::to_table() const {
 SweepResult run_sweep(const SweepConfig& config) {
   std::vector<SchemeVariant> variants;
   for (const sched::SchemeKind kind : config.schemes) {
-    variants.push_back(
-        {sched::to_string(kind), [kind] { return sched::make_scheme(kind); }});
+    variants.push_back({sched::to_string(kind),
+                        [kind] { return sched::make_scheme(kind); },
+                        sched::registry_name(kind)});
   }
   return run_variant_sweep(config, variants);
 }
@@ -116,10 +118,15 @@ struct SetRuns {
   std::vector<std::string> error;  ///< one per variant, empty == clean
 };
 
-/// Writes one repro bundle for a quarantined run. Called from the serial
+/// Writes one repro bundle for a quarantined run, in the io::ReproBundle
+/// scenario dialect: the full reproduction key (platform, registry scheme
+/// name, stream version, scenario + lambda + fault-stream seed) rides in the
+/// comment block, so `mkss_cli replay` can re-run the exact fault plan while
+/// the file still parses as a plain task-set file. Called from the serial
 /// aggregation phase only, so file creation is deterministic and race-free.
 void dump_error_bundle(const std::string& dir, const SweepError& err,
-                       const SweepConfig& config, Ticks horizon) {
+                       const SweepConfig& config, Ticks horizon,
+                       const std::string& registry_name) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -130,22 +137,23 @@ void dump_error_bundle(const std::string& dir, const SweepError& err,
   const std::string path = dir + "/bin" + std::to_string(err.bin) + "_set" +
                            std::to_string(err.set) + "_" + err.variant +
                            ".repro.txt";
-  // Keep multi-line audit reports inside the comment block, so the bundle
-  // still parses as a task-set file.
-  std::string message = err.message;
-  for (std::size_t pos = 0; (pos = message.find('\n', pos)) != std::string::npos;
-       pos += 3) {
-    message.replace(pos, 1, "\n# ");
-  }
+  io::ReproBundle bundle;
+  bundle.verdict = "sweep-error";
+  // Unregistered ablation variants fall back to the display name; replay
+  // then fails loudly instead of rebuilding the wrong scheme.
+  bundle.scheme = registry_name.empty() ? err.variant : registry_name;
+  bundle.procs = 2;
+  bundle.roles = "WS";
+  bundle.stream_version = config.gen.stream_version;
+  bundle.horizon = horizon;
+  bundle.scenario_plan = true;
+  bundle.scenario = fault::to_string(config.scenario);
+  bundle.lambda_per_ms = config.lambda_per_ms;
+  bundle.fault_seed = err.seed;
+  bundle.error = err.message;
+  bundle.ts = io::parse_taskset_string(err.taskset);
   std::ofstream out(path);
-  out << "# mkss sweep error repro\n"
-      << "# variant: " << err.variant << "\n"
-      << "# bin: " << err.bin << "  set: " << err.set << "\n"
-      << "# sweep seed: " << config.seed
-      << "  stream seed: " << err.seed << "\n"
-      << "# horizon: " << core::format_ticks(horizon) << "\n"
-      << "# error: " << message << "\n"
-      << err.taskset;
+  out << io::serialize_repro_bundle(bundle);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write repro bundle %s\n",
                  path.c_str());
@@ -394,6 +402,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     sim::SimConfig sim_config;
     sim_config.horizon = sr.horizon;
     sim_config.break_even = config.power.break_even;
+    sim_config.wall_clock_budget_ms = config.run_budget_ms;
     for (std::size_t v = 0; v < variants.size(); ++v) {
       // Quarantine: a thrown engine/scheme error or an audit violation is
       // recorded in this variant's disjoint slot instead of tearing down
@@ -446,7 +455,8 @@ SweepResult run_variant_sweep(const SweepConfig& config,
                        core::stream_seed(config.seed, b, s), sr.error[v],
                        io::serialize_taskset(batches[b].sets[s])};
         if (!config.error_dir.empty()) {
-          dump_error_bundle(config.error_dir, err, config, sr.horizon);
+          dump_error_bundle(config.error_dir, err, config, sr.horizon,
+                            variants[v].registry_name);
         }
         result.errors.push_back(std::move(err));
       }

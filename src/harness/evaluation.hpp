@@ -105,8 +105,15 @@ struct SweepConfig {
   /// legitimately break a window (counted by qos_failures as before).
   bool audit{true};
   /// When non-empty, every quarantined error also dumps a repro bundle
-  /// (serialized task set + run metadata) into this directory.
+  /// (io/repro_bundle.hpp scenario dialect: task set + platform + scheme +
+  /// fault-plan reproduction key) into this directory; `mkss_cli replay`
+  /// re-runs them audited.
   std::string error_dir{};
+
+  /// Per-run wall-clock watchdog forwarded to SimConfig::wall_clock_budget_ms
+  /// (0 = off, the default): a hung run quarantines as a SweepError instead
+  /// of stalling the whole sweep.
+  double run_budget_ms{0};
 
   /// Which trace sink the runs use. kAuto materializes full traces exactly
   /// when `audit` is on (the auditor needs them); kFullTrace forces
@@ -151,6 +158,11 @@ using SchemeFactory = std::function<std::unique_ptr<sim::Scheme>()>;
 struct SchemeVariant {
   std::string name;
   SchemeFactory make;
+  /// sched::Registry name when the variant is a registered scheme (empty
+  /// otherwise, e.g. ablation configurations). Repro bundles record it so
+  /// `mkss_cli replay` can rebuild the scheme; bundles of unregistered
+  /// variants fall back to `name` and replay refuses them loudly.
+  std::string registry_name{};
 };
 
 /// One quarantined per-run failure: the run threw (engine MKSS_CHECK, scheme

@@ -10,12 +10,13 @@
 //   energy/    P_act / DPD energy accounting
 //   audit/     post-hoc trace auditor certifying structural invariants
 //   fault/     permanent + Poisson transient fault plans, adversarial
-//              fault-placement campaigns
+//              fault-placement campaigns, chaos fuzz campaigns with
+//              delta-debugged repro shrinking
 //   sched/     MKSS_ST, MKSS_DP, MKSS_greedy, MKSS_selective (Algorithm 1),
 //              N-processor global/partitioned FP, global EDF, multi-spare,
 //              the self-registering scheme registry, backup-delay ladder,
 //              static DVS
-//   io/        task-set text files, JSON trace export
+//   io/        task-set text files, repro bundles, JSON trace export
 //   workload/  Section-V random task-set generation, paper example task sets
 //   metrics/   (m,k) QoS auditing (Theorem 1), running statistics
 //   report/    fixed-width tables and CSV
@@ -42,9 +43,12 @@
 #include "core/time.hpp"
 #include "energy/energy_model.hpp"
 #include "fault/campaign.hpp"
+#include "fault/fuzz.hpp"
 #include "fault/injection.hpp"
+#include "fault/shrink.hpp"
 #include "harness/batch_runner.hpp"
 #include "harness/evaluation.hpp"
+#include "io/repro_bundle.hpp"
 #include "io/taskset_io.hpp"
 #include "io/trace_json.hpp"
 #include "metrics/decomposition.hpp"

@@ -1,0 +1,133 @@
+#include "sched/canary.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "sched/mkss_dp.hpp"
+#include "sched/mkss_st.hpp"
+#include "sched/registry.hpp"
+
+namespace mkss::sched {
+
+namespace {
+
+/// Composition shim: forwards every engine hook to an inner production
+/// scheme so a canary only has to distort the release decision.
+class CanaryBase : public SchemeBase {
+ public:
+  explicit CanaryBase(std::unique_ptr<SchemeBase> inner)
+      : inner_(std::move(inner)) {}
+
+  void on_outcome(core::TaskIndex i, std::uint64_t j,
+                  core::JobOutcome outcome) override {
+    inner_->on_outcome(i, j, outcome);
+  }
+
+  void on_permanent_fault(sim::ProcessorId dead, core::Ticks now) override {
+    SchemeBase::on_permanent_fault(dead, now);
+    inner_->on_permanent_fault(dead, now);
+  }
+
+  std::optional<sim::CopySpec> reroute_on_death(
+      const core::Job& job, bool mandatory, sim::ProcessorId survivor,
+      core::Ticks now, core::Ticks remaining) override {
+    return inner_->reroute_on_death(job, mandatory, survivor, now, remaining);
+  }
+
+ protected:
+  void on_setup() override {
+    inner_->bind_platform(platform());
+    inner_->setup(taskset());
+  }
+
+  SchemeBase& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<SchemeBase> inner_;
+};
+
+/// Bug #1: MKSS_ST without backups -- one transient on a mandatory main is
+/// an unrecovered mandatory miss.
+class CanaryNoBackup final : public CanaryBase {
+ public:
+  CanaryNoBackup() : CanaryBase(std::make_unique<MkssSt>()) {}
+
+  std::string name() const override { return "CANARY(no-backup)"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override {
+    sim::ReleaseDecision d = inner().on_release(i, j, release);
+    d.copies.erase_if(
+        [](const sim::CopySpec& c) { return c.kind == sim::CopyKind::kBackup; });
+    return d;
+  }
+};
+
+/// Bug #2: MKSS_DP whose backups are promoted at r + D_i - C_i/2. A backup
+/// needs C_i of service but only C_i/2 of window remains, so once the main
+/// copy is lost the job cannot make its deadline.
+class CanaryLatePromotion final : public CanaryBase {
+ public:
+  CanaryLatePromotion() : CanaryBase(std::make_unique<MkssDp>()) {}
+
+  std::string name() const override { return "CANARY(late-promotion)"; }
+
+  sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
+                                  core::Ticks release) override {
+    const sim::ReleaseDecision d = inner().on_release(i, j, release);
+    const core::Task& t = taskset()[i];
+    sim::ReleaseDecision out;
+    out.mandatory = d.mandatory;
+    for (const sim::CopySpec& c : d.copies) {
+      sim::CopySpec spec = c;
+      if (spec.kind == sim::CopyKind::kBackup) {
+        spec.eligible = release + t.deadline - t.wcet / 2;
+      }
+      out.copies.push_back(spec);
+    }
+    return out;
+  }
+};
+
+/// Env-var hook: setting MKSS_ENABLE_CANARY_SCHEMES makes subprocesses (the
+/// CLI under test) expose the canaries without a code path to forget to
+/// remove.
+[[maybe_unused]] const bool registered_from_env = [] {
+  return std::getenv("MKSS_ENABLE_CANARY_SCHEMES") != nullptr &&
+         register_canary_schemes() > 0;
+}();
+
+}  // namespace
+
+std::size_t register_canary_schemes() {
+  Registry& registry = Registry::instance();
+  std::size_t added = 0;
+  if (!registry.contains("canary_no_backup")) {
+    registry.register_scheme({
+        .name = "canary_no_backup",
+        .title = "CANARY(no-backup)",
+        .policy = "deliberately broken MKSS_ST that drops every backup copy "
+                  "(fuzzer canary; never registered by default)",
+        .min_procs = 2,
+        .max_procs = 2,
+        .make = [] { return std::make_unique<CanaryNoBackup>(); },
+    });
+    ++added;
+  }
+  if (!registry.contains("canary_late_promotion")) {
+    registry.register_scheme({
+        .name = "canary_late_promotion",
+        .title = "CANARY(late-promotion)",
+        .policy = "deliberately broken MKSS_DP promoting backups at "
+                  "r + D - C/2 (fuzzer canary; never registered by default)",
+        .min_procs = 2,
+        .max_procs = 2,
+        .make = [] { return std::make_unique<CanaryLatePromotion>(); },
+    });
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace mkss::sched

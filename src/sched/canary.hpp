@@ -1,0 +1,33 @@
+// Deliberately broken "canary" schemes for exercising the fuzzer.
+//
+// The fuzz campaign's job is to catch scheduler bugs; the canaries are two
+// known bugs kept on a leash so tests (and humans) can watch the pipeline
+// work end to end: fuzz finds them, the shrinker reduces them to a couple of
+// tasks and one fault hit, and `mkss_cli replay` re-fails their bundles.
+//
+//   canary_no_backup        MKSS_ST with every backup copy stripped: any
+//                           transient on a mandatory main is an unrecovered
+//                           mandatory miss.
+//   canary_late_promotion   MKSS_DP whose backups only become eligible at
+//                           r + D_i - C_i/2 -- provably too late to finish
+//                           C_i by the deadline once the main copy dies.
+//
+// The production schemes are `final`, so the canaries wrap them by
+// composition (delegating SchemeBase hooks to an inner instance) rather than
+// inheritance. They never self-register: register_canary_schemes() must be
+// called explicitly (tests do), or the MKSS_ENABLE_CANARY_SCHEMES
+// environment variable must be set before the registry is first consulted
+// (the CLI tests use this) -- so `mkss_cli schemes`, the CI scheme matrix
+// and default fuzz runs never see them.
+#pragma once
+
+#include <cstddef>
+
+namespace mkss::sched {
+
+/// Registers "canary_no_backup" and "canary_late_promotion" (idempotent).
+/// Returns how many registrations the call performed (0 when both already
+/// existed).
+std::size_t register_canary_schemes();
+
+}  // namespace mkss::sched

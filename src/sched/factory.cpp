@@ -12,6 +12,16 @@ const char* to_string(SchemeKind kind) {
   return "?";
 }
 
+const char* registry_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSt: return "st";
+    case SchemeKind::kDp: return "dp";
+    case SchemeKind::kGreedy: return "greedy";
+    case SchemeKind::kSelective: return "selective";
+  }
+  return "?";
+}
+
 std::unique_ptr<SchemeBase> make_scheme(SchemeKind kind) {
   switch (kind) {
     case SchemeKind::kSt: return std::make_unique<MkssSt>();

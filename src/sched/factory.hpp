@@ -21,6 +21,11 @@ enum class SchemeKind : std::uint8_t {
 
 const char* to_string(SchemeKind kind);
 
+/// sched::Registry name of the kind ("st", "dp", ...), for artifacts -- like
+/// the sweep's repro bundles -- that must name a scheme replayable via the
+/// stringly registry rather than by display title.
+const char* registry_name(SchemeKind kind);
+
 /// Fresh default-configured scheme instance. Schemes are stateful (dynamic
 /// pattern history), so every simulation run needs its own instance.
 std::unique_ptr<SchemeBase> make_scheme(SchemeKind kind);

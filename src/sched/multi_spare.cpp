@@ -27,6 +27,12 @@ void MultiSpare::on_setup() {
   }
 }
 
+void MultiSpare::on_permanent_fault(sim::ProcessorId dead, core::Ticks now) {
+  SchemeBase::on_permanent_fault(dead, now);
+  dead_ = dead;
+  spare_dead_ = dead == spare();
+}
+
 sim::ReleaseDecision MultiSpare::on_release(core::TaskIndex i, std::uint64_t j,
                                             core::Ticks release) {
   const core::Task& task = taskset()[i];
@@ -34,8 +40,29 @@ sim::ReleaseDecision MultiSpare::on_release(core::TaskIndex i, std::uint64_t j,
                                j)) {
     return sim::ReleaseDecision::skip();
   }
-  return mandatory_release_on(assign_[i], spare(), release,
-                              release + theta_[i]);
+  if (!degraded()) {
+    return mandatory_release_on(assign_[i], spare(), release,
+                                release + theta_[i]);
+  }
+  // Degraded: keep the postponement basis (see the header comment). A dead
+  // spare leaves the partitioned mains untouched; a dead primary moves its
+  // tasks to the spare as single theta-postponed copies, i.e. exactly their
+  // analyzed backup slot.
+  sim::ReleaseDecision d;
+  d.mandatory = true;
+  if (spare_dead_) {
+    d.copies.push_back({assign_[i], sim::CopyKind::kMain, sim::Band::kMandatory,
+                        release, 0, 1.0});
+  } else if (assign_[i] == dead_) {
+    d.copies.push_back({spare(), sim::CopyKind::kMain, sim::Band::kMandatory,
+                        release + theta_[i], 0, 1.0});
+  } else {
+    d.copies.push_back({assign_[i], sim::CopyKind::kMain, sim::Band::kMandatory,
+                        release, 0, 1.0});
+    d.copies.push_back({spare(), sim::CopyKind::kBackup, sim::Band::kMandatory,
+                        release + theta_[i], 0, 1.0});
+  }
+  return d;
 }
 
 namespace {

@@ -10,6 +10,18 @@
 // to the dual platform's spare, so the postponement analysis applies
 // verbatim; the primaries each carry a subset of the dual platform's single
 // primary, so main-side response times only shrink.
+//
+// Degraded mode keeps the postponement basis. When a primary dies, its
+// tasks continue as single theta-postponed copies on the spare -- exactly
+// the backup workload the analysis covered -- while the other primaries
+// keep their duplicated releases. Releasing immediately instead (the
+// SchemeBase default) is unsound here: a pre-death backup of job j shifted
+// to r + theta_i followed by an immediate post-death release of job j+1
+// puts two activations of one task on the spare closer than its period,
+// more interference than any fixed-priority analysis of the backup set
+// admits (found by the fuzz campaign as a mandatory miss with a single
+// fault event). When the spare itself dies, mains continue untouched on
+// their primaries and only the (never-guaranteed-anyway) backups are lost.
 #pragma once
 
 #include <vector>
@@ -27,6 +39,7 @@ class MultiSpare final : public SchemeBase {
   sim::ReleaseDecision on_release(core::TaskIndex i, std::uint64_t j,
                                   core::Ticks release) override;
   void on_outcome(core::TaskIndex, std::uint64_t, core::JobOutcome) override {}
+  void on_permanent_fault(sim::ProcessorId dead, core::Ticks now) override;
 
   /// Backup postponements actually in use (valid after setup()).
   const std::vector<core::Ticks>& backup_delays() const { return theta_; }
@@ -41,6 +54,8 @@ class MultiSpare final : public SchemeBase {
 
   std::vector<core::Ticks> theta_;
   std::vector<sim::ProcessorId> assign_;
+  sim::ProcessorId dead_{0};
+  bool spare_dead_{false};
 };
 
 }  // namespace mkss::sched

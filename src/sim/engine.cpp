@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <compare>
 #include <stdexcept>
@@ -365,11 +366,30 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   process_releases();
   for (ProcessorId p = 0; p < nproc_; ++p) dispatch(p);
 
+  // Cooperative wall-clock watchdog: sampled at event 1 and then every 512
+  // events, so even a sub-millisecond budget fires deterministically on the
+  // first event while the steady-clock call stays off the per-event hot path.
+  const bool watchdog = config_.wall_clock_budget_ms > 0;
+  const auto watchdog_start = watchdog ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
+
   while (true) {
     const Ticks t = next_event_time();
     now_ = std::min(t, config_.horizon);
     if (t >= config_.horizon) break;
     ++stats_.sim_events;
+    if (watchdog && (stats_.sim_events & 511) == 1) {
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - watchdog_start;
+      if (elapsed.count() > config_.wall_clock_budget_ms) {
+        throw RunTimeoutError(
+            "run exceeded its wall-clock budget of " +
+            std::to_string(config_.wall_clock_budget_ms) + " ms after " +
+            std::to_string(stats_.sim_events) + " events (sim time " +
+            core::format_ticks(now_) + " of " +
+            core::format_ticks(config_.horizon) + ")");
+      }
+    }
 
     process_completions();
     if (pf_ && !pf_applied_ && pf_->time == now_) apply_permanent_fault();

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 
 #include "core/task.hpp"
 #include "sim/exec_model.hpp"
@@ -62,6 +63,22 @@ struct SimConfig {
 #else
   bool cross_check{true};
 #endif
+  /// Per-run wall-clock watchdog budget in milliseconds; 0 (the default)
+  /// disables it. When positive, the event loop samples a steady clock every
+  /// 512 events and throws RunTimeoutError once the budget is exceeded, so a
+  /// hung or runaway run surfaces as a quarantinable error instead of
+  /// stalling a fuzz campaign or CI. The check is cooperative and does not
+  /// perturb the schedule: a run that finishes within its budget is
+  /// bit-identical to the same run without a watchdog.
+  double wall_clock_budget_ms{0};
+};
+
+/// Thrown by Simulator::run when SimConfig::wall_clock_budget_ms is
+/// exhausted. Fuzz/campaign harnesses map it to a "timeout" verdict; the
+/// run's partial trace is discarded.
+class RunTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class TraceSink;

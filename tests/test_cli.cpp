@@ -21,8 +21,11 @@ struct CliResult {
   std::string output;  ///< stdout and stderr combined
 };
 
-CliResult run_cli(const std::string& args) {
-  const std::string cmd = std::string(MKSS_CLI_PATH) + " " + args + " 2>&1";
+/// `env_prefix` (e.g. "MKSS_ENABLE_CANARY_SCHEMES=1 ") is prepended to the
+/// command, so it only applies to the spawned CLI process.
+CliResult run_cli(const std::string& args, const std::string& env_prefix = "") {
+  const std::string cmd =
+      env_prefix + std::string(MKSS_CLI_PATH) + " " + args + " 2>&1";
   CliResult r;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return r;
@@ -284,6 +287,107 @@ TEST(Cli, AuditAcceptsSharedSeedAndHorizon) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("audit clean"), std::string::npos);
   std::filesystem::remove(ts);
+}
+
+// --- Chaos fuzz campaigns and repro-bundle replay. ------------------------
+
+/// A minimal explicit-dialect bundle with one tolerated transient: the
+/// backup recovers, so replay is clean.
+constexpr const char* kCleanBundle =
+    "# mkss repro bundle v1\n"
+    "# scheme: st\n"
+    "# procs: 2\n"
+    "# roles: WS\n"
+    "# stream-version: 2\n"
+    "# horizon-ticks: 20000\n"
+    "# plan: explicit\n"
+    "# transient: 0 1 0\n"
+    "control 5 4 3 2 4\n"
+    "video   10 10 3 1 2\n";
+
+TEST(Cli, FuzzCleanSchemesExitZero) {
+  const CliResult r = run_cli("fuzz --runs 10 --seed 7 --threads 0");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("fuzz: 10 iteration(s)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("violations: 0"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FuzzOutputIsBitIdenticalAcrossThreadCounts) {
+  const CliResult serial = run_cli("fuzz --runs 12 --seed 42 --threads 1");
+  const CliResult parallel = run_cli("fuzz --runs 12 --seed 42 --threads 4");
+  EXPECT_EQ(serial.exit_code, 0) << serial.output;
+  EXPECT_EQ(serial.output, parallel.output);
+}
+
+TEST(Cli, FuzzRejectsBadProcsRangeAndUnknownScheme) {
+  for (const char* args :
+       {"fuzz --procs-range 4", "fuzz --procs-range 4..2",
+        "fuzz --procs-range 2..x", "fuzz --scheme no_such_scheme",
+        "fuzz --runs -3", "fuzz --bogus"}) {
+    const CliResult r = run_cli(args);
+    EXPECT_EQ(r.exit_code, 2) << args << ":\n" << r.output;
+  }
+}
+
+TEST(Cli, FuzzCatchesCanariesWritesBundlesAndReplayReproduces) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mkss_cli_fuzz_canary_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  // The deliberately broken canary scheme (env-gated, test-only) must be
+  // caught, shrunk, and written out as repro bundles...
+  const CliResult fuzz = run_cli(
+      "fuzz --runs 40 --seed 11 --scheme canary_no_backup --threads 0 "
+      "--error-dir " + dir.string(),
+      "MKSS_ENABLE_CANARY_SCHEMES=1 ");
+  EXPECT_EQ(fuzz.exit_code, 4) << fuzz.output;
+  EXPECT_NE(fuzz.output.find("mandatory-miss"), std::string::npos)
+      << fuzz.output;
+  std::size_t bundles = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++bundles;
+  }
+  EXPECT_GT(bundles, 0u) << fuzz.output;
+
+  // ...replaying the directory reproduces the violations (exit 4)...
+  const CliResult replay =
+      run_cli("replay " + dir.string(), "MKSS_ENABLE_CANARY_SCHEMES=1 ");
+  EXPECT_EQ(replay.exit_code, 4) << replay.output;
+  EXPECT_NE(replay.output.find("VIOLATED"), std::string::npos) << replay.output;
+
+  // ...and without the gate the canary is an unknown scheme: bad input, 3.
+  const CliResult ungated = run_cli("replay " + dir.string());
+  EXPECT_EQ(ungated.exit_code, 3) << ungated.output;
+  EXPECT_NE(ungated.output.find("unknown scheme 'canary_no_backup'"),
+            std::string::npos)
+      << ungated.output;
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ReplayCleanBundleExitsZero) {
+  const std::string bundle = write_temp("cleanbundle", kCleanBundle);
+  const CliResult r = run_cli("replay " + bundle);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean (scheme st"), std::string::npos) << r.output;
+  std::filesystem::remove(bundle);
+}
+
+TEST(Cli, ReplayMissingOrMalformedBundleIsInputError) {
+  EXPECT_EQ(run_cli("replay /nonexistent/x.repro.txt").exit_code, 3);
+  const std::string ts = write_temp("notabundle", kFig1);
+  const CliResult r = run_cli("replay " + ts);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("missing"), std::string::npos) << r.output;
+  std::filesystem::remove(ts);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mkss_cli_replay_empty_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const CliResult empty = run_cli("replay " + dir.string());
+  EXPECT_EQ(empty.exit_code, 3) << empty.output;
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, ExampleOutputRoundTripsThroughAnalyze) {

@@ -1,0 +1,161 @@
+// Unit tests: the chaos fuzz campaign (fault/fuzz.hpp) -- real schemes
+// survive it, results are bit-identical across thread counts, canary bugs
+// are found, shrunk to tiny bundles and re-fail on replay, and the written
+// bundles round-trip through the parser.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/fuzz.hpp"
+#include "io/repro_bundle.hpp"
+#include "sched/canary.hpp"
+
+namespace mkss::fault {
+namespace {
+
+std::string temp_dir(const std::string& stem) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mkss_fuzz_test_" + stem + "_" +
+                    std::to_string(::testing::UnitTest::GetInstance()
+                                       ->random_seed()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Fuzz, RealSchemesSurviveAMixedCampaign) {
+  FuzzConfig cfg;
+  cfg.runs = 60;
+  cfg.seed = 20200309;
+  cfg.num_threads = 0;  // all hardware threads
+  const FuzzResult result = run_fuzz(cfg);
+  EXPECT_TRUE(result.ok()) << result.summary();
+  EXPECT_EQ(result.iterations, 60u);
+  EXPECT_GT(result.audited_runs, result.iterations);  // several schemes each
+  std::uint64_t drawn = result.draw_failures;
+  for (const std::uint64_t c : result.mode_counts) drawn += c;
+  EXPECT_EQ(drawn, result.iterations);
+}
+
+TEST(Fuzz, ResultIsBitIdenticalAcrossThreadCounts) {
+  FuzzConfig cfg;
+  cfg.runs = 40;
+  cfg.seed = 97;
+  cfg.schemes = {"st", "selective", "global_fp"};
+  cfg.num_threads = 1;
+  const FuzzResult serial = run_fuzz(cfg);
+  cfg.num_threads = 4;
+  const FuzzResult parallel = run_fuzz(cfg);
+
+  EXPECT_EQ(serial.summary(), parallel.summary());
+  EXPECT_EQ(serial.audited_runs, parallel.audited_runs);
+  EXPECT_EQ(serial.mode_counts, parallel.mode_counts);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(io::serialize_repro_bundle(to_bundle(serial.violations[i].minimal,
+                                                   serial.violations[i].minimal_verdict)),
+              io::serialize_repro_bundle(to_bundle(parallel.violations[i].minimal,
+                                                   parallel.violations[i].minimal_verdict)));
+  }
+}
+
+TEST(Fuzz, EmptyPlatformPoolAndUnsupportedSchemesAreRejected) {
+  FuzzConfig no_procs;
+  no_procs.procs.clear();
+  EXPECT_THROW(run_fuzz(no_procs), std::invalid_argument);
+
+  FuzzConfig unsupported;
+  unsupported.procs = {4};
+  unsupported.schemes = {"dp"};  // dual-platform only
+  EXPECT_THROW(run_fuzz(unsupported), std::invalid_argument);
+}
+
+TEST(Fuzz, CatchesCanaryShrinksAndReplays) {
+  sched::register_canary_schemes();
+  const std::string dir = temp_dir("canary");
+
+  FuzzConfig cfg;
+  cfg.runs = 40;
+  cfg.seed = 11;
+  cfg.schemes = {"canary_no_backup", "canary_late_promotion"};
+  cfg.num_threads = 0;
+  cfg.error_dir = dir;
+  const FuzzResult result = run_fuzz(cfg);
+  ASSERT_FALSE(result.ok()) << "canaries must be caught";
+
+  bool found_small_minimal = false;
+  for (const FuzzViolation& v : result.violations) {
+    EXPECT_EQ(v.verdict.kind, "audit-violation");
+    EXPECT_EQ(v.verdict.invariant, "mandatory-miss");
+    EXPECT_LE(v.minimal.ts.size(), v.repro.ts.size());
+    found_small_minimal = found_small_minimal || v.minimal.ts.size() <= 3;
+
+    // Every written bundle parses back, and replaying it re-fails with the
+    // same invariant.
+    ASSERT_FALSE(v.bundle_path.empty());
+    const io::ReproBundle bundle = io::parse_repro_bundle_file(v.bundle_path);
+    EXPECT_EQ(bundle.scheme, v.scheme);
+    const ReproVerdict replayed = replay_bundle(bundle);
+    EXPECT_TRUE(replayed.violated);
+    EXPECT_EQ(replayed.invariant, v.verdict.invariant);
+  }
+  EXPECT_TRUE(found_small_minimal)
+      << "expected at least one minimal repro with <= 3 tasks";
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fuzz, MinimalBundleReplaysViolated) {
+  sched::register_canary_schemes();
+  const std::string dir = temp_dir("minimal");
+
+  FuzzConfig cfg;
+  cfg.runs = 40;
+  cfg.seed = 11;
+  cfg.schemes = {"canary_no_backup"};
+  cfg.num_threads = 0;
+  cfg.error_dir = dir;
+  const FuzzResult result = run_fuzz(cfg);
+  ASSERT_FALSE(result.ok());
+
+  bool replayed_minimal = false;
+  for (const FuzzViolation& v : result.violations) {
+    if (v.minimal_bundle_path.empty()) continue;
+    const io::ReproBundle minimal =
+        io::parse_repro_bundle_file(v.minimal_bundle_path);
+    const ReproVerdict verdict = replay_bundle(minimal);
+    EXPECT_TRUE(verdict.violated);
+    EXPECT_EQ(verdict.kind, "audit-violation");
+    replayed_minimal = true;
+  }
+  EXPECT_TRUE(replayed_minimal) << "no shrunk bundle was written";
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplayBundle, ScenarioDialectRedrawsTheSweepPlan) {
+  // A scenario bundle for a healthy scheme replays clean; the plan is
+  // re-derived from (scenario, lambda, fault seed) rather than fault lines.
+  io::ReproBundle b;
+  b.scheme = "st";
+  b.procs = 2;
+  b.roles = "WS";
+  b.horizon = core::from_ms(std::int64_t{20});
+  b.scenario_plan = true;
+  b.scenario = "permanent";
+  b.lambda_per_ms = 0.0;
+  b.fault_seed = 1234;
+  b.ts = io::parse_taskset_string("control 5 4 3 2 4\nvideo 10 10 3 1 2\n");
+  const io::ReproBundle parsed =
+      io::parse_repro_bundle_string(io::serialize_repro_bundle(b));
+  const ReproVerdict v = replay_bundle(parsed);
+  EXPECT_FALSE(v.violated) << v.detail;
+
+  io::ReproBundle unknown = parsed;
+  unknown.scenario = "solar-flare";
+  EXPECT_THROW(replay_bundle(unknown), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mkss::fault

@@ -41,17 +41,35 @@
 //       and audit every run. `all` runs every registered scheme that
 //       supports the platform, noting the skipped ones.
 //
+//   mkss_cli fuzz [--runs n] [--seed n] [--procs n | --procs-range a..b]
+//                 [--scheme name|all] [--threads n] [--horizon ms]
+//                 [--budget-ms ms] [--no-shrink] [--error-dir dir]
+//       chaos campaign: every iteration draws a random schedulable task set,
+//       a random platform from the pool and a random fault process (Poisson
+//       transients, permanent faults, bursty storms, combined), then runs
+//       every selected scheme with the trace auditor attached. Violations
+//       are delta-debugged to minimal repro bundles (written to --error-dir)
+//       and exit with code 4. Bit-identical for every --threads value.
+//
+//   mkss_cli replay <bundle.repro.txt | bundle-dir> [--budget-ms ms]
+//       re-run repro bundles (from fuzz --error-dir or sweep --error-dir)
+//       audited; any still-violating bundle exits with code 4. A directory
+//       replays every *.repro.txt inside, in name order.
+//
 //   mkss_cli example
 //       print a template task-set file.
 //
 // Exit codes: 0 success, 1 run-time failure (e.g. QoS not satisfied),
-// 2 usage error, 3 malformed input, 4 audit/campaign violation.
+// 2 usage error, 3 malformed input, 4 audit/campaign/fuzz/replay violation.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "io/taskset_io.hpp"
 #include "io/trace_json.hpp"
@@ -185,6 +203,10 @@ int usage() {
       "       mkss_cli campaign [--scheme name|all] [--procs n]\n"
       "                [--taskset file] [--horizon ms] [--seed n]\n"
       "                [--no-bursts]\n"
+      "       mkss_cli fuzz [--runs n] [--seed n] [--procs n | --procs-range a..b]\n"
+      "                [--scheme name|all] [--threads n] [--horizon ms]\n"
+      "                [--budget-ms ms] [--no-shrink] [--error-dir dir]\n"
+      "       mkss_cli replay <bundle.repro.txt | bundle-dir> [--budget-ms ms]\n"
       "       mkss_cli example\n"
       "schemes: see `mkss_cli schemes` (the registry drives --scheme)\n"
       "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n",
@@ -529,6 +551,115 @@ int cmd_campaign(int argc, char** argv) {
   return result.ok() ? 0 : kExitAuditViolation;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+  fault::FuzzConfig cfg;
+  std::string scheme = "all";
+  const CommonFlagSet accepts{.threads = true,
+                              .seed = true,
+                              .horizon = true,
+                              .horizon_cap_alias = true,
+                              .error_dir = true};
+  CommonOptions common;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (parse_common_flag(a, accepts, common)) continue;
+    const std::string arg = a.arg();
+    if (arg == "--runs") {
+      cfg.runs = parse_u64(arg, a.value(arg));
+    } else if (arg == "--procs") {
+      cfg.procs = {parse_procs(arg, a.value(arg))};
+    } else if (arg == "--procs-range") {
+      const std::string v = a.value(arg);
+      const std::size_t dots = v.find("..");
+      if (dots == std::string::npos) {
+        throw UsageError("--procs-range wants a..b, got '" + v + "'");
+      }
+      const std::string lo_s = v.substr(0, dots), hi_s = v.substr(dots + 2);
+      const std::size_t lo = parse_procs(arg, lo_s.c_str());
+      const std::size_t hi = parse_procs(arg, hi_s.c_str());
+      if (hi < lo) throw UsageError("--procs-range wants a..b with a <= b");
+      cfg.procs.clear();
+      for (std::size_t p = lo; p <= hi; ++p) cfg.procs.push_back(p);
+    } else if (arg == "--scheme") {
+      scheme = a.value(arg);
+    } else if (arg == "--budget-ms") {
+      cfg.run_budget_ms = parse_positive_ms(arg, a.value(arg));
+    } else if (arg == "--no-shrink") {
+      cfg.shrink = false;
+    } else {
+      throw UsageError("unknown option '" + arg + "'");
+    }
+  }
+  if (common.threads) cfg.num_threads = *common.threads;
+  if (common.seed) cfg.seed = *common.seed;
+  if (common.horizon) cfg.horizon_cap = *common.horizon;
+  if (common.error_dir) cfg.error_dir = *common.error_dir;
+  if (scheme != "all") cfg.schemes = {parse_scheme(scheme).name};
+
+  const fault::FuzzResult result = fault::run_fuzz(cfg);
+  std::printf("%s", result.summary().c_str());
+  return result.ok() ? 0 : kExitAuditViolation;
+}
+
+/// Replays one bundle; returns 0 or kExitAuditViolation. An unknown scheme
+/// or scenario in the bundle is a bad *input*, so it maps to io::ParseError
+/// (exit 3) rather than a silent skip.
+int replay_one(const std::string& path, double budget_ms) {
+  const io::ReproBundle bundle = io::parse_repro_bundle_file(path);
+  fault::ReproVerdict v;
+  try {
+    v = fault::replay_bundle(bundle, budget_ms);
+  } catch (const std::invalid_argument& e) {
+    throw io::ParseError(path + ": " + e.what());
+  }
+  if (v.violated) {
+    std::printf("%s: VIOLATED %s%s%s%s\n", path.c_str(), v.kind.c_str(),
+                v.invariant.empty() ? "" : " (",
+                v.invariant.c_str(), v.invariant.empty() ? "" : ")");
+    std::fprintf(stderr, "%s\n", v.detail.c_str());
+    return kExitAuditViolation;
+  }
+  std::printf("%s: clean (scheme %s, %zu task(s), %s)\n", path.c_str(),
+              bundle.scheme.c_str(), bundle.ts.size(),
+              core::format_ticks(bundle.horizon).c_str());
+  return 0;
+}
+
+int cmd_replay(const std::string& path, int argc, char** argv) {
+  double budget_ms = 10000;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (a.arg() == "--budget-ms") {
+      budget_ms = parse_positive_ms(a.arg(), a.value(a.arg()));
+    } else {
+      throw UsageError("unknown option '" + a.arg() + "'");
+    }
+  }
+  std::vector<std::string> bundles;
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.size() > 10 &&
+          name.rfind(".repro.txt") == name.size() - 10) {
+        bundles.push_back(entry.path().string());
+      }
+    }
+    std::sort(bundles.begin(), bundles.end());
+    if (bundles.empty()) {
+      throw io::ParseError("no *.repro.txt bundles in '" + path + "'");
+    }
+  } else {
+    bundles.push_back(path);
+  }
+  int exit_code = 0;
+  for (const std::string& bundle : bundles) {
+    exit_code = std::max(exit_code, replay_one(bundle, budget_ms));
+  }
+  if (bundles.size() > 1) {
+    std::printf("replayed %zu bundle(s): %s\n", bundles.size(),
+                exit_code == 0 ? "all clean" : "violations reproduced");
+  }
+  return exit_code;
+}
+
 int cmd_example() {
   std::fputs(
       "# (m,k)-firm task set -- times in ms, first line = highest priority\n"
@@ -551,6 +682,8 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
     if (cmd == "audit" && argc >= 3) return cmd_audit(argv[2], argc - 3, argv + 3);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
+    if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2], argc - 3, argv + 3);
     if (cmd == "example") return cmd_example();
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
