@@ -150,36 +150,44 @@ int main(int argc, char** argv) {
   std::printf("  preemptions      %llu\n", (unsigned long long)first.preemptions);
   std::printf("best %.4fs  ->  %.0f events/sec\n", best, events_per_sec);
 
-  std::string json = "{\n  \"bench\": \"engine_events\",\n";
-  char line[512];
-  std::snprintf(line, sizeof line,
-                "  \"sets\": %zu,\n  \"schemes\": %zu,\n  \"runs\": %zu,\n"
-                "  \"reps\": %zu,\n  \"horizon_ms\": 1000,\n",
-                pool.size(), std::size(kinds), runs, reps);
-  json += line;
-  std::snprintf(line, sizeof line,
-                "  \"events\": %llu,\n  \"releases\": %llu,\n"
-                "  \"completions\": %llu,\n  \"deadline_fires\": %llu,\n"
-                "  \"eligibility_wakeups\": %llu,\n  \"dispatch_pops\": %llu,\n"
-                "  \"preemptions\": %llu,\n",
-                (unsigned long long)first.events,
-                (unsigned long long)first.releases,
-                (unsigned long long)first.completions,
-                (unsigned long long)first.deadline_fires,
-                (unsigned long long)first.eligibility_wakeups,
-                (unsigned long long)first.dispatch_pops,
-                (unsigned long long)first.preemptions);
-  json += line;
-  json += "  \"rep_seconds\": [";
-  for (std::size_t i = 0; i < rep_seconds.size(); ++i) {
-    std::snprintf(line, sizeof line, "%s%.4f", i ? ", " : "", rep_seconds[i]);
-    json += line;
-  }
-  json += "],\n";
-  std::snprintf(line, sizeof line,
-                "  \"best_seconds\": %.4f,\n  \"events_per_sec\": %.0f\n}\n",
-                best, events_per_sec);
-  json += line;
+  io::JsonWriter w;
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  w.key("bench");
+  w.string("engine_events");
+  w.key("sets");
+  w.u64(pool.size());
+  w.key("schemes");
+  w.u64(std::size(kinds));
+  w.key("runs");
+  w.u64(runs);
+  w.key("reps");
+  w.u64(reps);
+  w.key("horizon_ms");
+  w.u64(1000);
+  w.key("events");
+  w.u64(first.events);
+  w.key("releases");
+  w.u64(first.releases);
+  w.key("completions");
+  w.u64(first.completions);
+  w.key("deadline_fires");
+  w.u64(first.deadline_fires);
+  w.key("eligibility_wakeups");
+  w.u64(first.eligibility_wakeups);
+  w.key("dispatch_pops");
+  w.u64(first.dispatch_pops);
+  w.key("preemptions");
+  w.u64(first.preemptions);
+  w.key("rep_seconds");
+  w.begin_array();
+  for (const double secs : rep_seconds) w.fixed(secs, 4);
+  w.end_array();
+  w.key("best_seconds");
+  w.fixed(best, 4);
+  w.key("events_per_sec");
+  w.fixed(events_per_sec, 0);
+  w.end_object();
+  const std::string json = w.take() + "\n";
 
   if (std::FILE* f = std::fopen(out_path, "w")) {
     std::fputs(json.c_str(), f);

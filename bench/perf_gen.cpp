@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "io/json_writer.hpp"
 #include "workload/taskset_gen.hpp"
 
 int main() {
@@ -100,29 +101,43 @@ int main() {
                 identical ? "bit-identical" : "MISMATCH vs serial");
   }
 
-  char json[1024];
-  std::snprintf(
-      json, sizeof json,
-      "{\n  \"bench\": \"taskset_gen\",\n  \"seconds\": %.4f,\n"
-      "  \"attempts\": %llu,\n  \"sets\": %zu,\n"
-      "  \"attempts_per_sec\": %.1f,\n"
-      "  \"stages\": {\"draw_failures\": %llu, \"out_of_bin\": %llu, "
-      "\"filter_rejects\": %llu, \"rta_rejects\": %llu, \"accepted\": %llu, "
-      "\"quick_accepts\": %llu},\n  \"bit_identical\": %s\n}\n",
-      secs, static_cast<unsigned long long>(attempts), sets, attempts_per_sec,
-      static_cast<unsigned long long>(totals.draw_failures),
-      static_cast<unsigned long long>(totals.out_of_bin),
-      static_cast<unsigned long long>(totals.filter_rejects),
-      static_cast<unsigned long long>(totals.rta_rejects),
-      static_cast<unsigned long long>(totals.accepted),
-      static_cast<unsigned long long>(totals.quick_accepts),
-      identical ? "true" : "false");
+  io::JsonWriter w;
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  w.key("bench");
+  w.string("taskset_gen");
+  w.key("seconds");
+  w.fixed(secs, 4);
+  w.key("attempts");
+  w.u64(attempts);
+  w.key("sets");
+  w.u64(sets);
+  w.key("attempts_per_sec");
+  w.fixed(attempts_per_sec, 1);
+  w.key("stages");
+  w.begin_object();
+  w.key("draw_failures");
+  w.u64(totals.draw_failures);
+  w.key("out_of_bin");
+  w.u64(totals.out_of_bin);
+  w.key("filter_rejects");
+  w.u64(totals.filter_rejects);
+  w.key("rta_rejects");
+  w.u64(totals.rta_rejects);
+  w.key("accepted");
+  w.u64(totals.accepted);
+  w.key("quick_accepts");
+  w.u64(totals.quick_accepts);
+  w.end_object();
+  w.key("bit_identical");
+  w.boolean(identical);
+  w.end_object();
+  const std::string json = w.take() + "\n";
 
   const char* out_path = "bench/BENCH_gen.json";
   std::error_code ec;
   std::filesystem::create_directories("bench", ec);
   if (std::FILE* f = std::fopen(out_path, "w")) {
-    std::fputs(json, f);
+    std::fputs(json.c_str(), f);
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
   } else {

@@ -1,0 +1,325 @@
+// perf_serve: load generator + perf gate for the admission service.
+//
+// Drives harness::AdmissionService at saturation, in-process: requests are
+// pre-serialized with io::serialize_serve_request (a deterministic pool of
+// schedulable task sets x the four paper schemes, the same shape the sweep
+// simulates), submitted as fast as backpressure admits, and timed from
+// *submit intent* (before the potentially blocking push) to ordered
+// emission -- so the latency percentiles include queue wait, which is what
+// a saturated client actually experiences. Each worker count reports
+// requests/sec, p50/p95/p99 latency and the queue-depth high-water mark to
+// bench/BENCH_serve.json; CI gates requests_per_sec against the committed
+// bench/BENCH_serve.baseline.json with the same >30%-drop rule as the other
+// perf benches, and cross-checks the serve rate against the same run's
+// fresh sweep rate (see .github/workflows/ci.yml).
+//
+// The bench also asserts the wire contract en route: every worker count
+// must produce a byte-identical response stream (timing-free requests), on
+// any machine -- including --workers 2 on a single-core box.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mkss.hpp"
+
+namespace {
+
+using namespace mkss;
+using clock_type = std::chrono::steady_clock;
+
+/// Deterministic pool, perf_engine's recipe: `per_bin` schedulable sets at
+/// each utilization bin, seeded per bin so the corpus is stable across
+/// machines and reps.
+std::vector<core::TaskSet> build_pool(std::size_t per_bin) {
+  const double bins[] = {0.2, 0.4, 0.6, 0.8};
+  std::vector<core::TaskSet> pool;
+  std::size_t bin_index = 0;
+  for (const double u : bins) {
+    core::Rng rng(0x5EB5E001ULL + bin_index++);
+    std::size_t made = 0;
+    while (made < per_bin) {
+      const auto ts = workload::generate_taskset({}, u, rng);
+      if (ts && analysis::schedulable(
+                    *ts, analysis::DemandModel::kRPatternMandatory)) {
+        pool.push_back(*ts);
+        ++made;
+      }
+    }
+  }
+  return pool;
+}
+
+/// The replayable request corpus: every pool set under every scheme, lean
+/// path (audit off -- the same path the sweep benches), fixed horizon.
+std::vector<std::string> build_requests(const std::vector<core::TaskSet>& pool,
+                                        std::size_t repeat) {
+  const char* schemes[] = {"st", "dp", "greedy", "selective"};
+  std::vector<std::string> requests;
+  requests.reserve(pool.size() * std::size(schemes) * repeat);
+  for (std::size_t r = 0; r < repeat; ++r) {
+    std::size_t n = 0;
+    for (const core::TaskSet& ts : pool) {
+      for (const char* scheme : schemes) {
+        io::ServeRequest req;
+        req.id = "q" + std::to_string(requests.size());
+        req.taskset = io::serialize_taskset(ts);
+        req.scheme = scheme;
+        req.horizon = core::from_ms(std::int64_t{1000});
+        req.seed = n++;
+        req.audit = false;
+        requests.push_back(io::serialize_serve_request(req));
+      }
+    }
+  }
+  return requests;
+}
+
+struct LoadResult {
+  double seconds{0};
+  std::vector<double> latency_us;  ///< per request, submit intent -> emission
+  harness::ServeTelemetry telemetry;
+  std::string stream;  ///< concatenated response lines (the identity check)
+};
+
+LoadResult drive(const std::vector<std::string>& requests, std::size_t workers,
+                 std::size_t queue_depth) {
+  LoadResult result;
+  result.latency_us.resize(requests.size(), 0.0);
+  std::vector<clock_type::time_point> submitted(requests.size());
+
+  harness::ServeConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_depth = queue_depth;
+  // submitted[seq] is written before the enqueue and read after the dequeue,
+  // both ordered by the service's queue mutex.
+  harness::AdmissionService service(
+      cfg, [&](std::uint64_t seq, const std::string& line) {
+        result.latency_us[seq] =
+            std::chrono::duration<double, std::micro>(clock_type::now() -
+                                                      submitted[seq])
+                .count();
+        result.stream += line;
+        result.stream += '\n';
+      });
+
+  const auto start = clock_type::now();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    submitted[i] = clock_type::now();  // intent: latency includes queue wait
+    service.submit(requests[i]);
+  }
+  result.telemetry = service.finish();
+  result.seconds =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+  return result;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Serial sets/sec from the committed sweep baseline, 0 when unavailable
+/// (ratio then reports as null -- informational, the CI gate recomputes it
+/// from the same machine's fresh BENCH_sweep.json).
+double sweep_baseline_rate(const char* path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto root = io::parse_json(buf.str(), &error);
+  if (!root) return 0;
+  const io::JsonValue* runs = root->find("runs");
+  if (runs == nullptr || runs->items.empty()) return 0;
+  for (const io::JsonValue& run : runs->items) {
+    const io::JsonValue* threads = run.find("threads");
+    const io::JsonValue* rate = run.find("sets_per_sec");
+    if (threads != nullptr && threads->number == 1 && rate != nullptr) {
+      return rate->number;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 8 sets/bin x 4 bins x 4 schemes x 8 passes = 1024 requests: long enough
+  // that the >30%-drop CI gate sits above run-to-run scheduler noise.
+  std::size_t per_bin = 8;
+  std::size_t repeat = 8;
+  std::size_t queue_depth = 64;
+  const char* out_path = "bench/BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--sets" && has_value) {
+      per_bin = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--repeat" && has_value) {
+      repeat = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--queue-depth" && has_value) {
+      queue_depth = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--sets per_bin] [--repeat n] [--queue-depth n] "
+          "[--out file]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  const auto pool = build_pool(per_bin);
+  const auto requests = build_requests(pool, repeat);
+
+  std::size_t max_workers = core::ThreadPool::resolve_num_threads(0);
+  if (const char* env = std::getenv("MKSS_PERF_MAX_THREADS")) {
+    max_workers = static_cast<std::size_t>(std::atoll(env));
+  }
+  if (max_workers < 1) max_workers = 1;
+
+  std::printf("=== perf_serve: admission service under load (lean path) ===\n");
+  std::printf("%zu sets x 4 schemes x %zu passes = %zu requests, queue %zu\n",
+              pool.size(), repeat, requests.size(), queue_depth);
+
+  struct Sample {
+    std::size_t workers;
+    double seconds;
+    double requests_per_sec;
+    double p50_us, p95_us, p99_us;
+    std::size_t max_queue_depth;
+  };
+  std::vector<Sample> samples;
+  std::string reference_stream;
+  bool byte_identical = true;
+  std::size_t identity_checks = 0;
+
+  for (std::size_t w = 1; w <= max_workers; w *= 2) {
+    LoadResult r = drive(requests, w, queue_depth);
+    std::vector<double> sorted = r.latency_us;
+    std::sort(sorted.begin(), sorted.end());
+    const Sample s{
+        w,
+        r.seconds,
+        r.seconds > 0 ? static_cast<double>(requests.size()) / r.seconds : 0,
+        percentile(sorted, 0.50),
+        percentile(sorted, 0.95),
+        percentile(sorted, 0.99),
+        r.telemetry.max_queue_depth};
+    samples.push_back(s);
+    if (reference_stream.empty()) {
+      reference_stream = std::move(r.stream);
+    } else {
+      ++identity_checks;
+      byte_identical = byte_identical && r.stream == reference_stream;
+    }
+    std::printf(
+        "workers=%zu  %.3fs  %.1f req/sec  "
+        "p50 %.0fus p95 %.0fus p99 %.0fus  depth<=%zu  %s\n",
+        w, s.seconds, s.requests_per_sec, s.p50_us, s.p95_us, s.p99_us,
+        s.max_queue_depth,
+        samples.size() == 1
+            ? "(reference)"
+            : (byte_identical ? "byte-identical" : "STREAM MISMATCH"));
+  }
+
+  // The wire contract must see a genuinely concurrent run even on a
+  // single-core machine: verify workers=2 (and the hardware default)
+  // untimed when the timed loop never got there.
+  if (max_workers < 2) {
+    for (const std::size_t w : {std::size_t{2}, std::size_t{0}}) {
+      ++identity_checks;
+      const bool same = drive(requests, w, queue_depth).stream ==
+                        reference_stream;
+      byte_identical = byte_identical && same;
+      std::printf("workers=%zu (untimed contract check)  %s\n", w,
+                  same ? "byte-identical" : "STREAM MISMATCH");
+    }
+  }
+
+  double best_rate = 0;
+  for (const Sample& s : samples) best_rate = std::max(best_rate, s.requests_per_sec);
+  const double sweep_rate = sweep_baseline_rate("bench/BENCH_sweep.baseline.json");
+
+  io::JsonWriter w;
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  w.key("bench");
+  w.string("serve");
+  w.key("requests");
+  w.u64(requests.size());
+  w.key("corpus_sets");
+  w.u64(pool.size());
+  w.key("queue_depth");
+  w.u64(queue_depth);
+  w.key("hardware_threads");
+  w.u64(core::ThreadPool::resolve_num_threads(0));
+  w.key("identity_checks");
+  w.u64(identity_checks);
+  w.key("byte_identical");
+  w.boolean(byte_identical);
+  w.key("requests_per_sec");
+  w.fixed(best_rate, 1);
+  // Informational: best serve rate vs the *committed* serial sweep rate
+  // (sets/sec); null when the baseline is unreadable. The CI gate computes
+  // the same ratio from the job's own fresh sweep run instead, so it never
+  // compares across machines.
+  w.key("sweep_baseline_ratio");
+  if (sweep_rate > 0) {
+    w.fixed(best_rate / sweep_rate, 3);
+  } else {
+    w.null();
+  }
+  w.key("runs");
+  w.begin_array(io::JsonWriter::Scope::kBlock);
+  for (const Sample& s : samples) {
+    w.begin_object();
+    w.key("workers");
+    w.u64(s.workers);
+    w.key("seconds");
+    w.fixed(s.seconds, 4);
+    w.key("requests_per_sec");
+    w.fixed(s.requests_per_sec, 1);
+    w.key("p50_us");
+    w.fixed(s.p50_us, 1);
+    w.key("p95_us");
+    w.fixed(s.p95_us, 1);
+    w.key("p99_us");
+    w.fixed(s.p99_us, 1);
+    w.key("max_queue_depth");
+    w.u64(s.max_queue_depth);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string json = w.take() + "\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench", ec);
+  if (std::FILE* f = std::fopen(out_path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", out_path);
+    return 1;
+  }
+  if (!byte_identical) {
+    std::fprintf(stderr,
+                 "FAIL: response streams diverged across worker counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -151,50 +151,66 @@ int main(int argc, char** argv) {
   const std::size_t hardware_threads = core::ThreadPool::resolve_num_threads(0);
   const double serial_rate = samples.front().sets_per_sec;
   bool all_identical = contract_identical;
-  std::string json = "{\n  \"bench\": \"fig6a_sweep\",\n";
-  json += "  \"schemes\": 4,\n";
-  json += "  \"sets_total\": " + std::to_string(total_sets) + ",\n";
-  json += "  \"sets_per_bin\": " + std::to_string(cfg.sets_per_bin) + ",\n";
-  json += "  \"hardware_threads\": " + std::to_string(hardware_threads) + ",\n";
-  {
-    // Where the serial run's generation attempts exited the staged-admission
-    // ladder (see workload::GenCounters) -- a shift here usually explains a
-    // generate_seconds shift.
-    char gen[512];
-    std::snprintf(gen, sizeof gen,
-                  "  \"generation\": {\"attempts\": %llu, "
-                  "\"draw_failures\": %llu, \"out_of_bin\": %llu, "
-                  "\"filter_rejects\": %llu, \"rta_rejects\": %llu, "
-                  "\"accepted\": %llu, \"quick_accepts\": %llu},\n",
-                  static_cast<unsigned long long>(total_attempts),
-                  static_cast<unsigned long long>(gen_totals.draw_failures),
-                  static_cast<unsigned long long>(gen_totals.out_of_bin),
-                  static_cast<unsigned long long>(gen_totals.filter_rejects),
-                  static_cast<unsigned long long>(gen_totals.rta_rejects),
-                  static_cast<unsigned long long>(gen_totals.accepted),
-                  static_cast<unsigned long long>(gen_totals.quick_accepts));
-    json += gen;
-  }
-  json += "  \"runs\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
+  io::JsonWriter w;
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  w.key("bench");
+  w.string("fig6a_sweep");
+  w.key("schemes");
+  w.u64(4);
+  w.key("sets_total");
+  w.u64(total_sets);
+  w.key("sets_per_bin");
+  w.u64(cfg.sets_per_bin);
+  w.key("hardware_threads");
+  w.u64(hardware_threads);
+  // Where the serial run's generation attempts exited the staged-admission
+  // ladder (see workload::GenCounters) -- a shift here usually explains a
+  // generate_seconds shift.
+  w.key("generation");
+  w.begin_object();
+  w.key("attempts");
+  w.u64(total_attempts);
+  w.key("draw_failures");
+  w.u64(gen_totals.draw_failures);
+  w.key("out_of_bin");
+  w.u64(gen_totals.out_of_bin);
+  w.key("filter_rejects");
+  w.u64(gen_totals.filter_rejects);
+  w.key("rta_rejects");
+  w.u64(gen_totals.rta_rejects);
+  w.key("accepted");
+  w.u64(gen_totals.accepted);
+  w.key("quick_accepts");
+  w.u64(gen_totals.quick_accepts);
+  w.end_object();
+  w.key("runs");
+  w.begin_array(io::JsonWriter::Scope::kBlock);
+  for (const Sample& s : samples) {
     all_identical = all_identical && s.bit_identical;
-    char line[512];
-    std::snprintf(line, sizeof line,
-                  "    {\"threads\": %zu, \"seconds\": %.4f, "
-                  "\"sets_per_sec\": %.2f, \"speedup\": %.3f, "
-                  "\"generate_seconds\": %.4f, \"simulate_seconds\": %.4f, "
-                  "\"aggregate_seconds\": %.4f, \"hardware_threads\": %zu, "
-                  "\"bit_identical\": %s}%s\n",
-                  s.threads, s.seconds, s.sets_per_sec,
-                  serial_rate > 0 ? s.sets_per_sec / serial_rate : 0.0,
-                  s.timings.generate_seconds, s.timings.simulate_seconds,
-                  s.timings.aggregate_seconds, hardware_threads,
-                  s.bit_identical ? "true" : "false",
-                  i + 1 < samples.size() ? "," : "");
-    json += line;
+    w.begin_object();
+    w.key("threads");
+    w.u64(s.threads);
+    w.key("seconds");
+    w.fixed(s.seconds, 4);
+    w.key("sets_per_sec");
+    w.fixed(s.sets_per_sec, 2);
+    w.key("speedup");
+    w.fixed(serial_rate > 0 ? s.sets_per_sec / serial_rate : 0.0, 3);
+    w.key("generate_seconds");
+    w.fixed(s.timings.generate_seconds, 4);
+    w.key("simulate_seconds");
+    w.fixed(s.timings.simulate_seconds, 4);
+    w.key("aggregate_seconds");
+    w.fixed(s.timings.aggregate_seconds, 4);
+    w.key("hardware_threads");
+    w.u64(hardware_threads);
+    w.key("bit_identical");
+    w.boolean(s.bit_identical);
+    w.end_object();
   }
-  json += "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  const std::string json = w.take() + "\n";
 
   // Always under bench/ (created if the cwd doesn't have one): the repo root
   // stays free of bench artifacts, and .gitignore only has one place to

@@ -1,0 +1,292 @@
+#include "harness/serve.hpp"
+
+#include <chrono>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "audit/trace_auditor.hpp"
+#include "core/check.hpp"
+#include "fault/injection.hpp"
+#include "harness/evaluation.hpp"
+#include "io/taskset_io.hpp"
+#include "sched/registry.hpp"
+
+namespace mkss::harness {
+
+namespace {
+
+io::ServeResponse error_response(const io::ServeRequest& req, const char* code,
+                                 std::string message) {
+  io::ServeResponse r;
+  r.id = req.id;
+  r.ok = false;
+  r.error_code = code;
+  r.error_message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+io::ServeResponse execute_request(const io::ServeRequestParse& parsed,
+                                  RunContext& ctx,
+                                  const ServeConfig& config) {
+  const io::ServeRequest& req = parsed.req;
+  if (!parsed.error_code.empty()) {
+    return error_response(req, parsed.error_code.c_str(),
+                          parsed.error_message);
+  }
+
+  try {
+    // Workload: the inline dialect or a corpus file; either failure is a bad
+    // *input* (code bad-input, mirroring CLI exit 3), not a usage error.
+    core::TaskSet ts;
+    try {
+      ts = req.taskset.empty() ? io::parse_taskset_file(req.taskset_path)
+                               : io::parse_taskset_string(req.taskset);
+    } catch (const std::exception& e) {
+      return error_response(req, io::kServeCodeBadInput, e.what());
+    }
+
+    // Scheme, resolved through the registry like the CLI's --scheme.
+    const sched::SchemeInfo* info = nullptr;
+    try {
+      info = &sched::Registry::instance().resolve(req.scheme);
+    } catch (const sched::UnknownSchemeError& e) {
+      return error_response(req, io::kServeCodeUnknownScheme, e.what());
+    }
+
+    // Platform envelope checks, same shape as the CLI's simulate_scheme.
+    if (!info->supports(req.procs)) {
+      return error_response(
+          req, io::kServeCodeEnvelope,
+          "scheme '" + info->name + "' does not support procs " +
+              std::to_string(req.procs) + " (supports " +
+              std::to_string(info->min_procs) + ".." +
+              (info->max_procs == 0 ? std::string("unbounded")
+                                    : std::to_string(info->max_procs)) +
+              ")");
+    }
+    if (req.permanent && req.permanent->proc >= req.procs) {
+      return error_response(req, io::kServeCodeEnvelope,
+                            "permanent fault names processor " +
+                                std::to_string(req.permanent->proc) +
+                                " on a platform of " +
+                                std::to_string(req.procs));
+    }
+
+    io::ServeResponse r;
+    r.id = req.id;
+
+    // Staged admission verdict from a *fresh* context: the probe memo a
+    // long-lived AdmissionContext accumulates can change which stage
+    // certifies a later set (never the verdict), and the stage is on the
+    // wire -- a pooled per-worker context would make the response depend on
+    // which requests a worker happened to claim, breaking the byte-identity
+    // guarantee across worker counts.
+    analysis::AdmissionContext admission;
+    r.has_admission = true;
+    r.admission =
+        admission.admit(ts, analysis::DemandModel::kRPatternMandatory);
+
+    BatchRunner runner(ts, &ctx);
+    const core::Ticks horizon =
+        req.horizon > 0 ? req.horizon : runner.horizon(config.horizon_cap);
+
+    const fault::ScenarioFaultPlan plan(
+        req.permanent, fault::transient_probabilities(ts, req.lambda_per_ms),
+        req.seed);
+
+    sim::SimConfig sim_cfg;
+    sim_cfg.horizon = horizon;
+    sim_cfg.platform = sim::PlatformSpec::standby(req.procs);
+    sim_cfg.wall_clock_budget_ms = config.run_budget_ms;
+
+    const std::unique_ptr<sched::SchemeBase> scheme = info->make();
+    runner.bind(*scheme);
+
+    r.has_simulation = true;
+    r.scheme = info->name;
+    r.procs = req.procs;
+    r.horizon = horizon;
+    r.audited = req.audit;
+
+    if (req.audit) {
+      const sim::SimulationTrace& trace =
+          runner.run_full(*scheme, plan, sim_cfg);
+      audit::AuditOptions audit_opts;
+      audit_opts.power = config.power;
+      // Double transient faults on one job may legitimately break an (m,k)
+      // window; the sweep harness makes the same exception.
+      audit_opts.check_mk = req.lambda_per_ms <= 0;
+      const audit::AuditReport report =
+          audit::TraceAuditor(audit_opts).audit(trace, ts);
+
+      const metrics::QosReport qos = metrics::audit_qos(trace, ts);
+      const energy::EnergyBreakdown energy =
+          energy::account_energy(trace, config.power);
+      r.mk_satisfied = qos.mk_satisfied;
+      r.mandatory_misses = qos.mandatory_misses;
+      r.jobs_released = trace.stats.jobs_released;
+      r.jobs_met = trace.stats.jobs_met;
+      r.jobs_missed = trace.stats.jobs_missed;
+      r.backups_canceled = trace.stats.backups_canceled;
+      r.energy_total = energy.total();
+      r.energy_active = energy.active_total();
+
+      if (!report.ok()) {
+        r.ok = false;
+        r.error_code = io::kServeCodeAuditViolation;
+        r.error_message = report.to_string();
+        return r;
+      }
+    } else {
+      const sim::StatsSink& sink =
+          runner.run_stats(*scheme, plan, sim_cfg, config.power);
+      r.mk_satisfied = sink.qos().mk_satisfied;
+      r.mandatory_misses = sink.qos().mandatory_misses;
+      r.jobs_released = sink.stats().jobs_released;
+      r.jobs_met = sink.stats().jobs_met;
+      r.jobs_missed = sink.stats().jobs_missed;
+      r.backups_canceled = sink.stats().backups_canceled;
+      r.energy_total = sink.energy().total();
+      r.energy_active = sink.energy().active_total();
+    }
+
+    // A run that violates its (m,k) promise is still a successful *request*;
+    // the verdict lives in mk_satisfied/mandatory_misses.
+    r.ok = true;
+    return r;
+  } catch (const std::exception& e) {
+    return error_response(req, io::kServeCodeInternal, e.what());
+  } catch (...) {
+    return error_response(req, io::kServeCodeInternal, "unknown error");
+  }
+}
+
+}  // namespace
+
+io::ServeResponse AdmissionService::process(const std::string& line,
+                                            RunContext& ctx,
+                                            const ServeConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const io::ServeRequestParse parsed = io::parse_serve_request(line);
+  io::ServeResponse response = execute_request(parsed, ctx, config);
+  // Timing is opt-in per request because it forfeits byte-identity across
+  // *runs*; the ordering guarantee keeps it identical across worker counts
+  // only for timing-free responses.
+  if (parsed.error_code.empty() && parsed.req.timing) {
+    response.wall_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  }
+  return response;
+}
+
+AdmissionService::AdmissionService(ServeConfig config, Emit emit)
+    : config_(config), emit_(std::move(emit)) {
+  std::size_t n = config_.workers;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  started_ = std::chrono::steady_clock::now();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+AdmissionService::~AdmissionService() {
+  if (!finished_) finish();
+}
+
+std::uint64_t AdmissionService::submit(std::string line) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  MKSS_CHECK(!closed_, "AdmissionService: submit after finish");
+  queue_space_.wait(lock,
+                    [this] { return queue_.size() < config_.queue_depth; });
+  const std::uint64_t seq = next_seq_++;
+  queue_.push_back({seq, std::move(line)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  lock.unlock();
+  queue_filled_.notify_one();
+  return seq;
+}
+
+ServeTelemetry AdmissionService::finish() {
+  if (!finished_) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      closed_ = true;
+    }
+    queue_filled_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    const auto ended = std::chrono::steady_clock::now();
+
+    telemetry_.requests = next_seq_;
+    telemetry_.ok = emitted_ok_;
+    telemetry_.errors = emitted_errors_;
+    telemetry_.max_queue_depth = max_queue_depth_;
+    telemetry_.wall_seconds =
+        std::chrono::duration<double>(ended - started_).count();
+    MKSS_CHECK(next_emit_ == next_seq_ && reorder_.empty(),
+               "AdmissionService: responses lost");
+    finished_ = true;
+  }
+  return telemetry_;
+}
+
+void AdmissionService::worker_main() {
+  // Per-worker pooled state: the engine/sink arenas grow to the working-set
+  // high-water mark once and are reused for every later request.
+  RunContext ctx;
+  while (true) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_filled_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed_ and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_space_.notify_one();
+
+    const io::ServeResponse response = process(item.line, ctx, config_);
+    emit_ordered(item.seq,
+                 {io::serialize_serve_response(response), response.ok});
+  }
+}
+
+void AdmissionService::emit_ordered(std::uint64_t seq, Finished finished) {
+  std::lock_guard<std::mutex> lock(emit_mutex_);
+  reorder_.emplace(seq, std::move(finished));
+  // Cooperative drain: whichever worker completes the oldest outstanding
+  // sequence emits every contiguous finished response.
+  for (auto it = reorder_.find(next_emit_); it != reorder_.end();
+       it = reorder_.find(next_emit_)) {
+    const Finished& due = it->second;
+    ++(due.ok ? emitted_ok_ : emitted_errors_);
+    if (emit_) emit_(next_emit_, due.line);
+    reorder_.erase(it);
+    ++next_emit_;
+  }
+}
+
+ServeTelemetry serve_stream(std::istream& in, std::ostream& out,
+                            const ServeConfig& config) {
+  AdmissionService service(
+      config, [&out](std::uint64_t, const std::string& line) {
+        out << line << '\n';
+        out.flush();  // a client may await each answer before the next send
+      });
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    service.submit(std::move(line));
+  }
+  return service.finish();
+}
+
+}  // namespace mkss::harness

@@ -1,0 +1,191 @@
+#include "io/json_writer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/check.hpp"
+
+namespace mkss::io {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void indent_to(std::string& out, std::size_t depth) {
+  out.append(2 * depth, ' ');
+}
+
+}  // namespace
+
+/// Separator bookkeeping shared by keys and array elements: inside a kBlock
+/// scope every item starts on its own line at depth indent; inside kInline
+/// items are ", "-separated. A value that follows a key() emits nothing --
+/// the key already placed the separator.
+void JsonWriter::begin_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // root value
+  Frame& top = stack_.back();
+  MKSS_CHECK(!top.is_object, "JsonWriter: value inside an object needs key()");
+  if (top.style == Scope::kBlock) {
+    out_ += top.has_items ? ",\n" : "\n";
+    indent_to(out_, stack_.size());
+  } else if (top.has_items) {
+    out_ += ", ";
+  }
+  top.has_items = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  MKSS_CHECK(!stack_.empty() && stack_.back().is_object,
+             "JsonWriter: key() outside an object");
+  MKSS_CHECK(!key_pending_, "JsonWriter: key() while a value is pending");
+  Frame& top = stack_.back();
+  if (top.style == Scope::kBlock) {
+    out_ += top.has_items ? ",\n" : "\n";
+    indent_to(out_, stack_.size());
+  } else if (top.has_items) {
+    out_ += ", ";
+  }
+  top.has_items = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::open(char c, Scope style) {
+  begin_value();
+  out_ += c;
+  stack_.push_back({style, c == '{', false});
+}
+
+void JsonWriter::close(char c) {
+  MKSS_CHECK(!stack_.empty(), "JsonWriter: close without open");
+  MKSS_CHECK(!key_pending_, "JsonWriter: close with a dangling key");
+  const Frame top = stack_.back();
+  MKSS_CHECK(top.is_object == (c == '}'), "JsonWriter: mismatched close");
+  stack_.pop_back();
+  if (top.style == Scope::kBlock) {
+    // Matches the historical loop emitters: `[\n  ]` even when empty.
+    out_ += '\n';
+    indent_to(out_, stack_.size());
+  }
+  out_ += c;
+}
+
+void JsonWriter::begin_object(Scope style) { open('{', style); }
+void JsonWriter::end_object() { close('}'); }
+void JsonWriter::begin_array(Scope style) { open('[', style); }
+void JsonWriter::end_array() { close(']'); }
+
+void JsonWriter::string(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::boolean(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+}
+
+void JsonWriter::u64(std::uint64_t v) {
+  begin_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+}
+
+void JsonWriter::i64(std::int64_t v) {
+  begin_value();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+}
+
+void JsonWriter::fixed(double v, int decimals) {
+  begin_value();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  out_ += buf;
+}
+
+void JsonWriter::hex(double v) {
+  begin_value();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out_ += buf;
+}
+
+void JsonWriter::ticks_ms(core::Ticks t) {
+  begin_value();
+  const char* sign = t < 0 ? "-" : "";
+  const core::Ticks a = t < 0 ? -t : t;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%lld.%03lld", sign,
+                static_cast<long long>(a / core::kTicksPerMs),
+                static_cast<long long>(a % core::kTicksPerMs));
+  out_ += buf;
+}
+
+void JsonWriter::ms_or_null(core::Ticks t) {
+  if (t == core::kNever) {
+    null();
+  } else {
+    fixed(core::to_ms(t), 3);
+  }
+}
+
+void JsonWriter::raw(std::string_view v) {
+  begin_value();
+  out_ += v;
+}
+
+std::string JsonWriter::take() {
+  MKSS_CHECK(stack_.empty() && !key_pending_,
+             "JsonWriter: take() with unclosed scopes");
+  return std::move(out_);
+}
+
+}  // namespace mkss::io

@@ -1,0 +1,584 @@
+#include "io/serve_protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/json_writer.hpp"
+
+namespace mkss::io {
+
+// --- JSON parser ----------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-capped so a hostile
+/// "[[[[..." line cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected '\"'");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point. Surrogate pairs are not needed
+          // by this protocol; a lone surrogate encodes byte-wise as-is.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    // The strict JSON grammar -- no leading '+', no leading zeros, no hex,
+    // no bare '.': -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    const std::size_t start = pos_;
+    const auto digit = [&](std::size_t p) {
+      return p < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[p])) != 0;
+    };
+    std::size_t p = pos_;
+    if (p < text_.size() && text_[p] == '-') ++p;
+    if (!digit(p)) return fail("invalid number");
+    if (text_[p] == '0') {
+      ++p;
+    } else {
+      while (digit(p)) ++p;
+    }
+    if (p < text_.size() && text_[p] == '.') {
+      ++p;
+      if (!digit(p)) return fail("invalid number");
+      while (digit(p)) ++p;
+    }
+    if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+      ++p;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (!digit(p)) return fail("invalid number");
+      while (digit(p)) ++p;
+    }
+    const std::string token(text_.substr(start, p - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      return fail("number out of range");
+    }
+    pos_ = p;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return fail("expected ':'");
+          }
+          ++pos_;
+          JsonValue member;
+          if (!parse_value(member, depth + 1)) return false;
+          out.members.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue item;
+          if (!parse_value(item, depth + 1)) return false;
+          out.items.push_back(std::move(item));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::string error_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+// --- Stable error codes ---------------------------------------------------
+
+int serve_code_exit(std::string_view code) {
+  if (code.empty()) return 0;
+  if (code == kServeCodeParse || code == kServeCodeBadRequest ||
+      code == kServeCodeUnknownScheme || code == kServeCodeEnvelope) {
+    return 2;
+  }
+  if (code == kServeCodeBadInput) return 3;
+  if (code == kServeCodeAuditViolation) return 4;
+  return 1;  // internal-error and anything unrecognized
+}
+
+// --- Request decoding -----------------------------------------------------
+
+namespace {
+
+/// Thrown internally while decoding a request; carries the stable code.
+struct RequestError {
+  const char* code;
+  std::string message;
+};
+
+[[noreturn]] void bad(const char* code, std::string message) {
+  throw RequestError{code, std::move(message)};
+}
+
+const char* kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+const JsonValue& expect(const JsonValue& v, std::string_view field,
+                        JsonValue::Kind kind) {
+  if (v.kind != kind) {
+    bad(kServeCodeBadRequest, "field '" + std::string(field) + "' wants " +
+                                  kind_name(kind) + ", got " +
+                                  kind_name(v.kind));
+  }
+  return v;
+}
+
+std::uint64_t expect_u64(const JsonValue& v, std::string_view field,
+                         std::uint64_t max) {
+  expect(v, field, JsonValue::Kind::kNumber);
+  const double n = v.number;
+  if (!(n >= 0) || n != std::floor(n) || n > static_cast<double>(max)) {
+    bad(kServeCodeBadRequest, "field '" + std::string(field) +
+                                  "' wants an integer in [0, " +
+                                  std::to_string(max) + "]");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+sim::PermanentFault decode_permanent(const JsonValue& v) {
+  expect(v, "permanent", JsonValue::Kind::kObject);
+  const JsonValue* proc = v.find("proc");
+  const JsonValue* at = v.find("at_ms");
+  if (proc == nullptr || at == nullptr || v.members.size() != 2) {
+    bad(kServeCodeBadRequest,
+        "field 'permanent' wants exactly {\"proc\": n, \"at_ms\": t}");
+  }
+  sim::PermanentFault f;
+  f.proc = static_cast<sim::ProcessorId>(expect_u64(*proc, "permanent.proc", 254));
+  expect(*at, "permanent.at_ms", JsonValue::Kind::kNumber);
+  if (!(at->number >= 0) || at->number > 1e12) {
+    bad(kServeCodeBadRequest,
+        "field 'permanent.at_ms' wants a non-negative duration in ms");
+  }
+  f.time = core::from_ms(at->number);
+  return f;
+}
+
+void decode_into(const JsonValue& root, ServeRequest& req) {
+  expect(root, "request", JsonValue::Kind::kObject);
+
+  // Echo the id into the request before any validation can throw, so error
+  // responses still correlate whenever the id itself was well-formed.
+  const JsonValue* id = root.find("id");
+  if (id != nullptr && id->kind == JsonValue::Kind::kString) {
+    req.id = id->string;
+  }
+
+  const JsonValue* v = root.find("v");
+  if (v == nullptr) bad(kServeCodeBadRequest, "missing protocol field 'v'");
+  if (expect_u64(*v, "v", 0xFFFFFFFFu) != 1) {
+    bad(kServeCodeBadRequest,
+        "unsupported protocol version (this server speaks v=1)");
+  }
+  if (id == nullptr) bad(kServeCodeBadRequest, "missing field 'id'");
+  expect(*id, "id", JsonValue::Kind::kString);
+
+  for (const auto& [key, value] : root.members) {
+    if (key == "v" || key == "id") {
+      continue;
+    } else if (key == "type") {
+      expect(value, key, JsonValue::Kind::kString);
+      if (value.string != "admission") {
+        bad(kServeCodeBadRequest, "unknown request type '" + value.string +
+                                      "' (available: admission)");
+      }
+      req.type = value.string;
+    } else if (key == "taskset") {
+      expect(value, key, JsonValue::Kind::kString);
+      req.taskset = value.string;
+    } else if (key == "taskset_path") {
+      expect(value, key, JsonValue::Kind::kString);
+      req.taskset_path = value.string;
+    } else if (key == "scheme") {
+      expect(value, key, JsonValue::Kind::kString);
+      req.scheme = value.string;
+    } else if (key == "procs") {
+      const std::uint64_t n = expect_u64(value, key, 255);
+      if (n < 2) {
+        bad(kServeCodeBadRequest,
+            "field 'procs' wants a platform size in [2, 255]");
+      }
+      req.procs = static_cast<std::size_t>(n);
+    } else if (key == "horizon_ms") {
+      expect(value, key, JsonValue::Kind::kNumber);
+      if (!(value.number > 0) || value.number > 1e12) {
+        bad(kServeCodeBadRequest,
+            "field 'horizon_ms' wants a positive duration in ms");
+      }
+      req.horizon = core::from_ms(value.number);
+    } else if (key == "permanent") {
+      req.permanent = decode_permanent(value);
+    } else if (key == "lambda_per_ms") {
+      expect(value, key, JsonValue::Kind::kNumber);
+      if (!(value.number >= 0)) {
+        bad(kServeCodeBadRequest,
+            "field 'lambda_per_ms' wants a non-negative rate");
+      }
+      req.lambda_per_ms = value.number;
+    } else if (key == "seed") {
+      // 2^53: the largest integer a JSON number carries exactly.
+      req.seed = expect_u64(value, key, std::uint64_t{1} << 53);
+    } else if (key == "audit") {
+      expect(value, key, JsonValue::Kind::kBool);
+      req.audit = value.boolean;
+    } else if (key == "timing") {
+      expect(value, key, JsonValue::Kind::kBool);
+      req.timing = value.boolean;
+    } else {
+      bad(kServeCodeBadRequest, "unknown request field '" + key + "'");
+    }
+  }
+
+  if (req.taskset.empty() == req.taskset_path.empty()) {
+    bad(kServeCodeBadRequest,
+        "request wants exactly one of 'taskset' (inline text) or "
+        "'taskset_path'");
+  }
+}
+
+}  // namespace
+
+ServeRequestParse parse_serve_request(std::string_view line) {
+  ServeRequestParse out;
+  std::string error;
+  const std::optional<JsonValue> root = parse_json(line, &error);
+  if (!root) {
+    out.error_code = kServeCodeParse;
+    out.error_message = "malformed JSON: " + error;
+    return out;
+  }
+  try {
+    decode_into(*root, out.req);
+  } catch (const RequestError& e) {
+    out.error_code = e.code;
+    out.error_message = e.message;
+  }
+  return out;
+}
+
+std::string serialize_serve_request(const ServeRequest& req) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("v");
+  w.u64(req.v);
+  w.key("id");
+  w.string(req.id);
+  if (req.type != "admission") {
+    w.key("type");
+    w.string(req.type);
+  }
+  if (!req.taskset.empty()) {
+    w.key("taskset");
+    w.string(req.taskset);
+  } else {
+    w.key("taskset_path");
+    w.string(req.taskset_path);
+  }
+  w.key("scheme");
+  w.string(req.scheme);
+  w.key("procs");
+  w.u64(req.procs);
+  if (req.horizon > 0) {
+    w.key("horizon_ms");
+    w.ticks_ms(req.horizon);
+  }
+  if (req.permanent) {
+    w.key("permanent");
+    w.begin_object();
+    w.key("proc");
+    w.u64(req.permanent->proc);
+    w.key("at_ms");
+    w.ticks_ms(req.permanent->time);
+    w.end_object();
+  }
+  if (req.lambda_per_ms > 0) {
+    // 17 significant digits round-trip any double exactly through strtod,
+    // and -- unlike the "%a" hex floats the repro bundles use -- stay valid
+    // JSON for third-party tooling reading a replay file.
+    char lambda[32];
+    std::snprintf(lambda, sizeof lambda, "%.17g", req.lambda_per_ms);
+    w.key("lambda_per_ms");
+    w.raw(lambda);
+  }
+  w.key("seed");
+  w.u64(req.seed);
+  w.key("audit");
+  w.boolean(req.audit);
+  if (req.timing) {
+    w.key("timing");
+    w.boolean(true);
+  }
+  w.end_object();
+  return w.take();
+}
+
+// --- Response encoding ----------------------------------------------------
+
+const char* to_string(analysis::AdmissionStage stage) {
+  switch (stage) {
+    case analysis::AdmissionStage::kLowerBoundReject:
+      return "lower-bound-reject";
+    case analysis::AdmissionStage::kHyperbolicAccept:
+      return "hyperbolic-accept";
+    case analysis::AdmissionStage::kProbeAccept:
+      return "probe-accept";
+    case analysis::AdmissionStage::kExactAccept:
+      return "exact-accept";
+    case analysis::AdmissionStage::kExactReject:
+      return "exact-reject";
+  }
+  return "?";
+}
+
+std::string serialize_serve_response(const ServeResponse& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("v");
+  w.u64(1);
+  w.key("id");
+  if (r.id.empty()) {
+    w.null();
+  } else {
+    w.string(r.id);
+  }
+  w.key("ok");
+  w.boolean(r.ok);
+  if (!r.error_code.empty()) {
+    w.key("error");
+    w.begin_object();
+    w.key("code");
+    w.string(r.error_code);
+    w.key("message");
+    w.string(r.error_message);
+    w.end_object();
+  }
+  if (r.has_admission) {
+    w.key("admission");
+    w.begin_object();
+    w.key("schedulable");
+    w.boolean(r.admission.schedulable);
+    w.key("stage");
+    w.string(to_string(r.admission.stage));
+    w.end_object();
+  }
+  if (r.has_simulation) {
+    w.key("simulation");
+    w.begin_object();
+    w.key("scheme");
+    w.string(r.scheme);
+    w.key("procs");
+    w.u64(r.procs);
+    w.key("horizon_ms");
+    w.ticks_ms(r.horizon);
+    w.key("audited");
+    w.boolean(r.audited);
+    w.key("mk_satisfied");
+    w.boolean(r.mk_satisfied);
+    w.key("mandatory_misses");
+    w.u64(r.mandatory_misses);
+    w.key("jobs_released");
+    w.u64(r.jobs_released);
+    w.key("jobs_met");
+    w.u64(r.jobs_met);
+    w.key("jobs_missed");
+    w.u64(r.jobs_missed);
+    w.key("backups_canceled");
+    w.u64(r.backups_canceled);
+    w.key("energy_total");
+    w.fixed(r.energy_total, 6);
+    w.key("energy_active");
+    w.fixed(r.energy_active, 6);
+    w.end_object();
+  }
+  if (r.wall_us) {
+    w.key("wall_us");
+    w.fixed(*r.wall_us, 1);
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace mkss::io

@@ -1,0 +1,157 @@
+// Wire protocol of the admission service (`mkss_cli serve`).
+//
+// Transport is newline-delimited JSON: one request object per line in, one
+// response object per line out, answered in request order. A request names
+// the analysis it wants (`type`, today only "admission" -- future analysis
+// kinds become new request types, not new endpoints), the task set (inline
+// in the io::taskset_io text dialect or by file path), the scheme (resolved
+// through sched::Registry), the platform size, and the fault scenario:
+//
+//   {"v": 1, "id": "r1", "taskset": "control 5 4 3 2 4\nvideo 10 10 3 1 2\n",
+//    "scheme": "selective", "procs": 2, "horizon_ms": 100,
+//    "permanent": {"proc": 0, "at_ms": 7}, "lambda_per_ms": 1e-6,
+//    "seed": 42, "audit": true}
+//
+// The response carries the staged admission verdict (analysis/admission),
+// the simulated (m,k)/energy statistics, and -- on failure -- a structured
+// error with a *stable machine-readable code* instead of killing the
+// server. The codes mirror the CLI exit-code contract (2 usage, 3 bad
+// input, 4 audit violation), so a client can treat the service and the CLI
+// uniformly:
+//
+//   parse-error / bad-request / unknown-scheme / envelope-violation -> 2
+//   bad-input                                                       -> 3
+//   audit-violation                                                 -> 4
+//   internal-error                                                  -> 1
+//
+// Parsing is strict: unknown fields, wrong types, out-of-range values and
+// unsupported protocol versions are all rejected loudly (a typo that would
+// silently change a workload is worse than an error response). The `id` is
+// still echoed back whenever it could be extracted, so clients can
+// correlate errors.
+//
+// This header also exposes the minimal JSON value parser the codec is built
+// on (objects, arrays, strings with escapes, numbers, bools, null); it is
+// deliberately tiny and allocation-honest rather than fast -- requests are
+// a few hundred bytes and the simulation dominates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/admission.hpp"
+#include "core/time.hpp"
+#include "sim/fault_plan.hpp"
+
+namespace mkss::io {
+
+// --- Minimal JSON value model --------------------------------------------
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> items;                             ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;   ///< kObject
+
+  /// First member with `key`, or nullptr (objects preserve input order).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// On failure returns nullopt and sets `error` to a position-annotated
+/// message.
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
+
+// --- Stable error codes ---------------------------------------------------
+
+inline constexpr const char* kServeCodeParse = "parse-error";
+inline constexpr const char* kServeCodeBadRequest = "bad-request";
+inline constexpr const char* kServeCodeUnknownScheme = "unknown-scheme";
+inline constexpr const char* kServeCodeEnvelope = "envelope-violation";
+inline constexpr const char* kServeCodeBadInput = "bad-input";
+inline constexpr const char* kServeCodeAuditViolation = "audit-violation";
+inline constexpr const char* kServeCodeInternal = "internal-error";
+
+/// The CLI exit code a serve error code mirrors (2/3/4; internal-error -> 1,
+/// ok/empty -> 0). Documentation of the contract, enforced by tests.
+int serve_code_exit(std::string_view code);
+
+// --- Requests -------------------------------------------------------------
+
+struct ServeRequest {
+  std::uint32_t v{1};          ///< protocol version; 1 is the only one
+  std::string id;              ///< client correlation id, echoed back
+  std::string type{"admission"};
+  std::string taskset;         ///< inline task-set text (io::taskset_io)
+  std::string taskset_path;    ///< ...or a corpus file path (exactly one)
+  std::string scheme{"selective"};
+  std::size_t procs{2};
+  core::Ticks horizon{0};      ///< 0 = harness::choose_horizon
+  std::optional<sim::PermanentFault> permanent;
+  double lambda_per_ms{0};
+  std::uint64_t seed{1};
+  bool audit{true};            ///< attach the trace auditor to the run
+  bool timing{false};          ///< include wall_us in the response (forfeits
+                               ///< byte-identity across runs, never across
+                               ///< worker counts -- ordering is strict)
+};
+
+/// Outcome of decoding one request line. When `error_code` is non-empty the
+/// request is unusable, but `req.id` is still populated whenever the line
+/// parsed far enough to extract it.
+struct ServeRequestParse {
+  ServeRequest req;
+  std::string error_code;     ///< empty = ok
+  std::string error_message;
+};
+
+ServeRequestParse parse_serve_request(std::string_view line);
+
+/// Renders `req` as one JSONL line (no trailing newline); parses back
+/// field-identically through parse_serve_request. Load generators build
+/// their replayable request files with this.
+std::string serialize_serve_request(const ServeRequest& req);
+
+// --- Responses ------------------------------------------------------------
+
+struct ServeResponse {
+  std::string id;             ///< echoed; empty renders as null
+  bool ok{false};
+  std::string error_code;     ///< one of the kServeCode* constants
+  std::string error_message;
+
+  bool has_admission{false};
+  analysis::AdmissionVerdict admission{};
+
+  bool has_simulation{false};
+  std::string scheme;
+  std::size_t procs{2};
+  core::Ticks horizon{0};
+  bool audited{false};
+  bool mk_satisfied{false};
+  std::uint64_t mandatory_misses{0};
+  std::uint64_t jobs_released{0};
+  std::uint64_t jobs_met{0};
+  std::uint64_t jobs_missed{0};
+  std::uint64_t backups_canceled{0};
+  double energy_total{0};
+  double energy_active{0};
+
+  std::optional<double> wall_us;  ///< only when the request asked for timing
+};
+
+/// Stable wire token for an admission stage ("exact-accept" etc.).
+const char* to_string(analysis::AdmissionStage stage);
+
+/// Renders one JSONL response line (no trailing newline).
+std::string serialize_serve_response(const ServeResponse& r);
+
+}  // namespace mkss::io

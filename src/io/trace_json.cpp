@@ -1,141 +1,151 @@
 #include "io/trace_json.hpp"
 
-#include <cstdarg>
-#include <cstdio>
+#include "io/json_writer.hpp"
 
 namespace mkss::io {
 
-namespace {
-
-std::string ms_or_null(core::Ticks t) {
-  if (t == core::kNever) return "null";
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.3f", core::to_ms(t));
-  return buf;
-}
-
-void append_fmt(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, args);
-  va_end(args);
-  out += buf;
-}
-
-std::string escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string trace_to_json(const sim::SimulationTrace& trace,
                           const core::TaskSet& ts) {
-  std::string out = "{\n";
-  append_fmt(out, "  \"horizon_ms\": %.3f,\n", core::to_ms(trace.horizon));
+  JsonWriter w;
+  w.begin_object(JsonWriter::Scope::kBlock);
+  w.key("horizon_ms");
+  w.fixed(core::to_ms(trace.horizon), 3);
 
-  out += "  \"tasks\": [\n";
+  w.key("tasks");
+  w.begin_array(JsonWriter::Scope::kBlock);
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const core::Task& t = ts[i];
-    append_fmt(out,
-               "    {\"name\": \"%s\", \"period_ms\": %.3f, \"deadline_ms\": %.3f,"
-               " \"wcet_ms\": %.3f, \"m\": %u, \"k\": %u}%s\n",
-               escape(t.name).c_str(), core::to_ms(t.period),
-               core::to_ms(t.deadline), core::to_ms(t.wcet), t.m, t.k,
-               i + 1 < ts.size() ? "," : "");
+    w.begin_object();
+    w.key("name");
+    w.string(t.name);
+    w.key("period_ms");
+    w.fixed(core::to_ms(t.period), 3);
+    w.key("deadline_ms");
+    w.fixed(core::to_ms(t.deadline), 3);
+    w.key("wcet_ms");
+    w.fixed(core::to_ms(t.wcet), 3);
+    w.key("m");
+    w.u64(t.m);
+    w.key("k");
+    w.u64(t.k);
+    w.end_object();
   }
-  out += "  ],\n";
+  w.end_array();
 
-  out += "  \"segments\": [\n";
-  for (std::size_t i = 0; i < trace.segments.size(); ++i) {
-    const sim::ExecSegment& s = trace.segments[i];
-    append_fmt(out,
-               "    {\"proc\": %u, \"task\": %zu, \"job\": %llu, \"kind\": \"%s\","
-               " \"begin_ms\": %.3f, \"end_ms\": %.3f, \"frequency\": %.3f}%s\n",
-               s.proc, s.job.task + 1,
-               static_cast<unsigned long long>(s.job.job),
-               sim::to_string(s.kind).c_str(), core::to_ms(s.span.begin),
-               core::to_ms(s.span.end), s.frequency,
-               i + 1 < trace.segments.size() ? "," : "");
+  w.key("segments");
+  w.begin_array(JsonWriter::Scope::kBlock);
+  for (const sim::ExecSegment& s : trace.segments) {
+    w.begin_object();
+    w.key("proc");
+    w.u64(s.proc);
+    w.key("task");
+    w.u64(s.job.task + 1);
+    w.key("job");
+    w.u64(s.job.job);
+    w.key("kind");
+    w.string(sim::to_string(s.kind));
+    w.key("begin_ms");
+    w.fixed(core::to_ms(s.span.begin), 3);
+    w.key("end_ms");
+    w.fixed(core::to_ms(s.span.end), 3);
+    w.key("frequency");
+    w.fixed(s.frequency, 3);
+    w.end_object();
   }
-  out += "  ],\n";
+  w.end_array();
 
-  out += "  \"jobs\": [\n";
-  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
-    const sim::JobRecord& j = trace.jobs[i];
-    append_fmt(
-        out,
-        "    {\"task\": %zu, \"job\": %llu, \"release_ms\": %.3f,"
-        " \"deadline_ms\": %.3f, \"mandatory\": %s, \"executed_optional\": %s,"
-        " \"outcome\": \"%s\", \"resolved_at_ms\": %.3f,"
-        " \"main_fault\": %s, \"backup_fault\": %s}%s\n",
-        j.job.id.task + 1, static_cast<unsigned long long>(j.job.id.job),
-        core::to_ms(j.job.release), core::to_ms(j.job.deadline),
-        j.mandatory ? "true" : "false", j.executed_optional ? "true" : "false",
-        !j.resolved ? "pending"
-                    : (j.outcome == core::JobOutcome::kMet ? "met" : "missed"),
-        core::to_ms(j.resolved_at), j.main_transient_fault ? "true" : "false",
-        j.backup_transient_fault ? "true" : "false",
-        i + 1 < trace.jobs.size() ? "," : "");
+  w.key("jobs");
+  w.begin_array(JsonWriter::Scope::kBlock);
+  for (const sim::JobRecord& j : trace.jobs) {
+    w.begin_object();
+    w.key("task");
+    w.u64(j.job.id.task + 1);
+    w.key("job");
+    w.u64(j.job.id.job);
+    w.key("release_ms");
+    w.fixed(core::to_ms(j.job.release), 3);
+    w.key("deadline_ms");
+    w.fixed(core::to_ms(j.job.deadline), 3);
+    w.key("mandatory");
+    w.boolean(j.mandatory);
+    w.key("executed_optional");
+    w.boolean(j.executed_optional);
+    w.key("outcome");
+    w.string(!j.resolved
+                 ? "pending"
+                 : (j.outcome == core::JobOutcome::kMet ? "met" : "missed"));
+    w.key("resolved_at_ms");
+    w.fixed(core::to_ms(j.resolved_at), 3);
+    w.key("main_fault");
+    w.boolean(j.main_transient_fault);
+    w.key("backup_fault");
+    w.boolean(j.backup_transient_fault);
+    w.end_object();
   }
-  out += "  ],\n";
+  w.end_array();
 
-  out += "  \"copies\": [\n";
-  for (std::size_t i = 0; i < trace.copies.size(); ++i) {
-    const sim::CopyRecord& c = trace.copies[i];
-    append_fmt(out,
-               "    {\"task\": %zu, \"job\": %llu, \"kind\": \"%s\","
-               " \"proc\": %u, \"band\": \"%s\", \"admitted_ms\": %.3f,"
-               " \"eligible_ms\": %.3f, \"work_ms\": %.3f, \"ended_ms\": %.3f,"
-               " \"end\": \"%s\", \"transient_fault\": %s}%s\n",
-               c.job.task + 1, static_cast<unsigned long long>(c.job.job),
-               sim::to_string(c.kind).c_str(), c.proc,
-               c.band == sim::Band::kMandatory ? "mandatory" : "optional",
-               core::to_ms(c.admitted), core::to_ms(c.eligible),
-               core::to_ms(c.work), core::to_ms(c.ended),
-               sim::to_string(c.end).c_str(),
-               c.transient_fault ? "true" : "false",
-               i + 1 < trace.copies.size() ? "," : "");
+  w.key("copies");
+  w.begin_array(JsonWriter::Scope::kBlock);
+  for (const sim::CopyRecord& c : trace.copies) {
+    w.begin_object();
+    w.key("task");
+    w.u64(c.job.task + 1);
+    w.key("job");
+    w.u64(c.job.job);
+    w.key("kind");
+    w.string(sim::to_string(c.kind));
+    w.key("proc");
+    w.u64(c.proc);
+    w.key("band");
+    w.string(c.band == sim::Band::kMandatory ? "mandatory" : "optional");
+    w.key("admitted_ms");
+    w.fixed(core::to_ms(c.admitted), 3);
+    w.key("eligible_ms");
+    w.fixed(core::to_ms(c.eligible), 3);
+    w.key("work_ms");
+    w.fixed(core::to_ms(c.work), 3);
+    w.key("ended_ms");
+    w.fixed(core::to_ms(c.ended), 3);
+    w.key("end");
+    w.string(sim::to_string(c.end));
+    w.key("transient_fault");
+    w.boolean(c.transient_fault);
+    w.end_object();
   }
-  out += "  ],\n";
+  w.end_array();
 
-  out += "  \"death_time_ms\": [";
-  for (std::size_t p = 0; p < trace.death_time.size(); ++p) {
-    if (p > 0) out += ", ";
-    out += ms_or_null(trace.death_time[p]);
-  }
-  out += "],\n";
+  w.key("death_time_ms");
+  w.begin_array();
+  for (const core::Ticks t : trace.death_time) w.ms_or_null(t);
+  w.end_array();
 
   const sim::SimStats& st = trace.stats;
-  append_fmt(out,
-             "  \"stats\": {\"jobs_released\": %llu, \"mandatory_jobs\": %llu,"
-             " \"optional_selected\": %llu, \"optional_skipped\": %llu,"
-             " \"backups_created\": %llu, \"backups_canceled\": %llu,"
-             " \"transient_faults\": %llu, \"jobs_met\": %llu,"
-             " \"jobs_missed\": %llu, \"mandatory_misses\": %llu}\n",
-             static_cast<unsigned long long>(st.jobs_released),
-             static_cast<unsigned long long>(st.mandatory_jobs),
-             static_cast<unsigned long long>(st.optional_selected),
-             static_cast<unsigned long long>(st.optional_skipped),
-             static_cast<unsigned long long>(st.backups_created),
-             static_cast<unsigned long long>(st.backups_canceled),
-             static_cast<unsigned long long>(st.transient_faults),
-             static_cast<unsigned long long>(st.jobs_met),
-             static_cast<unsigned long long>(st.jobs_missed),
-             static_cast<unsigned long long>(st.mandatory_misses));
-  out += "}\n";
-  return out;
+  w.key("stats");
+  w.begin_object();
+  w.key("jobs_released");
+  w.u64(st.jobs_released);
+  w.key("mandatory_jobs");
+  w.u64(st.mandatory_jobs);
+  w.key("optional_selected");
+  w.u64(st.optional_selected);
+  w.key("optional_skipped");
+  w.u64(st.optional_skipped);
+  w.key("backups_created");
+  w.u64(st.backups_created);
+  w.key("backups_canceled");
+  w.u64(st.backups_canceled);
+  w.key("transient_faults");
+  w.u64(st.transient_faults);
+  w.key("jobs_met");
+  w.u64(st.jobs_met);
+  w.key("jobs_missed");
+  w.u64(st.jobs_missed);
+  w.key("mandatory_misses");
+  w.u64(st.mandatory_misses);
+  w.end_object();
+
+  w.end_object();
+  return w.take() + "\n";
 }
 
 }  // namespace mkss::io

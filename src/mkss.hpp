@@ -16,12 +16,14 @@
 //              N-processor global/partitioned FP, global EDF, multi-spare,
 //              the self-registering scheme registry, backup-delay ladder,
 //              static DVS
-//   io/        task-set text files, repro bundles, JSON trace export
+//   io/        task-set text files, repro bundles, the shared JSON writer,
+//              JSON trace export, the serve wire protocol (JSONL)
 //   workload/  Section-V random task-set generation, paper example task sets
 //   metrics/   (m,k) QoS auditing (Theorem 1), running statistics
 //   report/    fixed-width tables and CSV
 //   harness/   RunSpec/run_one, BatchRunner (per-set analysis cache + pooled
-//              engine), and the Figure-6 evaluation sweeps
+//              engine), the Figure-6 evaluation sweeps, and the long-lived
+//              admission service behind `mkss_cli serve`
 #pragma once
 
 #include "analysis/admission.hpp"
@@ -48,7 +50,10 @@
 #include "fault/shrink.hpp"
 #include "harness/batch_runner.hpp"
 #include "harness/evaluation.hpp"
+#include "harness/serve.hpp"
+#include "io/json_writer.hpp"
 #include "io/repro_bundle.hpp"
+#include "io/serve_protocol.hpp"
 #include "io/taskset_io.hpp"
 #include "io/trace_json.hpp"
 #include "metrics/decomposition.hpp"

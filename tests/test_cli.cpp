@@ -390,6 +390,109 @@ TEST(Cli, ReplayMissingOrMalformedBundleIsInputError) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Cli, UnknownCommandListsAvailableOnes) {
+  const CliResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos)
+      << r.output;
+  // The listing comes from the command table, so every subcommand is there.
+  for (const char* name : {"analyze", "serve", "fuzz", "example"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << r.output;
+  }
+}
+
+// One request per line; the JSON "\n" escapes inside the raw string are the
+// wire form of the inline task-set text.
+constexpr const char* kServeSession =
+    R"({"v": 1, "id": "s1", "taskset": "control 5 4 3 2 4\nvideo 10 10 3 1 2\n", "scheme": "st", "horizon_ms": 100})"
+    "\n"
+    "definitely not json\n"
+    R"({"v": 1, "id": "s3", "taskset": "control 5 4 3 2 4\n", "scheme": "no_such_scheme"})"
+    "\n"
+    R"({"v": 1, "id": "s4", "taskset": "control 5 4 3 2 4\n", "scheme": "st", "procs": 4})"
+    "\n";
+
+TEST(Cli, ServeAnswersWholeSessionIncludingErrors) {
+  const std::string in = write_temp("serve_session", kServeSession);
+  const CliResult r = run_cli("serve --input " + in);
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // errors are responses, not deaths
+  EXPECT_NE(r.output.find("\"id\": \"s1\", \"ok\": true"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("parse-error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("unknown-scheme"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("envelope-violation"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("served 4 request(s): 1 ok, 3 error(s)"),
+            std::string::npos)
+      << r.output;
+  std::filesystem::remove(in);
+}
+
+TEST(Cli, ServeReadsStdinWhenNoInputFlag) {
+  const std::string in = write_temp("serve_stdin", kServeSession);
+  const CliResult r = run_cli("serve < " + in);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"id\": \"s1\", \"ok\": true"), std::string::npos)
+      << r.output;
+  std::filesystem::remove(in);
+}
+
+TEST(Cli, ServeResponseStreamIsByteIdenticalAcrossWorkerCounts) {
+  const std::string in = write_temp("serve_workers", kServeSession);
+  const auto read_back = [](const std::string& path) {
+    std::ifstream f(path);
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return buf.str();
+  };
+  std::string reference;
+  for (const char* workers : {"1", "3", "0"}) {
+    const std::string out = in + ".w" + workers;
+    // The subshell keeps the telemetry (stderr, includes wall time and the
+    // worker-dependent queue high-water mark) out of the compared stream;
+    // run_cli's own 2>&1 would otherwise fold it into `out`.
+    const CliResult r =
+        run_cli("serve --workers " + std::string(workers) + " --input " + in +
+                    " > " + out + " 2>/dev/null )",
+                "( ");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    const std::string stream = read_back(out);
+    EXPECT_FALSE(stream.empty());
+    if (reference.empty()) {
+      reference = stream;
+    } else {
+      EXPECT_EQ(stream, reference) << "workers=" << workers;
+    }
+    std::filesystem::remove(out);
+  }
+  std::filesystem::remove(in);
+}
+
+TEST(Cli, ServeAuditViolationIsResponseNotDeath) {
+  // The deliberately broken canary scheme (env-gated, test-only) drops
+  // backups, so a permanent fault makes the auditor fire -- as a structured
+  // audit-violation response, with the next request still answered.
+  const std::string in = write_temp(
+      "serve_audit",
+      R"({"v": 1, "id": "boom", "taskset": "control 5 4 3 2 4\nvideo 10 10 3 1 2\n", "scheme": "canary_no_backup", "permanent": {"proc": 0, "at_ms": 2}, "horizon_ms": 100})"
+      "\n"
+      R"({"v": 1, "id": "after", "taskset": "control 5 4 3 2 4\n", "scheme": "st", "horizon_ms": 100})"
+      "\n");
+  const CliResult r =
+      run_cli("serve --input " + in, "MKSS_ENABLE_CANARY_SCHEMES=1 ");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("audit-violation"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"id\": \"after\", \"ok\": true"),
+            std::string::npos)
+      << r.output;
+  std::filesystem::remove(in);
+}
+
+TEST(Cli, ServeFlagErrorsAreUsageErrors) {
+  EXPECT_EQ(run_cli("serve --queue-depth 0").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --bogus").exit_code, 2);
+  EXPECT_EQ(run_cli("serve --input /nonexistent/requests.jsonl").exit_code, 3);
+}
+
 TEST(Cli, ExampleOutputRoundTripsThroughAnalyze) {
   const CliResult example = run_cli("example");
   ASSERT_EQ(example.exit_code, 0);

@@ -56,6 +56,16 @@
 //       audited; any still-violating bundle exits with code 4. A directory
 //       replays every *.repro.txt inside, in name order.
 //
+//   mkss_cli serve [--workers n] [--queue-depth n] [--input file]
+//                  [--horizon ms] [--budget-ms ms]
+//       long-lived admission service: newline-delimited JSON requests on
+//       stdin (or --input for replayable load), one JSON response per line
+//       on stdout, in request order -- byte-identical for every --workers
+//       value (0 = hardware concurrency). Request errors become structured
+//       error responses (stable codes mirroring the exit-code contract);
+//       the server never dies on a request. Telemetry goes to stderr on
+//       EOF. See docs/architecture.md, "Admission service & wire protocol".
+//
 //   mkss_cli example
 //       print a template task-set file.
 //
@@ -67,6 +77,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -189,28 +202,58 @@ bool parse_common_flag(Args& a, const CommonFlagSet& accepts,
   return false;
 }
 
+// --- Command registry -----------------------------------------------------
+//
+// Every subcommand is one table row: name, the flag spec usage() prints,
+// its one-line summary, how many leading positional arguments it requires,
+// and the handler over the remaining argv tail. main() dispatches through
+// the table, usage() is generated from it, and an unknown subcommand lists
+// the available ones (the same shape sched::UnknownSchemeError gives an
+// unknown --scheme) -- adding a command is one new row, nothing else.
+
+struct Command {
+  const char* name;
+  /// usage() tail; element 0 continues the `mkss_cli <name>` line, the rest
+  /// print indented beneath it.
+  std::vector<const char*> usage_lines;
+  const char* summary;
+  std::size_t min_positional{0};
+  std::function<int(int argc, char** argv)> handler;
+};
+
+const std::vector<Command>& command_table();
+
+std::string known_commands() {
+  std::string names;
+  for (const Command& cmd : command_table()) {
+    if (!names.empty()) names += ", ";
+    names += cmd.name;
+  }
+  return names;
+}
+
 int usage() {
-  std::fputs(
-      "usage: mkss_cli analyze <taskset.txt>\n"
-      "       mkss_cli schemes [--names] [--procs n]\n"
-      "       mkss_cli simulate <taskset.txt> [--scheme name] [--procs n]\n"
-      "                [--horizon ms] [--permanent proc@ms] [--lambda r]\n"
-      "                [--seed n] [--gantt] [--json]\n"
-      "       mkss_cli sweep [--scenario none|permanent|transient] [--sets n]\n"
-      "                [--threads n] [--seed n] [--horizon ms] [--no-audit]\n"
-      "                [--error-dir dir]\n"
-      "       mkss_cli audit <taskset.txt> [simulate options]\n"
-      "       mkss_cli campaign [--scheme name|all] [--procs n]\n"
-      "                [--taskset file] [--horizon ms] [--seed n]\n"
-      "                [--no-bursts]\n"
-      "       mkss_cli fuzz [--runs n] [--seed n] [--procs n | --procs-range a..b]\n"
-      "                [--scheme name|all] [--threads n] [--horizon ms]\n"
-      "                [--budget-ms ms] [--no-shrink] [--error-dir dir]\n"
-      "       mkss_cli replay <bundle.repro.txt | bundle-dir> [--budget-ms ms]\n"
-      "       mkss_cli example\n"
+  std::string text;
+  for (const Command& cmd : command_table()) {
+    text += text.empty() ? "usage: mkss_cli " : "       mkss_cli ";
+    text += cmd.name;
+    for (std::size_t i = 0; i < cmd.usage_lines.size(); ++i) {
+      if (i == 0) {
+        if (cmd.usage_lines[0][0] != '\0') {
+          text += ' ';
+          text += cmd.usage_lines[0];
+        }
+      } else {
+        text += "\n                ";
+        text += cmd.usage_lines[i];
+      }
+    }
+    text += "\n";
+  }
+  text +=
       "schemes: see `mkss_cli schemes` (the registry drives --scheme)\n"
-      "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n",
-      stderr);
+      "exit codes: 0 ok, 1 failure, 2 usage, 3 bad input, 4 audit violation\n";
+  std::fputs(text.c_str(), stderr);
   return kExitUsage;
 }
 
@@ -670,21 +713,145 @@ int cmd_example() {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  harness::ServeConfig cfg;
+  std::string input_path;
+  const CommonFlagSet accepts{.horizon = true};
+  CommonOptions common;
+  for (Args a{argc, argv}; !a.done(); ++a.i) {
+    if (parse_common_flag(a, accepts, common)) continue;
+    const std::string arg = a.arg();
+    if (arg == "--workers") {
+      cfg.workers = static_cast<std::size_t>(parse_u64(arg, a.value(arg)));
+    } else if (arg == "--queue-depth") {
+      cfg.queue_depth = static_cast<std::size_t>(parse_u64(arg, a.value(arg)));
+      if (cfg.queue_depth == 0) {
+        throw UsageError("--queue-depth wants a positive depth");
+      }
+    } else if (arg == "--input") {
+      input_path = a.value(arg);
+    } else if (arg == "--budget-ms") {
+      cfg.run_budget_ms = parse_positive_ms(arg, a.value(arg));
+    } else {
+      throw UsageError("unknown option '" + arg + "'");
+    }
+  }
+  if (common.horizon) cfg.horizon_cap = *common.horizon;
+
+  harness::ServeTelemetry t;
+  if (input_path.empty()) {
+    t = harness::serve_stream(std::cin, std::cout, cfg);
+  } else {
+    std::ifstream in(input_path);
+    if (!in) throw io::ParseError("cannot open '" + input_path + "'");
+    t = harness::serve_stream(in, std::cout, cfg);
+  }
+  // Telemetry goes to stderr so the stdout response stream stays pure JSONL.
+  std::fprintf(stderr,
+               "served %llu request(s): %llu ok, %llu error(s); "
+               "max queue depth %zu; %.3fs\n",
+               static_cast<unsigned long long>(t.requests),
+               static_cast<unsigned long long>(t.ok),
+               static_cast<unsigned long long>(t.errors), t.max_queue_depth,
+               t.wall_seconds);
+  return 0;
+}
+
+const std::vector<Command>& command_table() {
+  static const std::vector<Command> table = {
+      {"analyze",
+       {"<taskset.txt>"},
+       "schedulability report, promotion times Y_i and postponement theta_i",
+       1,
+       [](int argc, char** argv) {
+         (void)argc;
+         return cmd_analyze(argv[0]);
+       }},
+      {"schemes",
+       {"[--names] [--procs n]"},
+       "list every registered scheduler",
+       0,
+       cmd_schemes},
+      {"simulate",
+       {"<taskset.txt> [--scheme name] [--procs n]",
+        "[--horizon ms] [--permanent proc@ms] [--lambda r]",
+        "[--seed n] [--gantt] [--json]"},
+       "run one scheme over the task set and report schedule/energy/QoS",
+       1,
+       [](int argc, char** argv) {
+         return cmd_simulate(argv[0], argc - 1, argv + 1);
+       }},
+      {"sweep",
+       {"[--scenario none|permanent|transient] [--sets n]",
+        "[--threads n] [--seed n] [--horizon ms] [--no-audit]",
+        "[--error-dir dir]"},
+       "run the Figure-6 style sweep and print the table + CSV",
+       0,
+       cmd_sweep},
+      {"audit",
+       {"<taskset.txt> [simulate options]"},
+       "run one scheme and certify the trace with the structural auditor",
+       1,
+       [](int argc, char** argv) {
+         return cmd_audit(argv[0], argc - 1, argv + 1);
+       }},
+      {"campaign",
+       {"[--scheme name|all] [--procs n]",
+        "[--taskset file] [--horizon ms] [--seed n]", "[--no-bursts]"},
+       "enumerate adversarial fault placements and audit every run",
+       0,
+       cmd_campaign},
+      {"fuzz",
+       {"[--runs n] [--seed n] [--procs n | --procs-range a..b]",
+        "[--scheme name|all] [--threads n] [--horizon ms]",
+        "[--budget-ms ms] [--no-shrink] [--error-dir dir]"},
+       "chaos campaign with delta-debugged repro shrinking",
+       0,
+       cmd_fuzz},
+      {"replay",
+       {"<bundle.repro.txt | bundle-dir> [--budget-ms ms]"},
+       "re-run repro bundles audited",
+       1,
+       [](int argc, char** argv) {
+         return cmd_replay(argv[0], argc - 1, argv + 1);
+       }},
+      {"serve",
+       {"[--workers n] [--queue-depth n] [--input file]",
+        "[--horizon ms] [--budget-ms ms]"},
+       "long-lived JSONL admission service on stdin/stdout",
+       0,
+       cmd_serve},
+      {"example",
+       {""},
+       "print a template task-set file",
+       0,
+       [](int, char**) { return cmd_example(); }},
+  };
+  return table;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  const std::string name = argv[1];
+  const Command* cmd = nullptr;
+  for (const Command& candidate : command_table()) {
+    if (name == candidate.name) {
+      cmd = &candidate;
+      break;
+    }
+  }
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "error: unknown command '%s' (available: %s)\n",
+                 name.c_str(), known_commands().c_str());
+    return kExitUsage;
+  }
   try {
-    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
-    if (cmd == "schemes") return cmd_schemes(argc - 2, argv + 2);
-    if (cmd == "simulate" && argc >= 3) return cmd_simulate(argv[2], argc - 3, argv + 3);
-    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
-    if (cmd == "audit" && argc >= 3) return cmd_audit(argv[2], argc - 3, argv + 3);
-    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
-    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
-    if (cmd == "replay" && argc >= 3) return cmd_replay(argv[2], argc - 3, argv + 3);
-    if (cmd == "example") return cmd_example();
+    if (static_cast<std::size_t>(argc - 2) < cmd->min_positional) {
+      throw UsageError(name + " wants " + cmd->usage_lines[0]);
+    }
+    return cmd->handler(argc - 2, argv + 2);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitUsage;
@@ -698,5 +865,4 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
