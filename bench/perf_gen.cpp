@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "core/thread_pool.hpp"
 #include "io/json_writer.hpp"
 #include "workload/taskset_gen.hpp"
@@ -56,18 +57,27 @@ int main() {
   std::uint64_t attempts = 0;
   std::size_t sets = 0;
   workload::GenCounters totals;
+  workload::GenStageSeconds stage_secs;
   for (const auto& batch : serial) {
     attempts += batch.attempts;
     sets += batch.sets.size();
     totals += batch.counters;
+    stage_secs += batch.stage_seconds;
   }
   const double attempts_per_sec =
       secs > 0 ? static_cast<double>(attempts) / secs : 0;
+  const char* simd_path = core::simd::path_name(core::simd::active_path());
 
   std::printf("=== perf_gen: task-set generator throughput ===\n");
-  std::printf("serial  %.3fs  %llu attempts  %zu sets  %.0f attempts/sec\n",
+  std::printf("serial  %.3fs  %llu attempts  %zu sets  %.0f attempts/sec  "
+              "(simd: %s)\n",
               secs, static_cast<unsigned long long>(attempts), sets,
-              attempts_per_sec);
+              attempts_per_sec, simd_path);
+  std::printf(
+      "stage seconds: draw %.4f, prefilter %.4f, finalize %.4f, "
+      "ladder %.4f, rta %.4f\n",
+      stage_secs.draw, stage_secs.prefilter, stage_secs.finalize,
+      stage_secs.ladder, stage_secs.rta);
   std::printf(
       "stages: draw-fail %llu, out-of-bin %llu, filter-reject %llu, "
       "rta-reject %llu, accepted %llu (quick %llu)\n",
@@ -127,6 +137,21 @@ int main() {
   w.u64(totals.accepted);
   w.key("quick_accepts");
   w.u64(totals.quick_accepts);
+  w.end_object();
+  w.key("simd_path");
+  w.string(simd_path);
+  w.key("stage_seconds");
+  w.begin_object();
+  w.key("draw");
+  w.fixed(stage_secs.draw, 4);
+  w.key("prefilter");
+  w.fixed(stage_secs.prefilter, 4);
+  w.key("finalize");
+  w.fixed(stage_secs.finalize, 4);
+  w.key("ladder");
+  w.fixed(stage_secs.ladder, 4);
+  w.key("rta");
+  w.fixed(stage_secs.rta, 4);
   w.end_object();
   w.key("bit_identical");
   w.boolean(identical);

@@ -202,8 +202,6 @@ int main(int argc, char** argv) {
     w.fixed(s.timings.simulate_seconds, 4);
     w.key("aggregate_seconds");
     w.fixed(s.timings.aggregate_seconds, 4);
-    w.key("hardware_threads");
-    w.u64(hardware_threads);
     w.key("bit_identical");
     w.boolean(s.bit_identical);
     w.end_object();

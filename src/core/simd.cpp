@@ -1,0 +1,249 @@
+#include "core/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define MKSS_SIMD_X86 1
+#else
+#define MKSS_SIMD_X86 0
+#endif
+
+namespace mkss::core::simd {
+
+namespace {
+
+/// -1 = no forced path. Plain int so a relaxed read is trivially safe; the
+/// test hook is only ever used single-threaded around generate_bin calls.
+int g_forced = -1;
+
+Path resolve_from_env() noexcept {
+  const char* env = std::getenv("MKSS_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0) {
+      return Path::kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (cpu_has_avx2()) return Path::kAvx2;
+      std::fprintf(stderr,
+                   "mkss: MKSS_SIMD=avx2 requested but the CPU lacks AVX2; "
+                   "using the scalar kernels\n");
+      return Path::kScalar;
+    }
+    if (std::strcmp(env, "auto") != 0) {
+      std::fprintf(stderr,
+                   "mkss: unknown MKSS_SIMD value '%s' "
+                   "(expected off|scalar|avx2|auto); auto-detecting\n",
+                   env);
+    }
+  }
+  return cpu_has_avx2() ? Path::kAvx2 : Path::kScalar;
+}
+
+}  // namespace
+
+bool cpu_has_avx2() noexcept {
+#if MKSS_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Path active_path() noexcept {
+  if (g_forced >= 0) return static_cast<Path>(g_forced);
+  static const Path resolved = resolve_from_env();
+  return resolved;
+}
+
+const char* path_name(Path p) noexcept {
+  return p == Path::kAvx2 ? "avx2" : "scalar";
+}
+
+void set_forced_path(Path p) noexcept {
+  if (p == Path::kAvx2 && !cpu_has_avx2()) return;
+  g_forced = static_cast<int>(p);
+}
+
+void clear_forced_path() noexcept { g_forced = -1; }
+
+// ---------------------------------------------------------------------------
+// Magic division.
+//
+// For divisor d with l = ceil(log2 d): mul = ceil(2^(31+l) / d), shift =
+// 31 + l. Write mul*d = 2^(31+l) + r with 0 <= r < d (the round-up residue).
+// For 0 <= x < 2^31:
+//   x*mul / 2^(31+l) = x/d + x*r / (d * 2^(31+l))
+// and the error term is < 2^31 * d / (d * 2^(31+l)) = 2^-l <= 1/d with the
+// strict inequality needed (r <= d-1 < d), so flooring both sides agree:
+// floor(x*mul >> (31+l)) == floor(x/d). mul fits 32 bits because
+// d > 2^(l-1) implies mul < 2^32 + 1 and equality is impossible off the
+// power-of-two case, where mul = 2^31 exactly.
+// ---------------------------------------------------------------------------
+
+DivMagic div_magic_u31(std::uint32_t d) noexcept {
+  if (d <= 1) return DivMagic{1u << 31, 31};  // x/1: (x * 2^31) >> 31 == x
+  const std::uint32_t l =
+      static_cast<std::uint32_t>(32 - __builtin_clz(d - 1));  // ceil(log2 d)
+  const std::uint64_t num = std::uint64_t{1} << (31 + l);
+  const std::uint64_t mul = (num + d - 1) / d;
+  return DivMagic{static_cast<std::uint32_t>(mul), 31 + l};
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (compiled unconditionally; the reference semantics).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void row_sum_max_scalar(const std::int64_t* sum_vals,
+                        const std::int64_t* max_vals, std::size_t rows,
+                        std::int64_t* sums, std::int64_t* maxs) noexcept {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int64_t* sv = sum_vals + r * kRowStride;
+    const std::int64_t* mv = max_vals + r * kRowStride;
+    std::int64_t s = 0;
+    std::int64_t m = 0;
+    for (std::size_t i = 0; i < kRowStride; ++i) {
+      s += sv[i];
+      if (mv[i] > m) m = mv[i];
+    }
+    sums[r] = s;
+    maxs[r] = m;
+  }
+}
+
+/// One row's mandatory-demand contribution via the same magic-division
+/// expressions the vector lanes evaluate; exactness of div_magic_u31 makes
+/// this identical to plain '/' and '%'.
+inline std::uint64_t demand_row_scalar(const DemandView& v, std::size_t j,
+                                       std::uint64_t t_minus_1) noexcept {
+  const std::uint64_t rel = ((t_minus_1 * v.pmul[j]) >> v.pshift[j]) + 1;
+  const std::uint64_t groups = (rel * v.kmul[j]) >> v.kshift[j];
+  const std::uint64_t rem = rel - groups * v.effk[j];
+  const std::uint64_t count = groups * v.effm[j] + v.arena[v.poff[j] + rem];
+  return count * v.wcet[j];
+}
+
+std::uint64_t demand_hp_sum_scalar(const DemandView& v, std::size_t count,
+                                   std::uint64_t t_minus_1) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    acc += demand_row_scalar(v, j, t_minus_1);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with the target attribute so the translation unit
+// itself needs no -mavx2 (the scalar fallback must stay executable on any
+// x86-64); only ever called behind the cpuid dispatch.
+// ---------------------------------------------------------------------------
+
+#if MKSS_SIMD_X86
+
+__attribute__((target("avx2"))) void row_sum_max_avx2(
+    const std::int64_t* sum_vals, const std::int64_t* max_vals,
+    std::size_t rows, std::int64_t* sums, std::int64_t* maxs) noexcept {
+  static_assert(kRowStride == 16, "kernel unrolled for 16-lane rows");
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int64_t* sv = sum_vals + r * kRowStride;
+    const std::int64_t* mv = max_vals + r * kRowStride;
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sv));
+    __m256i s1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sv + 4));
+    __m256i s2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sv + 8));
+    __m256i s3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sv + 12));
+    __m256i s = _mm256_add_epi64(_mm256_add_epi64(s0, s1),
+                                 _mm256_add_epi64(s2, s3));
+    __m128i lo = _mm256_castsi256_si128(s);
+    __m128i hi = _mm256_extracti128_si256(s, 1);
+    __m128i sum2 = _mm_add_epi64(lo, hi);
+    sums[r] = _mm_extract_epi64(sum2, 0) + _mm_extract_epi64(sum2, 1);
+
+    // AVX2 has no 64-bit vector max; compare + blend, then reduce 4 lanes.
+    __m256i m0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mv));
+    __m256i m1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mv + 4));
+    __m256i m2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mv + 8));
+    __m256i m3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mv + 12));
+    __m256i a = _mm256_blendv_epi8(m0, m1, _mm256_cmpgt_epi64(m1, m0));
+    __m256i b = _mm256_blendv_epi8(m2, m3, _mm256_cmpgt_epi64(m3, m2));
+    __m256i m = _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(b, a));
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), m);
+    std::int64_t best = 0;
+    for (const std::int64_t lane : lanes) {
+      if (lane > best) best = lane;
+    }
+    maxs[r] = best;
+  }
+}
+
+__attribute__((target("avx2"))) std::uint64_t demand_hp_sum_avx2(
+    const DemandView& v, std::size_t count, std::uint64_t t_minus_1) noexcept {
+  const std::size_t vec = count & ~std::size_t{3};
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i tm1 = _mm256_set1_epi64x(static_cast<long long>(t_minus_1));
+  const __m256i one = _mm256_set1_epi64x(1);
+  // Lambdas do not inherit the enclosing function's target attribute, so the
+  // loads are spelled out through a macro instead of a helper.
+#define MKSS_LD(p) _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))
+  for (std::size_t j = 0; j < vec; j += 4) {
+    // rel = (t-1) / P + 1, via the per-row period magic.
+    __m256i rel = _mm256_add_epi64(
+        _mm256_srlv_epi64(_mm256_mul_epu32(tm1, MKSS_LD(v.pmul + j)),
+                          MKSS_LD(v.pshift + j)),
+        one);
+    // groups = rel / effk, rem = rel - groups * effk.
+    __m256i groups = _mm256_srlv_epi64(
+        _mm256_mul_epu32(rel, MKSS_LD(v.kmul + j)), MKSS_LD(v.kshift + j));
+    __m256i rem =
+        _mm256_sub_epi64(rel, _mm256_mul_epu32(groups, MKSS_LD(v.effk + j)));
+    // prefix lookup: arena[poff + rem] per lane (32-bit gather, 64-bit idx).
+    __m256i idx = _mm256_add_epi64(MKSS_LD(v.poff + j), rem);
+    __m128i pv = _mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(v.arena), idx, 4);
+    __m256i prefix = _mm256_cvtepu32_epi64(pv);
+    // count = groups * effm + prefix; contribution = count * wcet.
+    __m256i cnt =
+        _mm256_add_epi64(_mm256_mul_epu32(groups, MKSS_LD(v.effm + j)), prefix);
+    acc = _mm256_add_epi64(acc, _mm256_mul_epu32(cnt, MKSS_LD(v.wcet + j)));
+  }
+#undef MKSS_LD
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (std::size_t j = vec; j < count; ++j) {
+    total += demand_row_scalar(v, j, t_minus_1);
+  }
+  return total;
+}
+
+#endif  // MKSS_SIMD_X86
+
+}  // namespace
+
+void row_sum_max_i64(const std::int64_t* sum_vals, const std::int64_t* max_vals,
+                     std::size_t rows, std::int64_t* sums,
+                     std::int64_t* maxs) noexcept {
+#if MKSS_SIMD_X86
+  if (active_path() == Path::kAvx2) {
+    row_sum_max_avx2(sum_vals, max_vals, rows, sums, maxs);
+    return;
+  }
+#endif
+  row_sum_max_scalar(sum_vals, max_vals, rows, sums, maxs);
+}
+
+std::uint64_t demand_hp_sum(const DemandView& v, std::size_t count,
+                            std::uint64_t t_minus_1) noexcept {
+#if MKSS_SIMD_X86
+  if (active_path() == Path::kAvx2) {
+    return demand_hp_sum_avx2(v, count, t_minus_1);
+  }
+#endif
+  return demand_hp_sum_scalar(v, count, t_minus_1);
+}
+
+}  // namespace mkss::core::simd

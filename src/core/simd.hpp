@@ -1,0 +1,125 @@
+// Runtime-dispatched SIMD kernels for the structure-of-arrays batch paths.
+//
+// The generation prefilter, the (m,k) demand sums and the batched RTA all
+// operate on integer ticks, where lane-parallel arithmetic is exactly
+// associative: reordering a sum of Ticks cannot change its value, unlike
+// floating point. Every kernel here therefore has a scalar fallback that is
+// bit-identical to the AVX2 variant by construction -- the vector code is a
+// pure re-bracketing of the same integer expressions -- which is what lets
+// the golden tests, the corpus manifests and the thread-count bit-identity
+// contracts hold regardless of which path the CPU dispatch picks.
+//
+// Dispatch policy:
+//   - `MKSS_SIMD=off` (or `scalar`) forces the portable kernels;
+//   - `MKSS_SIMD=avx2` requests AVX2 and falls back to scalar (with a
+//     one-time stderr note) when the CPU lacks it;
+//   - unset or `auto`: cpuid detection.
+// The resolved path is cached after the first query; tests that need to
+// exercise both paths in one process use set_forced_path().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mkss::core::simd {
+
+enum class Path : std::uint8_t {
+  kScalar = 0,  ///< portable kernels, compiled unconditionally
+  kAvx2 = 1,    ///< AVX2 kernels, selected at runtime via cpuid
+};
+
+/// True when the running CPU reports AVX2.
+bool cpu_has_avx2() noexcept;
+
+/// The dispatch path every kernel below uses: the forced path if one is set,
+/// otherwise the cached MKSS_SIMD/cpuid resolution described above.
+Path active_path() noexcept;
+
+/// "scalar" / "avx2" -- the token emitted into BENCH_*.json.
+const char* path_name(Path p) noexcept;
+
+/// Test hook: overrides active_path() until clear_forced_path(). Forcing
+/// kAvx2 on a CPU without AVX2 is ignored (the resolver never hands out a
+/// path the box cannot execute).
+void set_forced_path(Path p) noexcept;
+void clear_forced_path() noexcept;
+
+/// Lane stride (in elements) of the flat per-task rows inside a candidate
+/// batch: every candidate owns kRowStride consecutive lanes per array, and
+/// lanes past its task count hold the operation's identity element.
+inline constexpr std::size_t kRowStride = 16;
+
+/// Per-row fused sum/max over stride-kRowStride int64 rows:
+///   sums[r] = sum of sum_vals[r*kRowStride .. +kRowStride)
+///   maxs[r] = max of max_vals[r*kRowStride .. +kRowStride)
+/// Unused lanes must hold 0, the identity for both (all live values --
+/// WCETs and periods in ticks -- are strictly positive). This is the
+/// generation prefilter: sums = per-candidate sigma-C, maxs = per-candidate
+/// longest period.
+void row_sum_max_i64(const std::int64_t* sum_vals, const std::int64_t* max_vals,
+                     std::size_t rows, std::int64_t* sums,
+                     std::int64_t* maxs) noexcept;
+
+/// Exact magic-number division for the 31-bit domain: for 1 <= d < 2^31 and
+/// 0 <= x < 2^31,  x / d == (x * mul) >> shift  (full 64-bit product).
+///
+/// Granlund-Montgomery round-up method with l = ceil(log2 d):
+/// mul = ceil(2^(31+l) / d) always fits 32 bits on this restricted domain,
+/// so AVX2 evaluates the quotient with one vpmuludq + one vpsrlvq per lane
+/// -- there is no vector integer divide on any x86 extension. Exactness is
+/// proven in simd.cpp and pinned by an exhaustive-divisor test.
+struct DivMagic {
+  std::uint32_t mul{0};
+  std::uint32_t shift{0};
+};
+DivMagic div_magic_u31(std::uint32_t d) noexcept;
+
+/// SoA view of the higher-priority interference rows of one RTA candidate,
+/// priority-ordered. All arrays hold values < 2^31 zero-extended into u64
+/// lanes (vpmuludq multiplies the low 32 bits of each 64-bit lane):
+///   pmul/pshift  magic for division by the row's period
+///   kmul/kshift  magic for division by the row's effective k
+///   effm/effk    effective (m, k) of the row's pattern step table
+///   wcet         the row's WCET in ticks
+///   poff         offset of the row's cumulative prefix table inside `arena`
+struct DemandView {
+  const std::uint64_t* pmul{nullptr};
+  const std::uint64_t* pshift{nullptr};
+  const std::uint64_t* kmul{nullptr};
+  const std::uint64_t* kshift{nullptr};
+  const std::uint64_t* effm{nullptr};
+  const std::uint64_t* effk{nullptr};
+  const std::uint64_t* wcet{nullptr};
+  const std::uint64_t* poff{nullptr};
+  const std::uint32_t* arena{nullptr};
+};
+
+/// Higher-priority demand sum over rows [0, count) of `v` in a window of
+/// t = t_minus_1 + 1 ticks (t_minus_1 < 2^31):
+///   sum_j ( (rel_j / effk_j) * effm_j + arena[poff_j + rel_j % effk_j] )
+///          * wcet_j          where rel_j = t_minus_1 / period_j + 1.
+/// The mandatory-job count never exceeds rel_j < 2^31 (prefix tables are
+/// cumulative counts), so every intermediate fits the u32-by-u32 lanes and
+/// the accumulation is exact in u64.
+std::uint64_t demand_hp_sum(const DemandView& v, std::size_t count,
+                            std::uint64_t t_minus_1) noexcept;
+
+/// llround for non-negative doubles below 2^52, bit-identical to
+/// std::llround but inlineable (glibc's llround is an out-of-line call that
+/// the generation draw loop pays millions of times per sweep).
+///
+/// For x >= 0, llround rounds half away from zero: r + [frac >= 0.5] where
+/// r = floor(x) (the truncating cast) and frac = x - r. The subtraction is
+/// EXACT: for floor(x) >= 1, floor(x) <= x < 2 * floor(x) so Sterbenz's
+/// lemma applies; for floor(x) == 0 it subtracts zero. So the >= 0.5
+/// comparison sees the true fraction and no rounded intermediate can flip a
+/// verdict -- unlike the tempting (int64)(x + 0.5) form, where x + 0.5 can
+/// round UP across an integer in a round-to-even tie (x = 0.5 - 2^-54) and
+/// no floating-point correction test can detect it exactly. Pinned against
+/// std::llround by a fuzz + boundary test.
+inline std::int64_t llround_nonneg(double x) noexcept {
+  const auto r = static_cast<std::int64_t>(x);
+  return r + (x - static_cast<double>(r) >= 0.5 ? 1 : 0);
+}
+
+}  // namespace mkss::core::simd

@@ -1,10 +1,15 @@
 #include "workload/taskset_gen.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "analysis/admission.hpp"
+#include "core/simd.hpp"
 
 namespace mkss::workload {
 
@@ -41,32 +46,16 @@ void uunifast(std::size_t n, double total, core::Rng& rng,
 }
 
 /// Greedily steps individual m_i values (each step changes the total by
-/// (C_i/P_i)/k_i) towards `target` total (m,k)-utilization.
-///
-/// C_i/P_i and the per-step delta only depend on (C, P, k), which the loop
-/// never touches, so both are hoisted out of the iterations, and the running
-/// total is maintained incrementally (current +/- the applied step) instead
-/// of being re-summed every iteration. The greedy m choices therefore follow
-/// this accumulation's rounding -- a deterministic IEEE evaluation order,
-/// just not the re-summed one -- which is fine: repair only picks integer m
-/// values, and the bin filter re-checks the exact total afterwards.
-void repair_mk_total(std::vector<Task>& tasks, double target,
-                     std::vector<double>& step, std::vector<std::uint32_t>& m,
-                     std::vector<std::uint32_t>& k) {
-  const std::size_t n = tasks.size();
-  step.resize(n);
-  m.resize(n);
-  k.resize(n);
-  double current = 0;
-  // The greedy scan runs over tight scalar arrays instead of the 64-byte
-  // Task structs (whose name strings would drag dead bytes through the
-  // cache); m values are written back once at the end.
-  for (std::size_t i = 0; i < n; ++i) {
-    step[i] = tasks[i].utilization() / static_cast<double>(tasks[i].k);
-    m[i] = tasks[i].m;
-    k[i] = tasks[i].k;
-    current += step[i] * static_cast<double>(m[i]);
-  }
+/// (C_i/P_i)/k_i) towards `target` total (m,k)-utilization. `current` must be
+/// sum step[i]*m[i] accumulated in index order (the running total is then
+/// maintained incrementally, current +/- the applied step, instead of being
+/// re-summed every iteration). The greedy m choices therefore follow this
+/// accumulation's rounding -- a deterministic IEEE evaluation order, just not
+/// the re-summed one -- which is fine: repair only picks integer m values,
+/// and the bin filter re-checks the exact total afterwards.
+void repair_mk_steps(std::size_t n, double target, double current,
+                     const double* step, std::uint32_t* m,
+                     const std::uint32_t* k) {
   for (int iter = 0; iter < 256; ++iter) {
     const double gap = target - current;
     const bool up = gap > 0;
@@ -95,6 +84,27 @@ void repair_mk_total(std::vector<Task>& tasks, double target,
       current -= step[best];
     }
   }
+}
+
+/// Task-vector front end of repair_mk_steps, used by the one-candidate paths.
+/// The greedy scan runs over tight scalar arrays instead of the 64-byte Task
+/// structs (whose name strings would drag dead bytes through the cache);
+/// m values are written back once at the end.
+void repair_mk_total(std::vector<Task>& tasks, double target,
+                     std::vector<double>& step, std::vector<std::uint32_t>& m,
+                     std::vector<std::uint32_t>& k) {
+  const std::size_t n = tasks.size();
+  step.resize(n);
+  m.resize(n);
+  k.resize(n);
+  double current = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    step[i] = tasks[i].utilization() / static_cast<double>(tasks[i].k);
+    m[i] = tasks[i].m;
+    k[i] = tasks[i].k;
+    current += step[i] * static_cast<double>(m[i]);
+  }
+  repair_mk_steps(n, target, current, step.data(), m.data(), k.data());
   for (std::size_t i = 0; i < n; ++i) tasks[i].m = m[i];
 }
 
@@ -244,6 +254,14 @@ struct AttemptResult {
   bool quick{false};  ///< accepted by the hyperbolic bound alone
 };
 
+/// Per-attempt result slot of a speculative chunk: the commit loop in
+/// generate_bin examines slots in ascending attempt order, so the batch is a
+/// pure function of its inputs no matter how the slots were filled.
+struct Slot {
+  AttemptResult result;
+  std::vector<Task> tasks;  ///< accepted tasks, priority order (else stale)
+};
+
 /// Runs one fully self-contained attempt: its private RNG stream, a draw,
 /// the bin filter, and staged admission. On accept, writes the tasks (in
 /// priority order, unnamed -- the TaskSet constructor names them) into
@@ -308,6 +326,340 @@ void tally(GenCounters& c, const AttemptResult& r) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Structure-of-arrays batch pipeline.
+//
+// run_batch processes a chunk of consecutive attempts through phase-major
+// stages instead of attempt-major ones: draw every candidate's RNG stream
+// into flat stride-16 arrays, screen the whole chunk with one vectorized
+// sigma-C/max-D kernel pass, finish only the survivors (UUniFast pow chain,
+// m derivation, repair, priority sort -- all deferred), and resolve the
+// remaining candidates through one lockstep admission batch.
+//
+// Two properties make the result bit-identical to run_attempt:
+//   * the RNG draw sequence per attempt is unchanged -- the deferred work
+//     (inv_int_root, m rounding, repair, sort) consumes no RNG, and v2
+//     per-attempt substreams mean drawing *more* values than the scalar
+//     path's early-outs (a draw-fail candidate still draws its remaining
+//     tasks here) is unobservable: nothing else ever reads that stream;
+//   * every deferred computation evaluates the same IEEE expressions in the
+//     same order as the scalar path, and the batch kernels are exact integer
+//     re-bracketings (see core/simd.hpp).
+// MKSS_GEN_CROSSCHECK=1 re-runs the scalar path per attempt and aborts on
+// any divergence.
+// ---------------------------------------------------------------------------
+
+/// Where the generation pipeline's batch eligibility ends: candidate counts
+/// above this stay exact in the deferred llround_nonneg domain (v * P and
+/// k * share / v both < 2^52 needs P < ~4.5e12 ticks; one decade of margin).
+constexpr std::int64_t kMaxBatchPeriodMs = 1'000'000'000;
+
+enum class GenMode : std::uint8_t { kAuto, kScalar, kBatch };
+
+GenMode gen_mode_from_env() {
+  const char* env = std::getenv("MKSS_GEN_MODE");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) return GenMode::kAuto;
+  if (std::strcmp(env, "scalar") == 0) return GenMode::kScalar;
+  if (std::strcmp(env, "batch") == 0) return GenMode::kBatch;
+  std::fprintf(stderr,
+               "mkss: unknown MKSS_GEN_MODE value '%s' "
+               "(expected scalar|batch|auto); auto-selecting\n",
+               env);
+  return GenMode::kAuto;
+}
+
+bool crosscheck_from_env() {
+  const char* env = std::getenv("MKSS_GEN_CROSSCHECK");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// True when `params` fit the batch pipeline's envelope: the uniform WCET
+/// model (the shaped model draws m *before* its WCET, so nothing can be
+/// deferred), k >= 2 (the scalar path's m clamp needs it too), task counts
+/// within the fixed lane stride, and periods inside the exact-rounding
+/// domain of the deferred llround.
+bool batch_eligible(const GenParams& p, double bin_lo) {
+  return p.wcet_model == WcetModel::kUniformWcet && p.min_k >= 2 &&
+         p.min_tasks >= 1 && p.max_tasks <= core::simd::kRowStride &&
+         p.min_period_ms >= 1 && p.max_period_ms <= kMaxBatchPeriodMs &&
+         bin_lo >= 0;
+}
+
+/// SoA buffers of one batch chunk, reused across chunks per worker thread.
+/// Candidate c owns lanes [c*kRowStride, c*kRowStride + n_tasks[c]) of every
+/// per-task array; wcet/deadline lanes past the task count are zeroed (the
+/// sum/max identity) so the prefilter kernel can run stride-blind.
+struct BatchScratch {
+  static constexpr std::size_t kStride = core::simd::kRowStride;
+
+  // Per-task arrays, stride kStride per candidate.
+  std::vector<Ticks> period, deadline, wcet;
+  std::vector<std::uint32_t> k, m, order;
+  std::vector<double> u01;  ///< raw UUniFast uniforms; pow chain deferred
+  std::vector<double> v;    ///< C/P draws
+
+  // Per-candidate arrays.
+  std::vector<double> target;
+  std::vector<std::uint32_t> n_tasks;
+  std::vector<std::uint8_t> alive;
+  std::vector<std::int64_t> sums, maxs;
+
+  // Finalize scratch (one survivor at a time).
+  std::vector<double> shares, step;
+
+  // Admission batch views into the arrays above.
+  std::vector<analysis::SoACandidate> cands;
+  std::vector<std::uint32_t> cand_slot;
+  std::vector<analysis::AdmissionVerdict> verdicts;
+  analysis::AdmissionContext admission;
+
+  void prepare(std::size_t count) {
+    const std::size_t lanes = count * kStride;
+    if (period.size() < lanes) {
+      period.resize(lanes);
+      deadline.resize(lanes);
+      wcet.resize(lanes);
+      k.resize(lanes);
+      m.resize(lanes);
+      order.resize(lanes);
+      u01.resize(lanes);
+      v.resize(lanes);
+    }
+    if (target.size() < count) {
+      target.resize(count);
+      n_tasks.resize(count);
+      alive.resize(count);
+      sums.resize(count);
+      maxs.resize(count);
+    }
+    shares.resize(kStride);
+    step.resize(kStride);
+  }
+};
+
+/// Runs attempts [first_attempt, first_attempt + count) of a bin through the
+/// batch pipeline, writing each attempt's result (and accepted tasks) into
+/// slots[0..count). Accumulates per-stage wall-clock into `times`.
+void run_batch(const GenParams& params, double bin_lo, double bin_hi,
+               std::uint64_t seed, std::uint64_t bin_index,
+               std::uint64_t first_attempt, std::size_t count, BatchScratch& b,
+               Slot* slots, GenStageSeconds& times) {
+  namespace simd = core::simd;
+  using clock = std::chrono::steady_clock;
+  constexpr std::size_t stride = BatchScratch::kStride;
+  b.prepare(count);
+
+  // ---- draw: per-attempt substreams into the SoA arrays ----
+  // Parameter fields are hoisted into locals: the SoA stores below are
+  // through pointer types that could legally alias the int64/double members
+  // of `params`, and without the copies the compiler reloads every bound on
+  // every task draw.
+  const auto min_tasks = static_cast<std::int64_t>(params.min_tasks);
+  const auto max_tasks = static_cast<std::int64_t>(params.max_tasks);
+  const std::int64_t min_period_ms = params.min_period_ms;
+  const std::int64_t max_period_ms = params.max_period_ms;
+  const std::int64_t min_k = params.min_k;
+  const auto max_k = static_cast<std::int64_t>(params.max_k);
+  const double deadline_factor = params.deadline_factor;
+  const bool implicit_deadlines = deadline_factor == 1.0;
+  const auto t0 = clock::now();
+  for (std::size_t c = 0; c < count; ++c) {
+    core::Rng rng(core::stream_seed(seed, bin_index, first_attempt + c));
+    b.target[c] = rng.uniform(bin_lo, bin_hi);
+    const auto n =
+        static_cast<std::size_t>(rng.range(min_tasks, max_tasks));
+    b.n_tasks[c] = static_cast<std::uint32_t>(n);
+    const std::size_t base = c * stride;
+    for (std::size_t i = 0; i + 1 < n; ++i) b.u01[base + i] = rng.uniform01();
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Ticks p = core::from_ms(rng.range(min_period_ms, max_period_ms));
+      const Ticks d =
+          implicit_deadlines
+              ? p
+              : std::max<Ticks>(
+                    1, core::from_ms(deadline_factor * core::to_ms(p)));
+      b.k[base + i] =
+          static_cast<std::uint32_t>(rng.range(min_k, max_k));
+      const double vv = rng.uniform(0.05, 1.0);  // C_i / P_i
+      const Ticks w = std::max<Ticks>(
+          1, static_cast<Ticks>(
+                 simd::llround_nonneg(vv * static_cast<double>(p))));
+      b.period[base + i] = p;
+      b.deadline[base + i] = d;
+      b.v[base + i] = vv;
+      b.wcet[base + i] = w;
+      // The only Task::valid() conditions not structurally guaranteed here
+      // (k >= 2 and the m clamp make the (m,k) leg vacuous).
+      ok = ok && d <= p && w <= d;
+    }
+    for (std::size_t i = n; i < stride; ++i) {
+      b.wcet[base + i] = 0;      // sum identity
+      b.deadline[base + i] = 0;  // max identity (live deadlines are >= 1)
+    }
+    b.alive[c] = ok ? 1 : 0;
+    if (!ok) slots[c].result = {AttemptKind::kDrawFail, false};
+  }
+
+  // ---- prefilter: one fused sigma-C / max-D kernel pass over the chunk ----
+  // The deadline of a longest-period task equals the max deadline (the
+  // deadline is a weakly increasing pure function of the period), so the
+  // scalar path's wcet_sum > lp_deadline is exactly sums[c] > maxs[c].
+  const auto t1 = clock::now();
+  simd::row_sum_max_i64(b.wcet.data(), b.deadline.data(), count, b.sums.data(),
+                        b.maxs.data());
+  for (std::size_t c = 0; c < count; ++c) {
+    if (b.alive[c] != 0 && b.sums[c] > b.maxs[c]) {
+      b.alive[c] = 0;
+      slots[c].result = {AttemptKind::kFilterReject, false};
+    }
+  }
+
+  // ---- finalize survivors: the work the prefilter let everyone else skip --
+  const auto t2 = clock::now();
+  b.cands.clear();
+  b.cand_slot.clear();
+  for (std::size_t c = 0; c < count; ++c) {
+    if (b.alive[c] == 0) continue;
+    const std::size_t base = c * stride;
+    const std::size_t n = b.n_tasks[c];
+    // Deferred UUniFast: the same share recurrence as uunifast(), replaying
+    // the recorded uniforms -- only ~1% of attempts ever pay the pow chain.
+    double sum = b.target[c];
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double next = sum * inv_int_root(b.u01[base + i], n - 1 - i);
+      b.shares[i] = sum - next;
+      sum = next;
+    }
+    b.shares[n - 1] = sum;
+    // Deferred m derivation: m = k * share / v, same expression order as
+    // draw_raw's uniform-model branch.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double m_real =
+          static_cast<double>(b.k[base + i]) * b.shares[i] / b.v[base + i];
+      const auto mm = simd::llround_nonneg(m_real);
+      b.m[base + i] = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+          mm, 1, static_cast<std::int64_t>(b.k[base + i]) - 1));
+    }
+    // m repair towards the target total, draw order, then the stable
+    // rate-monotonic priority permutation -- both identical to
+    // finalize_candidate over the same values.
+    double current = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      b.step[i] = (static_cast<double>(b.wcet[base + i]) /
+                   static_cast<double>(b.period[base + i])) /
+                  static_cast<double>(b.k[base + i]);
+      current += b.step[i] * static_cast<double>(b.m[base + i]);
+    }
+    repair_mk_steps(n, b.target[c], current, b.step.data(), b.m.data() + base,
+                    b.k.data() + base);
+    std::uint32_t* order = b.order.data() + base;
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::uint32_t key = order[i];
+      const Ticks key_period = b.period[base + key];
+      std::size_t j = i;
+      for (; j > 0 && b.period[base + order[j - 1]] > key_period; --j) {
+        order[j] = order[j - 1];
+      }
+      order[j] = key;
+    }
+    // Bin check, in priority order -- the accumulation order of
+    // raw_mk_utilization and TaskSet::total_mk_utilization.
+    double u = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t idx = order[i];
+      const double util = static_cast<double>(b.wcet[base + idx]) /
+                          static_cast<double>(b.period[base + idx]);
+      u += util * static_cast<double>(b.m[base + idx]) /
+           static_cast<double>(b.k[base + idx]);
+    }
+    if (u < bin_lo || u >= bin_hi) {
+      b.alive[c] = 0;
+      slots[c].result = {AttemptKind::kOutOfBin, false};
+      continue;
+    }
+    b.cands.push_back({b.period.data() + base, b.deadline.data() + base,
+                       b.wcet.data() + base, b.m.data() + base,
+                       b.k.data() + base, order, n});
+    b.cand_slot.push_back(static_cast<std::uint32_t>(c));
+  }
+  const auto t3 = clock::now();
+
+  // ---- lockstep admission over everything still undecided ----
+  b.verdicts.resize(b.cands.size());
+  b.admission.admit_batch(b.cands.data(), b.cands.size(), params.accept_model,
+                          b.verdicts.data(), &times.ladder, &times.rta);
+  for (std::size_t e = 0; e < b.cands.size(); ++e) {
+    const std::size_t c = b.cand_slot[e];
+    const auto verdict = b.verdicts[e];
+    if (!verdict.schedulable) {
+      slots[c].result = {
+          verdict.stage == analysis::AdmissionStage::kLowerBoundReject
+              ? AttemptKind::kFilterReject
+              : AttemptKind::kRtaReject,
+          false};
+      continue;
+    }
+    const std::size_t base = c * stride;
+    const std::size_t n = b.n_tasks[c];
+    auto& out = slots[c].tasks;
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t idx = b.order[base + i];
+      Task t;
+      t.period = b.period[base + idx];
+      t.deadline = b.deadline[base + idx];
+      t.wcet = b.wcet[base + idx];
+      t.m = b.m[base + idx];
+      t.k = b.k[base + idx];
+      out.push_back(std::move(t));
+    }
+    slots[c].result = {AttemptKind::kAccepted,
+                       verdict.stage ==
+                           analysis::AdmissionStage::kHyperbolicAccept};
+  }
+
+  const auto secs = [](clock::time_point a, clock::time_point e) {
+    return std::chrono::duration<double>(e - a).count();
+  };
+  times.draw += secs(t0, t1);
+  times.prefilter += secs(t1, t2);
+  times.finalize += secs(t2, t3);
+}
+
+/// MKSS_GEN_CROSSCHECK harness: replays every attempt of a freshly filled
+/// chunk through the scalar run_attempt and aborts on any divergence in
+/// verdict kind, quick flag, or accepted tasks.
+void crosscheck_batch(const GenParams& params, double bin_lo, double bin_hi,
+                      std::uint64_t seed, std::uint64_t bin_index,
+                      std::uint64_t first_attempt, std::size_t count,
+                      const Slot* slots) {
+  static thread_local AttemptWorker worker;
+  static thread_local std::vector<Task> accepted;
+  for (std::size_t c = 0; c < count; ++c) {
+    const AttemptResult ref = run_attempt(params, bin_lo, bin_hi, seed,
+                                          bin_index, first_attempt + c, worker,
+                                          accepted);
+    const AttemptResult got = slots[c].result;
+    const bool tasks_match =
+        ref.kind != AttemptKind::kAccepted || accepted == slots[c].tasks;
+    if (ref.kind != got.kind || ref.quick != got.quick || !tasks_match) {
+      std::fprintf(
+          stderr,
+          "mkss: MKSS_GEN_CROSSCHECK divergence at bin %llu attempt %llu: "
+          "scalar kind=%u quick=%d vs batch kind=%u quick=%d, tasks %s\n",
+          static_cast<unsigned long long>(bin_index),
+          static_cast<unsigned long long>(first_attempt + c),
+          static_cast<unsigned>(ref.kind), ref.quick ? 1 : 0,
+          static_cast<unsigned>(got.kind), got.quick ? 1 : 0,
+          tasks_match ? "match" : "DIFFER");
+      std::abort();
+    }
+  }
+}
+
 }  // namespace
 
 GenCounters& GenCounters::operator+=(const GenCounters& o) noexcept {
@@ -320,8 +672,20 @@ GenCounters& GenCounters::operator+=(const GenCounters& o) noexcept {
   return *this;
 }
 
+GenStageSeconds& GenStageSeconds::operator+=(const GenStageSeconds& o) noexcept {
+  draw += o.draw;
+  prefilter += o.prefilter;
+  finalize += o.finalize;
+  ladder += o.ladder;
+  rta += o.rta;
+  return *this;
+}
+
 std::optional<TaskSet> generate_taskset(const GenParams& params,
                                         double target_mk_util, core::Rng& rng) {
+  // Always the eager scalar path: the caller's Rng is a *shared* sequential
+  // stream, so the batch pipeline's over-drawing on invalid tasks (harmless
+  // under per-attempt substreams) would shift every later draw here.
   GenScratch s;
   if (!draw_raw(params, target_mk_util, rng, s)) return std::nullopt;
   finalize_candidate(params, target_mk_util, s);
@@ -348,18 +712,65 @@ BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
   batch.bin_lo = bin_lo;
   batch.bin_hi = bin_hi;
 
+  const GenMode mode = gen_mode_from_env();
+  const bool eligible = batch_eligible(params, bin_lo);
+  const bool use_batch = eligible && mode != GenMode::kScalar;
+  if (mode == GenMode::kBatch && !eligible) {
+    std::fprintf(stderr,
+                 "mkss: MKSS_GEN_MODE=batch requested but the parameters fall "
+                 "outside the batch pipeline envelope; using the scalar "
+                 "path\n");
+  }
+  const bool crosscheck = use_batch && crosscheck_from_env();
+
   const std::size_t workers = pool != nullptr ? pool->size() : 1;
   if (workers <= 1) {
-    static thread_local AttemptWorker worker;
-    std::vector<Task> accepted;
-    while (batch.sets.size() < want_schedulable && batch.attempts < max_attempts) {
-      const std::uint64_t attempt = batch.attempts++;
-      const AttemptResult r = run_attempt(params, bin_lo, bin_hi, seed,
-                                          bin_index, attempt, worker, accepted);
-      tally(batch.counters, r);
-      if (r.kind == AttemptKind::kAccepted) {
-        batch.sets.emplace_back(std::move(accepted));
+    if (!use_batch) {
+      static thread_local AttemptWorker worker;
+      std::vector<Task> accepted;
+      while (batch.sets.size() < want_schedulable &&
+             batch.attempts < max_attempts) {
+        const std::uint64_t attempt = batch.attempts++;
+        const AttemptResult r = run_attempt(params, bin_lo, bin_hi, seed,
+                                            bin_index, attempt, worker,
+                                            accepted);
+        tally(batch.counters, r);
+        if (r.kind == AttemptKind::kAccepted) {
+          batch.sets.emplace_back(std::move(accepted));
+        }
       }
+      return batch;
+    }
+    // Serial batch pipeline: speculative chunks committed in ascending
+    // attempt order (exactly the parallel path's semantics with one
+    // worker), so the result is bit-identical to the per-attempt loop
+    // above. Chunks grow geometrically: bins that fill from a handful of
+    // attempts waste little speculative draw work, reject-heavy bins get
+    // full-width kernel passes.
+    static thread_local BatchScratch scratch;
+    std::vector<Slot> slots;
+    std::uint64_t next = 0;
+    std::size_t chunk_cap = 32;
+    while (batch.sets.size() < want_schedulable && next < max_attempts) {
+      const auto chunk = std::min<std::uint64_t>(max_attempts - next, chunk_cap);
+      if (slots.size() < chunk) slots.resize(chunk);
+      run_batch(params, bin_lo, bin_hi, seed, bin_index, next,
+                static_cast<std::size_t>(chunk), scratch, slots.data(),
+                batch.stage_seconds);
+      if (crosscheck) {
+        crosscheck_batch(params, bin_lo, bin_hi, seed, bin_index, next,
+                         static_cast<std::size_t>(chunk), slots.data());
+      }
+      for (std::uint64_t i = 0;
+           i < chunk && batch.sets.size() < want_schedulable; ++i) {
+        ++batch.attempts;
+        tally(batch.counters, slots[i].result);
+        if (slots[i].result.kind == AttemptKind::kAccepted) {
+          batch.sets.emplace_back(std::move(slots[i].tasks));
+        }
+      }
+      next += chunk;
+      chunk_cap = std::min<std::size_t>(chunk_cap * 2, 2048);
     }
     return batch;
   }
@@ -372,10 +783,6 @@ BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
   // path no matter how many workers raced ahead. Chunks grow geometrically:
   // reject-heavy bins amortize dispatch overhead, while bins that fill from
   // a handful of attempts waste little speculative work.
-  struct Slot {
-    AttemptResult result;
-    std::vector<Task> tasks;
-  };
   std::vector<Slot> slots;
   std::uint64_t next = 0;  // first attempt index not yet examined
   std::size_t per_job = 64;
@@ -384,15 +791,29 @@ BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
                                                workers * per_job);
     if (slots.size() < chunk) slots.resize(chunk);
     const auto jobs = static_cast<std::size_t>((chunk + per_job - 1) / per_job);
+    std::vector<GenStageSeconds> job_times(use_batch ? jobs : 0);
     core::parallel_for(pool, jobs, [&](std::size_t job) {
-      static thread_local AttemptWorker worker;
       const std::uint64_t begin = job * per_job;
       const auto end = std::min<std::uint64_t>(begin + per_job, chunk);
-      for (std::uint64_t i = begin; i < end; ++i) {
-        slots[i].result = run_attempt(params, bin_lo, bin_hi, seed, bin_index,
-                                      next + i, worker, slots[i].tasks);
+      if (use_batch) {
+        static thread_local BatchScratch scratch;
+        run_batch(params, bin_lo, bin_hi, seed, bin_index, next + begin,
+                  static_cast<std::size_t>(end - begin), scratch,
+                  slots.data() + begin, job_times[job]);
+        if (crosscheck) {
+          crosscheck_batch(params, bin_lo, bin_hi, seed, bin_index,
+                           next + begin, static_cast<std::size_t>(end - begin),
+                           slots.data() + begin);
+        }
+      } else {
+        static thread_local AttemptWorker worker;
+        for (std::uint64_t i = begin; i < end; ++i) {
+          slots[i].result = run_attempt(params, bin_lo, bin_hi, seed, bin_index,
+                                        next + i, worker, slots[i].tasks);
+        }
       }
     });
+    for (const auto& jt : job_times) batch.stage_seconds += jt;
     for (std::uint64_t i = 0;
          i < chunk && batch.sets.size() < want_schedulable; ++i) {
       ++batch.attempts;

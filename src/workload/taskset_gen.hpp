@@ -89,6 +89,22 @@ struct GenCounters {
   friend bool operator==(const GenCounters&, const GenCounters&) = default;
 };
 
+/// Wall-clock spent per stage of the batched generation pipeline, in
+/// seconds. Telemetry only -- never part of the bit-identity contract. With
+/// a thread pool the per-worker times are summed, so the fields read as CPU
+/// seconds per stage, which is the right unit for "where do the cycles go".
+/// The scalar fallback path (MKSS_GEN_MODE=scalar, or parameters outside the
+/// batch pipeline's envelope) leaves all fields zero.
+struct GenStageSeconds {
+  double draw{0};       ///< RNG draws + SoA fill
+  double prefilter{0};  ///< vectorized sigma-C > D_lp screen
+  double finalize{0};   ///< deferred shares/m, repair, sort, bin check
+  double ladder{0};     ///< admission stages 1-2 (S0 demand screen, hyperbolic)
+  double rta{0};        ///< lockstep exact fixed points (stages 3-4)
+
+  GenStageSeconds& operator+=(const GenStageSeconds& o) noexcept;
+};
+
 /// A batch of schedulable task sets inside one (m,k)-utilization bin.
 struct BinnedBatch {
   double bin_lo{0};
@@ -96,6 +112,7 @@ struct BinnedBatch {
   std::vector<core::TaskSet> sets;   ///< R-pattern schedulable, util in bin
   std::uint64_t attempts{0};         ///< total generation attempts
   GenCounters counters;              ///< where the attempts went
+  GenStageSeconds stage_seconds;     ///< per-stage timing telemetry
 };
 
 /// Generates until `want_schedulable` schedulable sets landed in
@@ -109,6 +126,16 @@ struct BinnedBatch {
 /// thread count. Callers that derive `seed` from a wider context should
 /// reserve a stream index for it (the sweep harness uses its generation
 /// stream tag) so attempt streams cannot collide with other named streams.
+///
+/// Attempts are processed through a structure-of-arrays batch pipeline
+/// (deferred UUniFast shares, vectorized prefilter, lockstep batched RTA --
+/// see docs/architecture.md) whenever the parameters fit its envelope
+/// (kUniformWcet, min_k >= 2, max_tasks <= 16); the result is bit-identical
+/// to the one-attempt-at-a-time scalar path by construction. Env overrides:
+/// MKSS_GEN_MODE=scalar forces the scalar path, =batch insists on the batch
+/// path (warning when ineligible), unset/auto picks automatically; setting
+/// MKSS_GEN_CROSSCHECK=1 runs *both* paths per attempt and aborts on any
+/// divergence in verdict kind or accepted tasks (debug/CI harness).
 BinnedBatch generate_bin(const GenParams& params, double bin_lo, double bin_hi,
                          std::size_t want_schedulable, std::size_t max_attempts,
                          std::uint64_t seed, std::uint64_t bin_index,

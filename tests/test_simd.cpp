@@ -1,0 +1,456 @@
+// The core::simd kernels exist only to re-bracket integer expressions into
+// vector lanes, so every test here is an equivalence proof: the AVX2 path
+// against the scalar path, both against a naive reference written with plain
+// '/' and '%', and the batch entry points (admit_batch, generate_bin's batch
+// pipeline) against the one-at-a-time code they replace. The magic-division
+// and llround helpers get their own exactness pins because the kernels'
+// bit-identity contract rests on them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "analysis/admission.hpp"
+#include "analysis/rta.hpp"
+#include "core/rng.hpp"
+#include "core/simd.hpp"
+#include "core/task.hpp"
+#include "core/thread_pool.hpp"
+#include "core/time.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss {
+namespace {
+
+namespace simd = core::simd;
+using core::Task;
+using core::TaskSet;
+using core::Ticks;
+
+/// Runs `body` once per available dispatch path (scalar always; AVX2 when the
+/// box has it), with the forced-path hook cleared afterwards. Tests that use
+/// this cover both kernels on AVX2 hardware and degrade to a scalar-only run
+/// elsewhere instead of failing.
+template <class Body>
+void for_each_path(Body&& body) {
+  body(simd::Path::kScalar);
+  if (simd::cpu_has_avx2()) {
+    body(simd::Path::kAvx2);
+  }
+  simd::clear_forced_path();
+}
+
+TEST(SimdDispatch, ForcedPathOverridesAndClears) {
+  simd::set_forced_path(simd::Path::kScalar);
+  EXPECT_EQ(simd::active_path(), simd::Path::kScalar);
+  if (simd::cpu_has_avx2()) {
+    simd::set_forced_path(simd::Path::kAvx2);
+    EXPECT_EQ(simd::active_path(), simd::Path::kAvx2);
+  }
+  simd::clear_forced_path();
+  // Whatever the environment resolves to, it must be executable here.
+  if (!simd::cpu_has_avx2()) {
+    EXPECT_EQ(simd::active_path(), simd::Path::kScalar);
+  }
+}
+
+TEST(SimdDispatch, ForcingAvx2WithoutHardwareIsIgnored) {
+  if (simd::cpu_has_avx2()) GTEST_SKIP() << "needs a non-AVX2 box";
+  simd::set_forced_path(simd::Path::kAvx2);
+  EXPECT_EQ(simd::active_path(), simd::Path::kScalar);
+  simd::clear_forced_path();
+}
+
+// ---------------------------------------------------------------------------
+// div_magic_u31: x / d == (x * mul) >> shift for the full 31-bit domain.
+// ---------------------------------------------------------------------------
+
+void check_divisor(std::uint32_t d, core::Rng& rng) {
+  const auto magic = simd::div_magic_u31(d);
+  const auto via_magic = [&](std::uint64_t x) {
+    return (x * magic.mul) >> magic.shift;
+  };
+  // Boundary x: around every multiple boundary the floor can possibly slip.
+  const std::uint64_t probes[] = {0,
+                                  1,
+                                  d - 1,
+                                  d,
+                                  std::uint64_t{d} + 1,
+                                  (std::uint64_t{1} << 31) - 1,
+                                  ((std::uint64_t{1} << 31) - 1) / d * d,
+                                  ((std::uint64_t{1} << 31) - 1) / d * d - 1};
+  for (const std::uint64_t x : probes) {
+    if (x >= (std::uint64_t{1} << 31)) continue;
+    ASSERT_EQ(via_magic(x), x / d) << "d=" << d << " x=" << x;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t x = rng.below(std::uint64_t{1} << 31);
+    ASSERT_EQ(via_magic(x), x / d) << "d=" << d << " x=" << x;
+  }
+}
+
+TEST(DivMagic, ExactForSmallDivisorsExhaustively) {
+  core::Rng rng(0x51D0001);
+  for (std::uint32_t d = 1; d <= 4096; ++d) {
+    check_divisor(d, rng);
+  }
+}
+
+TEST(DivMagic, ExactForRandomLargeDivisors) {
+  core::Rng rng(0x51D0002);
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = static_cast<std::uint32_t>(
+        rng.below((std::uint64_t{1} << 31) - 1) + 1);
+    check_divisor(d, rng);
+  }
+  // Powers of two and their neighbours, the classic magic-number edge.
+  for (std::uint32_t l = 1; l < 31; ++l) {
+    const std::uint32_t p = 1u << l;
+    check_divisor(p - 1, rng);
+    check_divisor(p, rng);
+    check_divisor(p + 1, rng);
+  }
+  check_divisor((1u << 31) - 1, rng);
+}
+
+// ---------------------------------------------------------------------------
+// llround_nonneg == std::llround on [0, 2^52).
+// ---------------------------------------------------------------------------
+
+TEST(LlroundNonneg, MatchesStdLlroundOnBoundariesAndFuzz) {
+  const double half_cases[] = {0.0, 0.5, 1.0, 1.5, 2.5, 3.49999999999999,
+                               3.5, 3.50000000000001, 1e15 + 0.5};
+  for (const double x : half_cases) {
+    EXPECT_EQ(simd::llround_nonneg(x), std::llround(x)) << "x=" << x;
+    const double up = std::nextafter(x, std::numeric_limits<double>::infinity());
+    const double down = std::nextafter(x, 0.0);
+    EXPECT_EQ(simd::llround_nonneg(up), std::llround(up));
+    if (down >= 0) {
+      EXPECT_EQ(simd::llround_nonneg(down), std::llround(down));
+    }
+  }
+  // Top of the contract domain: integers up there are exact doubles.
+  const double top = 4503599627370495.0;  // 2^52 - 1
+  EXPECT_EQ(simd::llround_nonneg(top), std::llround(top));
+
+  core::Rng rng(0x11A07D);
+  for (int i = 0; i < 200000; ++i) {
+    // Log-uniform magnitude so small values (the generator's actual domain:
+    // WCET = v * period ~ 1e0..1e13) and huge ones both get coverage.
+    const double mag = rng.uniform(0.0, 52.0);
+    const double x = rng.uniform01() * std::exp2(mag);
+    ASSERT_EQ(simd::llround_nonneg(x), std::llround(x)) << "x=" << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// row_sum_max_i64: per-row sum and max over 16-lane rows.
+// ---------------------------------------------------------------------------
+
+TEST(RowSumMax, MatchesNaiveReferenceOnBothPaths) {
+  core::Rng rng(0xF17E);
+  constexpr std::size_t kRows = 37;  // odd count: no multiple-of-anything luck
+  std::vector<std::int64_t> sum_vals(kRows * simd::kRowStride, 0);
+  std::vector<std::int64_t> max_vals(kRows * simd::kRowStride, 0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    // Live lane counts from 0 (all identity) to the full stride.
+    const auto live = static_cast<std::size_t>(
+        rng.below(std::uint64_t{simd::kRowStride} + 1));
+    for (std::size_t i = 0; i < live; ++i) {
+      sum_vals[r * simd::kRowStride + i] =
+          static_cast<std::int64_t>(rng.below(std::uint64_t{1} << 40)) + 1;
+      max_vals[r * simd::kRowStride + i] =
+          static_cast<std::int64_t>(rng.below(std::uint64_t{1} << 40)) + 1;
+    }
+  }
+  std::vector<std::int64_t> ref_sums(kRows), ref_maxs(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::int64_t s = 0, m = 0;
+    for (std::size_t i = 0; i < simd::kRowStride; ++i) {
+      s += sum_vals[r * simd::kRowStride + i];
+      m = std::max(m, max_vals[r * simd::kRowStride + i]);
+    }
+    ref_sums[r] = s;
+    ref_maxs[r] = m;
+  }
+  for_each_path([&](simd::Path path) {
+    simd::set_forced_path(path);
+    std::vector<std::int64_t> sums(kRows, -1), maxs(kRows, -1);
+    simd::row_sum_max_i64(sum_vals.data(), max_vals.data(), kRows, sums.data(),
+                          maxs.data());
+    for (std::size_t r = 0; r < kRows; ++r) {
+      ASSERT_EQ(sums[r], ref_sums[r])
+          << "path=" << simd::path_name(path) << " row=" << r;
+      ASSERT_EQ(maxs[r], ref_maxs[r])
+          << "path=" << simd::path_name(path) << " row=" << r;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// demand_hp_sum: scalar == AVX2 == a reference written with plain / and %.
+// ---------------------------------------------------------------------------
+
+struct DemandFixture {
+  std::vector<std::uint64_t> pmul, pshift, kmul, kshift;
+  std::vector<std::uint64_t> effm, effk, wcet, poff;
+  std::vector<std::uint32_t> arena;
+  std::vector<std::uint64_t> period;  // for the reference only
+
+  simd::DemandView view() const {
+    return simd::DemandView{pmul.data(),  pshift.data(), kmul.data(),
+                            kshift.data(), effm.data(),  effk.data(),
+                            wcet.data(),  poff.data(),  arena.data()};
+  }
+
+  std::uint64_t reference(std::size_t count, std::uint64_t t_minus_1) const {
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint64_t rel = t_minus_1 / period[j] + 1;
+      const std::uint64_t cnt =
+          rel / effk[j] * effm[j] + arena[poff[j] + rel % effk[j]];
+      acc += cnt * wcet[j];
+    }
+    return acc;
+  }
+};
+
+DemandFixture random_demand_rows(core::Rng& rng, std::size_t rows) {
+  DemandFixture f;
+  f.arena.push_back(0);  // reserved kAllJobs mirror, as in AdmissionContext
+  for (std::size_t j = 0; j < rows; ++j) {
+    const auto p = rng.below((std::uint64_t{1} << 31) - 1) + 1;
+    const auto k = rng.below(64) + 1;
+    const auto m = rng.below(k) + 1;
+    const auto magic_p = simd::div_magic_u31(static_cast<std::uint32_t>(p));
+    const auto magic_k = simd::div_magic_u31(static_cast<std::uint32_t>(k));
+    f.period.push_back(p);
+    f.pmul.push_back(magic_p.mul);
+    f.pshift.push_back(magic_p.shift);
+    f.kmul.push_back(magic_k.mul);
+    f.kshift.push_back(magic_k.shift);
+    f.effm.push_back(m);
+    f.effk.push_back(k);
+    f.wcet.push_back(rng.below(std::uint64_t{1} << 20) + 1);
+    f.poff.push_back(f.arena.size());
+    // A cumulative prefix table: nondecreasing counts from 0 to <= m.
+    std::uint32_t running = 0;
+    for (std::uint64_t r = 0; r < k; ++r) {
+      if (r > 0 && running < m && rng.chance(0.5)) ++running;
+      f.arena.push_back(running);
+    }
+  }
+  return f;
+}
+
+TEST(DemandHpSum, ScalarAvx2AndReferenceAgree) {
+  core::Rng rng(0xDE3A2D);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Row counts straddling the 4-lane vector width and its scalar tail.
+    const auto rows = static_cast<std::size_t>(rng.below(13));
+    const DemandFixture f = random_demand_rows(rng, rows);
+    const auto v = f.view();
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::uint64_t t_minus_1 = rng.below(std::uint64_t{1} << 31);
+      const std::uint64_t want = f.reference(rows, t_minus_1);
+      for_each_path([&](simd::Path path) {
+        simd::set_forced_path(path);
+        ASSERT_EQ(simd::demand_hp_sum(v, rows, t_minus_1), want)
+            << "path=" << simd::path_name(path) << " rows=" << rows
+            << " t-1=" << t_minus_1;
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// admit_batch == analysis::schedulable, per candidate, on both paths.
+// ---------------------------------------------------------------------------
+
+/// Random valid task set straddling the schedulability boundary (the
+/// test_admission corpus shape, SoA-scattered below).
+TaskSet random_taskset(core::Rng& rng) {
+  const auto n = static_cast<std::size_t>(rng.range(1, 10));
+  const bool rm_implicit = rng.chance(0.5);
+  std::vector<Task> tasks(n);
+  for (auto& t : tasks) {
+    t.period = core::from_ms(rng.range(1, 12));
+    const double share = rng.uniform(0.02, 1.8 / static_cast<double>(n));
+    t.wcet = std::clamp<Ticks>(
+        static_cast<Ticks>(std::llround(share * static_cast<double>(t.period))),
+        1, t.period);
+    t.deadline = rm_implicit ? t.period : rng.range(t.wcet, t.period);
+    t.k = static_cast<std::uint32_t>(rng.range(1, 12));
+    t.m = rng.chance(0.2) ? t.k
+                          : static_cast<std::uint32_t>(
+                                rng.range(1, static_cast<std::int64_t>(t.k)));
+  }
+  if (rm_implicit) {
+    std::sort(tasks.begin(), tasks.end(),
+              [](const Task& a, const Task& b) { return a.period < b.period; });
+  }
+  return TaskSet(std::move(tasks));
+}
+
+/// One candidate's SoA storage: the tasks scattered into a random draw order
+/// with the priority permutation pointing back at them.
+struct SoAStorage {
+  std::vector<Ticks> period, deadline, wcet;
+  std::vector<std::uint32_t> m, k, order;
+
+  analysis::SoACandidate view() const {
+    return analysis::SoACandidate{period.data(), deadline.data(), wcet.data(),
+                                  m.data(),      k.data(),       order.data(),
+                                  order.size()};
+  }
+};
+
+SoAStorage scatter(const TaskSet& ts, core::Rng& rng) {
+  SoAStorage s;
+  const std::size_t n = ts.size();
+  s.period.resize(n);
+  s.deadline.resize(n);
+  s.wcet.resize(n);
+  s.m.resize(n);
+  s.k.resize(n);
+  s.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(s.order[i - 1], s.order[static_cast<std::size_t>(rng.below(i))]);
+  }
+  for (std::size_t pri = 0; pri < n; ++pri) {
+    const std::uint32_t slot = s.order[pri];
+    s.period[slot] = ts[pri].period;
+    s.deadline[slot] = ts[pri].deadline;
+    s.wcet[slot] = ts[pri].wcet;
+    s.m[slot] = ts[pri].m;
+    s.k[slot] = ts[pri].k;
+  }
+  return s;
+}
+
+TEST(AdmitBatch, FuzzMatchesReferenceOnBothPaths) {
+  const std::array<analysis::DemandModel, 3> models = {
+      analysis::DemandModel::kAllJobs,
+      analysis::DemandModel::kRPatternMandatory,
+      analysis::DemandModel::kEPatternMandatory};
+  core::Rng rng(0xBA7C4);
+  for (int round = 0; round < 60; ++round) {
+    constexpr std::size_t kBatch = 24;
+    std::vector<TaskSet> sets;
+    std::vector<SoAStorage> storage;
+    std::vector<analysis::SoACandidate> cands;
+    for (std::size_t c = 0; c < kBatch; ++c) {
+      sets.push_back(random_taskset(rng));
+      storage.push_back(scatter(sets.back(), rng));
+    }
+    for (const auto& s : storage) cands.push_back(s.view());
+    for (const auto model : models) {
+      std::vector<bool> ref;
+      for (const auto& ts : sets) {
+        ref.push_back(analysis::schedulable(ts, model));
+      }
+      for_each_path([&](simd::Path path) {
+        simd::set_forced_path(path);
+        analysis::AdmissionContext ctx;  // fresh: no probe history
+        std::vector<analysis::AdmissionVerdict> out(kBatch);
+        ctx.admit_batch(cands.data(), kBatch, model, out.data());
+        for (std::size_t c = 0; c < kBatch; ++c) {
+          ASSERT_EQ(out[c].schedulable, ref[c])
+              << "path=" << simd::path_name(path) << " candidate "
+              << sets[c].describe();
+        }
+        // A warm context (probe hints loaded by the first pass) must still
+        // agree: hints are speed-only.
+        std::vector<analysis::AdmissionVerdict> warm(kBatch);
+        ctx.admit_batch(cands.data(), kBatch, model, warm.data());
+        for (std::size_t c = 0; c < kBatch; ++c) {
+          ASSERT_EQ(warm[c].schedulable, ref[c])
+              << "warm path=" << simd::path_name(path) << " candidate "
+              << sets[c].describe();
+        }
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// generate_bin: batch pipeline == scalar pipeline, on both dispatch paths,
+// serial and pooled, plus the cross-check harness.
+// ---------------------------------------------------------------------------
+
+struct EnvGuard {
+  const char* name;
+  explicit EnvGuard(const char* n, const char* value) : name(n) {
+    ::setenv(n, value, 1);
+  }
+  ~EnvGuard() { ::unsetenv(name); }
+};
+
+void expect_batches_equal(const workload::BinnedBatch& a,
+                          const workload::BinnedBatch& b, const char* label) {
+  ASSERT_EQ(a.attempts, b.attempts) << label;
+  ASSERT_TRUE(a.counters == b.counters) << label;
+  ASSERT_EQ(a.sets.size(), b.sets.size()) << label;
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    ASSERT_EQ(a.sets[i].describe(), b.sets[i].describe())
+        << label << " set " << i;
+  }
+}
+
+TEST(GenerateBinBatch, BitIdenticalToScalarPipelineOnBothPaths) {
+  const workload::GenParams params;
+  const auto run = [&](core::ThreadPool* pool) {
+    return workload::generate_bin(params, 0.4, 0.5, 8, 4000, 777, 2, pool);
+  };
+  workload::BinnedBatch scalar_ref;
+  {
+    EnvGuard mode("MKSS_GEN_MODE", "scalar");
+    scalar_ref = run(nullptr);
+  }
+  ASSERT_GT(scalar_ref.sets.size(), 0u);
+  {
+    EnvGuard mode("MKSS_GEN_MODE", "batch");
+    for_each_path([&](simd::Path path) {
+      simd::set_forced_path(path);
+      const auto serial = run(nullptr);
+      expect_batches_equal(serial, scalar_ref, simd::path_name(path));
+      core::ThreadPool pool(core::ThreadPool::resolve_num_threads(2));
+      const auto pooled = run(&pool);
+      expect_batches_equal(pooled, scalar_ref, "pooled");
+    });
+  }
+}
+
+TEST(GenerateBinBatch, CrosscheckHarnessPassesOnCleanPipeline) {
+  // MKSS_GEN_CROSSCHECK=1 replays every batch attempt through the scalar
+  // path inside generate_bin and aborts the process on any divergence --
+  // surviving the call IS the assertion.
+  EnvGuard check("MKSS_GEN_CROSSCHECK", "1");
+  const auto batch =
+      workload::generate_bin(workload::GenParams{}, 0.3, 0.4, 5, 2000, 901, 0);
+  EXPECT_GT(batch.attempts, 0u);
+}
+
+TEST(GenerateBinBatch, ForcedScalarPathThreadCountBitIdentity) {
+  // The thread-count bit-identity contract must hold on the scalar kernels
+  // too (the CI MKSS_SIMD=off leg runs the full suite this way; this test
+  // keeps the property pinned even on an AVX2 box).
+  simd::set_forced_path(simd::Path::kScalar);
+  const workload::GenParams params;
+  const auto serial = workload::generate_bin(params, 0.4, 0.5, 6, 4000, 109, 1);
+  for (const std::size_t n_threads : {std::size_t{2}, std::size_t{4}}) {
+    core::ThreadPool pool(core::ThreadPool::resolve_num_threads(n_threads));
+    const auto parallel =
+        workload::generate_bin(params, 0.4, 0.5, 6, 4000, 109, 1, &pool);
+    expect_batches_equal(parallel, serial, "forced-scalar pooled");
+  }
+  simd::clear_forced_path();
+}
+
+}  // namespace
+}  // namespace mkss
