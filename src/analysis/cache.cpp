@@ -1,17 +1,60 @@
 #include "analysis/cache.hpp"
 
+#include <algorithm>
+
 namespace mkss::analysis {
+
+std::shared_ptr<const PostponementResult> PostponementCache::get(
+    const core::TaskSet& ts, const PostponementOptions& opts) {
+  key_scratch_.clear();
+  key_scratch_.push_back(static_cast<core::Ticks>(opts.pattern));
+  key_scratch_.push_back(opts.horizon_cap);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    key_scratch_.push_back(ts[i].period);
+    key_scratch_.push_back(ts[i].deadline);
+    key_scratch_.push_back(ts[i].wcet);
+    key_scratch_.push_back(static_cast<core::Ticks>(ts[i].m));
+    key_scratch_.push_back(static_cast<core::Ticks>(ts[i].k));
+  }
+  const std::uint64_t hash = core::content_hash(key_scratch_);
+  ++clock_;
+  for (Entry& e : entries_) {
+    if (e.hash == hash && e.key == key_scratch_) {
+      ++hits_;
+      e.stamp = clock_;
+      return e.result;
+    }
+  }
+  ++misses_;
+  auto owned =
+      std::make_shared<PostponementResult>(compute_postponement(ts, opts));
+  if (entries_.size() >= capacity_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    *victim = Entry{hash, key_scratch_, clock_, std::move(owned)};
+    return victim->result;
+  }
+  entries_.push_back(Entry{hash, key_scratch_, clock_, std::move(owned)});
+  return entries_.back().result;
+}
 
 const PostponementResult& AnalysisCache::postponement(
     const PostponementOptions& opts) {
   for (const ThetaEntry& e : thetas_) {
     if (e.pattern == opts.pattern && e.horizon_cap == opts.horizon_cap) {
-      return e.result;
+      return *e.result;
     }
   }
-  thetas_.push_back(
-      {opts.pattern, opts.horizon_cap, compute_postponement(*ts_, opts)});
-  return thetas_.back().result;
+  std::shared_ptr<const PostponementResult> result;
+  if (shared_thetas_ != nullptr) {
+    result = shared_thetas_->get(*ts_, opts);
+  } else {
+    result = std::make_shared<PostponementResult>(
+        compute_postponement(*ts_, opts));
+  }
+  thetas_.push_back({opts.pattern, opts.horizon_cap, std::move(result)});
+  return *thetas_.back().result;
 }
 
 const std::vector<std::optional<core::Ticks>>& AnalysisCache::promotions() {
@@ -40,6 +83,23 @@ core::Ticks AnalysisCache::horizon(core::Ticks cap) {
   const core::Ticks h = ts_->mk_hyperperiod(cap).value_or(cap);
   horizons_.emplace_back(cap, h);
   return h;
+}
+
+const core::ReleaseTimeline& AnalysisCache::timeline(
+    core::Ticks horizon, core::TimelineCache* shared) {
+  for (const auto& [h, tl] : timelines_) {
+    if (h == horizon) return *tl;
+  }
+  std::shared_ptr<const core::ReleaseTimeline> tl;
+  if (shared != nullptr) {
+    tl = shared->get(*ts_, horizon);
+  } else {
+    auto owned = std::make_shared<core::ReleaseTimeline>();
+    core::build_release_timeline(*ts_, horizon, *owned);
+    tl = std::move(owned);
+  }
+  timelines_.emplace_back(horizon, std::move(tl));
+  return *timelines_.back().second;
 }
 
 }  // namespace mkss::analysis

@@ -22,16 +22,68 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/postponement.hpp"
 #include "analysis/promotion.hpp"
 #include "analysis/rta.hpp"
+#include "core/release_timeline.hpp"
 #include "core/task.hpp"
 
 namespace mkss::analysis {
 
+/// Content-keyed cache of postponement analyses, shared across every task
+/// set with the same timing/(m,k) content. Like core::TimelineCache it is
+/// keyed by parameters rather than address, so a long-lived worker -- a
+/// sweep thread, a serve worker -- reuses the theta analysis when the same
+/// corpus set comes around again through a fresh per-request AnalysisCache.
+/// Entries are immutable shared_ptrs (eviction cannot invalidate a pinned
+/// result). Not thread-safe: one instance per thread/worker.
+class PostponementCache {
+ public:
+  /// Results are a few dozen bytes each; an entry cap alone bounds memory.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit PostponementCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The postponement result of (ts, opts), computed on first request. The
+  /// returned pointer stays valid regardless of later evictions.
+  std::shared_ptr<const PostponementResult> get(const core::TaskSet& ts,
+                                                const PostponementOptions& opts);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t entries() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t hash{0};
+    /// [pattern, horizon_cap, (P, D, C, m, k)_0, (P, D, C, m, k)_1, ...] --
+    /// every input theta depends on (priorities are the index order).
+    std::vector<core::Ticks> key;
+    std::uint64_t stamp{0};  ///< logical LRU clock
+    std::shared_ptr<const PostponementResult> result;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t clock_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::vector<Entry> entries_;
+  std::vector<core::Ticks> key_scratch_;
+};
+
 class AnalysisCache {
  public:
   explicit AnalysisCache(const core::TaskSet& ts) : ts_(&ts) {}
+
+  /// Routes postponement() misses through a shared content-keyed backing
+  /// cache (harness::RunContext owns one per worker). Optional; unset, every
+  /// miss computes locally.
+  void set_shared_postponements(PostponementCache* shared) noexcept {
+    shared_thetas_ = shared;
+  }
 
   /// The task set this cache is keyed to (by address).
   const core::TaskSet& taskset() const noexcept { return *ts_; }
@@ -54,18 +106,30 @@ class AnalysisCache {
   /// choice -- memoized per cap.
   core::Ticks horizon(core::Ticks cap);
 
+  /// The release timeline of (taskset(), horizon), memoized per horizon.
+  /// With `shared` non-null, a miss consults the content-keyed backing cache
+  /// first -- that is how a serve worker whose requests re-parse the same
+  /// corpus set hits warm across fresh per-request AnalysisCaches. The
+  /// returned reference is pinned by this cache (shared ownership) for the
+  /// cache's lifetime, eviction from `shared` notwithstanding.
+  const core::ReleaseTimeline& timeline(core::Ticks horizon,
+                                        core::TimelineCache* shared = nullptr);
+
  private:
   struct ThetaEntry {
     core::PatternKind pattern;
     core::Ticks horizon_cap;
-    PostponementResult result;
+    std::shared_ptr<const PostponementResult> result;
   };
 
   const core::TaskSet* ts_;
+  PostponementCache* shared_thetas_{nullptr};
   std::vector<ThetaEntry> thetas_;
   std::optional<std::vector<std::optional<core::Ticks>>> promotions_;
   std::array<std::optional<std::vector<std::optional<core::Ticks>>>, 3> rta_;
   std::vector<std::pair<core::Ticks, core::Ticks>> horizons_;
+  std::vector<std::pair<core::Ticks, std::shared_ptr<const core::ReleaseTimeline>>>
+      timelines_;
 };
 
 }  // namespace mkss::analysis

@@ -1,0 +1,147 @@
+#include "core/release_timeline.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace mkss::core {
+
+namespace {
+
+/// (time, task) merge-heap entry; ordering identical to the engine's
+/// TimedEntry calendar, so the merged output is its pop sequence.
+struct MergeEntry {
+  Ticks time{0};
+  std::uint32_t task{0};
+  friend bool operator<(const MergeEntry& a, const MergeEntry& b) noexcept {
+    return a.time != b.time ? a.time < b.time : a.task < b.task;
+  }
+};
+
+/// Re-keys the heap root to `time` with one sift-down (the calendar's
+/// retime_release_top, on the builder's private heap).
+void retime_top(std::vector<MergeEntry>& h, Ticks time) {
+  const MergeEntry entry{time, h.front().task};
+  std::size_t i = 0;
+  const std::size_t sz = h.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= sz) break;
+    if (child + 1 < sz && h[child + 1] < h[child]) ++child;
+    if (!(h[child] < entry)) break;
+    h[i] = h[child];
+    i = child;
+  }
+  h[i] = entry;
+}
+
+void pop_top(std::vector<MergeEntry>& h) {
+  std::pop_heap(h.begin(), h.end(), [](const MergeEntry& a, const MergeEntry& b) {
+    return b < a;
+  });
+  h.pop_back();
+}
+
+}  // namespace
+
+void build_release_timeline(const TaskSet& ts, Ticks horizon,
+                            ReleaseTimeline& out) {
+  MKSS_CHECK(horizon > 0, "release timeline needs a positive horizon");
+  const std::size_t n = ts.size();
+  out.horizon = horizon;
+  out.num_tasks = n;
+  out.release.clear();
+  out.task.clear();
+  out.deadline.clear();
+  out.seq.clear();
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ticks p = ts[i].period;
+    MKSS_CHECK(p > 0, "release timeline needs positive periods");
+    // Releases at 0, P, 2P, ... strictly below the horizon.
+    total += static_cast<std::size_t>((horizon + p - 1) / p);
+  }
+  out.release.reserve(total);
+  out.task.reserve(total);
+  out.deadline.reserve(total);
+  out.seq.reserve(total);
+
+  // N-way merge of the per-task arithmetic sequences. (0, 0), (0, 1), ... is
+  // already a valid min-heap (equal times, ascending task), exactly how the
+  // engine seeds its calendar.
+  std::vector<MergeEntry> heap;
+  heap.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    heap.push_back(MergeEntry{0, static_cast<std::uint32_t>(i)});
+  }
+  std::vector<std::uint64_t> next_j(n, 1);
+
+  while (!heap.empty()) {
+    const Ticks time = heap.front().time;
+    const std::uint32_t i = heap.front().task;
+    const std::uint64_t j = next_j[i];
+    out.release.push_back(time);
+    out.task.push_back(i);
+    out.deadline.push_back(time + ts[i].deadline);
+    out.seq.push_back(j);
+    next_j[i] = j + 1;
+    const Ticks next = time + ts[i].period;
+    if (next < horizon) {
+      retime_top(heap, next);
+    } else {
+      pop_top(heap);
+    }
+  }
+  MKSS_CHECK(out.release.size() == total,
+             "release timeline entry count disagrees with the closed form");
+}
+
+std::shared_ptr<const ReleaseTimeline> TimelineCache::get(const TaskSet& ts,
+                                                          Ticks horizon) {
+  // Content key: the exact inputs the timeline is a function of. Everything
+  // else about the task set (WCETs, (m,k) parameters, names) is irrelevant
+  // to the release structure and deliberately outside the key.
+  key_scratch_.clear();
+  key_scratch_.push_back(horizon);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    key_scratch_.push_back(ts[i].period);
+    key_scratch_.push_back(ts[i].deadline);
+  }
+  const std::uint64_t hash = content_hash(key_scratch_);
+  ++clock_;
+  for (Entry& e : entries_) {
+    if (e.hash == hash && e.key == key_scratch_) {
+      ++hits_;
+      e.stamp = clock_;
+      return e.timeline;
+    }
+  }
+  ++misses_;
+  auto owned = std::make_shared<ReleaseTimeline>();
+  build_release_timeline(ts, horizon, *owned);
+  const std::size_t owned_bytes = owned->memory_bytes();
+  entries_.push_back(Entry{hash, key_scratch_, clock_, owned_bytes,
+                           std::move(owned)});
+  bytes_ += owned_bytes;
+  // Evict least-recently-used entries past either bound; the entry just
+  // inserted carries the newest stamp and is never the victim while any
+  // other entry remains.
+  while (entries_.size() > 1 &&
+         (entries_.size() > capacity_ || bytes_ > byte_budget_)) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    bytes_ -= victim->bytes;
+    if (victim != entries_.end() - 1) *victim = std::move(entries_.back());
+    entries_.pop_back();
+  }
+  // The pointer must come from the surviving vector slot (the insert above
+  // may have been moved by the eviction compaction).
+  for (Entry& e : entries_) {
+    if (e.stamp == clock_) return e.timeline;
+  }
+  return entries_.back().timeline;  // unreachable; the newest entry survives
+}
+
+}  // namespace mkss::core

@@ -1,0 +1,125 @@
+// Shared release-timeline arena: the periodic release structure of a task
+// set over one horizon, materialized once in structure-of-arrays form.
+//
+// Like the (m,k)-pattern tables, the release/deadline timeline of a task set
+// is a pure function of (periods, deadlines, horizon): job j of task i is
+// released at (j-1)*P_i with absolute deadline (j-1)*P_i + D_i, for every
+// (j-1)*P_i < horizon. The engine's release calendar re-derives exactly this
+// sequence -- one heap retiming per release -- on every run, yet a Figure-6
+// sweep runs the same set through 4+ scheme variants, a fault campaign
+// through thousands of fault plans, and `mkss_cli serve` through repeated
+// corpus requests. A ReleaseTimeline is that sequence computed once by a
+// batch merge kernel and consumed by sim::Simulator through a cursor walk
+// (SimConfig::timeline); see docs/architecture.md, "Release-timeline cache".
+//
+// Bit-identity contract: entries are sorted by (release, task) ascending --
+// the exact strict-total-order pop sequence of the engine's TimedEntry
+// calendar heap -- and `seq` counts instances 1-based per task, so a cursor
+// walk over the arena observes precisely the pops the heap would produce.
+// The engine proves this under SimConfig::cross_check by running the
+// retained calendar heap in lock-step as an oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/time.hpp"
+
+namespace mkss::core {
+
+/// SoA lanes of one (task set, horizon) release sequence. One entry per job
+/// release with release < horizon, sorted by (release, task) ascending.
+/// Lanes are parallel: entry e is (release[e], task[e], deadline[e], seq[e]).
+struct ReleaseTimeline {
+  Ticks horizon{0};
+  std::size_t num_tasks{0};
+  std::vector<Ticks> release;        ///< absolute release instant
+  std::vector<std::uint32_t> task;   ///< releasing task index
+  std::vector<Ticks> deadline;       ///< absolute deadline (release + D_i)
+  std::vector<std::uint64_t> seq;    ///< 1-based job instance number j
+
+  std::size_t size() const noexcept { return release.size(); }
+
+  /// Arena bytes held (capacity, not size) -- cache budgeting diagnostic.
+  std::size_t memory_bytes() const noexcept {
+    return release.capacity() * sizeof(Ticks) +
+           task.capacity() * sizeof(std::uint32_t) +
+           deadline.capacity() * sizeof(Ticks) +
+           seq.capacity() * sizeof(std::uint64_t);
+  }
+};
+
+/// Materializes the release sequence of `ts` over `horizon` into `out`
+/// (cleared, capacity reused). N-way merge over the per-task arithmetic
+/// sequences, keyed (release, task) -- the calendar heap's pop order.
+void build_release_timeline(const TaskSet& ts, Ticks horizon,
+                            ReleaseTimeline& out);
+
+/// Content-keyed cache of ReleaseTimelines, shared across every run of the
+/// same (periods, deadlines, horizon) tuple. The key is the timing content,
+/// not the task-set address, so a serve worker whose requests re-parse the
+/// same corpus file still hits warm. Entries are immutable shared_ptrs:
+/// an eviction cannot invalidate a timeline a run still holds. Not
+/// thread-safe -- one instance per thread/worker, like the RunContext that
+/// owns it.
+class TimelineCache {
+ public:
+  /// Cached timelines held at most; least-recently-used entries evict first.
+  /// Sized so a whole sweep corpus (~1k sets) stays warm across repeated
+  /// passes -- the byte budget below is the real bound on memory.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  /// Total arena bytes held at most. Evicting by bytes (not entries) keeps
+  /// a few long-horizon timelines from ballooning a worker's footprint.
+  static constexpr std::size_t kDefaultByteBudget = std::size_t{64} << 20;
+
+  explicit TimelineCache(std::size_t capacity = kDefaultCapacity,
+                         std::size_t byte_budget = kDefaultByteBudget)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        byte_budget_(byte_budget == 0 ? 1 : byte_budget) {}
+
+  /// The timeline of (ts, horizon), built on first request and shared
+  /// afterwards. The returned pointer stays valid for the caller's lifetime
+  /// regardless of later evictions.
+  std::shared_ptr<const ReleaseTimeline> get(const TaskSet& ts, Ticks horizon);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t entries() const noexcept { return entries_.size(); }
+  std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash{0};   ///< FNV-1a of key -- fast reject on lookup
+    std::vector<Ticks> key;  ///< [horizon, P_0, D_0, P_1, D_1, ...]
+    std::uint64_t stamp{0};  ///< logical LRU clock (deterministic, no time)
+    std::size_t bytes{0};    ///< arena bytes this entry holds
+    std::shared_ptr<const ReleaseTimeline> timeline;
+  };
+
+  std::size_t capacity_;
+  std::size_t byte_budget_;
+  std::uint64_t clock_{0};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::size_t bytes_{0};
+  std::vector<Entry> entries_;
+  std::vector<Ticks> key_scratch_;
+};
+
+/// FNV-1a over the raw bytes of a Ticks key -- the deterministic fast-reject
+/// discriminator the content-keyed caches (timelines, postponements) share.
+inline std::uint64_t content_hash(const std::vector<Ticks>& key) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const Ticks v : key) {
+    std::uint64_t u = static_cast<std::uint64_t>(v);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (u >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace mkss::core

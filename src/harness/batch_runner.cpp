@@ -30,12 +30,41 @@ BatchRunner::BatchRunner(const core::TaskSet& ts, RunContext* ctx)
   } else {
     ctx_ = ctx;
   }
+  cache_.set_shared_postponements(&ctx_->postponements());
 }
 
 void BatchRunner::bind(sim::Scheme& scheme) {
   if (auto* base = dynamic_cast<sched::SchemeBase*>(&scheme)) {
     base->bind_cache(&cache_);
   }
+}
+
+sim::SimConfig BatchRunner::with_timeline(const sim::SimConfig& config) {
+  sim::SimConfig cfg = config;
+  // Attach the set's shared release timeline unless the run is heap-mode or
+  // the caller brought its own. kAuto counts as cached here: behind a
+  // BatchRunner a timeline is one memo lookup away, which is the exact
+  // situation kAuto exists for.
+  if (cfg.timeline_data == nullptr && cfg.horizon > 0 &&
+      sim::resolved_timeline_mode(cfg) != sim::TimelineMode::kHeap) {
+    cfg.timeline_data = &cache_.timeline(cfg.horizon, &ctx_->timelines());
+  }
+  return cfg;
+}
+
+const sim::SimulationTrace& BatchRunner::run_full(
+    sim::Scheme& scheme, const sim::FaultPlan& faults,
+    const sim::SimConfig& config, const sim::ExecTimeModel* exec_model) {
+  return ctx_->run_full(*ts_, scheme, faults, with_timeline(config),
+                        exec_model);
+}
+
+const sim::StatsSink& BatchRunner::run_stats(
+    sim::Scheme& scheme, const sim::FaultPlan& faults,
+    const sim::SimConfig& config, const energy::PowerParams& power,
+    const sim::ExecTimeModel* exec_model) {
+  return ctx_->run_stats(*ts_, scheme, faults, with_timeline(config), power,
+                         exec_model);
 }
 
 }  // namespace mkss::harness

@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "analysis/cache.hpp"
+#include "core/release_timeline.hpp"
 #include "core/task.hpp"
 #include "energy/energy_model.hpp"
 #include "sim/engine.hpp"
@@ -50,10 +51,26 @@ class RunContext {
                                   const energy::PowerParams& power,
                                   const sim::ExecTimeModel* exec_model = nullptr);
 
+  /// The context's content-keyed release-timeline cache. BatchRunner
+  /// resolves timelines through it (via the per-set AnalysisCache), so a
+  /// long-lived context -- a sweep worker, a serve worker -- hits warm when
+  /// the same (periods, deadlines, horizon) content comes around again, even
+  /// through a fresh BatchRunner/AnalysisCache per request.
+  core::TimelineCache& timelines() noexcept { return timelines_; }
+
+  /// The context's content-keyed postponement cache; BatchRunner routes its
+  /// AnalysisCache misses through it (same warm-corpus story as timelines(),
+  /// for the theta analysis instead of the release arena).
+  analysis::PostponementCache& postponements() noexcept {
+    return postponements_;
+  }
+
  private:
   sim::Simulator simulator_;
   sim::FullTraceSink full_;
   sim::StatsSink stats_;
+  core::TimelineCache timelines_;
+  analysis::PostponementCache postponements_;
 };
 
 class BatchRunner {
@@ -72,22 +89,25 @@ class BatchRunner {
   /// sched::SchemeBase (all repo schemes do); other schemes are left alone.
   void bind(sim::Scheme& scheme);
 
+  /// Both run entry points attach the set's shared release timeline to the
+  /// SimConfig (resolved through the AnalysisCache and the context's
+  /// content-keyed TimelineCache) unless the run's resolved
+  /// sim::TimelineMode is kHeap or the caller attached one already.
   const sim::SimulationTrace& run_full(sim::Scheme& scheme,
                                        const sim::FaultPlan& faults,
                                        const sim::SimConfig& config,
-                                       const sim::ExecTimeModel* exec_model = nullptr) {
-    return ctx_->run_full(*ts_, scheme, faults, config, exec_model);
-  }
+                                       const sim::ExecTimeModel* exec_model = nullptr);
 
   const sim::StatsSink& run_stats(sim::Scheme& scheme,
                                   const sim::FaultPlan& faults,
                                   const sim::SimConfig& config,
                                   const energy::PowerParams& power,
-                                  const sim::ExecTimeModel* exec_model = nullptr) {
-    return ctx_->run_stats(*ts_, scheme, faults, config, power, exec_model);
-  }
+                                  const sim::ExecTimeModel* exec_model = nullptr);
 
  private:
+  /// `config` with the shared timeline attached (when the mode wants one).
+  sim::SimConfig with_timeline(const sim::SimConfig& config);
+
   const core::TaskSet* ts_;
   analysis::AnalysisCache cache_;
   std::unique_ptr<RunContext> owned_ctx_;

@@ -403,6 +403,7 @@ SweepResult run_variant_sweep(const SweepConfig& config,
     sim_config.horizon = sr.horizon;
     sim_config.break_even = config.power.break_even;
     sim_config.wall_clock_budget_ms = config.run_budget_ms;
+    sim_config.timeline = config.timeline;
     for (std::size_t v = 0; v < variants.size(); ++v) {
       // Quarantine: a thrown engine/scheme error or an audit violation is
       // recorded in this variant's disjoint slot instead of tearing down

@@ -115,6 +115,13 @@ struct SweepConfig {
   /// of stalling the whole sweep.
   double run_budget_ms{0};
 
+  /// Release-discovery mode forwarded to sim::SimConfig::timeline. The
+  /// default kAuto shares one cached release timeline across every scheme
+  /// variant of a set (attached by BatchRunner); kHeap forces the classic
+  /// calendar heap -- the cross-check leg perf_sweep and CI use to prove the
+  /// cached path bit-identical. MKSS_TIMELINE still overrides per process.
+  sim::TimelineMode timeline{sim::TimelineMode::kAuto};
+
   /// Which trace sink the runs use. kAuto materializes full traces exactly
   /// when `audit` is on (the auditor needs them); kFullTrace forces
   /// materialization; kStats forces the lean online-statistics path even

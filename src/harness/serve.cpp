@@ -229,6 +229,8 @@ ServeTelemetry AdmissionService::finish() {
     telemetry_.ok = emitted_ok_;
     telemetry_.errors = emitted_errors_;
     telemetry_.max_queue_depth = max_queue_depth_;
+    telemetry_.timeline_hits = timeline_hits_;
+    telemetry_.timeline_misses = timeline_misses_;
     telemetry_.wall_seconds =
         std::chrono::duration<double>(ended - started_).count();
     MKSS_CHECK(next_emit_ == next_seq_ && reorder_.empty(),
@@ -242,6 +244,17 @@ void AdmissionService::worker_main() {
   // Per-worker pooled state: the engine/sink arenas grow to the working-set
   // high-water mark once and are reused for every later request.
   RunContext ctx;
+  // Fold this worker's timeline-cache traffic into the service totals on
+  // exit (after the last request; finish() reads them post-join).
+  struct CounterFold {
+    AdmissionService* svc;
+    RunContext* ctx;
+    ~CounterFold() {
+      std::lock_guard<std::mutex> lock(svc->emit_mutex_);
+      svc->timeline_hits_ += ctx->timelines().hits();
+      svc->timeline_misses_ += ctx->timelines().misses();
+    }
+  } fold{this, &ctx};
   while (true) {
     Item item;
     {

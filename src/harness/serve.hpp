@@ -69,6 +69,12 @@ struct ServeTelemetry {
   /// High-water mark of the request queue (saturation diagnostic: a loaded
   /// server sits at queue_depth).
   std::size_t max_queue_depth{0};
+  /// Release-timeline cache traffic summed over the worker RunContexts
+  /// (core::TimelineCache, content-keyed): repeated corpus sets should hit
+  /// warm -- a hit count stuck at zero means the serve integration regressed
+  /// to cold per-request timeline builds (bench/perf_serve asserts on it).
+  std::uint64_t timeline_hits{0};
+  std::uint64_t timeline_misses{0};
   double wall_seconds{0};  ///< start() to finish()
 };
 
@@ -133,6 +139,10 @@ class AdmissionService {
   std::uint64_t next_emit_{0};
   std::uint64_t emitted_ok_{0};
   std::uint64_t emitted_errors_{0};
+  /// Timeline-cache traffic, accumulated (under emit_mutex_) by each worker
+  /// from its RunContext as it exits; read after the join in finish().
+  std::uint64_t timeline_hits_{0};
+  std::uint64_t timeline_misses_{0};
 
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point started_;

@@ -39,6 +39,7 @@
 #include "core/job.hpp"
 #include "core/mk_constraint.hpp"
 #include "core/pattern.hpp"
+#include "core/release_timeline.hpp"
 #include "core/rng.hpp"
 #include "core/task.hpp"
 #include "core/thread_pool.hpp"

@@ -1,13 +1,19 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <compare>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "core/check.hpp"
+#include "core/release_timeline.hpp"
 #include "sim/trace_sink.hpp"
 
 namespace mkss::sim {
@@ -25,32 +31,6 @@ constexpr int kNone = -1;
 constexpr int slot_of(CopyKind kind) noexcept {
   return kind == CopyKind::kBackup ? 1 : 0;
 }
-
-struct Copy {
-  std::size_t job_idx{0};
-  CopyKind kind{CopyKind::kMain};
-  ProcessorId proc{kPrimary};
-  Band band{Band::kMandatory};
-  Ticks eligible{0};
-  Ticks remaining{0};
-  Ticks deadline{0};  ///< the job's deadline, cached to spare a jobs_ hop
-  std::uint32_t rank{0};
-  double frequency{1.0};
-  bool alive{true};
-  std::size_t rec{0};  ///< index of this copy's CopyRecord (tracing runs only)
-};
-
-struct LiveJob {
-  core::Job job;
-  bool mandatory{false};
-  bool executed_optional{false};
-  bool counted{true};
-  bool resolved{false};
-  JobOutcome outcome{JobOutcome::kMissed};
-  Ticks resolved_at{0};
-  int copy_in_slot[2]{kNone, kNone};
-  bool slot_failed[2]{false, false};
-};
 
 // --- indexed event-core entries -----------------------------------------
 //
@@ -80,6 +60,38 @@ struct ReadyEntry {
     if (a.kind != b.kind) return a.kind > b.kind;
     return a.idx > b.idx;
   }
+};
+
+/// A copy's immutable identity and demand. Its mutable lifecycle state
+/// (alive flag, eligible time) lives in the engine's parallel
+/// copy_alive_/copy_eligible_ arrays indexed by the same copy seq: the lazy
+/// heap-invalidation paths (pending_min, ready_best) touch only those one-
+/// and eight-byte lanes instead of striding through 80-byte Copy structs.
+struct Copy {
+  std::size_t job_idx{0};
+  CopyKind kind{CopyKind::kMain};
+  ProcessorId proc{kPrimary};
+  Band band{Band::kMandatory};
+  Ticks remaining{0};
+  Ticks deadline{0};  ///< the job's deadline, cached to spare a jobs_ hop
+  /// The copy's ready-heap entry, precomputed at admission (every component
+  /// is immutable for the copy's lifetime) so make_ready() is a copy, not a
+  /// jobs_ hop.
+  ReadyEntry entry;
+  double frequency{1.0};
+  std::size_t rec{0};  ///< index of this copy's CopyRecord (tracing runs only)
+};
+
+struct LiveJob {
+  core::Job job;
+  bool mandatory{false};
+  bool executed_optional{false};
+  bool counted{true};
+  bool resolved{false};
+  JobOutcome outcome{JobOutcome::kMissed};
+  Ticks resolved_at{0};
+  int copy_in_slot[2]{kNone, kNone};
+  bool slot_failed[2]{false, false};
 };
 
 /// (time, index) entry of the release calendar (index == task), the
@@ -113,7 +125,48 @@ void heap_pop(std::vector<T>& heap) {
   heap.pop_back();
 }
 
+/// MKSS_TIMELINE resolution, parsed once per process (mirrors MKSS_SIMD):
+/// -1 = unset, otherwise a TimelineMode value that overrides every run.
+int env_timeline_mode() noexcept {
+  static const int resolved = [] {
+    const char* env = std::getenv("MKSS_TIMELINE");
+    if (env == nullptr || *env == '\0') return -1;
+    std::string v(env);
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    if (v == "heap" || v == "off") return static_cast<int>(TimelineMode::kHeap);
+    if (v == "cached" || v == "on") {
+      return static_cast<int>(TimelineMode::kCached);
+    }
+    if (v == "auto") return static_cast<int>(TimelineMode::kAuto);
+    std::fprintf(stderr,
+                 "mkss: MKSS_TIMELINE='%s' not recognized "
+                 "(auto|cached|heap); ignoring\n",
+                 env);
+    return -1;
+  }();
+  return resolved;
+}
+
+std::atomic<int> forced_timeline_mode{-1};
+
 }  // namespace
+
+TimelineMode resolved_timeline_mode(const SimConfig& config) noexcept {
+  const int forced = forced_timeline_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<TimelineMode>(forced);
+  const int env = env_timeline_mode();
+  if (env >= 0) return static_cast<TimelineMode>(env);
+  return config.timeline;
+}
+
+void set_forced_timeline_mode(TimelineMode mode) noexcept {
+  forced_timeline_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+void clear_forced_timeline_mode() noexcept {
+  forced_timeline_mode.store(-1, std::memory_order_relaxed);
+}
 
 /// The engine proper. Every vector below is an arena: reset (cleared, never
 /// shrunk) at the top of run(), so repeated runs reuse the same buffers.
@@ -128,6 +181,7 @@ struct Simulator::Impl {
   void apply_permanent_fault();
   void process_deadlines();
   void fire_tail_deadlines();
+  bool release_due() const;
   void process_releases();
   void dispatch(ProcessorId p);
 
@@ -171,11 +225,19 @@ struct Simulator::Impl {
 
   Ticks now_{0};
   std::vector<Copy> copies_;
+  /// Per-copy lifecycle state, parallel to copies_ (SoA): the lazy heap
+  /// invalidation in pending_min()/ready_best() and the scan oracles touch
+  /// these narrow lanes instead of the Copy structs.
+  std::vector<std::uint8_t> copy_alive_;
+  std::vector<Ticks> copy_eligible_;
   std::vector<LiveJob> jobs_;
   /// Per-processor admission log (append-only within a run): every copy ever
   /// admitted to the processor, dead or alive. Consumed by the permanent-
   /// fault handover and by the scan oracle; the hot path never walks it.
   std::vector<std::vector<std::size_t>> live_;
+  /// True when this run has a consumer for live_ (a pending permanent fault
+  /// or the scan oracle). Fault-free production runs skip the log entirely.
+  bool track_live_{true};
   std::vector<Ticks> next_release_;    // per task
   std::vector<std::uint64_t> next_j_;  // per task, 1-based next instance
   /// Flat per-task parameter mirrors (structure-of-arrays): the release hot
@@ -204,9 +266,22 @@ struct Simulator::Impl {
   /// fired yet (implicit-deadline runs only), or -1.
   std::vector<std::int64_t> last_released_;
 
+  // --- release timeline (docs/architecture.md, "Release-timeline cache") --
+  /// The shared SoA release arena this run walks instead of popping the
+  /// calendar heap, or null on heap-mode runs. Points at
+  /// SimConfig::timeline_data when one is attached, else at tl_local_.
+  const core::ReleaseTimeline* tl_{nullptr};
+  /// Locally built arena for kCached runs without an attached timeline
+  /// (direct-engine callers, forced-mode tests); reused across runs.
+  core::ReleaseTimeline tl_local_;
+  /// Next unconsumed arena entry; entries before it are released already.
+  std::size_t tl_cursor_{0};
+
   // --- indexed event core (docs/architecture.md, "Indexed event core") ---
   /// (next release, task) calendar; tasks whose next release reaches the
-  /// horizon leave the calendar for the rest of the run.
+  /// horizon leave the calendar for the rest of the run. On timeline runs
+  /// the calendar is maintained only under cross_check_, where it runs in
+  /// lock-step as the heap oracle of the cursor walk.
   std::vector<TimedEntry> release_cal_;
   /// Per processor: copies admitted with a future eligible time (postponed
   /// backups theta, dual-priority promotions Y), split by band so the DPD
@@ -306,6 +381,8 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   nproc_ = static_cast<ProcessorId>(config.platform.num_procs());
   now_ = 0;
   copies_.clear();
+  copy_alive_.clear();
+  copy_eligible_.clear();
   jobs_.clear();
   live_.resize(nproc_);
   pending_mand_.resize(nproc_);
@@ -337,11 +414,33 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     if (t.deadline != t.period) implicit_deadlines_ = false;
   }
   last_released_.assign(n, -1);
+
+  // Release discovery: walk a shared (or locally built) timeline arena, or
+  // run the calendar heap. Under cross_check the heap runs either way -- on
+  // timeline runs in lock-step, as the oracle of the cursor walk.
+  tl_ = nullptr;
+  tl_cursor_ = 0;
+  const TimelineMode tl_mode = resolved_timeline_mode(config);
+  if (tl_mode != TimelineMode::kHeap) {
+    if (config.timeline_data != nullptr) {
+      tl_ = config.timeline_data;
+    } else if (tl_mode == TimelineMode::kCached) {
+      core::build_release_timeline(ts, config.horizon, tl_local_);
+      tl_ = &tl_local_;
+    }
+  }
+  if (tl_ != nullptr) {
+    MKSS_CHECK(tl_->horizon == config.horizon && tl_->num_tasks == n,
+               "attached release timeline was built for a different horizon "
+               "or task count");
+  }
   release_cal_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    // (0, 0), (0, 1), ... is already a valid min-heap: equal times, ascending
-    // task index.
-    release_cal_.push_back(TimedEntry{0, static_cast<std::uint32_t>(i)});
+  if (tl_ == nullptr || cross_check_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // (0, 0), (0, 1), ... is already a valid min-heap: equal times,
+      // ascending task index.
+      release_cal_.push_back(TimedEntry{0, static_cast<std::uint32_t>(i)});
+    }
   }
   for (std::size_t p = 0; p < nproc_; ++p) {
     pending_mand_[p].clear();
@@ -380,6 +479,9 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
   scheme_->setup(ts);
   pf_ = faults.permanent();
   if (pf_ && (pf_->time >= config_.horizon || pf_->proc >= nproc_)) pf_.reset();
+  // The admission log only has consumers when a permanent fault can hand
+  // copies over or the scan oracle walks it; otherwise skip its upkeep.
+  track_live_ = cross_check_ || pf_.has_value();
 
   // Time 0: an instantaneous permanent fault and the first releases happen
   // before the first dispatch.
@@ -415,7 +517,10 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
     process_completions();
     if (pf_ && !pf_applied_ && pf_->time == now_) apply_permanent_fault();
     if (!implicit_deadlines_) process_deadlines();
-    process_releases();
+    // Most events are completions/wake-ups with no release due; skip the
+    // call on those. Under cross_check the call is unconditional so the
+    // cursor-vs-calendar lock-step checks run at every event.
+    if (cross_check_ || release_due()) process_releases();
     // Quiet processors skip dispatch entirely: nothing that could change
     // their choice happened this event. Under cross_check the skip itself is
     // proven sound against the scan oracle.
@@ -440,8 +545,8 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
 
   if (trace_) {
     // Copies still alive at the horizon close their lifecycle records here.
-    for (const Copy& c : copies_) {
-      if (c.alive) trace_->copies[c.rec].ended = config_.horizon;
+    for (std::size_t i = 0; i < copies_.size(); ++i) {
+      if (copy_alive_[i]) trace_->copies[copies_[i].rec].ended = config_.horizon;
     }
 
     trace_->jobs.reserve(jobs_.size());
@@ -476,8 +581,8 @@ void Simulator::Impl::run(const core::TaskSet& ts, Scheme& scheme,
 /// rewritten and it is already ready) peel off lazily (each entry is popped
 /// at most once over the whole run).
 Ticks Simulator::Impl::pending_min(std::vector<TimedEntry>& heap) {
-  while (!heap.empty() && (!copies_[heap.front().idx].alive ||
-                           copies_[heap.front().idx].eligible !=
+  while (!heap.empty() && (!copy_alive_[heap.front().idx] ||
+                           copy_eligible_[heap.front().idx] !=
                                heap.front().time)) {
     heap_pop(heap);
   }
@@ -528,7 +633,13 @@ Ticks Simulator::Impl::next_event_time() {
   // running-copy completions, sleep expiries, pending eligibility minima,
   // the earliest deadline and the permanent fault.
   Ticks t = core::kNever;
-  if (!release_cal_.empty()) t = std::min(t, release_cal_.front().time);
+  if (tl_ != nullptr) {
+    if (tl_cursor_ < tl_->release.size()) {
+      t = std::min(t, tl_->release[tl_cursor_]);
+    }
+  } else if (!release_cal_.empty()) {
+    t = std::min(t, release_cal_.front().time);
+  }
   for (ProcessorId p = 0; p < nproc_; ++p) {
     if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
     if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
@@ -563,8 +674,9 @@ Ticks Simulator::Impl::scan_next_event_time() const {
     if (running_[p] != kNone) t = std::min(t, completion_at_[p]);
     if (sleep_until_[p] > now_) t = std::min(t, sleep_until_[p]);
     for (const std::size_t idx : live_[p]) {
-      const Copy& c = copies_[idx];
-      if (c.alive && c.eligible > now_) t = std::min(t, c.eligible);
+      if (copy_alive_[idx] && copy_eligible_[idx] > now_) {
+        t = std::min(t, copy_eligible_[idx]);
+      }
     }
   }
   if (!deadlines_.empty()) t = std::min(t, deadlines_.front().first);
@@ -607,9 +719,9 @@ void Simulator::Impl::apply_permanent_fault() {
   prune_[dead].clear();
   for (const std::size_t idx : lost_scratch_) {
     Copy& c = copies_[idx];
-    if (!c.alive) continue;
+    if (!copy_alive_[idx]) continue;
     const Ticks remaining = c.remaining;
-    c.alive = false;
+    copy_alive_[idx] = 0;
     if (trace_) {
       trace_->copies[c.rec].ended = now_;
       trace_->copies[c.rec].end = CopyEnd::kLostToDeath;
@@ -623,11 +735,11 @@ void Simulator::Impl::apply_permanent_fault() {
       // Fault detection promotes the surviving copy: postponement (theta, Y)
       // only pays while the lost copy could still succeed, and the recovery
       // analyses assume the backup runs as soon as the failure is known.
-      Copy& s = copies_[static_cast<std::size_t>(sibling)];
-      if (s.alive && s.eligible > now_) {
-        s.eligible = now_;
-        if (trace_) trace_->copies[s.rec].eligible = now_;
-        make_ready(static_cast<std::size_t>(sibling));
+      const auto sib = static_cast<std::size_t>(sibling);
+      if (copy_alive_[sib] && copy_eligible_[sib] > now_) {
+        copy_eligible_[sib] = now_;
+        if (trace_) trace_->copies[copies_[sib].rec].eligible = now_;
+        make_ready(sib);
       }
       continue;
     }
@@ -678,6 +790,16 @@ void Simulator::Impl::fire_tail_deadlines() {
   }
 }
 
+/// True when at least one job releases exactly at now_ (the event loop's
+/// call-site guard for process_releases).
+bool Simulator::Impl::release_due() const {
+  if (tl_ != nullptr) {
+    return tl_cursor_ < tl_->release.size() &&
+           tl_->release[tl_cursor_] == now_;
+  }
+  return !release_cal_.empty() && release_cal_.front().time == now_;
+}
+
 void Simulator::Impl::process_releases() {
   // Phase 1 -- batch job materialization. Drain every same-instant calendar
   // entry (the calendar pops (time, task) in ascending task order within one
@@ -690,32 +812,86 @@ void Simulator::Impl::process_releases() {
   // classification, admissions) over the batch in the same ascending task
   // order, so every observable mutation happens in the legacy sequence.
   release_batch_.clear();
-  while (!release_cal_.empty() && release_cal_.front().time == now_) {
-    const auto i = release_cal_.front().idx;
-    const std::uint64_t j = next_j_[i];
-    const Ticks release = static_cast<Ticks>(j - 1) * task_period_[i];
-    MKSS_CHECK(release == now_,
-               "release of " + core::to_string(core::JobId{i, j}) +
-                   " does not match the current event time");
-    Ticks exec = task_wcet_[i];
-    if (exec_model_ != nullptr) {
-      exec = std::clamp<Ticks>(
-          exec_model_->actual_exec(core::JobId{i, j}, exec), 1, exec);
+  if (tl_ != nullptr) {
+    // Timeline cursor walk: same-instant entries come straight out of the
+    // SoA arena in (release, task) order -- the calendar heap's pop order by
+    // construction -- with release, absolute deadline and instance number
+    // already materialized. Under cross_check the retained calendar pops in
+    // lock-step and must agree entry for entry.
+    const Ticks* rel = tl_->release.data();
+    const std::uint32_t* task_lane = tl_->task.data();
+    const std::uint64_t* seq_lane = tl_->seq.data();
+    const Ticks* deadline_lane = tl_->deadline.data();
+    const std::size_t sz = tl_->release.size();
+    while (tl_cursor_ < sz && rel[tl_cursor_] == now_) {
+      const std::uint32_t i = task_lane[tl_cursor_];
+      const std::uint64_t j = seq_lane[tl_cursor_];
+      const Ticks deadline = deadline_lane[tl_cursor_];
+      ++tl_cursor_;
+      if (cross_check_) {
+        MKSS_CHECK(!release_cal_.empty() &&
+                       release_cal_.front().time == now_ &&
+                       release_cal_.front().idx == i,
+                   "timeline cursor diverged from the calendar heap at " +
+                       core::format_ticks(now_));
+        MKSS_CHECK(j == next_j_[i] && deadline == now_ + task_deadline_[i] &&
+                       now_ == static_cast<Ticks>(j - 1) * task_period_[i],
+                   "timeline entry of " +
+                       core::to_string(core::JobId{i, j}) +
+                       " disagrees with the per-task release state");
+        next_j_[i] = j + 1;
+        next_release_[i] += task_period_[i];
+        if (next_release_[i] < config_.horizon) {
+          retime_release_top(next_release_[i]);
+        } else {
+          heap_pop(release_cal_);
+        }
+      }
+      Ticks exec = task_wcet_[i];
+      if (exec_model_ != nullptr) {
+        exec = std::clamp<Ticks>(
+            exec_model_->actual_exec(core::JobId{i, j}, exec), 1, exec);
+      }
+      jobs_.push_back(LiveJob{});
+      const std::size_t job_idx = jobs_.size() - 1;
+      LiveJob& lj = jobs_[job_idx];
+      lj.job = core::Job{core::JobId{i, j}, now_, deadline, exec};
+      lj.counted = deadline <= config_.horizon;
+      release_batch_.push_back(PendingRelease{i, j, job_idx});
     }
-    jobs_.push_back(LiveJob{});
-    const std::size_t job_idx = jobs_.size() - 1;
-    LiveJob& lj = jobs_[job_idx];
-    lj.job = core::Job{core::JobId{i, j}, release,
-                       release + task_deadline_[i], exec};
-    lj.counted = lj.job.deadline <= config_.horizon;
-    release_batch_.push_back(PendingRelease{i, j, job_idx});
+    if (cross_check_) {
+      MKSS_CHECK(release_cal_.empty() || release_cal_.front().time != now_,
+                 "calendar heap holds a release the timeline cursor missed "
+                 "at " + core::format_ticks(now_));
+    }
+  } else {
+    while (!release_cal_.empty() && release_cal_.front().time == now_) {
+      const auto i = release_cal_.front().idx;
+      const std::uint64_t j = next_j_[i];
+      const Ticks release = static_cast<Ticks>(j - 1) * task_period_[i];
+      MKSS_CHECK(release == now_,
+                 "release of " + core::to_string(core::JobId{i, j}) +
+                     " does not match the current event time");
+      Ticks exec = task_wcet_[i];
+      if (exec_model_ != nullptr) {
+        exec = std::clamp<Ticks>(
+            exec_model_->actual_exec(core::JobId{i, j}, exec), 1, exec);
+      }
+      jobs_.push_back(LiveJob{});
+      const std::size_t job_idx = jobs_.size() - 1;
+      LiveJob& lj = jobs_[job_idx];
+      lj.job = core::Job{core::JobId{i, j}, release,
+                         release + task_deadline_[i], exec};
+      lj.counted = lj.job.deadline <= config_.horizon;
+      release_batch_.push_back(PendingRelease{i, j, job_idx});
 
-    next_j_[i] = j + 1;
-    next_release_[i] += task_period_[i];
-    if (next_release_[i] < config_.horizon) {
-      retime_release_top(next_release_[i]);
-    } else {
-      heap_pop(release_cal_);  // the task leaves the calendar for good
+      next_j_[i] = j + 1;
+      next_release_[i] += task_period_[i];
+      if (next_release_[i] < config_.horizon) {
+        retime_release_top(next_release_[i]);
+      } else {
+        heap_pop(release_cal_);  // the task leaves the calendar for good
+      }
     }
   }
 
@@ -771,14 +947,9 @@ void Simulator::Impl::process_releases() {
 /// feasibility has to be watched.
 void Simulator::Impl::make_ready(std::size_t idx) {
   const Copy& c = copies_[idx];
-  const core::JobId& id = jobs_[c.job_idx].job.id;
-  ReadyEntry entry;
-  entry.job = id.job;
-  entry.rank = c.rank;
-  entry.task = static_cast<std::uint32_t>(id.task);
-  entry.idx = static_cast<std::uint32_t>(idx);
-  entry.band = static_cast<std::uint8_t>(c.band);
-  entry.kind = static_cast<std::uint8_t>(c.kind);
+  // The priority entry was precomputed at admission (all components are
+  // immutable for the copy's lifetime).
+  const ReadyEntry& entry = c.entry;
   // Only an arrival that outranks the running copy (or lands on an idle
   // processor) can change the dispatch choice this event.
   if (running_[c.proc] == kNone || running_entry_[c.proc] > entry) {
@@ -802,10 +973,10 @@ void Simulator::Impl::wake_eligible(ProcessorId p) {
       const TimedEntry entry = pending->front();
       heap_pop(*pending);
       const std::size_t idx = entry.idx;
-      if (!copies_[idx].alive) continue;
+      if (!copy_alive_[idx]) continue;
       // A fault-detection promotion rewrites `eligible` and readies the copy
       // directly; its original pending entry is stale and must not re-ready.
-      if (copies_[idx].eligible != entry.time) continue;
+      if (copy_eligible_[idx] != entry.time) continue;
       ++stats_.eligibility_wakeups;
       make_ready(idx);
     }
@@ -832,7 +1003,7 @@ void Simulator::Impl::prune_pass(ProcessorId p) {
     const TimedEntry entry = heap.front();
     heap_pop(heap);
     const Copy& c = copies_[entry.idx];
-    if (!c.alive) continue;
+    if (!copy_alive_[entry.idx]) continue;
     // The running copy's remaining is stale (completion_at_ carries it) but
     // it needs no check either way: a running optional is feasible by
     // construction -- now + remaining is invariant while it runs -- so the
@@ -844,7 +1015,7 @@ void Simulator::Impl::prune_pass(ProcessorId p) {
   std::sort(prune_scratch_.begin(), prune_scratch_.end());
   for (const std::size_t idx : prune_scratch_) {
     Copy& c = copies_[idx];
-    if (!c.alive) continue;
+    if (!copy_alive_[idx]) continue;
     LiveJob& job = jobs_[c.job_idx];
     // Can no longer finish in time: never invoke / abandon (energy already
     // spent stays spent).
@@ -861,7 +1032,7 @@ void Simulator::Impl::prune_pass(ProcessorId p) {
 /// processor (which ignores optional work) only has to look at the top.
 int Simulator::Impl::ready_best(ProcessorId p, bool sleeping) {
   auto& heap = ready_[p];
-  while (!heap.empty() && !copies_[heap.front().idx].alive) {
+  while (!heap.empty() && !copy_alive_[heap.front().idx]) {
     heap_pop(heap);
     ++stats_.dispatch_pops;
   }
@@ -873,10 +1044,15 @@ int Simulator::Impl::ready_best(ProcessorId p, bool sleeping) {
 
 void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
   LiveJob& job = jobs_[job_idx];
-  Copy c;
+  MKSS_CHECK(spec.proc < nproc_, "admit_copy: processor outside the platform");
+  const int slot = slot_of(spec.kind);
+  if (job.copy_in_slot[slot] != kNone) {
+    throw std::logic_error("admit_copy: replica slot already occupied");
+  }
+  const std::size_t idx = copies_.size();
+  Copy& c = copies_.emplace_back();
   c.job_idx = job_idx;
   c.kind = spec.kind;
-  MKSS_CHECK(spec.proc < nproc_, "admit_copy: processor outside the platform");
   c.proc = spec.proc;
   if (!proc_alive_[c.proc]) {
     // Placement on a dead processor falls through to the lowest-indexed
@@ -889,7 +1065,7 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
     }
   }
   c.band = spec.band;
-  c.eligible = std::max(spec.eligible, now_);
+  const Ticks eligible = std::max(spec.eligible, now_);
   // DVS: execution stretches to C / f at reduced frequency. Clamp to a sane
   // range; a frequency of exactly 1 keeps the integer WCET untouched.
   c.frequency = std::clamp(spec.frequency, 0.05, 1.0);
@@ -898,11 +1074,14 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
                     : static_cast<Ticks>(std::llround(
                           static_cast<double>(job.job.exec) / c.frequency));
   c.deadline = job.job.deadline;
-  c.rank = spec.rank;
-  const int slot = slot_of(spec.kind);
-  if (job.copy_in_slot[slot] != kNone) {
-    throw std::logic_error("admit_copy: replica slot already occupied");
-  }
+  // Precompute the ready-heap entry (the copy_precedes() priority tuple plus
+  // the copies_ index this copy takes).
+  c.entry.job = job.job.id.job;
+  c.entry.rank = spec.rank;
+  c.entry.task = static_cast<std::uint32_t>(job.job.id.task);
+  c.entry.idx = static_cast<std::uint32_t>(idx);
+  c.entry.band = static_cast<std::uint8_t>(spec.band);
+  c.entry.kind = static_cast<std::uint8_t>(spec.kind);
 
   if (trace_) {
     CopyRecord rec;
@@ -911,21 +1090,21 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
     rec.proc = c.proc;
     rec.band = c.band;
     rec.admitted = now_;
-    rec.eligible = c.eligible;
+    rec.eligible = eligible;
     rec.work = c.remaining;
     rec.frequency = c.frequency;
     c.rec = trace_->copies.size();
     trace_->copies.push_back(rec);
   }
 
-  copies_.push_back(c);
-  const auto idx = copies_.size() - 1;
+  copy_alive_.push_back(1);
+  copy_eligible_.push_back(eligible);
   job.copy_in_slot[slot] = static_cast<int>(idx);
-  live_[c.proc].push_back(idx);
-  if (c.eligible > now_) {
+  if (track_live_) live_[c.proc].push_back(idx);
+  if (eligible > now_) {
     auto& pending = c.band == Band::kMandatory ? pending_mand_[c.proc]
                                                : pending_opt_[c.proc];
-    heap_push(pending, TimedEntry{c.eligible, static_cast<std::uint32_t>(idx)});
+    heap_push(pending, TimedEntry{eligible, static_cast<std::uint32_t>(idx)});
   } else {
     make_ready(idx);
   }
@@ -935,9 +1114,9 @@ void Simulator::Impl::admit_copy(std::size_t job_idx, const CopySpec& spec) {
 void Simulator::Impl::complete_copy(int idx) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
   stop_running(c.proc, now_);  // materializes remaining (== 0 on completion)
-  MKSS_CHECK(c.remaining == 0 && c.alive,
+  MKSS_CHECK(c.remaining == 0 && copy_alive_[static_cast<std::size_t>(idx)],
              "completing a copy that is not an exhausted live copy");
-  c.alive = false;
+  copy_alive_[static_cast<std::size_t>(idx)] = 0;
   dirty_[c.proc] = true;
   ++stats_.completions;
   LiveJob& job = jobs_[c.job_idx];
@@ -963,7 +1142,7 @@ void Simulator::Impl::complete_copy(int idx) {
 
   // Success: the sibling copy (if any) is canceled immediately.
   const int sibling = job.copy_in_slot[1 - slot];
-  if (sibling != kNone && copies_[static_cast<std::size_t>(sibling)].alive) {
+  if (sibling != kNone && copy_alive_[static_cast<std::size_t>(sibling)]) {
     const CopyKind sk = copies_[static_cast<std::size_t>(sibling)].kind;
     if (sk == CopyKind::kBackup) {
       ++stats_.backups_canceled;
@@ -976,7 +1155,7 @@ void Simulator::Impl::complete_copy(int idx) {
 
 void Simulator::Impl::kill_copy(int idx, CopyEnd reason) {
   Copy& c = copies_[static_cast<std::size_t>(idx)];
-  if (!c.alive) return;
+  if (!copy_alive_[static_cast<std::size_t>(idx)]) return;
   if (running_[c.proc] == idx) {
     stop_running(c.proc, now_);
     dirty_[c.proc] = true;  // the processor just went idle
@@ -987,7 +1166,7 @@ void Simulator::Impl::kill_copy(int idx, CopyEnd reason) {
     // keeping the processor awake), so the idle case must re-dispatch.
     dirty_[c.proc] = true;
   }
-  c.alive = false;
+  copy_alive_[static_cast<std::size_t>(idx)] = 0;
   if (trace_) {
     trace_->copies[c.rec].ended = now_;
     trace_->copies[c.rec].end = reason;
@@ -1054,8 +1233,8 @@ void Simulator::Impl::start_running(ProcessorId p, int idx) {
 bool Simulator::Impl::copy_precedes(const Copy& a, const Copy& b) const {
   const auto key = [this](const Copy& c) {
     const core::JobId& id = jobs_[c.job_idx].job.id;
-    return std::make_tuple(static_cast<int>(c.band), c.rank, id.task, id.job,
-                           static_cast<int>(c.kind));
+    return std::make_tuple(static_cast<int>(c.band), c.entry.rank, id.task,
+                           id.job, static_cast<int>(c.kind));
   };
   return key(a) < key(b);
 }
@@ -1080,8 +1259,9 @@ Ticks Simulator::Impl::scan_next_mandatory_activity(ProcessorId p) const {
   Ticks t = config_.horizon;
   for (const std::size_t idx : live_[p]) {
     const Copy& c = copies_[idx];
-    if (c.alive && c.band == Band::kMandatory && c.eligible > now_) {
-      t = std::min(t, c.eligible);
+    if (copy_alive_[idx] && c.band == Band::kMandatory &&
+        copy_eligible_[idx] > now_) {
+      t = std::min(t, copy_eligible_[idx]);
     }
   }
   return t;
@@ -1094,7 +1274,9 @@ void Simulator::Impl::check_dispatch_oracle(ProcessorId p, bool sleeping,
   int scan = kNone;
   for (const std::size_t idx : live_[p]) {
     const Copy& c = copies_[idx];
-    if (!c.alive || c.proc != p || c.eligible > now_) continue;
+    if (!copy_alive_[idx] || c.proc != p || copy_eligible_[idx] > now_) {
+      continue;
+    }
     if (c.band == Band::kOptional) {
       // The running copy's remaining lives in completion_at_ until
       // stop_running materializes it.
@@ -1159,7 +1341,7 @@ void Simulator::Impl::dispatch(ProcessorId p) {
     stop_running(p, now_);  // also materializes the victim's remaining
     if (old != kNone) {
       Copy& victim = copies_[static_cast<std::size_t>(old)];
-      if (victim.alive && victim.remaining > 0) {
+      if (copy_alive_[static_cast<std::size_t>(old)] && victim.remaining > 0) {
         // A genuinely preempted copy (still alive, work left) pays the
         // context overhead on its remaining demand.
         if (config_.preemption_overhead > 0) {

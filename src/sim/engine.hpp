@@ -32,7 +32,27 @@
 #include "sim/scheme.hpp"
 #include "sim/types.hpp"
 
+namespace mkss::core {
+struct ReleaseTimeline;
+}  // namespace mkss::core
+
 namespace mkss::sim {
+
+/// How the engine discovers job releases (and, on implicit-deadline runs,
+/// the folded deadline fires):
+///   * kHeap   -- the classic release-calendar min-heap, re-derived per run;
+///   * kCached -- a cursor walk over a shared core::ReleaseTimeline arena
+///                (SimConfig::timeline_data when attached, otherwise built
+///                locally for the run);
+///   * kAuto   -- kCached exactly when a timeline is attached (the harness
+///                layers attach one through analysis::AnalysisCache), kHeap
+///                otherwise.
+/// Both paths produce bit-identical traces: the arena is sorted by
+/// (release, task), the calendar heap's strict-total pop order. Under
+/// SimConfig::cross_check the heap runs in lock-step as an oracle and every
+/// cursor step is checked against it. Env MKSS_TIMELINE={auto,cached,heap}
+/// (or `off` == heap) overrides the per-run setting, mirroring MKSS_SIMD.
+enum class TimelineMode : std::uint8_t { kAuto = 0, kCached = 1, kHeap = 2 };
 
 struct SimConfig {
   /// Simulation horizon; jobs are released while r < horizon and audited
@@ -63,6 +83,15 @@ struct SimConfig {
 #else
   bool cross_check{true};
 #endif
+  /// Release-discovery mode (see TimelineMode above). MKSS_TIMELINE wins.
+  TimelineMode timeline{TimelineMode::kAuto};
+  /// Shared release timeline consumed under kCached/kAuto; must describe
+  /// exactly this run's (periods, deadlines, horizon) -- the engine checks
+  /// the cheap invariants always and the full per-task agreement under
+  /// cross_check. Borrowed for the duration of run(); the caller keeps it
+  /// alive (harness::RunContext holds it in a content-keyed
+  /// core::TimelineCache).
+  const core::ReleaseTimeline* timeline_data{nullptr};
   /// Per-run wall-clock watchdog budget in milliseconds; 0 (the default)
   /// disables it. When positive, the event loop samples a steady clock every
   /// 512 events and throws RunTimeoutError once the budget is exceeded, so a
@@ -72,6 +101,17 @@ struct SimConfig {
   /// bit-identical to the same run without a watchdog.
   double wall_clock_budget_ms{0};
 };
+
+/// The timeline mode a run with `config` actually uses, with the
+/// MKSS_TIMELINE environment override folded in (parsed once per process;
+/// tests that need both modes in one process use set_forced_timeline_mode).
+/// Returns kAuto only when neither the env nor the config forces a mode.
+TimelineMode resolved_timeline_mode(const SimConfig& config) noexcept;
+
+/// Test hook mirroring core::simd::set_forced_path: overrides the resolved
+/// mode until clear_forced_timeline_mode().
+void set_forced_timeline_mode(TimelineMode mode) noexcept;
+void clear_forced_timeline_mode() noexcept;
 
 /// Thrown by Simulator::run when SimConfig::wall_clock_budget_ms is
 /// exhausted. Fuzz/campaign harnesses map it to a "timeout" verdict; the

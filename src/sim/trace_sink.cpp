@@ -36,6 +36,10 @@ void StatsSink::begin_run(const core::TaskSet& ts, const SimConfig& config) {
   violated_.assign(n, 0);
   memo_frequency_ = 1.0;
   memo_power_ = power_.power_at(1.0);
+  seg_proc_.clear();
+  seg_begin_.clear();
+  seg_end_.clear();
+  seg_freq_.clear();
 }
 
 void StatsSink::charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap) {
@@ -53,19 +57,12 @@ void StatsSink::charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap) {
 }
 
 void StatsSink::on_segment(const ExecSegment& segment) {
-  // The engine emits each processor's segments in increasing begin order and
-  // never past its death time, so this accumulation visits the exact spans
-  // account_energy would after its per-processor sort.
-  const ProcessorId p = segment.proc;
-  energy::ProcessorEnergy& pe = energy_.per_proc[p];
-  charge_idle(pe, segment.span.begin - cursor_[p]);
-  if (segment.frequency != memo_frequency_) {
-    memo_frequency_ = segment.frequency;
-    memo_power_ = power_.power_at(segment.frequency);
-  }
-  pe.active += units(segment.span.length(), memo_power_);
-  pe.busy_time += segment.span.length();
-  cursor_[p] = segment.span.end;
+  // Defer: append the segment's four scalars to the SoA batch; the whole
+  // batch accumulates in end_run.
+  seg_proc_.push_back(segment.proc);
+  seg_begin_.push_back(segment.span.begin);
+  seg_end_.push_back(segment.span.end);
+  seg_freq_.push_back(segment.frequency);
 }
 
 void StatsSink::on_outcome(core::TaskIndex i, core::JobOutcome outcome) {
@@ -87,6 +84,24 @@ void StatsSink::on_outcome(core::TaskIndex i, core::JobOutcome outcome) {
 }
 
 void StatsSink::end_run(const RunFacts& facts) {
+  // Accumulate the segment batch in arrival order: per processor that is
+  // increasing begin order and never past its death time, so this visits the
+  // exact spans account_energy would after its per-processor sort -- term
+  // for term, the same floating-point sequence the per-segment fold used.
+  const std::size_t batch = seg_proc_.size();
+  for (std::size_t s = 0; s < batch; ++s) {
+    const ProcessorId p = seg_proc_[s];
+    energy::ProcessorEnergy& pe = energy_.per_proc[p];
+    charge_idle(pe, seg_begin_[s] - cursor_[p]);
+    if (seg_freq_[s] != memo_frequency_) {
+      memo_frequency_ = seg_freq_[s];
+      memo_power_ = power_.power_at(seg_freq_[s]);
+    }
+    const core::Ticks len = seg_end_[s] - seg_begin_[s];
+    pe.active += units(len, memo_power_);
+    pe.busy_time += len;
+    cursor_[p] = seg_end_[s];
+  }
   for (std::size_t p = 0; p < facts.death_time.size(); ++p) {
     const core::Ticks life_end = std::min(facts.horizon, facts.death_time[p]);
     charge_idle(energy_.per_proc[p], life_end - cursor_[p]);

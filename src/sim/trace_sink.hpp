@@ -10,13 +10,17 @@
 //     SimulationTrace whose buffers are reused across runs (no reallocation
 //     in steady state). This is bit-identical to what sim::simulate()
 //     historically returned.
-//   * StatsSink accumulates the energy breakdown and the QoS report online,
-//     segment by segment and outcome by outcome, without ever materializing
-//     copy or job records. Its results are bit-identical to running
-//     energy::account_energy + metrics::audit_qos over the full trace: the
-//     engine emits each processor's segments in begin order (exactly the
-//     order account_energy sorts into) and outcomes in per-task job order
-//     (exactly what core::audit_mk_sequence replays), so the floating-point
+//   * StatsSink accumulates the energy breakdown and the QoS report without
+//     ever materializing copy or job records. Outcomes fold in online;
+//     segments buffer into flat SoA lanes (proc/begin/end/frequency) and the
+//     energy accumulation runs over the whole batch at end_run -- the
+//     per-segment callback is four appends, and the batch loop keeps the
+//     power memo and per-processor cursors hot. Results are bit-identical to
+//     running energy::account_energy + metrics::audit_qos over the full
+//     trace: the batch replays segments in arrival order, the engine emits
+//     each processor's segments in begin order (exactly the order
+//     account_energy sorts into) and outcomes in per-task job order (exactly
+//     what core::audit_mk_sequence replays), so the floating-point
 //     accumulation order matches term for term.
 //
 // Ownership and pooling: a sink owns its buffers and survives across runs;
@@ -27,6 +31,7 @@
 // end_run().
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -115,6 +120,13 @@ class StatsSink final : public TraceSink {
 
  private:
   void charge_idle(energy::ProcessorEnergy& pe, core::Ticks gap);
+
+  /// Completed-segment batch, SoA lanes parallel by segment arrival order.
+  /// Accumulated by end_run in one pass; capacity survives across runs.
+  std::vector<std::uint8_t> seg_proc_;
+  std::vector<core::Ticks> seg_begin_;
+  std::vector<core::Ticks> seg_end_;
+  std::vector<double> seg_freq_;
 
   energy::PowerParams power_;
   /// One-entry power_at() memo keyed on the exact frequency bits: segments

@@ -9,8 +9,10 @@
 #include <map>
 #include <numeric>
 
+#include "core/release_timeline.hpp"
 #include "core/rng.hpp"
 #include "fault/injection.hpp"
+#include "harness/evaluation.hpp"
 #include "io/trace_json.hpp"
 #include "sched/mkss_selective.hpp"
 #include "sim/engine.hpp"
@@ -320,6 +322,92 @@ TEST_P(EngineFuzz, FourProcessorPlatformHoldsInvariantsAndMatchesOracle) {
     expect_bit_identical(indexed, checked, *ts, seed);
     check_invariants(indexed, *ts, seed);
   }
+}
+
+TEST_P(EngineFuzz, CachedTimelineMatchesHeapBitForBit) {
+  // The release-timeline cache's bit-identity contract: a cursor walk over
+  // the shared SoA arena must reproduce the calendar heap's trace byte for
+  // byte -- trace JSON and every event-core counter -- because the arena is
+  // sorted by (release, task), the heap's strict-total pop order. Swept over
+  // long horizons x {no fault, permanent, transient burst} x {2, 4} procs,
+  // with the arena both attached (the BatchRunner/serve path) and built
+  // locally inside the run (forced kCached with nothing attached).
+  const std::uint64_t seed = GetParam();
+  core::Rng rng(seed * 6151 + 11);
+  std::optional<core::TaskSet> ts;
+  for (int trial = 0; trial < 4000 && !ts; ++trial) {
+    ts = workload::generate_taskset({}, rng.uniform(0.3, 0.7), rng);
+  }
+  ASSERT_TRUE(ts.has_value());
+  const Ticks horizon = core::from_ms(rng.range(1500, 3000));
+
+  core::ReleaseTimeline shared;
+  core::build_release_timeline(*ts, horizon, shared);
+
+  struct Case {
+    fault::Scenario scenario;
+    double lambda_per_ms;
+  };
+  for (const Case c : {Case{fault::Scenario::kNoFault, 0.0},
+                       Case{fault::Scenario::kPermanentOnly, 0.0},
+                       Case{fault::Scenario::kPermanentAndTransient, 0.02}}) {
+    core::Rng fault_rng = rng.split();
+    const auto plan = fault::make_scenario_plan(c.scenario, *ts, horizon,
+                                                c.lambda_per_ms, fault_rng);
+    for (const std::size_t nproc : {std::size_t{2}, std::size_t{4}}) {
+      const auto run = [&](TimelineMode mode,
+                           const core::ReleaseTimeline* attached) {
+        set_forced_timeline_mode(mode);
+        RandomScheme scheme(seed ^ 0x71A3);
+        SimConfig cfg;
+        cfg.horizon = horizon;
+        cfg.platform = PlatformSpec::standby(nproc);
+        cfg.wake_for_optional = (seed % 2) == 0;
+        cfg.timeline_data = attached;
+        auto trace = simulate(*ts, scheme, *plan, cfg);
+        clear_forced_timeline_mode();
+        return trace;
+      };
+      const auto heap = run(TimelineMode::kHeap, nullptr);
+      const auto cached_attached = run(TimelineMode::kCached, &shared);
+      const auto cached_local = run(TimelineMode::kCached, nullptr);
+      expect_bit_identical(heap, cached_attached, *ts, seed);
+      expect_bit_identical(heap, cached_local, *ts, seed);
+      check_invariants(heap, *ts, seed);
+    }
+  }
+}
+
+TEST(SweepTimelineModes, BitIdenticalAcrossModesAndThreadCounts) {
+  // Harness-level closure of the same contract: a full sweep -- generation,
+  // the four scheme variants, aggregation -- produces the identical CSV for
+  // every (timeline mode) x (thread count) combination. Thread count 0 is
+  // "hardware concurrency", so the matrix covers the serial inline path, the
+  // pooled path, and whatever the box really has.
+  harness::SweepConfig cfg;
+  cfg.bin_starts = {0.3, 0.5};
+  cfg.sets_per_bin = 4;
+  cfg.max_attempts_per_bin = 3000;
+  cfg.horizon_cap = core::from_ms(std::int64_t{1000});
+  cfg.scenario = fault::Scenario::kPermanentAndTransient;
+  cfg.lambda_per_ms = 1e-4;
+
+  std::optional<std::string> reference;
+  for (const TimelineMode mode :
+       {TimelineMode::kHeap, TimelineMode::kCached, TimelineMode::kAuto}) {
+    set_forced_timeline_mode(mode);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+      cfg.num_threads = threads;
+      const std::string csv = harness::run_sweep(cfg).to_table().to_csv();
+      if (!reference) {
+        reference = csv;
+      } else {
+        EXPECT_EQ(csv, *reference)
+            << "mode " << static_cast<int>(mode) << " threads " << threads;
+      }
+    }
+  }
+  clear_forced_timeline_mode();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,

@@ -1,0 +1,204 @@
+// Unit tests for the shared release-timeline arena and the content-keyed
+// caches layered on it: the builder must reproduce the calendar heap's
+// (release, task) pop order exactly, and the TimelineCache /
+// PostponementCache must key on content (not object identity), evict LRU
+// under their bounds, and never invalidate a result a caller still holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analysis/cache.hpp"
+#include "analysis/postponement.hpp"
+#include "core/release_timeline.hpp"
+#include "core/rng.hpp"
+#include "core/task.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/taskset_gen.hpp"
+
+namespace mkss {
+namespace {
+
+using core::ReleaseTimeline;
+using core::TaskSet;
+using core::Ticks;
+
+/// Brute-force reference: every (release, task) pair below the horizon,
+/// sorted by the calendar heap's strict total order.
+struct RefEntry {
+  Ticks release;
+  std::uint32_t task;
+  Ticks deadline;
+  std::uint64_t seq;
+};
+
+std::vector<RefEntry> brute_force_timeline(const TaskSet& ts, Ticks horizon) {
+  std::vector<RefEntry> out;
+  for (std::uint32_t i = 0; i < ts.size(); ++i) {
+    std::uint64_t j = 1;
+    for (Ticks r = 0; r < horizon; r += ts[i].period, ++j) {
+      out.push_back(RefEntry{r, i, r + ts[i].deadline, j});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RefEntry& a, const RefEntry& b) {
+    return a.release != b.release ? a.release < b.release : a.task < b.task;
+  });
+  return out;
+}
+
+void expect_matches_brute_force(const TaskSet& ts, Ticks horizon) {
+  ReleaseTimeline tl;
+  core::build_release_timeline(ts, horizon, tl);
+  const auto ref = brute_force_timeline(ts, horizon);
+  ASSERT_EQ(tl.size(), ref.size());
+  EXPECT_EQ(tl.horizon, horizon);
+  EXPECT_EQ(tl.num_tasks, ts.size());
+  for (std::size_t e = 0; e < ref.size(); ++e) {
+    EXPECT_EQ(tl.release[e], ref[e].release) << "entry " << e;
+    EXPECT_EQ(tl.task[e], ref[e].task) << "entry " << e;
+    EXPECT_EQ(tl.deadline[e], ref[e].deadline) << "entry " << e;
+    EXPECT_EQ(tl.seq[e], ref[e].seq) << "entry " << e;
+  }
+}
+
+TEST(ReleaseTimeline, BuilderMatchesBruteForceOnPaperSet) {
+  const auto ts = workload::paper_fig1_taskset();
+  for (const std::int64_t h_ms : {1, 7, 40, 1000}) {
+    SCOPED_TRACE(h_ms);
+    expect_matches_brute_force(ts, core::from_ms(h_ms));
+  }
+}
+
+TEST(ReleaseTimeline, BuilderMatchesBruteForceOnRandomSets) {
+  core::Rng rng(20260808);
+  int produced = 0;
+  for (int trial = 0; trial < 4000 && produced < 8; ++trial) {
+    const auto ts = workload::generate_taskset({}, rng.uniform(0.2, 0.7), rng);
+    if (!ts) continue;
+    ++produced;
+    SCOPED_TRACE(ts->describe());
+    expect_matches_brute_force(*ts, core::from_ms(rng.range(1, 500)));
+  }
+  EXPECT_GT(produced, 0);
+}
+
+TEST(ReleaseTimeline, BuilderReusesArenaAcrossBuilds) {
+  const auto ts = workload::paper_fig1_taskset();
+  ReleaseTimeline tl;
+  core::build_release_timeline(ts, core::from_ms(std::int64_t{1000}), tl);
+  const std::size_t big = tl.size();
+  core::build_release_timeline(ts, core::from_ms(std::int64_t{10}), tl);
+  EXPECT_LT(tl.size(), big);  // rebuilt in place, old entries gone
+  expect_matches_brute_force(ts, core::from_ms(std::int64_t{10}));
+}
+
+TaskSet two_task_set(Ticks p0, Ticks d0, Ticks p1, Ticks d1, Ticks wcet,
+                     std::uint32_t m, std::uint32_t k) {
+  std::vector<core::Task> tasks(2);
+  tasks[0].period = p0;
+  tasks[0].deadline = d0;
+  tasks[0].wcet = wcet;
+  tasks[0].m = m;
+  tasks[0].k = k;
+  tasks[1].period = p1;
+  tasks[1].deadline = d1;
+  tasks[1].wcet = wcet;
+  tasks[1].m = m;
+  tasks[1].k = k;
+  return TaskSet(std::move(tasks));
+}
+
+TEST(TimelineCache, KeysOnContentNotAddress) {
+  core::TimelineCache cache;
+  const Ticks ms = core::from_ms(std::int64_t{1});
+  const auto a = two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, ms, 1, 2);
+  // Same periods/deadlines, different WCET and (m,k): the release structure
+  // is identical, so the cache must hit.
+  const auto b = two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, 2 * ms, 2, 3);
+  const auto tl_a = cache.get(a, 100 * ms);
+  const auto tl_b = cache.get(b, 100 * ms);
+  EXPECT_EQ(tl_a.get(), tl_b.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Different horizon or different deadline: distinct timelines.
+  EXPECT_NE(cache.get(a, 200 * ms).get(), tl_a.get());
+  const auto c = two_task_set(5 * ms, 3 * ms, 10 * ms, 9 * ms, ms, 1, 2);
+  EXPECT_NE(cache.get(c, 100 * ms).get(), tl_a.get());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(TimelineCache, EvictsLruByCapacityAndPinnedResultsSurvive) {
+  core::TimelineCache cache(/*capacity=*/2);
+  const Ticks ms = core::from_ms(std::int64_t{1});
+  const auto ts = workload::paper_fig1_taskset();
+  const auto first = cache.get(ts, 100 * ms);
+  const std::size_t first_size = first->size();
+  cache.get(ts, 200 * ms);
+  cache.get(ts, 300 * ms);  // evicts the LRU entry (horizon 100)
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+  // The evicted timeline is still alive and intact through our shared_ptr.
+  EXPECT_EQ(first->size(), first_size);
+  EXPECT_EQ(first->horizon, 100 * ms);
+  // Asking again rebuilds (miss), proving 100ms was the evicted one.
+  cache.get(ts, 100 * ms);
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(TimelineCache, EvictsByByteBudget) {
+  const Ticks ms = core::from_ms(std::int64_t{1});
+  const auto ts = workload::paper_fig1_taskset();
+  // Budget fits roughly one timeline of this size, never three.
+  core::TimelineCache probe;
+  const std::size_t one = probe.get(ts, 400 * ms)->memory_bytes();
+  core::TimelineCache cache(/*capacity=*/64, /*byte_budget=*/one + one / 2);
+  cache.get(ts, 400 * ms);
+  cache.get(ts, 401 * ms);
+  cache.get(ts, 402 * ms);
+  EXPECT_LT(cache.entries(), 3u);
+  EXPECT_GE(cache.entries(), 1u);  // the newest entry always survives
+  EXPECT_LE(cache.bytes(), one + one / 2);
+}
+
+TEST(PostponementCache, KeysOnContentAndMatchesFreshComputation) {
+  analysis::PostponementCache cache;
+  const Ticks ms = core::from_ms(std::int64_t{1});
+  const auto a = two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, ms, 1, 2);
+  const auto b = two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, ms, 1, 2);
+  const analysis::PostponementOptions opts;
+  const auto ra = cache.get(a, opts);
+  const auto rb = cache.get(b, opts);  // distinct object, same content: hit
+  EXPECT_EQ(ra.get(), rb.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const auto fresh = analysis::compute_postponement(a, opts);
+  ASSERT_EQ(ra->per_task.size(), fresh.per_task.size());
+  EXPECT_EQ(ra->all_exact, fresh.all_exact);
+  for (core::TaskIndex i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(ra->theta(i), fresh.theta(i)) << "task " << i;
+    EXPECT_EQ(ra->per_task[i].source, fresh.per_task[i].source);
+  }
+}
+
+TEST(PostponementCache, DistinguishesEveryThetaInput) {
+  analysis::PostponementCache cache;
+  const Ticks ms = core::from_ms(std::int64_t{1});
+  const auto base = two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, ms, 1, 2);
+  const analysis::PostponementOptions opts;
+  cache.get(base, opts);
+  // WCET and (m,k) feed the theta analysis (unlike the release timeline),
+  // so each variation must be a distinct entry.
+  cache.get(two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, 2 * ms, 1, 2), opts);
+  cache.get(two_task_set(5 * ms, 4 * ms, 10 * ms, 9 * ms, ms, 2, 3), opts);
+  analysis::PostponementOptions capped;
+  capped.horizon_cap = 20 * ms;
+  cache.get(base, capped);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace mkss

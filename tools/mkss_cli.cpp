@@ -749,10 +749,13 @@ int cmd_serve(int argc, char** argv) {
   // Telemetry goes to stderr so the stdout response stream stays pure JSONL.
   std::fprintf(stderr,
                "served %llu request(s): %llu ok, %llu error(s); "
-               "max queue depth %zu; %.3fs\n",
+               "max queue depth %zu; timeline cache %llu hit(s), "
+               "%llu miss(es); %.3fs\n",
                static_cast<unsigned long long>(t.requests),
                static_cast<unsigned long long>(t.ok),
                static_cast<unsigned long long>(t.errors), t.max_queue_depth,
+               static_cast<unsigned long long>(t.timeline_hits),
+               static_cast<unsigned long long>(t.timeline_misses),
                t.wall_seconds);
   return 0;
 }
